@@ -1,0 +1,379 @@
+package cloud9
+
+// One benchmark per table/figure of the paper's evaluation (§7), plus
+// ablation benches for the design decisions DESIGN.md calls out. Each
+// bench runs a reduced-scale version of the corresponding experiment and
+// reports the figure's key metric via b.ReportMetric; cmd/c9-repro runs
+// the full-scale versions.
+
+import (
+	"testing"
+
+	"cloud9/internal/cluster"
+	"cloud9/internal/engine"
+	"cloud9/internal/expr"
+	"cloud9/internal/posix"
+	"cloud9/internal/solver"
+	"cloud9/internal/targets"
+	"cloud9/internal/tree"
+)
+
+func simConfig(b *testing.B, tgt targets.Target, workers int) cluster.SimConfig {
+	b.Helper()
+	return cluster.SimConfig{
+		Workers:   workers,
+		Entry:     "main",
+		NewInterp: targets.Factory(tgt),
+		Engine:    engine.Config{MaxStateSteps: 2_000_000},
+		Quantum:   2000,
+	}
+}
+
+// BenchmarkTable4_Targets compiles and smoke-runs the whole target
+// inventory (Table 4).
+func BenchmarkTable4_Targets(b *testing.B) {
+	all := targets.All()
+	for i := 0; i < b.N; i++ {
+		for _, tgt := range all {
+			if _, err := targets.Factory(tgt)(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(all)), "targets")
+}
+
+// BenchmarkFig7_MemcachedExhaustive measures virtual time to exhaust the
+// two-symbolic-packet memcached test on a 4-worker cluster (Fig. 7).
+func BenchmarkFig7_MemcachedExhaustive(b *testing.B) {
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	var ticks, paths int
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunSim(simConfig(b, tgt, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Exhausted {
+			b.Fatal("not exhausted")
+		}
+		ticks = res.Ticks
+		paths = int(res.Final.Paths)
+	}
+	b.ReportMetric(float64(ticks), "ticks")
+	b.ReportMetric(float64(paths), "paths")
+}
+
+// BenchmarkFig8_PrintfCoverage measures virtual time to 80% line
+// coverage of printf on 4 workers (Fig. 8).
+func BenchmarkFig8_PrintfCoverage(b *testing.B) {
+	tgt := targets.Printf(4)
+	prog, err := posix.CompileTarget("printf.c", tgt.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	goal := prog.CoverableLines() * 80 / 100
+	var ticks int
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(b, tgt, 4)
+		cfg.MaxTicks = 3000
+		cfg.StopWhen = func(s cluster.Snapshot) bool { return s.Coverage >= goal }
+		res, err := cluster.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks = res.Ticks
+	}
+	b.ReportMetric(float64(ticks), "ticks-to-80pct")
+}
+
+// BenchmarkFig9_UsefulWork measures total useful work in a fixed
+// virtual-time budget on 4 workers (Fig. 9).
+func BenchmarkFig9_UsefulWork(b *testing.B) {
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	var useful, perWorker uint64
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(b, tgt, 4)
+		cfg.MaxTicks = 15
+		res, err := cluster.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		useful = res.Final.UsefulSteps
+		perWorker = useful / 4
+	}
+	b.ReportMetric(float64(useful), "useful-instr")
+	b.ReportMetric(float64(perWorker), "per-worker")
+}
+
+// BenchmarkFig10_UsefulWorkUtils is Fig. 9 for printf and test.
+func BenchmarkFig10_UsefulWorkUtils(b *testing.B) {
+	var useful uint64
+	for i := 0; i < b.N; i++ {
+		for _, tgt := range []targets.Target{targets.Printf(5), targets.TestUtil(3)} {
+			cfg := simConfig(b, tgt, 4)
+			cfg.MaxTicks = 15
+			res, err := cluster.RunSim(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			useful += res.Final.UsefulSteps
+		}
+	}
+	b.ReportMetric(float64(useful)/float64(b.N), "useful-instr")
+}
+
+// BenchmarkFig11_Coreutils runs the 1-vs-many-workers coverage
+// comparison on one representative utility (Fig. 11).
+func BenchmarkFig11_Coreutils(b *testing.B) {
+	tgt := targets.Coreutils(7)[12] // coreutil-cut: option-gated arms
+	prog, err := posix.CompileTarget("cut.c", tgt.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coverable := float64(prog.CoverableLines())
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		run := func(workers int) float64 {
+			cfg := simConfig(b, tgt, workers)
+			cfg.Quantum = 150
+			cfg.MaxTicks = 4
+			res, err := cluster.RunSim(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return 100 * float64(res.Final.Coverage) / coverable
+		}
+		gain = run(12) - run(1)
+	}
+	b.ReportMetric(gain, "coverage-gain-pp")
+}
+
+// BenchmarkFig12_TransferRate measures job-transfer activity during a
+// balanced run (Fig. 12).
+func BenchmarkFig12_TransferRate(b *testing.B) {
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	var transferred int
+	for i := 0; i < b.N; i++ {
+		cfg := simConfig(b, tgt, 8)
+		res, err := cluster.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		transferred = res.Final.StatesTransferred
+	}
+	b.ReportMetric(float64(transferred), "states-transferred")
+}
+
+// BenchmarkFig13_LBDisabled compares useful work with continuous
+// balancing against balancing disabled from tick 1 (Fig. 13).
+func BenchmarkFig13_LBDisabled(b *testing.B) {
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(disableAt int) uint64 {
+			cfg := simConfig(b, tgt, 4)
+			cfg.MaxTicks = 20
+			cfg.DisableLBAtTick = disableAt
+			res, err := cluster.RunSim(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Final.UsefulSteps
+		}
+		with := run(0)
+		without := run(1)
+		ratio = float64(without) / float64(with)
+	}
+	b.ReportMetric(ratio, "no-lb-work-fraction")
+}
+
+// BenchmarkTable5_Memcached explores the two-symbolic-packet space
+// exhaustively on one node (Table 5's "symbolic packets" row).
+func BenchmarkTable5_Memcached(b *testing.B) {
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	var paths uint64
+	for i := 0; i < b.N; i++ {
+		in, err := targets.Factory(tgt)()
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(in, "main", engine.Config{
+			MaxStateSteps: 2_000_000,
+			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.RunToCompletion(0); err != nil {
+			b.Fatal(err)
+		}
+		paths = e.Stats.PathsExplored
+	}
+	b.ReportMetric(float64(paths), "paths")
+}
+
+// BenchmarkTable6_Lighttpd runs the full fragmentation matrix (Table 6).
+func BenchmarkTable6_Lighttpd(b *testing.B) {
+	drivers := []string{
+		targets.LHDriverSinglePacket,
+		targets.LHDriverSplit26Plus2,
+		targets.LHDriverManySmall,
+	}
+	var crashes int
+	for i := 0; i < b.N; i++ {
+		crashes = 0
+		for _, version := range []int{12, 13} {
+			for _, d := range drivers {
+				in, err := targets.Factory(targets.Lighttpd(version, d))()
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := engine.New(in, "main", engine.Config{MaxStateSteps: 2_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.RunToCompletion(0); err != nil {
+					b.Fatal(err)
+				}
+				if e.Stats.Errors > 0 {
+					crashes++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(crashes), "crashing-cells")
+}
+
+// ---- Ablation benches (design decisions from DESIGN.md §4) ----
+
+// BenchmarkAblation_SolverCaches compares a shared solver (caches warm
+// across queries, the Cloud9 configuration) with a fresh solver per
+// query (caches ablated).
+func BenchmarkAblation_SolverCaches(b *testing.B) {
+	mkConstraints := func() *solver.ConstraintSet {
+		cs := solver.EmptySet
+		for i := uint64(0); i < 12; i++ {
+			cs = cs.Append(expr.Ult(expr.Var(i, "v"), expr.Const(200, expr.W8)))
+			cs = cs.Append(expr.Not(expr.Eq(expr.Var(i, "v"), expr.Var((i+1)%12, "v"))))
+		}
+		return cs
+	}
+	b.Run("shared", func(b *testing.B) {
+		s := solver.New()
+		cs := mkConstraints()
+		for i := 0; i < b.N; i++ {
+			q := expr.Eq(expr.Var(uint64(i%12), "v"), expr.Const(uint64(i%200), expr.W8))
+			if _, err := s.MayBeTrue(cs, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		cs := mkConstraints()
+		for i := 0; i < b.N; i++ {
+			s := solver.New()
+			q := expr.Eq(expr.Var(uint64(i%12), "v"), expr.Const(uint64(i%200), expr.W8))
+			if _, err := s.MayBeTrue(cs, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_JobTreeEncoding compares the aggregated job-trie
+// wire size against flat per-path encoding (§3.2's shared-prefix
+// optimization).
+func BenchmarkAblation_JobTreeEncoding(b *testing.B) {
+	// Deep tree with heavily shared prefixes, as real frontiers have.
+	var paths [][]uint8
+	prefix := make([]uint8, 24)
+	for i := 0; i < 64; i++ {
+		p := append([]uint8(nil), prefix...)
+		for bit := 5; bit >= 0; bit-- {
+			p = append(p, uint8(i>>bit)&1)
+		}
+		paths = append(paths, p)
+	}
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			jt := cluster.BuildJobTree(paths)
+			if jt.Count() != len(paths) {
+				b.Fatal("count mismatch")
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, p := range paths {
+				total += len(p)
+			}
+			if total == 0 {
+				b.Fatal("no data")
+			}
+		}
+	})
+	// Trie node count vs flat byte count as a size proxy.
+	jt := cluster.BuildJobTree(paths)
+	trieNodes := 0
+	var count func(*cluster.JobTree)
+	count = func(n *cluster.JobTree) {
+		trieNodes++
+		for _, k := range n.Kids {
+			count(k)
+		}
+	}
+	count(jt)
+	flat := 0
+	for _, p := range paths {
+		flat += len(p)
+	}
+	b.ReportMetric(float64(trieNodes), "trie-nodes")
+	b.ReportMetric(float64(flat), "flat-bytes")
+}
+
+// BenchmarkAblation_ReplayFromAncestor measures replay cost when jobs
+// materialize from the nearest fence vs. always from the root (§8's
+// VeriSoft comparison: replaying from the frontier avoids re-executing
+// long shared prefixes).
+func BenchmarkAblation_ReplayFromAncestor(b *testing.B) {
+	tgt := targets.Printf(4)
+	for i := 0; i < b.N; i++ {
+		in, err := targets.Factory(tgt)()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := engine.New(in, "main", engine.Config{
+			MaxStateSteps: 2_000_000,
+			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewBFS() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 20; j++ {
+			if _, err := a.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		jobs := a.ExportCandidates(a.Tree.NumCandidates() - 1)
+
+		in2, err := targets.Factory(tgt)()
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := engine.New(in2, "main", engine.Config{
+			MaxStateSteps: 2_000_000,
+			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewBFS() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst.DropRoot()
+		dst.ImportJobs(jobs)
+		if _, err := dst.RunToCompletion(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(dst.Stats.ReplaySteps), "replay-instr")
+		b.ReportMetric(float64(dst.Stats.UsefulSteps), "useful-instr")
+	}
+}

@@ -1,0 +1,67 @@
+// Command c9-lb runs the Cloud9 load balancer for a cross-process
+// cluster. Workers (cmd/c9-worker) dial in, stream status updates, and
+// receive balancing instructions; job transfers flow directly between
+// workers. The LB exits when the cluster is quiescent and prints the
+// aggregate results.
+//
+// Usage:
+//
+//	c9-lb -listen 127.0.0.1:7747 -target memcached -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloud9/internal/cluster"
+	"cloud9/internal/posix"
+	"cloud9/internal/targets"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7747", "address to listen on")
+		targetName = flag.String("target", "memcached", "target (for coverage sizing)")
+		workers    = flag.Int("workers", 2, "number of workers expected before balancing")
+		maxDur     = flag.Duration("max-duration", 10*time.Minute, "run bound")
+	)
+	flag.Parse()
+
+	tgt, ok := targets.ByName(*targetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "c9-lb: unknown target %q\n", *targetName)
+		os.Exit(1)
+	}
+	prog, err := posix.CompileTarget(tgt.Name+".c", tgt.Source)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv, err := cluster.NewLBServer(*listen, cluster.DefaultBalancerConfig(), prog.MaxLine, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("c9-lb: listening on %s, waiting for %d workers...\n", srv.Addr(), *workers)
+	statuses, err := srv.Serve(*maxDur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+		os.Exit(1)
+	}
+
+	var paths, errors, hangs, useful, replay uint64
+	for _, st := range statuses {
+		paths += st.Paths
+		errors += st.Errors
+		hangs += st.Hangs
+		useful += st.UsefulSteps
+		replay += st.ReplaySteps
+		fmt.Printf("  worker %d: paths=%d errors=%d useful=%d replay=%d cov=%d\n",
+			st.Worker, st.Paths, st.Errors, st.UsefulSteps, st.ReplaySteps, st.CovCount)
+	}
+	fmt.Printf("cluster total: paths=%d errors=%d hangs=%d useful=%d replay=%d\n",
+		paths, errors, hangs, useful, replay)
+}

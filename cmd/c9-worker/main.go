@@ -1,0 +1,62 @@
+// Command c9-worker runs one Cloud9 worker node: it dials the load
+// balancer, receives its cluster id (worker 0 seeds the exploration),
+// and explores its share of the execution tree, exchanging path-encoded
+// jobs directly with peer workers.
+//
+// Usage:
+//
+//	c9-worker -lb 127.0.0.1:7747 -target memcached
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloud9/internal/cluster"
+	"cloud9/internal/engine"
+	"cloud9/internal/targets"
+)
+
+func main() {
+	var (
+		lbAddr     = flag.String("lb", "127.0.0.1:7747", "load balancer address")
+		targetName = flag.String("target", "memcached", "target to explore")
+		steps      = flag.Uint64("steps", 2_000_000, "per-path instruction budget")
+		batch      = flag.Int("batch", 16, "exploration steps between mailbox polls")
+	)
+	flag.Parse()
+
+	tgt, ok := targets.ByName(*targetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "c9-worker: unknown target %q\n", *targetName)
+		os.Exit(1)
+	}
+	tr, ack, err := cluster.DialLB(*lbAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+	fmt.Printf("c9-worker: joined as worker %d (seed=%v)\n", ack.ID, ack.Seed)
+
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		ID:        ack.ID,
+		Seed:      ack.Seed,
+		Batch:     *batch,
+		Engine:    engine.Config{MaxStateSteps: *steps},
+		NewInterp: targets.Factory(tgt),
+		Entry:     "main",
+	}, tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
+		os.Exit(1)
+	}
+	if err := w.RunLoop(); err != nil {
+		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("c9-worker %d: paths=%d errors=%d hangs=%d useful=%d replay=%d tests=%d\n",
+		w.ID, w.Exp.Stats.PathsExplored, w.Exp.Stats.Errors, w.Exp.Stats.Hangs,
+		w.Exp.Stats.UsefulSteps, w.Exp.Stats.ReplaySteps, len(w.Exp.Tests))
+}

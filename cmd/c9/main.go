@@ -1,0 +1,157 @@
+// Command c9 symbolically tests a program on a single node: it compiles
+// a C-subset source (or a built-in miniature target), explores its paths
+// with the chosen strategy, and prints the coverage summary plus the
+// generated test cases for every bug found.
+//
+// Usage:
+//
+//	c9 -target memcached:udp -max-paths 1000
+//	c9 -file prog.c -strategy dfs -steps 500000
+//	c9 -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+	"cloud9/internal/posix"
+	"cloud9/internal/state"
+	"cloud9/internal/targets"
+	"cloud9/internal/tree"
+)
+
+func main() {
+	var (
+		targetName = flag.String("target", "", "built-in target name (see -list)")
+		file       = flag.String("file", "", "C-subset source file to test")
+		strategy   = flag.String("strategy", "interleaved", "dfs|bfs|random|random-path|cov-opt|interleaved")
+		maxPaths   = flag.Int("max-paths", 0, "stop after this many explored paths (0 = exhaustive)")
+		maxSteps   = flag.Uint64("steps", 2_000_000, "per-path instruction budget (hang detection)")
+		listAll    = flag.Bool("list", false, "list built-in targets")
+		showTests  = flag.Bool("tests", true, "print generated test cases")
+	)
+	flag.Parse()
+
+	if *listAll {
+		for _, n := range targets.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var in *interp.Interp
+	var err error
+	switch {
+	case *targetName != "":
+		tgt, ok := targets.ByName(*targetName)
+		if !ok {
+			fatalf("unknown target %q (try -list)", *targetName)
+		}
+		in, err = targets.Factory(tgt)()
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatalf("%v", rerr)
+		}
+		prog, cerr := posix.CompileTarget(*file, string(src))
+		if cerr != nil {
+			fatalf("%v", cerr)
+		}
+		in = interp.New(prog)
+		posix.Install(in, posix.Options{})
+	default:
+		fatalf("need -target or -file (see -h)")
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := engine.Config{MaxStateSteps: *maxSteps}
+	switch *strategy {
+	case "dfs":
+		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewDFS() }
+	case "bfs":
+		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewBFS() }
+	case "random":
+		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewRandom(1) }
+	case "random-path":
+		cfg.Strategy = func(t *tree.Tree) engine.Strategy { return engine.NewRandomPath(t, 1) }
+	case "cov-opt":
+		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewCoverageOptimized(1) }
+	case "interleaved":
+		// engine default
+	default:
+		fatalf("unknown strategy %q", *strategy)
+	}
+
+	e, err := engine.New(in, "main", cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for {
+		more, err := e.Step()
+		if err != nil {
+			fatalf("exploration failed: %v", err)
+		}
+		if !more {
+			break
+		}
+		if *maxPaths > 0 && int(e.Stats.PathsExplored) >= *maxPaths {
+			break
+		}
+	}
+
+	coverable := in.Prog.CoverableLines()
+	fmt.Printf("paths explored:   %d\n", e.Stats.PathsExplored)
+	fmt.Printf("errors found:     %d\n", e.Stats.Errors)
+	fmt.Printf("hangs found:      %d\n", e.Stats.Hangs)
+	fmt.Printf("instructions:     %d\n", e.Stats.UsefulSteps)
+	fmt.Printf("line coverage:    %d/%d (%.1f%%)\n",
+		e.Cov.Count(), coverable, 100*float64(e.Cov.Count())/float64(max(1, coverable)))
+	fmt.Printf("solver queries:   %d\n", in.Solver.Stats.Snapshot().Queries)
+
+	if *showTests && len(e.Tests) > 0 {
+		fmt.Printf("\n%d test case(s):\n", len(e.Tests))
+		for i, tc := range e.Tests {
+			kind := "exit"
+			switch tc.Kind {
+			case state.TermError:
+				kind = "ERROR"
+			case state.TermHang:
+				kind = "HANG"
+			}
+			fmt.Printf("  #%d [%s] %s\n", i+1, kind, tc.Message)
+			for name, data := range tc.Inputs {
+				fmt.Printf("      %s = %q (% x)\n", name, printable(data), data)
+			}
+		}
+	}
+}
+
+func printable(b []byte) string {
+	var sb strings.Builder
+	for _, c := range b {
+		if c >= 32 && c < 127 {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('.')
+		}
+	}
+	return sb.String()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "c9: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

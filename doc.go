@@ -1,0 +1,22 @@
+// Package cloud9 is a Go reproduction of "Parallel Symbolic Execution
+// for Automated Real-World Software Testing" (Bucur, Ureche, Zamfir,
+// Candea — EuroSys 2011): the Cloud9 parallel symbolic execution
+// platform, rebuilt from scratch including every substrate it depends
+// on — a C-subset compiler and bytecode VM (the LLVM/KLEE analog), a
+// bit-vector constraint solver (the STP analog), a symbolic POSIX
+// environment model, the symbolic-test API, and the cluster fabric of
+// workers coordinated by a load balancer.
+//
+// Entry points:
+//
+//   - cmd/c9        — single-node symbolic testing CLI
+//   - cmd/c9-lb     — cluster load balancer (TCP)
+//   - cmd/c9-worker — cluster worker node (TCP)
+//   - cmd/c9-repro  — regenerates every table/figure of the paper's §7
+//   - examples/     — runnable API walkthroughs
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and substitutions, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// each experiment at reduced scale.
+package cloud9

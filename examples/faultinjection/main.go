@@ -1,0 +1,53 @@
+// Fault injection as part of regular testing (§5.1, §7.3.3): the
+// symbolic test enables SIO_FAULT_INJ on a server connection, so every
+// read/write forks a sibling path in which the call fails. The
+// fewest-faults-first strategy sweeps fault depth uniformly: first all
+// single-fault executions, then pairs, and so on.
+//
+// Run: go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/targets"
+	"cloud9/internal/tree"
+)
+
+func main() {
+	in, err := targets.Factory(targets.Memcached(targets.MCDriverSuiteFaultInjection))()
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := engine.New(in, "main", engine.Config{
+		MaxStateSteps:  2_000_000,
+		RecordAllTests: true,
+		Strategy: func(*tree.Tree) engine.Strategy {
+			return engine.NewFewestFaults()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.MaxTests = 4096
+	if _, err := e.RunToCompletion(3000); err != nil {
+		log.Fatal(err)
+	}
+
+	byDepth := map[int]int{}
+	for _, tc := range e.Tests {
+		byDepth[tc.Faults]++
+	}
+	fmt.Printf("explored %d paths of the memcached suite under fault injection\n",
+		e.Stats.PathsExplored)
+	fmt.Printf("server-loop errors: %d (the server must tolerate failed syscalls)\n\n",
+		e.Stats.Errors)
+	fmt.Println("paths by number of injected faults (uniform-depth sweep):")
+	for d := 0; d < 8; d++ {
+		if byDepth[d] > 0 {
+			fmt.Printf("  %d fault(s): %d paths\n", d, byDepth[d])
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Quickstart: write a symbolic test for a small C function, explore all
+// of its paths, and print the generated test cases.
+//
+// The program under test parses a 4-byte "command packet"; the symbolic
+// test marks the packet symbolic, so one test covers every packet the
+// parser distinguishes — including the one that crashes it.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+	"cloud9/internal/posix"
+	"cloud9/internal/state"
+)
+
+const program = `
+// A toy packet handler with a latent bug: opcode 7 with the maximum
+// length field indexes one byte past the packet buffer.
+int handle(char *pkt) {
+	int op = pkt[0] & 0xff;
+	int len = pkt[1] & 0xff;
+	if (op > 9) return -1;          // unknown opcode
+	if (len > 2) return -2;         // oversized
+	if (op == 7) {
+		return pkt[2 + len];        // BUG: len == 2 reads pkt[4]
+	}
+	if (op == 3 && len == 2) {
+		return pkt[2] + pkt[3];
+	}
+	return 0;
+}
+
+int main() {
+	char pkt[4];
+	cloud9_make_symbolic(pkt, 4, "packet");  // the whole packet is symbolic
+	handle(pkt);
+	return 0;
+}
+`
+
+func main() {
+	// 1. Compile the program together with the POSIX model prelude.
+	prog, err := posix.CompileTarget("quickstart.c", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build an interpreter and install the POSIX environment model.
+	in := interp.New(prog)
+	posix.Install(in, posix.Options{})
+
+	// 3. Create an explorer and run to exhaustion.
+	e, err := engine.New(in, "main", engine.Config{
+		MaxStateSteps:  1_000_000, // per-path budget (hang detection)
+		RecordAllTests: true,      // keep a test case for every path
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.RunToCompletion(0); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("explored %d paths, found %d error(s)\n",
+		e.Stats.PathsExplored, e.Stats.Errors)
+	fmt.Printf("line coverage: %d/%d\n\n", e.Cov.Count(), prog.CoverableLines())
+	for _, tc := range e.Tests {
+		if tc.Kind != state.TermError {
+			continue
+		}
+		fmt.Printf("BUG: %s\n", tc.Message)
+		fmt.Printf("  triggering packet: % x\n", tc.Inputs["packet"])
+	}
+}

@@ -1,0 +1,52 @@
+// Webserver regression testing with symbolic stream fragmentation
+// (the paper's lighttpd case study, §7.3.4).
+//
+// A web server must behave identically no matter how the TCP stream
+// delivers the request bytes. This example turns on SIO_PKT_FRAGMENT so
+// the engine explores EVERY fragmentation pattern of the request, and
+// uses that symbolic test as a regression check of a bug fix:
+//
+//   - against the pre-patch server  -> finds crashing patterns,
+//   - against the patched server    -> STILL finds one (incomplete fix!),
+//   - against the correct fix       -> proves all patterns safe.
+//
+// Run: go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/targets"
+)
+
+func check(version int, label string) {
+	in, err := targets.Factory(targets.Lighttpd(version, targets.LHDriverSymbolicFragmentation))()
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := engine.New(in, "main", engine.Config{MaxStateSteps: 1_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.RunToCompletion(0); err != nil {
+		log.Fatal(err)
+	}
+	verdict := "all fragmentation patterns safe"
+	if e.Stats.Errors > 0 {
+		verdict = fmt.Sprintf("%d crashing fragmentation pattern(s) found", e.Stats.Errors)
+	}
+	fmt.Printf("%-28s %4d patterns explored: %s\n", label, e.Stats.PathsExplored, verdict)
+}
+
+func main() {
+	fmt.Println("symbolic stream-fragmentation regression test (lighttpd case study)")
+	fmt.Println()
+	check(12, "v1.4.12 (pre-patch):")
+	check(13, "v1.4.13 (official patch):")
+	check(14, "correct fix:")
+	fmt.Println()
+	fmt.Println("had this symbolic test run after the official patch, the incomplete")
+	fmt.Println("fix would have been caught immediately (paper §7.3.4, Table 6).")
+}

@@ -1,0 +1,189 @@
+package cc
+
+// AST node definitions. The parser produces these; the code generator
+// walks them. Nodes carry the source line for coverage attribution.
+
+type node interface{ nodeLine() int }
+
+type base struct{ line int }
+
+func (b base) nodeLine() int { return b.line }
+
+// ---- Expressions ----
+
+type exprNode interface{ node }
+
+// numLit is an integer or character literal.
+type numLit struct {
+	base
+	val int64
+}
+
+// strLit is a string literal (lowered to an anonymous global).
+type strLit struct {
+	base
+	val string
+}
+
+// identRef names a variable or function.
+type identRef struct {
+	base
+	name string
+}
+
+// unary is op ∈ {"-", "!", "~", "*", "&", "++", "--", "p++", "p--"}
+// (p-prefixed are postfix forms).
+type unary struct {
+	base
+	op string
+	x  exprNode
+}
+
+// binary is a binary operator; "&&" and "||" short-circuit.
+type binary struct {
+	base
+	op   string
+	l, r exprNode
+}
+
+// assign is l = r, or compound (op != "=", e.g. "+=").
+type assign struct {
+	base
+	op   string
+	l, r exprNode
+}
+
+// cond is c ? a : b.
+type cond struct {
+	base
+	c, a, b exprNode
+}
+
+// index is arr[i].
+type index struct {
+	base
+	arr, idx exprNode
+}
+
+// call invokes a named function.
+type call struct {
+	base
+	name string
+	args []exprNode
+}
+
+// cast is (type)x.
+type cast struct {
+	base
+	to *Type
+	x  exprNode
+}
+
+// sizeofExpr is sizeof(type).
+type sizeofExpr struct {
+	base
+	t *Type
+}
+
+// ---- Statements ----
+
+type stmtNode interface{ node }
+
+// declStmt declares a local variable with optional initializer.
+type declStmt struct {
+	base
+	name string
+	t    *Type
+	init exprNode // may be nil
+}
+
+// exprStmt evaluates an expression for side effects.
+type exprStmt struct {
+	base
+	x exprNode
+}
+
+// blockStmt is { ... }.
+type blockStmt struct {
+	base
+	stmts []stmtNode
+}
+
+// ifStmt is if (c) then else els (els may be nil).
+type ifStmt struct {
+	base
+	c         exprNode
+	then, els stmtNode
+}
+
+// whileStmt is while (c) body; doWhile distinguishes do { } while (c).
+type whileStmt struct {
+	base
+	c       exprNode
+	body    stmtNode
+	doWhile bool
+}
+
+// forStmt is for (init; c; post) body; any part may be nil.
+type forStmt struct {
+	base
+	init stmtNode
+	c    exprNode
+	post exprNode
+	body stmtNode
+}
+
+// switchStmt lowers to an if-else chain in codegen.
+type switchStmt struct {
+	base
+	x     exprNode
+	cases []switchCase
+}
+
+type switchCase struct {
+	val   int64
+	isDef bool
+	body  []stmtNode
+	line  int
+}
+
+// breakStmt / continueStmt / returnStmt.
+type breakStmt struct{ base }
+type continueStmt struct{ base }
+type returnStmt struct {
+	base
+	x exprNode // may be nil
+}
+
+// ---- Top level ----
+
+// param is a function parameter.
+type param struct {
+	name string
+	t    *Type
+}
+
+// funcDecl is a function definition or prototype (body == nil).
+type funcDecl struct {
+	base
+	name   string
+	ret    *Type
+	params []param
+	body   *blockStmt // nil for prototypes
+}
+
+// globalDecl is a file-scope variable.
+type globalDecl struct {
+	base
+	name    string
+	t       *Type
+	init    exprNode // scalar init, may be nil
+	strInit string   // for char arrays initialized from a string literal
+	hasStr  bool
+}
+
+// unit is a parsed translation unit.
+type unit struct {
+	funcs   []*funcDecl
+	globals []*globalDecl
+}

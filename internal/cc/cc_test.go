@@ -1,0 +1,318 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"cloud9/internal/cvm"
+	"cloud9/internal/expr"
+)
+
+func compile(t *testing.T, src string) *cvm.Program {
+	t.Helper()
+	prog, err := Compile("t.c", src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Compile("t.c", src, Options{})
+	if err == nil {
+		t.Fatal("expected a compile error")
+	}
+	return err
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lex(`int x = 0x1f + 'a'; // comment
+	/* block */ char *s = "hi\n";`)
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[0].text != "int" || toks[0].kind != tokKeyword {
+		t.Errorf("tok0 = %v", toks[0])
+	}
+	if toks[3].kind != tokNumber || toks[3].val != 0x1f {
+		t.Errorf("hex literal = %v", toks[3])
+	}
+	if toks[5].kind != tokChar || toks[5].val != 'a' {
+		t.Errorf("char literal = %v", toks[5])
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokString && tk.text == "hi\n" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("string literal missing in %v", kinds)
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	toks := lex("int a;\nint b;\nint c;")
+	for _, tk := range toks {
+		if tk.text == "c" && tk.line != 3 {
+			t.Errorf("c at line %d", tk.line)
+		}
+	}
+}
+
+func TestLexerPreprocessorSkipped(t *testing.T) {
+	toks := lex("#include <stdio.h>\nint x;")
+	if toks[0].text != "int" {
+		t.Errorf("preprocessor not skipped: %v", toks[0])
+	}
+}
+
+func TestCompileMinimal(t *testing.T) {
+	prog := compile(t, `int main() { return 0; }`)
+	if prog.Func("main") == nil {
+		t.Fatal("main missing")
+	}
+}
+
+func TestCompileErrorsAreDiagnosed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`int main() { return x; }`, "undefined identifier"},
+		{`int main() { foo(); }`, "undeclared function"},
+		{`int main( { return 0; }`, "expected"},
+		{`int f(int a) { return a; } int main() { return f(1,2); }`, "args"},
+		{`int main() { break; }`, "break outside"},
+		{`int main() { continue; }`, "continue outside"},
+		{`int main() { 5 = 3; return 0; }`, "not an lvalue"},
+		{`int main() { int x; return *x; }`, "dereference of non-pointer"},
+	}
+	for _, c := range cases {
+		err := compileErr(t, c.src)
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestPrototypesAllowForwardCalls(t *testing.T) {
+	compile(t, `
+		int helper(int x);
+		int main() { return helper(1); }
+		int helper(int x) { return x + 1; }`)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	prog := compile(t, `
+		int a = 42;
+		int b = -1;
+		long c = 1 << 20;
+		char msg[4] = "hi";
+		int main() { return 0; }`)
+	byName := map[string]*cvm.Global{}
+	for _, g := range prog.Globals {
+		byName[g.Name] = g
+	}
+	if got := byName["a"]; got.Size != 4 || got.Init[0] != 42 {
+		t.Errorf("a = %+v", got)
+	}
+	if got := byName["b"]; got.Init[0] != 0xff || got.Init[3] != 0xff {
+		t.Errorf("b init = %v", got.Init)
+	}
+	if got := byName["c"]; got.Size != 8 || got.Init[2] != 0x10 {
+		t.Errorf("c init = %v", got.Init)
+	}
+	if got := byName["msg"]; string(got.Init[:2]) != "hi" {
+		t.Errorf("msg init = %q", got.Init)
+	}
+}
+
+func TestNonConstGlobalInitRejected(t *testing.T) {
+	err := compileErr(t, `
+		int f(void);
+		int g = f();
+		int main() { return 0; }`)
+	if !strings.Contains(err.Error(), "constant") {
+		t.Errorf("error %q", err)
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	if TypeChar.Size() != 1 || TypeInt.Size() != 4 || TypeLong.Size() != 8 {
+		t.Fatal("scalar sizes wrong")
+	}
+	if Ptr(TypeInt).Size() != 8 {
+		t.Fatal("pointer size wrong")
+	}
+	if ArrayOf(TypeInt, 10).Size() != 40 {
+		t.Fatal("array size wrong")
+	}
+}
+
+func TestUsualArithmeticConversions(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{TypeChar, TypeChar, TypeInt}, // both promote to int
+		{TypeInt, TypeLong, TypeLong}, // wider wins
+		{TypeUInt, TypeInt, TypeUInt}, // unsigned wins ties
+		{TypeInt, TypeInt, TypeInt},
+		{TypeULong, TypeInt, TypeULong},
+	}
+	for _, c := range cases {
+		got := usualArith(c.a, c.b)
+		if got.W != c.want.W || got.Signed != c.want.Signed {
+			t.Errorf("usualArith(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Ptr(TypeChar).String() != "char*" {
+		t.Errorf("ptr string = %q", Ptr(TypeChar).String())
+	}
+	if ArrayOf(TypeInt, 3).String() != "int[3]" {
+		t.Errorf("array string = %q", ArrayOf(TypeInt, 3).String())
+	}
+}
+
+func TestCoverageStartLineStripsPrelude(t *testing.T) {
+	src := "int helper() { return 1; }\nint main() { return helper(); }"
+	progAll, err := Compile("t.c", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progStripped, err := Compile("t.c", src, Options{CoverageStartLine: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progStripped.CoverableLines() >= progAll.CoverableLines() {
+		t.Errorf("stripping did not reduce coverable lines: %d vs %d",
+			progStripped.CoverableLines(), progAll.CoverableLines())
+	}
+}
+
+func TestGeneratedIRValidates(t *testing.T) {
+	// A broad program exercising every construct; Compile validates the
+	// IR internally, so success implies well-formed output.
+	compile(t, `
+		int g = 3;
+		char buf[16];
+		long wide = 0;
+
+		int helper(int a, char *p) {
+			return a + p[0];
+		}
+
+		int main() {
+			int i;
+			int acc = 0;
+			for (i = 0; i < 4; i++) {
+				acc += i;
+				if (acc > 2) continue;
+				acc ^= 1;
+			}
+			while (acc > 0) { acc--; if (acc == 1) break; }
+			do { acc++; } while (acc < 3);
+			switch (acc) {
+			case 1: acc = 10; break;
+			case 3: acc = 30; // fallthrough
+			default: acc = acc + 1;
+			}
+			char *p = buf;
+			p[0] = 'x';
+			*(p + 1) = 'y';
+			buf[2] = (char)(acc & 0xff);
+			int t = acc > 5 ? 1 : 0;
+			acc = t ? helper(acc, p) : -helper(1, buf);
+			long l = (long)acc * sizeof(int);
+			wide = l >> 2;
+			g = !g;
+			int neg = ~g;
+			acc = neg % 7;
+			acc++;
+			--acc;
+			return acc;
+		}`)
+}
+
+func TestSignedVsUnsignedComparison(t *testing.T) {
+	// Ensure comparisons pick signed/unsigned opcodes correctly.
+	prog := compile(t, `
+		int main() {
+			unsigned int u = 1;
+			int s = -1;
+			char c = 200;
+			if (u < 2) {}
+			if (s < 0) {}
+			if (c > 100) {} // char is unsigned in this dialect
+			return 0;
+		}`)
+	var ops []cvm.Opcode
+	for _, b := range prog.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == cvm.OpUlt || in.Op == cvm.OpSlt {
+				ops = append(ops, in.Op)
+			}
+		}
+	}
+	if len(ops) != 3 {
+		t.Fatalf("expected 3 comparisons, got %v", ops)
+	}
+	if ops[0] != cvm.OpUlt {
+		t.Error("unsigned compare should be ult")
+	}
+	if ops[1] != cvm.OpSlt {
+		t.Error("signed compare should be slt")
+	}
+}
+
+func TestStringLiteralsBecomeGlobals(t *testing.T) {
+	prog := compile(t, `
+		char *f() { return "abc"; }
+		int main() { f(); return 0; }`)
+	found := false
+	for _, g := range prog.Globals {
+		if strings.HasPrefix(g.Name, ".str") && string(g.Init) == "abc\x00" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("string literal global missing: %+v", prog.Globals)
+	}
+}
+
+func TestSizeofIsULong(t *testing.T) {
+	prog := compile(t, `
+		long f() { return sizeof(long) + sizeof(char*); }
+		int main() { return 0; }`)
+	// sizeof(long) + sizeof(char*) = 16; the function folds to consts.
+	f := prog.Func("f")
+	foundConst := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == cvm.OpConst && in.Imm == 8 && in.W == expr.W64 {
+				foundConst = true
+			}
+		}
+	}
+	if !foundConst {
+		t.Error("sizeof did not produce 8-byte constants")
+	}
+}
+
+func TestVariadicExternAllowed(t *testing.T) {
+	_, err := Compile("t.c", `
+		int printf2(char *fmt);
+		int main() { return 0; }`, Options{
+		Externs: map[string]*Signature{
+			"printf2": {Ret: TypeInt, Params: []*Type{Ptr(TypeChar)}, Variadic: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct   // operators and punctuation
+	tokKeyword // reserved words
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // tokNumber / tokChar
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "int": true, "long": true, "unsigned": true,
+	"signed": true, "if": true, "else": true, "while": true, "for": true,
+	"do": true, "return": true, "break": true, "continue": true,
+	"switch": true, "case": true, "default": true, "sizeof": true,
+	"extern": true, "static": true, "const": true, "struct": true,
+	"goto": true,
+}
+
+// multi-char punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+}
+
+// lexError is reported via panic within the lexer/parser and recovered at
+// the Compile boundary.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e lexError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func errf(line int, format string, args ...interface{}) lexError {
+	return lexError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Comments (// and /* */) and preprocessor-style lines
+// beginning with '#' are skipped.
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // ignore preprocessor-ish lines
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				panic(errf(line, "unterminated block comment"))
+			}
+			i += 2
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentCont(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := int64(10)
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			start := j
+			for j < n && isNumCont(src[j], base) {
+				j++
+			}
+			text := src[start:j]
+			var v int64
+			for _, ch := range text {
+				v = v*base + int64(hexVal(byte(ch)))
+			}
+			// swallow integer suffixes
+			for j < n && (src[j] == 'u' || src[j] == 'U' || src[j] == 'l' || src[j] == 'L') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], val: v, line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				ch, adv := unescape(src, j, line)
+				sb.WriteByte(ch)
+				j += adv
+			}
+			if j >= n {
+				panic(errf(line, "unterminated string literal"))
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			if j >= n {
+				panic(errf(line, "unterminated char literal"))
+			}
+			ch, adv := unescape(src, j, line)
+			j += adv
+			if j >= n || src[j] != '\'' {
+				panic(errf(line, "unterminated char literal"))
+			}
+			toks = append(toks, token{kind: tokChar, text: string(ch), val: int64(ch), line: line})
+			i = j + 1
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				panic(errf(line, "unexpected character %q", c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isNumCont(c byte, base int64) bool {
+	if base == 16 {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return c >= '0' && c <= '9'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return 0
+}
+
+// unescape decodes one (possibly escaped) character at src[j]; returns the
+// byte and how many input bytes were consumed.
+func unescape(src string, j int, line int) (byte, int) {
+	if src[j] != '\\' {
+		return src[j], 1
+	}
+	if j+1 >= len(src) {
+		panic(errf(line, "dangling escape"))
+	}
+	switch src[j+1] {
+	case 'n':
+		return '\n', 2
+	case 't':
+		return '\t', 2
+	case 'r':
+		return '\r', 2
+	case '0':
+		return 0, 2
+	case '\\':
+		return '\\', 2
+	case '\'':
+		return '\'', 2
+	case '"':
+		return '"', 2
+	case 'x':
+		v := 0
+		k := j + 2
+		for k < len(src) && k < j+4 && isNumCont(src[k], 16) {
+			v = v*16 + hexVal(src[k])
+			k++
+		}
+		return byte(v), k - j
+	default:
+		panic(errf(line, "unknown escape \\%c", src[j+1]))
+	}
+}

@@ -1,0 +1,174 @@
+package cc
+
+import (
+	"fmt"
+
+	"cloud9/internal/expr"
+)
+
+// Kind classifies types in the C subset.
+type Kind int
+
+// Type kinds.
+const (
+	KVoid Kind = iota
+	KInt       // integer of some width/signedness
+	KPtr
+	KArray
+)
+
+// Type describes a C-subset type. Types are immutable after construction.
+type Type struct {
+	Kind   Kind
+	W      expr.Width // KInt: value width
+	Signed bool       // KInt
+	Elem   *Type      // KPtr, KArray
+	Len    int64      // KArray
+}
+
+// Predefined types.
+var (
+	TypeVoid  = &Type{Kind: KVoid}
+	TypeChar  = &Type{Kind: KInt, W: expr.W8, Signed: false} // char is unsigned in this dialect
+	TypeSChar = &Type{Kind: KInt, W: expr.W8, Signed: true}
+	TypeInt   = &Type{Kind: KInt, W: expr.W32, Signed: true}
+	TypeUInt  = &Type{Kind: KInt, W: expr.W32, Signed: false}
+	TypeLong  = &Type{Kind: KInt, W: expr.W64, Signed: true}
+	TypeULong = &Type{Kind: KInt, W: expr.W64, Signed: false}
+)
+
+// Ptr returns a pointer-to-t type.
+func Ptr(t *Type) *Type { return &Type{Kind: KPtr, Elem: t} }
+
+// ArrayOf returns an array type of n elements of t.
+func ArrayOf(t *Type, n int64) *Type { return &Type{Kind: KArray, Elem: t, Len: n} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case KVoid:
+		return 0
+	case KInt:
+		return int64(t.W.Bytes())
+	case KPtr:
+		return 8
+	case KArray:
+		return t.Elem.Size() * t.Len
+	}
+	panic("cc: bad type")
+}
+
+// Width returns the register width of a value of this type. Arrays decay
+// to pointers (W64).
+func (t *Type) Width() expr.Width {
+	switch t.Kind {
+	case KInt:
+		return t.W
+	case KPtr, KArray:
+		return expr.W64
+	case KVoid:
+		return expr.W32 // tolerated only as a discarded call result
+	}
+	panic("cc: bad type")
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool { return t.Kind == KInt }
+
+// IsPointerish reports whether t is a pointer or array.
+func (t *Type) IsPointerish() bool { return t.Kind == KPtr || t.Kind == KArray }
+
+// Decay converts arrays to element pointers (the usual C decay).
+func (t *Type) Decay() *Type {
+	if t.Kind == KArray {
+		return Ptr(t.Elem)
+	}
+	return t
+}
+
+// String renders the type for diagnostics.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KInt:
+		sign := ""
+		if !t.Signed && t.W != expr.W8 {
+			sign = "unsigned "
+		}
+		switch t.W {
+		case expr.W8:
+			if t.Signed {
+				return "signed char"
+			}
+			return "char"
+		case expr.W16:
+			return sign + "short"
+		case expr.W32:
+			return sign + "int"
+		case expr.W64:
+			return sign + "long"
+		}
+		return fmt.Sprintf("%sint%d", sign, t.W)
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Len)
+	}
+	return "?"
+}
+
+// sameType reports structural type equality.
+func sameType(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KInt:
+		return a.W == b.W && a.Signed == b.Signed
+	case KPtr, KArray:
+		return a.Len == b.Len && sameType(a.Elem, b.Elem)
+	}
+	return true
+}
+
+// usualArith computes the common type for a binary arithmetic operation,
+// following simplified usual-arithmetic-conversion rules: promote to at
+// least int, then to the wider operand; unsigned wins ties.
+func usualArith(a, b *Type) *Type {
+	wa, wb := a.W, b.W
+	if wa < expr.W32 {
+		wa = expr.W32
+	}
+	if wb < expr.W32 {
+		wb = expr.W32
+	}
+	w := wa
+	if wb > w {
+		w = wb
+	}
+	signed := a.Signed && b.Signed
+	// After promotion, char/short become signed int per C rules.
+	if a.W < expr.W32 {
+		signed = true && (b.W < expr.W32 || b.Signed)
+	}
+	if b.W < expr.W32 {
+		signed = a.W < expr.W32 || a.Signed
+	}
+	if a.W >= expr.W32 && b.W >= expr.W32 {
+		signed = a.Signed && b.Signed
+	}
+	if w == expr.W32 {
+		if signed {
+			return TypeInt
+		}
+		return TypeUInt
+	}
+	if signed {
+		return TypeLong
+	}
+	return TypeULong
+}

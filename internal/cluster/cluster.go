@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+)
+
+// Config describes an in-process cluster run.
+type Config struct {
+	Workers   int
+	Entry     string
+	NewInterp func() (*interp.Interp, error)
+	Engine    engine.Config
+	Balancer  BalancerConfig
+
+	// BalanceEvery is the LB's decision period.
+	BalanceEvery time.Duration
+	// SampleEvery is the metrics sampling period.
+	SampleEvery time.Duration
+	// MaxDuration bounds the run (0 = until exhaustion).
+	MaxDuration time.Duration
+	// StopWhen, if set, ends the run when it returns true.
+	StopWhen func(s Snapshot) bool
+	// DisableLBAfter turns load balancing off mid-run (Fig. 13); 0 keeps
+	// it on.
+	DisableLBAfter time.Duration
+	// WorkerBatch is the per-worker step batch between mailbox polls.
+	WorkerBatch int
+}
+
+// Snapshot is a point-in-time view of cluster progress.
+type Snapshot struct {
+	Elapsed           time.Duration
+	UsefulSteps       uint64
+	ReplaySteps       uint64
+	Paths             uint64
+	Errors            uint64
+	Hangs             uint64
+	Coverage          int
+	Queues            []int
+	StatesTransferred int
+	TransfersIssued   int
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	Final     Snapshot
+	Samples   []Snapshot
+	Exhausted bool // ended by frontier exhaustion (vs. time/stop rule)
+	Wall      time.Duration
+	Workers   []*Worker
+}
+
+// fabric is the in-process transport: one mailbox per worker plus a
+// status channel into the LB.
+type fabric struct {
+	mailboxes []chan Message
+	statusCh  chan Status
+}
+
+type endpoint struct {
+	f  *fabric
+	id int
+}
+
+func (e endpoint) SendStatus(st Status) {
+	select {
+	case e.f.statusCh <- st:
+	default: // LB behind; cumulative counters make drops harmless
+	}
+}
+
+func (e endpoint) SendJobs(dst, from int, jt *JobTree) {
+	e.f.mailboxes[dst] <- Message{Kind: MsgJobs, From: from, Jobs: jt}
+}
+
+func (e endpoint) Recv() (Message, bool) {
+	select {
+	case m := <-e.f.mailboxes[e.id]:
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+func (e endpoint) WaitForMail() {
+	select {
+	case m := <-e.f.mailboxes[e.id]:
+		// Re-queue so drainMailbox sees it; mailboxes are amply buffered.
+		e.f.mailboxes[e.id] <- m
+	case <-time.After(2 * time.Millisecond):
+	}
+}
+
+// Run executes a cluster until exhaustion, MaxDuration, or StopWhen.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BalanceEvery <= 0 {
+		cfg.BalanceEvery = 5 * time.Millisecond
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 50 * time.Millisecond
+	}
+	f := &fabric{
+		mailboxes: make([]chan Message, cfg.Workers),
+		statusCh:  make(chan Status, 16384),
+	}
+	for i := range f.mailboxes {
+		f.mailboxes[i] = make(chan Message, 16384)
+	}
+
+	workers := make([]*Worker, cfg.Workers)
+	var covLen int
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID:        i,
+			Seed:      i == 0,
+			Batch:     cfg.WorkerBatch,
+			Engine:    cfg.Engine,
+			NewInterp: cfg.NewInterp,
+			Entry:     cfg.Entry,
+		}, endpoint{f, i})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		workers[i] = w
+		covLen = w.Exp.Cov.Len() - 1
+	}
+	lb := NewLoadBalancer(cfg.Balancer, covLen)
+	if lb.cfg.Delta == 0 {
+		lb.cfg = DefaultBalancerConfig()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			if err := w.RunLoop(); err != nil {
+				errCh <- fmt.Errorf("worker %d: %w", w.ID, err)
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	res := &Result{Workers: workers}
+	balanceTick := time.NewTicker(cfg.BalanceEvery)
+	defer balanceTick.Stop()
+	sampleTick := time.NewTicker(cfg.SampleEvery)
+	defer sampleTick.Stop()
+
+	snapshot := func() Snapshot {
+		s := Snapshot{Elapsed: time.Since(start)}
+		for _, st := range lb.Statuses() {
+			s.UsefulSteps += st.UsefulSteps
+			s.ReplaySteps += st.ReplaySteps
+			s.Paths += st.Paths
+			s.Errors += st.Errors
+			s.Hangs += st.Hangs
+			s.Queues = append(s.Queues, st.Queue)
+		}
+		cov, _ := lb.GlobalCoverage()
+		s.Coverage = cov.Count()
+		s.StatesTransferred = lb.StatesTransferred
+		s.TransfersIssued = lb.TransfersIssued
+		return s
+	}
+
+	stop := func() {
+		for i := range f.mailboxes {
+			// Non-blocking: a full mailbox still gets the stop flag via a
+			// retry below.
+			select {
+			case f.mailboxes[i] <- Message{Kind: MsgStop}:
+			default:
+				go func(i int) { f.mailboxes[i] <- Message{Kind: MsgStop} }(i)
+			}
+		}
+	}
+
+	var runErr error
+	quietRounds := 0
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			runErr = err
+			stop()
+			break loop
+		case st := <-f.statusCh:
+			lb.Update(st)
+		case <-balanceTick.C:
+			// Drain pending statuses first for fresh decisions.
+			for {
+				select {
+				case st := <-f.statusCh:
+					lb.Update(st)
+					continue
+				default:
+				}
+				break
+			}
+			if cfg.DisableLBAfter > 0 && time.Since(start) >= cfg.DisableLBAfter {
+				lb.Enabled = false
+			}
+			for _, ord := range lb.Balance() {
+				select {
+				case f.mailboxes[ord.Src] <- Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs}:
+				default:
+				}
+			}
+			if cov, dirty := lb.GlobalCoverage(); dirty {
+				words := append([]uint64(nil), cov.Words()...)
+				for i := range f.mailboxes {
+					select {
+					case f.mailboxes[i] <- Message{Kind: MsgCoverage, CovWords: words}:
+					default:
+					}
+				}
+			}
+			if lb.Quiescent(cfg.Workers) {
+				quietRounds++
+				if quietRounds >= 3 {
+					res.Exhausted = true
+					stop()
+					break loop
+				}
+			} else {
+				quietRounds = 0
+			}
+			if cfg.MaxDuration > 0 && time.Since(start) >= cfg.MaxDuration {
+				stop()
+				break loop
+			}
+			if cfg.StopWhen != nil && cfg.StopWhen(snapshot()) {
+				stop()
+				break loop
+			}
+		case <-sampleTick.C:
+			res.Samples = append(res.Samples, snapshot())
+		}
+	}
+	wg.Wait()
+	// Final accounting directly from the workers (post-join: no races).
+	final := Snapshot{Elapsed: time.Since(start)}
+	for _, w := range workers {
+		final.UsefulSteps += w.Exp.Stats.UsefulSteps
+		final.ReplaySteps += w.Exp.Stats.ReplaySteps
+		final.Paths += w.Exp.Stats.PathsExplored
+		final.Errors += w.Exp.Stats.Errors
+		final.Hangs += w.Exp.Stats.Hangs
+		final.Queues = append(final.Queues, w.Exp.Tree.NumCandidates())
+		cov, _ := lb.GlobalCoverage()
+		cov.Or(w.Exp.Cov)
+	}
+	cov, _ := lb.GlobalCoverage()
+	final.Coverage = cov.Count()
+	final.StatesTransferred = lb.StatesTransferred
+	final.TransfersIssued = lb.TransfersIssued
+	res.Final = final
+	res.Wall = time.Since(start)
+	select {
+	case err := <-errCh:
+		if runErr == nil {
+			runErr = err
+		}
+	default:
+	}
+	return res, runErr
+}

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+	"cloud9/internal/posix"
+	"cloud9/internal/tree"
+)
+
+const clusterTarget = `
+int main() {
+	char buf[6];
+	cloud9_make_symbolic(buf, 6, "in");
+	int n = 0;
+	int i;
+	for (i = 0; i < 6; i++) {
+		if (buf[i] > 100) n++;
+	}
+	if (n == 6) abort();
+	return 0;
+}`
+
+func mkInterp(t *testing.T, src string) func() (*interp.Interp, error) {
+	t.Helper()
+	return func() (*interp.Interp, error) {
+		prog, err := posix.CompileTarget("t.c", src)
+		if err != nil {
+			return nil, err
+		}
+		in := interp.New(prog)
+		posix.Install(in, posix.Options{})
+		return in, nil
+	}
+}
+
+func TestJobTreeRoundTrip(t *testing.T) {
+	paths := [][]uint8{{0, 1, 1}, {0, 1, 0}, {1}, {0, 0}, {}}
+	jt := BuildJobTree(paths)
+	if jt.Count() != len(paths) {
+		t.Fatalf("count = %d", jt.Count())
+	}
+	back := jt.Paths()
+	if len(back) != len(paths) {
+		t.Fatalf("flattened %d paths", len(back))
+	}
+	seen := map[string]bool{}
+	for _, p := range back {
+		seen[string(p)] = true
+	}
+	for _, p := range paths {
+		if !seen[string(p)] {
+			t.Fatalf("lost path %v", p)
+		}
+	}
+}
+
+func TestQuickJobTreePreservesPathSets(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		// Normalize to choice alphabet {0,1,2} and dedupe.
+		set := map[string]bool{}
+		var paths [][]uint8
+		for _, r := range raw {
+			if len(r) > 6 {
+				r = r[:6]
+			}
+			p := make([]uint8, len(r))
+			for i, b := range r {
+				p[i] = b % 3
+			}
+			if !set[string(p)] {
+				set[string(p)] = true
+				paths = append(paths, p)
+			}
+		}
+		jt := BuildJobTree(paths)
+		back := jt.Paths()
+		got := map[string]bool{}
+		for _, p := range back {
+			got[string(p)] = true
+		}
+		return reflect.DeepEqual(set, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancerClassification(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	lb.Update(Status{Worker: 0, Queue: 20})
+	lb.Update(Status{Worker: 1, Queue: 0})
+	orders := lb.Balance()
+	if len(orders) != 1 {
+		t.Fatalf("orders = %v", orders)
+	}
+	if orders[0].Src != 0 || orders[0].Dst != 1 || orders[0].NJobs != 10 {
+		t.Fatalf("order = %+v, want 0->1 x10", orders[0])
+	}
+}
+
+func TestBalancerBalancedClusterNoTransfers(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	for i := 0; i < 4; i++ {
+		lb.Update(Status{Worker: i, Queue: 10})
+	}
+	if orders := lb.Balance(); len(orders) != 0 {
+		t.Fatalf("balanced cluster produced orders %v", orders)
+	}
+}
+
+func TestBalancerPairsExtremes(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	lb.Update(Status{Worker: 0, Queue: 100})
+	lb.Update(Status{Worker: 1, Queue: 50})
+	lb.Update(Status{Worker: 2, Queue: 50})
+	lb.Update(Status{Worker: 3, Queue: 0})
+	orders := lb.Balance()
+	if len(orders) == 0 {
+		t.Fatal("no orders for skewed cluster")
+	}
+	if orders[0].Src != 0 || orders[0].Dst != 3 {
+		t.Fatalf("should pair extremes, got %+v", orders[0])
+	}
+}
+
+func TestBalancerDisabled(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	lb.Enabled = false
+	lb.Update(Status{Worker: 0, Queue: 100})
+	lb.Update(Status{Worker: 1, Queue: 0})
+	if orders := lb.Balance(); orders != nil {
+		t.Fatal("disabled LB must not issue orders")
+	}
+}
+
+func TestQuiescenceDetection(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	lb.Update(Status{Worker: 0, Queue: 0, JobsSent: 5, JobsRecv: 2})
+	lb.Update(Status{Worker: 1, Queue: 0, JobsSent: 0, JobsRecv: 2})
+	if lb.Quiescent(2) {
+		t.Fatal("in-flight jobs: not quiescent")
+	}
+	lb.Update(Status{Worker: 1, Queue: 0, JobsSent: 0, JobsRecv: 3})
+	if !lb.Quiescent(2) {
+		t.Fatal("should be quiescent")
+	}
+	if lb.Quiescent(3) {
+		t.Fatal("missing worker: not quiescent")
+	}
+}
+
+func runCluster(t *testing.T, workers int, src string) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Workers:      workers,
+		Entry:        "main",
+		NewInterp:    mkInterp(t, src),
+		Engine:       engine.Config{MaxStateSteps: 1_000_000},
+		MaxDuration:  30 * time.Second,
+		BalanceEvery: 2 * time.Millisecond,
+		WorkerBatch:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSingleWorkerExhaustive(t *testing.T) {
+	res := runCluster(t, 1, clusterTarget)
+	if !res.Exhausted {
+		t.Fatal("run did not exhaust the tree")
+	}
+	if res.Final.Paths != 64 {
+		t.Fatalf("paths = %d, want 64", res.Final.Paths)
+	}
+	if res.Final.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", res.Final.Errors)
+	}
+}
+
+const bigClusterTarget = `
+int main() {
+	char buf[10];
+	cloud9_make_symbolic(buf, 10, "in");
+	int n = 0;
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (buf[i] > 100) n++;
+	}
+	if (n == 10) abort();
+	return 0;
+}`
+
+func TestFourWorkersExploreDisjointComplete(t *testing.T) {
+	res := runCluster(t, 4, bigClusterTarget)
+	if !res.Exhausted {
+		t.Fatal("run did not exhaust the tree")
+	}
+	// Disjointness and completeness (§3.2): exactly 1024 paths in total,
+	// regardless of how they were distributed.
+	if res.Final.Paths != 1024 {
+		t.Fatalf("paths = %d, want exactly 1024 (no dup/lost work)", res.Final.Paths)
+	}
+	if res.Final.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", res.Final.Errors)
+	}
+	if res.Final.StatesTransferred == 0 {
+		t.Fatal("no load balancing happened in a 4-worker run")
+	}
+	// More than one worker should have done useful work.
+	busy := 0
+	for _, w := range res.Workers {
+		if w.Exp.Stats.UsefulSteps > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d workers did useful work", busy)
+	}
+}
+
+func TestGlobalCoverageMergesWorkerViews(t *testing.T) {
+	res := runCluster(t, 3, clusterTarget)
+	// The merged coverage must cover at least what any single worker saw.
+	for i, w := range res.Workers {
+		if w.Exp.Cov.Count() > res.Final.Coverage {
+			t.Fatalf("worker %d coverage %d exceeds global %d",
+				i, w.Exp.Cov.Count(), res.Final.Coverage)
+		}
+	}
+	if res.Final.Coverage == 0 {
+		t.Fatal("no coverage recorded")
+	}
+}
+
+func TestStopWhenCondition(t *testing.T) {
+	res, err := Run(Config{
+		Workers:      2,
+		Entry:        "main",
+		NewInterp:    mkInterp(t, clusterTarget),
+		Engine:       engine.Config{MaxStateSteps: 1_000_000},
+		MaxDuration:  30 * time.Second,
+		BalanceEvery: time.Millisecond,
+		StopWhen:     func(s Snapshot) bool { return s.Paths >= 10 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Paths < 10 {
+		t.Fatalf("stopped too early: %d paths", res.Final.Paths)
+	}
+}
+
+func TestErrorTestCasesSurviveTransfer(t *testing.T) {
+	// The single abort path must be found exactly once, on whichever
+	// worker ended up owning it, with correct triggering inputs.
+	res := runCluster(t, 4, bigClusterTarget)
+	found := 0
+	for _, w := range res.Workers {
+		for _, tc := range w.Exp.Tests {
+			found++
+			in := tc.Inputs["in"]
+			if len(in) != 10 {
+				t.Fatalf("test inputs %v", tc.Inputs)
+			}
+			for _, b := range in {
+				if b <= 100 {
+					t.Fatalf("non-triggering input byte %d", b)
+				}
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("error test cases = %d, want 1", found)
+	}
+}
+
+func TestDFSClusterStillComplete(t *testing.T) {
+	res, err := Run(Config{
+		Workers:   3,
+		Entry:     "main",
+		NewInterp: mkInterp(t, clusterTarget),
+		Engine: engine.Config{
+			MaxStateSteps: 1_000_000,
+			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+		},
+		MaxDuration:  30 * time.Second,
+		BalanceEvery: 2 * time.Millisecond,
+		WorkerBatch:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Paths != 64 {
+		t.Fatalf("paths = %d, want 64", res.Final.Paths)
+	}
+}
+
+func TestSimExhaustiveMatchesConcurrent(t *testing.T) {
+	// The lock-step simulation and the concurrent cluster must agree on
+	// the exploration outcome (disjoint + complete either way).
+	factory := mkInterp(t, clusterTarget)
+	sim, err := RunSim(SimConfig{
+		Workers:   3,
+		Entry:     "main",
+		NewInterp: factory,
+		Engine:    engine.Config{MaxStateSteps: 1_000_000},
+		Quantum:   200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Exhausted {
+		t.Fatal("sim did not exhaust")
+	}
+	if sim.Final.Paths != 64 || sim.Final.Errors != 1 {
+		t.Fatalf("sim paths=%d errors=%d", sim.Final.Paths, sim.Final.Errors)
+	}
+	if sim.Final.TransfersIssued == 0 {
+		t.Fatal("sim cluster never balanced")
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	factory := mkInterp(t, clusterTarget)
+	run := func() *SimResult {
+		res, err := RunSim(SimConfig{
+			Workers:   4,
+			Entry:     "main",
+			NewInterp: factory,
+			Engine:    engine.Config{MaxStateSteps: 1_000_000},
+			Quantum:   150,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Ticks != b.Ticks || a.Final.Paths != b.Final.Paths ||
+		a.Final.UsefulSteps != b.Final.UsefulSteps ||
+		a.Final.TransfersIssued != b.Final.TransfersIssued {
+		t.Fatalf("simulation not deterministic:\n a=%+v\n b=%+v", a.Final, b.Final)
+	}
+}
+
+func TestSimStopWhen(t *testing.T) {
+	factory := mkInterp(t, clusterTarget)
+	res, err := RunSim(SimConfig{
+		Workers:   2,
+		Entry:     "main",
+		NewInterp: factory,
+		Engine:    engine.Config{MaxStateSteps: 1_000_000},
+		Quantum:   100,
+		StopWhen:  func(s Snapshot) bool { return s.Paths >= 5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Paths < 5 {
+		t.Fatalf("stopped before the condition: %d paths", res.Final.Paths)
+	}
+	if res.Exhausted && res.Final.Paths == 64 {
+		t.Log("note: exhausted before condition check (acceptable on tiny trees)")
+	}
+}
+
+func TestSimMaxTicksBounds(t *testing.T) {
+	factory := mkInterp(t, bigClusterTarget)
+	res, err := RunSim(SimConfig{
+		Workers:   2,
+		Entry:     "main",
+		NewInterp: factory,
+		Engine:    engine.Config{MaxStateSteps: 1_000_000},
+		Quantum:   100,
+		MaxTicks:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks > 3 {
+		t.Fatalf("ran %d ticks, bound was 3", res.Ticks)
+	}
+	if res.Exhausted {
+		t.Fatal("cannot exhaust 1024 paths in 3 small ticks")
+	}
+}

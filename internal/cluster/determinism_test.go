@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+	"cloud9/internal/posix"
+	"cloud9/internal/targets"
+)
+
+func TestMemcachedClusterPathDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long determinism check")
+	}
+	factory := func() (*interp.Interp, error) {
+		prog, err := posix.CompileTarget("mc.c", targets.Memcached(targets.MCDriverTwoSymbolicPackets).Source)
+		if err != nil {
+			return nil, err
+		}
+		in := interp.New(prog)
+		posix.Install(in, posix.Options{})
+		return in, nil
+	}
+	counts := map[uint64]bool{}
+	for _, w := range []int{1, 4} {
+		res, err := Run(Config{
+			Workers: w, Entry: "main", NewInterp: factory,
+			Engine:      engine.Config{MaxStateSteps: 2_000_000},
+			MaxDuration: 5 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exhausted {
+			t.Fatalf("%d workers: not exhausted", w)
+		}
+		t.Logf("%d workers: %d paths", w, res.Final.Paths)
+		counts[res.Final.Paths] = true
+	}
+	if len(counts) != 1 {
+		t.Fatalf("path counts differ across cluster sizes: %v", counts)
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"cloud9/internal/coverage"
+)
+
+// BalancerConfig tunes the load balancing algorithm of §3.3.
+type BalancerConfig struct {
+	// Delta is the σ multiplier classifying workers as under/overloaded
+	// (li < max(l̄ − δσ, 0) resp. li > l̄ + δσ).
+	Delta float64
+	// MinTransfer suppresses transfers smaller than this many jobs.
+	MinTransfer int
+}
+
+// DefaultBalancerConfig mirrors the paper's description with a moderate
+// δ so that small clusters still balance.
+func DefaultBalancerConfig() BalancerConfig {
+	return BalancerConfig{Delta: 0.5, MinTransfer: 1}
+}
+
+// TransferOrder is the LB's instruction ⟨source, destination, #jobs⟩.
+type TransferOrder struct {
+	Src, Dst, NJobs int
+}
+
+// LoadBalancer keeps per-worker status, computes balancing decisions,
+// and maintains the global coverage overlay. It never touches program
+// states — encoding and transfer of work happen worker-to-worker,
+// keeping the LB off the critical path (§3.1).
+type LoadBalancer struct {
+	cfg      BalancerConfig
+	statuses map[int]Status
+	cov      *coverage.BitVec
+	covDirty bool
+
+	// Enabled gates balancing (Fig. 13 disables it mid-run).
+	Enabled bool
+
+	// TransfersIssued counts ⟨src,dst,n⟩ orders; StatesTransferred sums
+	// requested job counts (Fig. 12's numerator).
+	TransfersIssued   int
+	StatesTransferred int
+}
+
+// NewLoadBalancer builds an LB for coverage vectors of the given bit
+// length.
+func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
+	return &LoadBalancer{
+		cfg:      cfg,
+		statuses: map[int]Status{},
+		cov:      coverage.New(covLen),
+		Enabled:  true,
+	}
+}
+
+// Update ingests a worker status (coverage is OR-merged into the global
+// vector).
+func (lb *LoadBalancer) Update(st Status) {
+	lb.statuses[st.Worker] = st
+	if len(st.CovWords) > 0 {
+		g := coverage.FromWords(st.CovWords, lb.cov.Len()-1)
+		if lb.cov.Or(g) > 0 {
+			lb.covDirty = true
+		}
+	}
+}
+
+// GlobalCoverage returns the merged coverage vector and whether it
+// changed since the last call.
+func (lb *LoadBalancer) GlobalCoverage() (*coverage.BitVec, bool) {
+	dirty := lb.covDirty
+	lb.covDirty = false
+	return lb.cov, dirty
+}
+
+// Statuses returns the latest statuses (read-only copy).
+func (lb *LoadBalancer) Statuses() []Status {
+	out := make([]Status, 0, len(lb.statuses))
+	for _, st := range lb.statuses {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// TotalQueue sums the reported queue lengths.
+func (lb *LoadBalancer) TotalQueue() int {
+	n := 0
+	for _, st := range lb.statuses {
+		n += st.Queue
+	}
+	return n
+}
+
+// Quiescent reports global completion: every worker idle with an empty
+// queue and all sent jobs received.
+func (lb *LoadBalancer) Quiescent(numWorkers int) bool {
+	if len(lb.statuses) < numWorkers {
+		return false
+	}
+	var sent, recv uint64
+	for _, st := range lb.statuses {
+		if st.Queue > 0 {
+			return false
+		}
+		sent += st.JobsSent
+		recv += st.JobsRecv
+	}
+	return sent == recv
+}
+
+// Balance computes transfer orders per the paper's algorithm: classify
+// workers against mean ± δ·σ of queue lengths, sort, and pair
+// underloaded with overloaded workers, requesting (lj − li)/2 jobs.
+func (lb *LoadBalancer) Balance() []TransferOrder {
+	if !lb.Enabled || len(lb.statuses) < 2 {
+		return nil
+	}
+	type wl struct {
+		id int
+		l  int
+	}
+	var ws []wl
+	var sum float64
+	for id, st := range lb.statuses {
+		ws = append(ws, wl{id, st.Queue})
+		sum += float64(st.Queue)
+	}
+	n := float64(len(ws))
+	mean := sum / n
+	var varsum float64
+	for _, w := range ws {
+		d := float64(w.l) - mean
+		varsum += d * d
+	}
+	sigma := math.Sqrt(varsum / n)
+
+	under := func(l int) bool { return float64(l) < math.Max(mean-lb.cfg.Delta*sigma, 0) }
+	over := func(l int) bool { return float64(l) > mean+lb.cfg.Delta*sigma }
+
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].l != ws[j].l {
+			return ws[i].l < ws[j].l
+		}
+		return ws[i].id < ws[j].id
+	})
+	var orders []TransferOrder
+	lo, hi := 0, len(ws)-1
+	for lo < hi {
+		// Starved workers (0 jobs) count as underloaded even when σ is
+		// degenerate, as long as a peer has work to spare.
+		u := under(ws[lo].l) || (ws[lo].l == 0 && ws[hi].l >= 2)
+		o := over(ws[hi].l) || (ws[lo].l == 0 && ws[hi].l >= 2)
+		if !u || !o {
+			break
+		}
+		k := (ws[hi].l - ws[lo].l) / 2
+		if k < lb.cfg.MinTransfer {
+			break
+		}
+		orders = append(orders, TransferOrder{Src: ws[hi].id, Dst: ws[lo].id, NJobs: k})
+		lb.TransfersIssued++
+		lb.StatesTransferred += k
+		lo++
+		hi--
+	}
+	return orders
+}

@@ -1,0 +1,117 @@
+// Package cluster implements Cloud9's parallelization fabric (§3): a
+// load balancer plus shared-nothing workers exchanging path-encoded jobs
+// directly with each other. Works both in-process (goroutines and
+// channels; used by the benchmarks) and across real processes (gob over
+// TCP; see cmd/c9-lb and cmd/c9-worker).
+package cluster
+
+import (
+	"sort"
+)
+
+// MsgKind tags worker mailbox messages.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	MsgJobs        MsgKind = iota // job tree transferred from another worker
+	MsgTransferReq                // LB asks this worker to send jobs to Dst
+	MsgCoverage                   // LB broadcasts the global coverage vector
+	MsgStop                       // shut down
+)
+
+// Message is a worker-bound message. One struct (not an interface) so it
+// gob-encodes directly for the TCP transport.
+type Message struct {
+	Kind MsgKind
+	From int
+	// MsgJobs
+	Jobs *JobTree
+	// MsgTransferReq
+	Dst   int
+	NJobs int
+	// MsgCoverage
+	CovWords []uint64
+}
+
+// Status is a worker's periodic report to the load balancer (§3.3):
+// queue length (exploration jobs), cumulative work counters, and the
+// worker's coverage bit vector piggybacked on the update.
+type Status struct {
+	Worker      int
+	Queue       int    // candidate nodes (exploration jobs)
+	JobsSent    uint64 // cumulative, for quiescence detection
+	JobsRecv    uint64
+	UsefulSteps uint64
+	ReplaySteps uint64
+	Paths       uint64
+	Errors      uint64
+	Hangs       uint64
+	Tests       int
+	CovWords    []uint64
+	CovCount    int
+	Done        bool // frontier empty and no pending imports
+}
+
+// JobTree aggregates path-encoded jobs into a trie so that shared path
+// prefixes are transferred once (§3.2: "jobs are not encoded separately,
+// but aggregated into a job tree").
+type JobTree struct {
+	Leaf bool
+	Kids map[uint8]*JobTree
+}
+
+// BuildJobTree aggregates paths into a trie.
+func BuildJobTree(paths [][]uint8) *JobTree {
+	root := &JobTree{}
+	for _, p := range paths {
+		cur := root
+		for _, c := range p {
+			if cur.Kids == nil {
+				cur.Kids = map[uint8]*JobTree{}
+			}
+			next := cur.Kids[c]
+			if next == nil {
+				next = &JobTree{}
+				cur.Kids[c] = next
+			}
+			cur = next
+		}
+		cur.Leaf = true
+	}
+	return root
+}
+
+// Paths flattens the trie back into explicit job paths (deterministic
+// order).
+func (jt *JobTree) Paths() [][]uint8 {
+	var out [][]uint8
+	var walk func(n *JobTree, prefix []uint8)
+	walk = func(n *JobTree, prefix []uint8) {
+		if n.Leaf {
+			out = append(out, append([]uint8(nil), prefix...))
+		}
+		keys := make([]int, 0, len(n.Kids))
+		for k := range n.Kids {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			walk(n.Kids[uint8(k)], append(prefix, uint8(k)))
+		}
+	}
+	walk(jt, nil)
+	return out
+}
+
+// Count returns the number of jobs (leaves) in the trie.
+func (jt *JobTree) Count() int {
+	n := 0
+	if jt.Leaf {
+		n = 1
+	}
+	for _, k := range jt.Kids {
+		n += k.Count()
+	}
+	return n
+}

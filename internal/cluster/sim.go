@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+)
+
+// SimConfig drives a deterministic lock-step cluster simulation.
+//
+// The paper evaluates on a 48-node commodity cluster; this reproduction
+// substitutes a discrete-time simulation: in each tick every worker
+// executes up to Quantum instructions, and the load balancer runs every
+// BalanceTicks ticks. Virtual time (ticks) plays the role of wall-clock
+// time, making the scalability experiments (Figs. 7–10, 12, 13)
+// machine-independent and reproducible on a single core.
+type SimConfig struct {
+	Workers   int
+	Entry     string
+	NewInterp func() (*interp.Interp, error)
+	Engine    engine.Config
+	Balancer  BalancerConfig
+
+	// Quantum is the per-worker instruction budget per tick.
+	Quantum uint64
+	// BalanceTicks is the LB period in ticks.
+	BalanceTicks int
+	// MaxTicks bounds the run (0 = until exhaustion).
+	MaxTicks int
+	// StopWhen ends the run early when it returns true.
+	StopWhen func(s Snapshot) bool
+	// DisableLBAtTick turns balancing off from that tick on (0 = never).
+	DisableLBAtTick int
+	// SampleTicks is the metrics sampling period (default: BalanceTicks).
+	SampleTicks int
+}
+
+// SimResult is the outcome of a simulated run.
+type SimResult struct {
+	Ticks     int
+	Exhausted bool
+	Final     Snapshot
+	Samples   []Snapshot // sampled every SampleTicks
+	Workers   []*Worker
+	LB        *LoadBalancer
+}
+
+// simEndpoint is a synchronous transport: messages land in slices the
+// simulation dispatches between ticks.
+type simEndpoint struct {
+	sim *sim
+	id  int
+}
+
+func (e simEndpoint) SendStatus(st Status) { e.sim.lb.Update(st) }
+func (e simEndpoint) SendJobs(dst, from int, jt *JobTree) {
+	e.sim.pending[dst] = append(e.sim.pending[dst], Message{Kind: MsgJobs, From: from, Jobs: jt})
+}
+func (e simEndpoint) Recv() (Message, bool) {
+	q := e.sim.inbox[e.id]
+	if len(q) == 0 {
+		return Message{}, false
+	}
+	m := q[0]
+	e.sim.inbox[e.id] = q[1:]
+	return m, true
+}
+
+type sim struct {
+	lb      *LoadBalancer
+	inbox   [][]Message
+	pending [][]Message // delivered at the next tick boundary
+}
+
+// RunSim executes the lock-step simulation.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 2000
+	}
+	if cfg.BalanceTicks <= 0 {
+		cfg.BalanceTicks = 1
+	}
+	if cfg.SampleTicks <= 0 {
+		cfg.SampleTicks = cfg.BalanceTicks
+	}
+	if cfg.Balancer.Delta == 0 {
+		cfg.Balancer = DefaultBalancerConfig()
+	}
+
+	s := &sim{
+		inbox:   make([][]Message, cfg.Workers),
+		pending: make([][]Message, cfg.Workers),
+	}
+	workers := make([]*Worker, cfg.Workers)
+	covLen := 0
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID:        i,
+			Seed:      i == 0,
+			Engine:    cfg.Engine,
+			NewInterp: cfg.NewInterp,
+			Entry:     cfg.Entry,
+		}, simEndpoint{s, i})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sim worker %d: %w", i, err)
+		}
+		workers[i] = w
+		covLen = w.Exp.Cov.Len() - 1
+	}
+	s.lb = NewLoadBalancer(cfg.Balancer, covLen)
+
+	res := &SimResult{Workers: workers, LB: s.lb}
+	snapshot := func(tick int) Snapshot {
+		snap := Snapshot{}
+		for _, w := range workers {
+			snap.UsefulSteps += w.Exp.Stats.UsefulSteps
+			snap.ReplaySteps += w.Exp.Stats.ReplaySteps
+			snap.Paths += w.Exp.Stats.PathsExplored
+			snap.Errors += w.Exp.Stats.Errors
+			snap.Hangs += w.Exp.Stats.Hangs
+			snap.Queues = append(snap.Queues, w.Exp.Tree.NumCandidates())
+		}
+		cov, _ := s.lb.GlobalCoverage()
+		snap.Coverage = cov.Count()
+		snap.StatesTransferred = s.lb.StatesTransferred
+		snap.TransfersIssued = s.lb.TransfersIssued
+		_ = tick
+		return snap
+	}
+
+	tick := 0
+	for {
+		tick++
+		// Deliver messages produced last tick.
+		for i := range s.pending {
+			s.inbox[i] = append(s.inbox[i], s.pending[i]...)
+			s.pending[i] = nil
+		}
+		// Each worker: process mail, then run one quantum.
+		for _, w := range workers {
+			w.drainMailbox()
+			if w.Exp.Done() {
+				continue
+			}
+			start := w.Exp.In.Stats.Instructions
+			for w.Exp.In.Stats.Instructions-start < cfg.Quantum && !w.Exp.Done() {
+				if _, err := w.Exp.Step(); err != nil {
+					return nil, fmt.Errorf("cluster: sim worker %d: %w", w.ID, err)
+				}
+			}
+		}
+		// Balancing round.
+		if tick%cfg.BalanceTicks == 0 {
+			if cfg.DisableLBAtTick > 0 && tick >= cfg.DisableLBAtTick {
+				s.lb.Enabled = false
+			}
+			for _, w := range workers {
+				w.sendStatus()
+			}
+			for _, ord := range s.lb.Balance() {
+				s.inbox[ord.Src] = append(s.inbox[ord.Src],
+					Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs})
+			}
+			if cov, dirty := s.lb.GlobalCoverage(); dirty {
+				words := append([]uint64(nil), cov.Words()...)
+				for i := range s.inbox {
+					s.inbox[i] = append(s.inbox[i], Message{Kind: MsgCoverage, CovWords: words})
+				}
+			}
+		}
+		if tick%cfg.SampleTicks == 0 {
+			res.Samples = append(res.Samples, snapshot(tick))
+		}
+		// Termination checks.
+		done := true
+		for _, w := range workers {
+			if !w.Exp.Done() {
+				done = false
+				break
+			}
+		}
+		pendingJobs := false
+		for i := range s.inbox {
+			for _, msg := range s.inbox[i] {
+				if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq {
+					pendingJobs = true
+				}
+			}
+			for _, msg := range s.pending[i] {
+				if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq {
+					pendingJobs = true
+				}
+			}
+		}
+		if done && !pendingJobs {
+			res.Exhausted = true
+			break
+		}
+		if cfg.MaxTicks > 0 && tick >= cfg.MaxTicks {
+			break
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(snapshot(tick)) {
+			break
+		}
+	}
+	res.Ticks = tick
+	res.Final = snapshot(tick)
+	return res, nil
+}

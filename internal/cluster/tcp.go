@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP fabric runs the same worker/LB protocol across real processes:
+// workers register with the load balancer, stream status updates to it,
+// and ship job trees directly to each other (the LB stays off the
+// critical path, §3.1). cmd/c9-lb and cmd/c9-worker wrap this.
+
+// Hello registers a worker with the LB. Addr is the worker's own
+// listening address for peer job transfers.
+type Hello struct {
+	Addr string
+}
+
+// HelloAck assigns the worker its cluster id and seed role.
+type HelloAck struct {
+	ID   int
+	Seed bool
+}
+
+// WireMsg is the union envelope exchanged over TCP.
+type WireMsg struct {
+	Hello  *Hello
+	Ack    *HelloAck
+	Status *Status
+	Msg    *Message
+	// PeerAddrs maps worker ids to their job-transfer addresses
+	// (piggybacked on LB messages so sources can dial destinations).
+	PeerAddrs map[int]string
+}
+
+// TCPWorkerTransport implements Transport over the TCP fabric.
+type TCPWorkerTransport struct {
+	ID int
+
+	lbConn net.Conn
+	lbEnc  *gob.Encoder
+	encMu  sync.Mutex
+
+	listener net.Listener
+
+	mu        sync.Mutex
+	inbox     []Message
+	mailCond  *sync.Cond
+	peerAddrs map[int]string
+	peerConns map[string]*gob.Encoder
+	closed    bool
+}
+
+// DialLB connects to the load balancer, registers, and starts the
+// worker's peer listener.
+func DialLB(lbAddr string) (*TCPWorkerTransport, *HelloAck, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := net.Dial("tcp", lbAddr)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	t := &TCPWorkerTransport{
+		lbConn:    conn,
+		lbEnc:     gob.NewEncoder(conn),
+		listener:  ln,
+		peerAddrs: map[int]string{},
+		peerConns: map[string]*gob.Encoder{},
+	}
+	t.mailCond = sync.NewCond(&t.mu)
+	if err := t.lbEnc.Encode(WireMsg{Hello: &Hello{Addr: ln.Addr().String()}}); err != nil {
+		conn.Close()
+		ln.Close()
+		return nil, nil, err
+	}
+	dec := gob.NewDecoder(conn)
+	var ack WireMsg
+	if err := dec.Decode(&ack); err != nil || ack.Ack == nil {
+		conn.Close()
+		ln.Close()
+		return nil, nil, fmt.Errorf("cluster: bad hello ack: %v", err)
+	}
+	t.ID = ack.Ack.ID
+
+	// LB message pump.
+	go func() {
+		for {
+			var wm WireMsg
+			if err := dec.Decode(&wm); err != nil {
+				t.push(Message{Kind: MsgStop})
+				return
+			}
+			t.mu.Lock()
+			for id, addr := range wm.PeerAddrs {
+				t.peerAddrs[id] = addr
+			}
+			t.mu.Unlock()
+			if wm.Msg != nil {
+				t.push(*wm.Msg)
+			}
+		}
+	}()
+	// Peer job listener.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				d := gob.NewDecoder(c)
+				for {
+					var wm WireMsg
+					if err := d.Decode(&wm); err != nil {
+						c.Close()
+						return
+					}
+					if wm.Msg != nil {
+						t.push(*wm.Msg)
+					}
+				}
+			}(c)
+		}
+	}()
+	return t, ack.Ack, nil
+}
+
+func (t *TCPWorkerTransport) push(m Message) {
+	t.mu.Lock()
+	t.inbox = append(t.inbox, m)
+	t.mailCond.Broadcast()
+	t.mu.Unlock()
+}
+
+// SendStatus implements Transport.
+func (t *TCPWorkerTransport) SendStatus(st Status) {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	_ = t.lbEnc.Encode(WireMsg{Status: &st})
+}
+
+// SendJobs implements Transport (direct worker-to-worker transfer).
+func (t *TCPWorkerTransport) SendJobs(dst, from int, jt *JobTree) {
+	t.mu.Lock()
+	addr := t.peerAddrs[dst]
+	enc := t.peerConns[addr]
+	t.mu.Unlock()
+	if addr == "" {
+		return // destination unknown yet; the LB will rebalance later
+	}
+	if enc == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		enc = gob.NewEncoder(conn)
+		t.mu.Lock()
+		t.peerConns[addr] = enc
+		t.mu.Unlock()
+	}
+	_ = enc.Encode(WireMsg{Msg: &Message{Kind: MsgJobs, From: from, Jobs: jt}})
+}
+
+// Recv implements Transport.
+func (t *TCPWorkerTransport) Recv() (Message, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.inbox) == 0 {
+		return Message{}, false
+	}
+	m := t.inbox[0]
+	t.inbox = t.inbox[1:]
+	return m, true
+}
+
+// WaitForMail blocks briefly until a message arrives.
+func (t *TCPWorkerTransport) WaitForMail() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.inbox) > 0 || t.closed {
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Millisecond):
+			t.mailCond.Broadcast()
+		}
+	}()
+	t.mailCond.Wait()
+	close(done)
+}
+
+// Close shuts down the transport.
+func (t *TCPWorkerTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mailCond.Broadcast()
+	t.mu.Unlock()
+	t.lbConn.Close()
+	t.listener.Close()
+}
+
+// LBServer runs the load-balancer side of the TCP fabric.
+type LBServer struct {
+	cfg      BalancerConfig
+	listener net.Listener
+
+	mu      sync.Mutex
+	lb      *LoadBalancer
+	workers map[int]*lbWorkerConn
+	nextID  int
+	// ExpectWorkers, when > 0, delays balancing until that many workers
+	// have joined.
+	ExpectWorkers int
+}
+
+type lbWorkerConn struct {
+	id   int
+	addr string
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+func (wc *lbWorkerConn) send(wm WireMsg) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	_ = wc.enc.Encode(wm)
+}
+
+// NewLBServer listens on addr.
+func NewLBServer(addr string, cfg BalancerConfig, covLen int, expect int) (*LBServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Delta == 0 {
+		cfg = DefaultBalancerConfig()
+	}
+	return &LBServer{
+		cfg:           cfg,
+		listener:      ln,
+		lb:            NewLoadBalancer(cfg, covLen),
+		workers:       map[int]*lbWorkerConn{},
+		ExpectWorkers: expect,
+	}, nil
+}
+
+// Addr returns the listening address.
+func (s *LBServer) Addr() string { return s.listener.Addr().String() }
+
+// Serve accepts workers and balances until quiescence (or maxDuration),
+// then broadcasts stop and returns the final statuses.
+func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
+	go s.acceptLoop()
+	start := time.Now()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	quiet := 0
+	for range tick.C {
+		s.mu.Lock()
+		n := len(s.workers)
+		ready := s.ExpectWorkers == 0 || n >= s.ExpectWorkers
+		var orders []TransferOrder
+		if ready {
+			orders = s.lb.Balance()
+		}
+		addrs := map[int]string{}
+		for id, wc := range s.workers {
+			addrs[id] = wc.addr
+		}
+		for _, ord := range orders {
+			if wc := s.workers[ord.Src]; wc != nil {
+				wc.send(WireMsg{
+					Msg:       &Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs},
+					PeerAddrs: addrs,
+				})
+			}
+		}
+		if cov, dirty := s.lb.GlobalCoverage(); dirty {
+			words := append([]uint64(nil), cov.Words()...)
+			for _, wc := range s.workers {
+				wc.send(WireMsg{Msg: &Message{Kind: MsgCoverage, CovWords: words}})
+			}
+		}
+		done := ready && s.lb.Quiescent(n) && n > 0
+		s.mu.Unlock()
+		if done {
+			quiet++
+			if quiet >= 5 {
+				break
+			}
+		} else {
+			quiet = 0
+		}
+		if maxDuration > 0 && time.Since(start) > maxDuration {
+			break
+		}
+	}
+	s.mu.Lock()
+	for _, wc := range s.workers {
+		wc.send(WireMsg{Msg: &Message{Kind: MsgStop}})
+	}
+	statuses := s.lb.Statuses()
+	s.mu.Unlock()
+	s.listener.Close()
+	return statuses, nil
+}
+
+func (s *LBServer) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *LBServer) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var hello WireMsg
+	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	wc := &lbWorkerConn{id: id, addr: hello.Hello.Addr, enc: enc}
+	s.workers[id] = wc
+	s.mu.Unlock()
+	wc.send(WireMsg{Ack: &HelloAck{ID: id, Seed: id == 0}})
+	for {
+		var wm WireMsg
+		if err := dec.Decode(&wm); err != nil {
+			conn.Close()
+			return
+		}
+		if wm.Status != nil {
+			s.mu.Lock()
+			s.lb.Update(*wm.Status)
+			s.mu.Unlock()
+		}
+	}
+}

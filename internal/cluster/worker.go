@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"cloud9/internal/coverage"
+	"cloud9/internal/engine"
+	"cloud9/internal/interp"
+)
+
+// WorkerConfig configures one cluster worker.
+type WorkerConfig struct {
+	ID    int
+	Seed  bool // the seed worker starts with the whole-tree job
+	Batch int  // exploration steps between mailbox polls
+
+	Engine engine.Config
+	// NewInterp builds the worker's private interpreter+model stack
+	// (shared-nothing: each worker owns its program instance, solver and
+	// caches).
+	NewInterp func() (*interp.Interp, error)
+	Entry     string
+}
+
+// Transport delivers messages between cluster members. Implementations:
+// the in-process channel fabric (this package) and gob/TCP (cmd/).
+type Transport interface {
+	// SendStatus delivers a status update to the load balancer.
+	SendStatus(st Status)
+	// SendJobs delivers a job batch to another worker.
+	SendJobs(dst int, from int, jt *JobTree)
+	// Recv returns the next pending message, or ok=false when the
+	// mailbox is empty.
+	Recv() (Message, bool)
+}
+
+// Worker is one Cloud9 worker node: a private symbolic execution engine
+// plus the job-transfer protocol.
+type Worker struct {
+	ID  int
+	Exp *engine.Explorer
+
+	cfg       WorkerConfig
+	transport Transport
+
+	jobsSent uint64
+	jobsRecv uint64
+	stopped  bool
+
+	// stepsSinceStatus throttles status updates.
+	stepsSinceStatus int
+}
+
+// NewWorker builds a worker (its engine fully initialized).
+func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
+	in, err := cfg.NewInterp()
+	if err != nil {
+		return nil, err
+	}
+	exp, err := engine.New(in, cfg.Entry, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Seed {
+		exp.DropRoot()
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	return &Worker{ID: cfg.ID, Exp: exp, cfg: cfg, transport: tr}, nil
+}
+
+// Stopped reports whether the worker received MsgStop.
+func (w *Worker) Stopped() bool { return w.stopped }
+
+// drainMailbox processes all pending messages.
+func (w *Worker) drainMailbox() {
+	for {
+		msg, ok := w.transport.Recv()
+		if !ok {
+			return
+		}
+		switch msg.Kind {
+		case MsgStop:
+			w.stopped = true
+			return
+		case MsgJobs:
+			paths := msg.Jobs.Paths()
+			n := w.Exp.ImportJobs(paths)
+			w.jobsRecv += uint64(len(paths))
+			_ = n
+		case MsgTransferReq:
+			paths := w.Exp.ExportCandidates(msg.NJobs)
+			if len(paths) > 0 {
+				w.jobsSent += uint64(len(paths))
+				w.transport.SendJobs(msg.Dst, w.ID, BuildJobTree(paths))
+			}
+		case MsgCoverage:
+			// OR the global vector into the local one so the local
+			// strategy makes globally consistent choices (§3.3).
+			g := coverage.FromWords(msg.CovWords, w.Exp.Cov.Len()-1)
+			w.Exp.Cov.Or(g)
+		}
+	}
+}
+
+// sendStatus reports the worker's load and coverage to the LB.
+func (w *Worker) sendStatus() {
+	w.transport.SendStatus(Status{
+		Worker:      w.ID,
+		Queue:       w.Exp.Tree.NumCandidates(),
+		JobsSent:    w.jobsSent,
+		JobsRecv:    w.jobsRecv,
+		UsefulSteps: w.Exp.Stats.UsefulSteps,
+		ReplaySteps: w.Exp.Stats.ReplaySteps,
+		Paths:       w.Exp.Stats.PathsExplored,
+		Errors:      w.Exp.Stats.Errors,
+		Hangs:       w.Exp.Stats.Hangs,
+		Tests:       len(w.Exp.Tests),
+		CovWords:    append([]uint64(nil), w.Exp.Cov.Words()...),
+		CovCount:    w.Exp.Cov.Count(),
+		Done:        w.Exp.Done(),
+	})
+}
+
+// RunLoop executes the worker until stopped. It alternates between
+// processing messages and exploring a batch of candidates, sending
+// status updates as it goes.
+func (w *Worker) RunLoop() error {
+	w.sendStatus()
+	for !w.stopped {
+		w.drainMailbox()
+		if w.stopped {
+			break
+		}
+		if w.Exp.Done() {
+			// Idle: report and wait for jobs (blocking receive happens
+			// in the transport's Recv via polling in drainMailbox; a
+			// status update tells the LB we need work).
+			w.sendStatus()
+			w.waitForMail()
+			continue
+		}
+		for i := 0; i < w.cfg.Batch && !w.Exp.Done(); i++ {
+			if _, err := w.Exp.Step(); err != nil {
+				return err
+			}
+			w.stepsSinceStatus++
+		}
+		if w.stepsSinceStatus >= w.cfg.Batch {
+			w.sendStatus()
+			w.stepsSinceStatus = 0
+		}
+	}
+	w.sendStatus()
+	return nil
+}
+
+// waitForMail blocks until a message arrives (transport-specific).
+func (w *Worker) waitForMail() {
+	if bw, ok := w.transport.(blockingTransport); ok {
+		bw.WaitForMail()
+		return
+	}
+}
+
+// blockingTransport lets a transport provide efficient idle waiting.
+type blockingTransport interface {
+	WaitForMail()
+}

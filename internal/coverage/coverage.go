@@ -1,0 +1,93 @@
+// Package coverage implements the line-coverage bit vectors Cloud9 uses
+// as its global-strategy overlay (§3.3): workers set bits locally, ship
+// the vector to the load balancer piggybacked on status updates, and the
+// LB ORs vectors into the global view sent back to workers.
+package coverage
+
+import "math/bits"
+
+// BitVec is a fixed-capacity bit vector; bit i represents source line i.
+type BitVec struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector able to hold lines [0, n].
+func New(n int) *BitVec {
+	return &BitVec{words: make([]uint64, (n+64)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (v *BitVec) Len() int { return v.n + 1 }
+
+// Set marks line i covered; it reports whether the bit was newly set.
+func (v *BitVec) Set(i int) bool {
+	if i < 0 || i > v.n {
+		return false
+	}
+	w, b := i/64, uint(i%64)
+	if v.words[w]&(1<<b) != 0 {
+		return false
+	}
+	v.words[w] |= 1 << b
+	return true
+}
+
+// Get reports whether line i is covered.
+func (v *BitVec) Get(i int) bool {
+	if i < 0 || i > v.n {
+		return false
+	}
+	return v.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of covered lines.
+func (v *BitVec) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or merges other into v, returning the number of newly covered lines.
+func (v *BitVec) Or(other *BitVec) int {
+	added := 0
+	for i := range v.words {
+		if i >= len(other.words) {
+			break
+		}
+		neu := other.words[i] &^ v.words[i]
+		added += bits.OnesCount64(neu)
+		v.words[i] |= other.words[i]
+	}
+	return added
+}
+
+// Clone returns a copy of v.
+func (v *BitVec) Clone() *BitVec {
+	dup := &BitVec{words: append([]uint64(nil), v.words...), n: v.n}
+	return dup
+}
+
+// Words exposes the raw words for serialization.
+func (v *BitVec) Words() []uint64 { return v.words }
+
+// FromWords reconstructs a vector from serialized words.
+func FromWords(words []uint64, n int) *BitVec {
+	w := make([]uint64, (n+64)/64)
+	copy(w, words)
+	return &BitVec{words: w, n: n}
+}
+
+// CoveredOf counts covered lines restricted to the given line set
+// (used to report coverage as a percentage of a target's own lines).
+func (v *BitVec) CoveredOf(lines map[int]bool) int {
+	c := 0
+	for ln := range lines {
+		if v.Get(ln) {
+			c++
+		}
+	}
+	return c
+}

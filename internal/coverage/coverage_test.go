@@ -1,0 +1,112 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetCount(t *testing.T) {
+	v := New(200)
+	if v.Get(5) {
+		t.Fatal("fresh vector should be empty")
+	}
+	if !v.Set(5) {
+		t.Fatal("first set should report new")
+	}
+	if v.Set(5) {
+		t.Fatal("second set should report not-new")
+	}
+	if !v.Get(5) || v.Count() != 1 {
+		t.Fatal("get/count after set")
+	}
+	// Boundary bits.
+	if !v.Set(0) || !v.Set(200) || !v.Set(63) || !v.Set(64) {
+		t.Fatal("boundary sets")
+	}
+	if v.Count() != 5 {
+		t.Fatalf("count = %d", v.Count())
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	v := New(10)
+	if v.Set(-1) || v.Set(11) || v.Get(99) {
+		t.Fatal("out-of-range bits must be ignored")
+	}
+}
+
+func TestOrMerge(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+	added := a.Or(b)
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 (only bit 3 is new)", added)
+	}
+	if a.Count() != 3 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	// OR is idempotent.
+	if a.Or(b) != 0 {
+		t.Fatal("second OR should add nothing")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(7)
+	c := a.Clone()
+	c.Set(8)
+	if a.Get(8) {
+		t.Fatal("clone write leaked into original")
+	}
+	if !c.Get(7) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	a := New(130)
+	a.Set(0)
+	a.Set(129)
+	b := FromWords(a.Words(), 130)
+	if !b.Get(0) || !b.Get(129) || b.Count() != 2 {
+		t.Fatal("words round trip")
+	}
+}
+
+func TestCoveredOf(t *testing.T) {
+	v := New(50)
+	v.Set(10)
+	v.Set(20)
+	v.Set(30)
+	lines := map[int]bool{10: true, 30: true, 40: true}
+	if got := v.CoveredOf(lines); got != 2 {
+		t.Fatalf("CoveredOf = %d, want 2", got)
+	}
+}
+
+// Property: Count equals the number of distinct set bits; Or equals
+// set union.
+func TestQuickOrIsUnion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(255), New(255)
+		set := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			set[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			set[int(y)] = true
+		}
+		a.Or(b)
+		return a.Count() == len(set)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"testing"
+
+	"cloud9/internal/interp"
+	"cloud9/internal/posix"
+	"cloud9/internal/state"
+	"cloud9/internal/tree"
+)
+
+const branchy = `
+int main() {
+	char buf[4];
+	cloud9_make_symbolic(buf, 4, "in");
+	int n = 0;
+	if (buf[0] > 100) n++;
+	if (buf[1] > 100) n++;
+	if (buf[2] > 100) n++;
+	if (buf[3] > 100) n++;
+	if (n == 4) abort();
+	return 0;
+}`
+
+func newExplorer(t *testing.T, src string, cfg Config) *Explorer {
+	t.Helper()
+	prog, err := posix.CompileTarget("t.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	posix.Install(in, posix.Options{})
+	e, err := New(in, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExhaustiveExploration(t *testing.T) {
+	e := newExplorer(t, branchy, Config{RecordAllTests: true})
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Done() {
+		t.Fatal("frontier should be empty")
+	}
+	// 4 independent branches => 16 paths.
+	if e.Stats.PathsExplored != 16 {
+		t.Fatalf("paths = %d, want 16", e.Stats.PathsExplored)
+	}
+	if e.Stats.Errors != 1 {
+		t.Fatalf("errors = %d, want 1 (the all-high abort)", e.Stats.Errors)
+	}
+	if len(e.Tests) != 16 {
+		t.Fatalf("tests = %d", len(e.Tests))
+	}
+}
+
+func TestErrorTestCaseHasTriggeringInputs(t *testing.T) {
+	e := newExplorer(t, branchy, Config{})
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Tests) != 1 {
+		t.Fatalf("tests = %d, want only the error case", len(e.Tests))
+	}
+	tc := e.Tests[0]
+	if tc.Kind != state.TermError {
+		t.Fatalf("kind = %v", tc.Kind)
+	}
+	in := tc.Inputs["in"]
+	if len(in) != 4 {
+		t.Fatalf("inputs = %v", tc.Inputs)
+	}
+	for i, b := range in {
+		if b <= 100 {
+			t.Errorf("input[%d] = %d does not trigger the bug", i, b)
+		}
+	}
+}
+
+func TestStrategiesAllComplete(t *testing.T) {
+	mk := map[string]func(tr *tree.Tree) Strategy{
+		"dfs":     func(*tree.Tree) Strategy { return NewDFS() },
+		"bfs":     func(*tree.Tree) Strategy { return NewBFS() },
+		"random":  func(*tree.Tree) Strategy { return NewRandom(7) },
+		"rp":      func(tr *tree.Tree) Strategy { return NewRandomPath(tr, 7) },
+		"cov":     func(*tree.Tree) Strategy { return NewCoverageOptimized(7) },
+		"ff":      func(*tree.Tree) Strategy { return NewFewestFaults() },
+		"default": nil,
+	}
+	for name, f := range mk {
+		cfg := Config{}
+		if f != nil {
+			cfg.Strategy = f
+		}
+		e := newExplorer(t, branchy, cfg)
+		if _, err := e.RunToCompletion(0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Stats.PathsExplored != 16 {
+			t.Errorf("%s explored %d paths, want 16", name, e.Stats.PathsExplored)
+		}
+	}
+}
+
+func TestCoverageGrowsMonotonically(t *testing.T) {
+	e := newExplorer(t, branchy, Config{})
+	last := 0
+	for {
+		more, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		cur := e.Cov.Count()
+		if cur < last {
+			t.Fatal("coverage decreased")
+		}
+		last = cur
+	}
+	if last == 0 {
+		t.Fatal("no coverage recorded")
+	}
+}
+
+func TestJobTransferRoundTrip(t *testing.T) {
+	// Build two explorers over the same program; export half of worker
+	// A's frontier to worker B and check both complete the exploration
+	// with no duplicated or lost paths.
+	mk := func() *Explorer {
+		return newExplorer(t, branchy, Config{
+			Strategy: func(*tree.Tree) Strategy { return NewBFS() },
+		})
+	}
+	a, b := mk(), mk()
+
+	// Grow A's frontier a bit.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Tree.NumCandidates() < 2 {
+		t.Fatalf("frontier too small: %d", a.Tree.NumCandidates())
+	}
+	half := a.Tree.NumCandidates() / 2
+	jobs := a.ExportCandidates(half)
+	if len(jobs) != half {
+		t.Fatalf("exported %d, want %d", len(jobs), half)
+	}
+	if got := b.ImportJobs(jobs); got != half {
+		t.Fatalf("imported %d, want %d", got, half)
+	}
+	// B must not explore its own root candidate: its root is still a
+	// candidate (fresh explorer), so remove it to simulate a new worker
+	// joining with only transferred jobs.
+	b.Strat.Remove(b.Tree.Root)
+	b.Tree.MarkFence(b.Tree.Root)
+
+	if _, err := a.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	total := a.Stats.PathsExplored + b.Stats.PathsExplored
+	if total != 16 {
+		t.Fatalf("A=%d B=%d total=%d, want 16 (disjoint and complete)",
+			a.Stats.PathsExplored, b.Stats.PathsExplored, total)
+	}
+	if b.Stats.Materialized == 0 {
+		t.Fatal("B should have replayed virtual nodes")
+	}
+	if b.Stats.ReplaySteps == 0 {
+		t.Fatal("replay steps should be accounted")
+	}
+	if a.Stats.Errors+b.Stats.Errors != 1 {
+		t.Fatalf("the abort path must be found exactly once, got %d",
+			a.Stats.Errors+b.Stats.Errors)
+	}
+}
+
+func TestExportKeepsOneCandidate(t *testing.T) {
+	e := newExplorer(t, branchy, Config{})
+	for i := 0; i < 2; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := e.Tree.NumCandidates()
+	jobs := e.ExportCandidates(n) // ask for everything
+	if len(jobs) != n-1 {
+		t.Fatalf("exported %d of %d; should keep one locally", len(jobs), n)
+	}
+	if e.Tree.NumCandidates() != 1 {
+		t.Fatalf("candidates left = %d", e.Tree.NumCandidates())
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	// Transfer EVERY candidate after a few steps; the receiving worker
+	// must reconstruct identical terminal behavior purely from replays.
+	mkA := newExplorer(t, branchy, Config{
+		Strategy: func(*tree.Tree) Strategy { return NewDFS() },
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := mkA.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := mkA.ExportCandidates(mkA.Tree.NumCandidates() - 1)
+	b := newExplorer(t, branchy, Config{
+		Strategy: func(*tree.Tree) Strategy { return NewDFS() },
+	})
+	b.Strat.Remove(b.Tree.Root)
+	b.Tree.MarkFence(b.Tree.Root)
+	b.ImportJobs(paths)
+	if _, err := b.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.BrokenReplays != 0 {
+		t.Fatalf("broken replays: %d", b.Stats.BrokenReplays)
+	}
+	if b.Stats.PathsExplored == 0 {
+		t.Fatal("B explored nothing")
+	}
+}
+
+func TestTreePruneReclaimsDeadNodes(t *testing.T) {
+	e := newExplorer(t, branchy, Config{})
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Tree.NumNodes()
+	removed := e.Tree.Prune()
+	if removed == 0 {
+		t.Fatal("prune should reclaim the finished subtrees")
+	}
+	if e.Tree.NumNodes() != before-removed {
+		t.Fatal("node accounting wrong after prune")
+	}
+}
+
+func TestHangDetectionProducesTest(t *testing.T) {
+	e := newExplorer(t, `
+		int main() {
+			char x;
+			cloud9_make_symbolic(&x, 1, "x");
+			if (x == 77) {
+				long wl = cloud9_get_wlist();
+				cloud9_thread_sleep(wl); // deadlock on this path only
+			}
+			return 0;
+		}`, Config{})
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Hangs != 1 {
+		t.Fatalf("hangs = %d", e.Stats.Hangs)
+	}
+	var hang *TestCase
+	for i := range e.Tests {
+		if e.Tests[i].Kind == state.TermHang {
+			hang = &e.Tests[i]
+		}
+	}
+	if hang == nil {
+		t.Fatal("no hang test case recorded")
+	}
+	if got := hang.Inputs["x"]; len(got) != 1 || got[0] != 77 {
+		t.Fatalf("hang inputs = %v, want x=77", hang.Inputs)
+	}
+}

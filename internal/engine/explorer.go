@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cloud9/internal/coverage"
+	"cloud9/internal/interp"
+	"cloud9/internal/solver"
+	"cloud9/internal/state"
+	"cloud9/internal/tree"
+)
+
+// TestCase is the artifact produced when a path terminates: concrete
+// inputs that drive the program down that path, plus the verdict.
+type TestCase struct {
+	Kind    state.TerminationKind
+	Message string
+	// Inputs maps each symbolic region (by name) to concrete bytes.
+	Inputs map[string][]byte
+	Path   []uint8
+	Steps  uint64
+	Faults int
+}
+
+// Stats aggregates exploration accounting for one explorer.
+type Stats struct {
+	PathsExplored uint64 // terminated paths
+	Errors        uint64
+	Hangs         uint64
+	UsefulSteps   uint64 // instructions executed on first exploration
+	ReplaySteps   uint64 // instructions re-executed to materialize jobs
+	Materialized  uint64 // virtual nodes replayed
+	BrokenReplays uint64
+	SolverKilled  uint64 // states killed by solver budget exhaustion
+	NewLinesEver  int    // lines newly covered by this explorer
+}
+
+// Explorer drives symbolic exploration of one program on one worker.
+type Explorer struct {
+	In    *interp.Interp
+	Tree  *tree.Tree
+	Strat Strategy
+	Cov   *coverage.BitVec
+
+	// RecordAllTests also captures test cases for normally exiting
+	// paths (not just errors/hangs).
+	RecordAllTests bool
+	// MaxTests bounds the retained test cases (0 = unlimited).
+	MaxTests int
+
+	Tests []TestCase
+	Stats Stats
+
+	// coverage scratch for the current Advance call.
+	newLines int
+}
+
+// Config bundles explorer construction options.
+type Config struct {
+	Strategy       func(t *tree.Tree) Strategy
+	MaxStateSteps  uint64 // per-path instruction budget (hang detection)
+	RecordAllTests bool
+}
+
+// New builds an explorer for prog's entry function.
+func New(in *interp.Interp, entry string, cfg Config) (*Explorer, error) {
+	root, err := in.InitialState(entry)
+	if err != nil {
+		return nil, err
+	}
+	pristine, err := in.InitialState(entry)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxStateSteps > 0 {
+		root.MaxSteps = cfg.MaxStateSteps
+		pristine.MaxSteps = cfg.MaxStateSteps
+	}
+	t := tree.New(root, pristine)
+	e := &Explorer{
+		In:             in,
+		Tree:           t,
+		Cov:            coverage.New(in.Prog.MaxLine),
+		RecordAllTests: cfg.RecordAllTests,
+	}
+	if cfg.Strategy != nil {
+		e.Strat = cfg.Strategy(t)
+	} else {
+		e.Strat = NewInterleaved(NewRandomPath(t, 1), NewCoverageOptimized(2))
+	}
+	e.Strat.Add(t.Root)
+	in.OnCover = func(line int) {
+		if e.Cov.Set(line) {
+			e.newLines++
+			e.Stats.NewLinesEver++
+		}
+	}
+	return e, nil
+}
+
+// Done reports whether the frontier is exhausted.
+func (e *Explorer) Done() bool { return e.Tree.NumCandidates() == 0 }
+
+// Step explores one candidate node: selects it, materializes it if
+// virtual, runs it to the next fork or termination, and updates the
+// tree. It returns false when no work remains.
+func (e *Explorer) Step() (bool, error) {
+	n := e.Strat.Select()
+	for n != nil && !n.IsCandidate() {
+		n = e.Strat.Select()
+	}
+	if n == nil {
+		return false, nil
+	}
+	if n.Status == tree.Virtual {
+		if err := e.materialize(n); err != nil {
+			e.Stats.BrokenReplays++
+			e.Tree.MarkDead(n)
+			return true, nil
+		}
+	}
+	return true, e.exploreNode(n)
+}
+
+// exploreNode advances a materialized candidate one fork.
+func (e *Explorer) exploreNode(n *tree.Node) error {
+	s := n.State
+	n.State = nil // ownership moves to the interpreter
+	before := e.In.Stats.Instructions
+	e.newLines = 0
+	kids, err := e.In.Advance(s)
+	e.Stats.UsefulSteps += e.In.Stats.Instructions - before
+	if err != nil {
+		e.Tree.MarkDead(n)
+		if errors.Is(err, solver.ErrBudget) {
+			// Solver gave up on this path (the analog of an SMT
+			// timeout): kill the state, keep exploring others.
+			e.Stats.SolverKilled++
+			s.Release()
+			return nil
+		}
+		return err
+	}
+	e.Strat.NotifyCoverage(n, e.newLines)
+	if kids == nil {
+		// Terminated.
+		e.recordTest(s)
+		e.Stats.PathsExplored++
+		switch s.Term {
+		case state.TermError:
+			e.Stats.Errors++
+		case state.TermHang:
+			e.Stats.Hangs++
+		}
+		s.Release()
+		e.Tree.MarkDead(n)
+		return nil
+	}
+	// Forked: attach children as materialized candidates.
+	e.Tree.MarkDead(n)
+	for i, k := range kids {
+		child := e.Tree.AddChild(n, uint8(i), tree.Materialized, tree.Candidate, k)
+		e.Strat.Add(child)
+	}
+	return nil
+}
+
+// materialize replays the path to a virtual node from its nearest
+// materialized ancestor (or the pristine root state), converting it to a
+// materialized candidate. Off-path siblings created during replay become
+// fence nodes (they are owned by other workers).
+func (e *Explorer) materialize(n *tree.Node) error {
+	e.Stats.Materialized++
+	anc := e.Tree.NearestMaterializedAncestor(n)
+	var s *state.S
+	var from *tree.Node
+	if anc != nil {
+		s = anc.State.Fork(e.In.NewStateID())
+		from = anc
+	} else {
+		s = e.Tree.RootState.Fork(e.In.NewStateID())
+		from = e.Tree.Root
+	}
+	// Collect choices from `from` down to n.
+	depth := n.Depth - from.Depth
+	choices := make([]uint8, depth)
+	cur := n
+	for i := depth - 1; i >= 0; i-- {
+		choices[i] = cur.Choice
+		cur = cur.Parent
+	}
+	node := from
+	for _, choice := range choices {
+		before := e.In.Stats.Instructions
+		kids, err := e.In.Advance(s)
+		e.Stats.ReplaySteps += e.In.Stats.Instructions - before
+		if err != nil {
+			return err
+		}
+		if kids == nil || int(choice) >= len(kids) {
+			return fmt.Errorf("engine: broken replay at depth %d of %d", node.Depth, n.Depth)
+		}
+		for i, k := range kids {
+			if uint8(i) == choice {
+				continue
+			}
+			// Off-path state: belongs to another worker's subtree.
+			if existing := e.Tree.ChildAt(node, uint8(i)); existing == nil {
+				e.Tree.AddChild(node, uint8(i), tree.Materialized, tree.Fence, k)
+			} else {
+				k.Release()
+			}
+		}
+		next := e.Tree.ChildAt(node, choice)
+		if next == nil {
+			next = e.Tree.AddChild(node, choice, tree.Virtual, tree.Fence, nil)
+		}
+		node = next
+		s = kids[choice]
+	}
+	if node != n {
+		return fmt.Errorf("engine: replay landed on wrong node")
+	}
+	e.Tree.Materialize(n, s)
+	return nil
+}
+
+// recordTest captures a test case from a terminated state.
+func (e *Explorer) recordTest(s *state.S) {
+	interesting := s.Term == state.TermError || s.Term == state.TermHang
+	if !interesting && !e.RecordAllTests {
+		return
+	}
+	if e.MaxTests > 0 && len(e.Tests) >= e.MaxTests {
+		return
+	}
+	tc := TestCase{
+		Kind:    s.Term,
+		Message: s.TermMsg,
+		Inputs:  map[string][]byte{},
+		Path:    state.PathChoices(s.Path),
+		Steps:   s.Steps,
+		Faults:  s.FaultsTaken,
+	}
+	model, sat, err := e.In.Solver.Solve(s.Constraints)
+	if err == nil && sat {
+		for _, region := range s.Symbolics {
+			buf := make([]byte, region.Len)
+			for i := int64(0); i < region.Len; i++ {
+				buf[i] = model[region.First+uint64(i)]
+			}
+			// Regions can share a name (e.g. repeated reads); suffix them.
+			name := region.Name
+			if _, dup := tc.Inputs[name]; dup {
+				name = fmt.Sprintf("%s@%d", region.Name, region.First)
+			}
+			tc.Inputs[name] = buf
+		}
+	}
+	e.Tests = append(e.Tests, tc)
+}
+
+// ExportCandidates removes up to n candidate nodes from the frontier for
+// transfer to another worker, converting them to fences locally (§3.2
+// "Worker-to-Worker Job Transfer"). It returns their root paths.
+func (e *Explorer) ExportCandidates(n int) [][]uint8 {
+	if n <= 0 {
+		return nil
+	}
+	cands := e.Tree.CandidatesUnder(e.Tree.Root, e.Tree.NumCandidates())
+	if len(cands) == 0 {
+		return nil
+	}
+	// Prefer exporting shallow nodes: their subtrees are larger, moving
+	// more work per transferred job.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Depth < cands[j].Depth })
+	if n > len(cands) {
+		n = len(cands)
+	}
+	// Keep at least one candidate locally when possible.
+	if n == len(cands) && n > 1 {
+		n--
+	}
+	paths := make([][]uint8, 0, n)
+	for _, c := range cands[:n] {
+		e.Strat.Remove(c)
+		e.Tree.MarkFence(c)
+		paths = append(paths, c.PathFromRoot())
+	}
+	return paths
+}
+
+// ImportJobs installs path-encoded jobs received from another worker as
+// virtual candidate nodes (lazily replayed on selection).
+func (e *Explorer) ImportJobs(paths [][]uint8) int {
+	imported := 0
+	for _, path := range paths {
+		node := e.Tree.Root
+		ok := true
+		for _, choice := range path {
+			next := e.Tree.ChildAt(node, choice)
+			if next == nil {
+				next = e.Tree.AddChild(node, choice, tree.Virtual, tree.Fence, nil)
+			}
+			node = next
+		}
+		switch node.Life {
+		case tree.Fence:
+			if node.Status == tree.Virtual || node.State != nil {
+				e.Tree.FenceToCandidate(node)
+				e.Strat.Add(node)
+				imported++
+			}
+		case tree.Candidate:
+			// Already ours (duplicate transfer); nothing to do.
+		case tree.Dead:
+			ok = false
+		}
+		_ = ok
+	}
+	return imported
+}
+
+// DropRoot removes the root from the frontier, turning it into a fence.
+// Non-seed cluster workers call this: they only explore imported jobs
+// (the first worker receives the "seed job" of the whole tree, §3.1).
+func (e *Explorer) DropRoot() {
+	if e.Tree.Root.Life == tree.Candidate {
+		e.Strat.Remove(e.Tree.Root)
+		e.Tree.MarkFence(e.Tree.Root)
+	}
+}
+
+// RunToCompletion explores until the frontier is empty or limit steps
+// were taken (0 = unlimited). It returns the number of Step calls.
+func (e *Explorer) RunToCompletion(limit int) (int, error) {
+	steps := 0
+	for limit == 0 || steps < limit {
+		more, err := e.Step()
+		if err != nil {
+			return steps, err
+		}
+		if !more {
+			break
+		}
+		steps++
+	}
+	return steps, nil
+}

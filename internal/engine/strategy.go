@@ -1,0 +1,429 @@
+// Package engine implements the single-node symbolic exploration loop:
+// search strategies over the execution tree, candidate selection, job
+// replay (materialization of virtual nodes), coverage accounting and
+// test-case generation. The cluster layer drives one engine per worker.
+package engine
+
+import (
+	"math/rand"
+
+	"cloud9/internal/tree"
+)
+
+// Strategy picks the next candidate node to explore. Implementations are
+// the policies of §3.3; the tree/worker mechanics are the mechanism.
+type Strategy interface {
+	Name() string
+	// Add registers a new candidate node.
+	Add(n *tree.Node)
+	// Remove unregisters a node (explored, transferred, or dead).
+	Remove(n *tree.Node)
+	// Select returns the next node to explore (nil when empty).
+	Select() *tree.Node
+	// NotifyCoverage informs the strategy that exploring n yielded
+	// newLines newly covered lines (coverage-optimized uses this).
+	NotifyCoverage(n *tree.Node, newLines int)
+}
+
+// ---- DFS ----
+
+// DFS explores deepest-first (a stack). Low memory, poor diversity.
+type DFS struct{ stack []*tree.Node }
+
+// NewDFS returns a depth-first strategy.
+func NewDFS() *DFS { return &DFS{} }
+
+// Name implements Strategy.
+func (d *DFS) Name() string { return "dfs" }
+
+// Add implements Strategy.
+func (d *DFS) Add(n *tree.Node) { d.stack = append(d.stack, n) }
+
+// Remove implements Strategy.
+func (d *DFS) Remove(n *tree.Node) {
+	for i, c := range d.stack {
+		if c == n {
+			d.stack = append(d.stack[:i], d.stack[i+1:]...)
+			return
+		}
+	}
+}
+
+// Select implements Strategy.
+func (d *DFS) Select() *tree.Node {
+	for len(d.stack) > 0 {
+		n := d.stack[len(d.stack)-1]
+		d.stack = d.stack[:len(d.stack)-1]
+		if n.IsCandidate() {
+			return n
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy.
+func (d *DFS) NotifyCoverage(*tree.Node, int) {}
+
+// ---- BFS ----
+
+// BFS explores shallowest-first (a queue).
+type BFS struct{ queue []*tree.Node }
+
+// NewBFS returns a breadth-first strategy.
+func NewBFS() *BFS { return &BFS{} }
+
+// Name implements Strategy.
+func (b *BFS) Name() string { return "bfs" }
+
+// Add implements Strategy.
+func (b *BFS) Add(n *tree.Node) { b.queue = append(b.queue, n) }
+
+// Remove implements Strategy.
+func (b *BFS) Remove(n *tree.Node) {
+	for i, c := range b.queue {
+		if c == n {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Select implements Strategy.
+func (b *BFS) Select() *tree.Node {
+	for len(b.queue) > 0 {
+		n := b.queue[0]
+		b.queue = b.queue[1:]
+		if n.IsCandidate() {
+			return n
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy.
+func (b *BFS) NotifyCoverage(*tree.Node, int) {}
+
+// ---- Uniform random ----
+
+// Random picks a uniformly random candidate.
+type Random struct {
+	nodes []*tree.Node
+	pos   map[*tree.Node]int
+	rng   *rand.Rand
+}
+
+// NewRandom returns a uniform-random strategy.
+func NewRandom(seed int64) *Random {
+	return &Random{pos: map[*tree.Node]int{}, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (r *Random) Name() string { return "random" }
+
+// Add implements Strategy.
+func (r *Random) Add(n *tree.Node) {
+	r.pos[n] = len(r.nodes)
+	r.nodes = append(r.nodes, n)
+}
+
+// Remove implements Strategy.
+func (r *Random) Remove(n *tree.Node) {
+	i, ok := r.pos[n]
+	if !ok {
+		return
+	}
+	last := len(r.nodes) - 1
+	r.nodes[i] = r.nodes[last]
+	r.pos[r.nodes[i]] = i
+	r.nodes = r.nodes[:last]
+	delete(r.pos, n)
+}
+
+// Select implements Strategy.
+func (r *Random) Select() *tree.Node {
+	for len(r.nodes) > 0 {
+		i := r.rng.Intn(len(r.nodes))
+		n := r.nodes[i]
+		r.Remove(n)
+		if n.IsCandidate() {
+			return n
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy.
+func (r *Random) NotifyCoverage(*tree.Node, int) {}
+
+// ---- Random path ----
+
+// RandomPath walks the tree from the root, choosing a random child with
+// candidates below it, until reaching a candidate — KLEE's random-path
+// searcher. It favors shallow, rarely visited subtrees, countering the
+// depth bias of per-state uniform selection.
+type RandomPath struct {
+	t   *tree.Tree
+	rng *rand.Rand
+}
+
+// NewRandomPath returns a random-path strategy over t.
+func NewRandomPath(t *tree.Tree, seed int64) *RandomPath {
+	return &RandomPath{t: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (r *RandomPath) Name() string { return "random-path" }
+
+// Add implements Strategy (tree counters already track candidates).
+func (r *RandomPath) Add(*tree.Node) {}
+
+// Remove implements Strategy.
+func (r *RandomPath) Remove(*tree.Node) {}
+
+// Select implements Strategy.
+func (r *RandomPath) Select() *tree.Node {
+	n := r.t.Root
+	if n.NumCandidatesBelow() == 0 {
+		return nil
+	}
+	for {
+		if n.IsCandidate() {
+			return n
+		}
+		// Choose among children with candidates, weighted equally
+		// (KLEE's random-path gives each subtree equal probability).
+		var live []*tree.Node
+		for _, ch := range n.Children {
+			if ch != nil && ch.NumCandidatesBelow() > 0 {
+				live = append(live, ch)
+			}
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		n = live[r.rng.Intn(len(live))]
+	}
+}
+
+// NotifyCoverage implements Strategy.
+func (r *RandomPath) NotifyCoverage(*tree.Node, int) {}
+
+// ---- Coverage-optimized ----
+
+// CoverageOptimized weights candidates by how productive their lineage
+// has been at uncovering new lines, then samples proportionally —
+// an adaptation of KLEE's coverage-optimized searcher to a setting
+// without static CFG distances (documented substitution: the paper
+// weighs states by estimated distance to an uncovered line; we weigh by
+// observed recent coverage yield, which drives the same feedback loop).
+type CoverageOptimized struct {
+	nodes []*tree.Node
+	pos   map[*tree.Node]int
+	rng   *rand.Rand
+}
+
+// NewCoverageOptimized returns a coverage-feedback strategy.
+func NewCoverageOptimized(seed int64) *CoverageOptimized {
+	return &CoverageOptimized{pos: map[*tree.Node]int{}, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (c *CoverageOptimized) Name() string { return "cov-opt" }
+
+func weightOf(n *tree.Node) float64 {
+	if n.Meta == nil {
+		return 1
+	}
+	return 1 + n.Meta["covYield"]
+}
+
+// Add implements Strategy.
+func (c *CoverageOptimized) Add(n *tree.Node) {
+	// Children inherit half their parent's yield, decaying stale signal.
+	if n.Parent != nil && n.Parent.Meta != nil {
+		if n.Meta == nil {
+			n.Meta = map[string]float64{}
+		}
+		n.Meta["covYield"] = n.Parent.Meta["covYield"] / 2
+	}
+	c.pos[n] = len(c.nodes)
+	c.nodes = append(c.nodes, n)
+}
+
+// Remove implements Strategy.
+func (c *CoverageOptimized) Remove(n *tree.Node) {
+	i, ok := c.pos[n]
+	if !ok {
+		return
+	}
+	last := len(c.nodes) - 1
+	c.nodes[i] = c.nodes[last]
+	c.pos[c.nodes[i]] = i
+	c.nodes = c.nodes[:last]
+	delete(c.pos, n)
+}
+
+// Select implements Strategy.
+func (c *CoverageOptimized) Select() *tree.Node {
+	for len(c.nodes) > 0 {
+		total := 0.0
+		for _, n := range c.nodes {
+			total += weightOf(n)
+		}
+		pick := c.rng.Float64() * total
+		var chosen *tree.Node
+		for _, n := range c.nodes {
+			pick -= weightOf(n)
+			if pick <= 0 {
+				chosen = n
+				break
+			}
+		}
+		if chosen == nil {
+			chosen = c.nodes[len(c.nodes)-1]
+		}
+		c.Remove(chosen)
+		if chosen.IsCandidate() {
+			return chosen
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy.
+func (c *CoverageOptimized) NotifyCoverage(n *tree.Node, newLines int) {
+	if newLines == 0 {
+		return
+	}
+	if n.Meta == nil {
+		n.Meta = map[string]float64{}
+	}
+	n.Meta["covYield"] += float64(newLines)
+}
+
+// ---- Interleaved ----
+
+// Interleaved alternates between strategies on successive selections —
+// the configuration the paper's evaluation uses (random-path
+// interleaved with coverage-optimized, §7).
+type Interleaved struct {
+	subs []Strategy
+	next int
+}
+
+// NewInterleaved combines strategies round-robin.
+func NewInterleaved(subs ...Strategy) *Interleaved { return &Interleaved{subs: subs} }
+
+// Name implements Strategy.
+func (i *Interleaved) Name() string { return "interleaved" }
+
+// Add implements Strategy.
+func (i *Interleaved) Add(n *tree.Node) {
+	for _, s := range i.subs {
+		s.Add(n)
+	}
+}
+
+// Remove implements Strategy.
+func (i *Interleaved) Remove(n *tree.Node) {
+	for _, s := range i.subs {
+		s.Remove(n)
+	}
+}
+
+// Select implements Strategy.
+func (i *Interleaved) Select() *tree.Node {
+	for tries := 0; tries < len(i.subs); tries++ {
+		s := i.subs[i.next]
+		i.next = (i.next + 1) % len(i.subs)
+		if n := s.Select(); n != nil {
+			// Keep the other strategies' bookkeeping consistent.
+			for _, o := range i.subs {
+				if o != s {
+					o.Remove(n)
+				}
+			}
+			return n
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy.
+func (i *Interleaved) NotifyCoverage(n *tree.Node, newLines int) {
+	for _, s := range i.subs {
+		s.NotifyCoverage(n, newLines)
+	}
+}
+
+// ---- Fewest-faults-first (Table 5 fault-injection experiment) ----
+
+// FewestFaults prioritizes states with fewer injected faults along their
+// path, yielding the uniform fault-depth sweep described in §7.3.3.
+type FewestFaults struct {
+	buckets map[int][]*tree.Node
+	min     int
+}
+
+// NewFewestFaults returns the fault-injection-oriented strategy.
+func NewFewestFaults() *FewestFaults {
+	return &FewestFaults{buckets: map[int][]*tree.Node{}}
+}
+
+// Name implements Strategy.
+func (f *FewestFaults) Name() string { return "fewest-faults" }
+
+func faultsOf(n *tree.Node) int {
+	if n.State != nil {
+		return n.State.FaultsTaken
+	}
+	if n.Meta != nil {
+		return int(n.Meta["faults"])
+	}
+	return 0
+}
+
+// Add implements Strategy.
+func (f *FewestFaults) Add(n *tree.Node) {
+	k := faultsOf(n)
+	if n.Meta == nil {
+		n.Meta = map[string]float64{}
+	}
+	n.Meta["faults"] = float64(k)
+	f.buckets[k] = append(f.buckets[k], n)
+	if len(f.buckets) == 1 || k < f.min {
+		f.min = k
+	}
+}
+
+// Remove implements Strategy.
+func (f *FewestFaults) Remove(n *tree.Node) {
+	k := faultsOf(n)
+	b := f.buckets[k]
+	for i, c := range b {
+		if c == n {
+			f.buckets[k] = append(b[:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// Select implements Strategy.
+func (f *FewestFaults) Select() *tree.Node {
+	for k := f.min; k < f.min+1024; k++ {
+		b := f.buckets[k]
+		for len(b) > 0 {
+			n := b[0]
+			b = b[1:]
+			f.buckets[k] = b
+			if n.IsCandidate() {
+				f.min = k
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy.
+func (f *FewestFaults) NotifyCoverage(*tree.Node, int) {}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cloud9/internal/cluster"
+	"cloud9/internal/targets"
+)
+
+// Fig7 reproduces "time to exhaustively complete a symbolic test case
+// for memcached" vs. worker count: the two-symbolic-packet test explored
+// to exhaustion, reporting virtual time (ticks).
+func Fig7(workerCounts []int) (*Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	t := &Table{
+		ID:     "Fig7",
+		Title:  "time to exhaustively explore 2 symbolic packets (memcached)",
+		Header: []string{"workers", "ticks", "paths", "transfers"},
+		Notes: []string{
+			"paper shape: every doubling of workers roughly halves completion time",
+			"virtual time: 1 tick = 1000 instructions per worker (lock-step simulation);",
+			"the miniature's tree (312 paths) limits speedup at high worker counts",
+		},
+	}
+	var base int
+	for _, w := range workerCounts {
+		cfg := simFor(tgt, w)
+		cfg.Quantum = 1000 // finer ticks give the balancer more rounds
+		res, err := cluster.RunSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Exhausted {
+			return nil, fmt.Errorf("fig7: %d workers did not exhaust", w)
+		}
+		if base == 0 {
+			base = res.Ticks
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprint(res.Ticks),
+			fmt.Sprint(res.Final.Paths),
+			fmt.Sprint(res.Final.TransfersIssued),
+		})
+	}
+	return t, nil
+}
+
+// Fig8 reproduces "time to achieve target coverage" (printf) vs workers:
+// ticks to reach each line-coverage percentage.
+func Fig8(workerCounts []int, targetsPct []int) (*Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if len(targetsPct) == 0 {
+		targetsPct = []int{50, 60, 70, 80, 90}
+	}
+	tgt := targets.Printf(4)
+	prog, err := progOf(tgt)
+	if err != nil {
+		return nil, err
+	}
+	coverable := prog.CoverableLines()
+	t := &Table{
+		ID:     "Fig8",
+		Title:  "ticks to reach a target line-coverage level (printf)",
+		Header: append([]string{"workers"}, mapStr(targetsPct, func(p int) string { return fmt.Sprintf("%d%%", p) })...),
+		Notes: []string{
+			fmt.Sprintf("printf has %d coverable lines", coverable),
+			"paper shape: higher coverage targets require more workers to reach in bounded time",
+		},
+	}
+	const maxTicks = 3000
+	for _, w := range workerCounts {
+		row := []string{fmt.Sprint(w)}
+		for _, pct := range targetsPct {
+			goal := coverable * pct / 100
+			cfg := simFor(tgt, w)
+			cfg.MaxTicks = maxTicks
+			cfg.StopWhen = func(s cluster.Snapshot) bool { return s.Coverage >= goal }
+			res, err := cluster.RunSim(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Final.Coverage >= goal {
+				row = append(row, fmt.Sprint(res.Ticks))
+			} else {
+				row = append(row, "-") // not reached within budget
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces "useful work done" (memcached): total and per-worker
+// instructions after several virtual-time budgets, per worker count.
+func Fig9(workerCounts []int, budgets []int) (*Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if len(budgets) == 0 {
+		budgets = []int{5, 10, 15, 20}
+	}
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	t := &Table{
+		ID:     "Fig9",
+		Title:  "useful work done vs cluster size (memcached), per tick budget",
+		Header: []string{"workers", "budget(ticks)", "useful instr", "per-worker", "replay instr"},
+		Notes: []string{
+			"paper shape: total useful work scales linearly; per-worker work stays flat",
+			"(saturation appears once the miniature's whole tree is exhausted)",
+		},
+	}
+	maxBudget := 0
+	for _, b := range budgets {
+		if b > maxBudget {
+			maxBudget = b
+		}
+	}
+	for _, w := range workerCounts {
+		// One sampled run per worker count; budget rows read the samples.
+		cfg := simFor(tgt, w)
+		cfg.MaxTicks = maxBudget
+		cfg.SampleTicks = 1
+		res, err := cluster.RunSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range budgets {
+			snap := res.Final
+			if b-1 < len(res.Samples) {
+				snap = res.Samples[b-1]
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(w), fmt.Sprint(b),
+				fmt.Sprint(snap.UsefulSteps),
+				fmt.Sprint(snap.UsefulSteps / uint64(w)),
+				fmt.Sprint(snap.ReplaySteps),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig10 is Fig9 for the printf and test utilities.
+func Fig10(workerCounts []int, budget int) (*Table, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if budget == 0 {
+		budget = 30
+	}
+	t := &Table{
+		ID:     "Fig10",
+		Title:  "useful work on printf and test vs cluster size",
+		Header: []string{"target", "workers", "useful instr", "per-worker"},
+		Notes: []string{
+			"paper shape: useful work increases roughly linearly in cluster size",
+		},
+	}
+	for _, tgt := range []targets.Target{targets.Printf(5), targets.TestUtil(4)} {
+		for _, w := range workerCounts {
+			cfg := simFor(tgt, w)
+			cfg.MaxTicks = budget
+			res, err := cluster.RunSim(cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				tgt.Name, fmt.Sprint(w),
+				fmt.Sprint(res.Final.UsefulSteps),
+				fmt.Sprint(res.Final.UsefulSteps / uint64(w)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig12 reproduces the "states transferred between workers over time"
+// measurement: per sampling bucket, transferred candidates as a
+// percentage of the frontier.
+func Fig12(workers int) (*Table, error) {
+	if workers == 0 {
+		workers = 8
+	}
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	cfg := simFor(tgt, workers)
+	cfg.SampleTicks = 5
+	res, err := cluster.RunSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Fig12",
+		Title:  fmt.Sprintf("candidate states transferred between %d workers over time", workers),
+		Header: []string{"bucket(ticks)", "transferred", "states explored", "% of states"},
+		Notes: []string{
+			"paper shape: transfers keep occurring in almost every bucket,",
+			"moving a few percent of the states processed in that interval",
+		},
+	}
+	prevT := 0
+	prevPaths := uint64(0)
+	for i, s := range res.Samples {
+		deltaT := s.StatesTransferred - prevT
+		prevT = s.StatesTransferred
+		deltaP := s.Paths - prevPaths
+		prevPaths = s.Paths
+		pct := "0.0"
+		if deltaP > 0 {
+			pct = fmt.Sprintf("%.1f", 100*float64(deltaT)/float64(deltaP))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-%d", i*5, (i+1)*5),
+			fmt.Sprint(deltaT), fmt.Sprint(deltaP), pct,
+		})
+	}
+	return t, nil
+}
+
+// Fig13 reproduces the load-balancing ablation: useful work when the LB
+// is disabled at various points of the run, vs. continuous balancing.
+func Fig13(workers int, budget int) (*Table, error) {
+	if workers == 0 {
+		workers = 8
+	}
+	if budget == 0 {
+		// Must end before the miniature's tree is exhausted, or every
+		// variant trivially reaches 100%.
+		budget = 16
+	}
+	tgt := targets.Memcached(targets.MCDriverTwoSymbolicPackets)
+	t := &Table{
+		ID:     "Fig13",
+		Title:  fmt.Sprintf("useful work with LB disabled mid-run (%d workers, %d ticks)", workers, budget),
+		Header: []string{"LB disabled at", "useful instr", "% of continuous"},
+		Notes: []string{
+			"paper shape: the earlier balancing stops, the less useful work gets done",
+		},
+	}
+	var baseline uint64
+	cuts := []int{0, budget * 3 / 4, budget / 2, budget / 4, 1}
+	labels := []string{"never", "75% mark", "50% mark", "25% mark", "tick 1"}
+	for i, cut := range cuts {
+		cfg := simFor(tgt, workers)
+		cfg.MaxTicks = budget
+		cfg.DisableLBAtTick = cut
+		res, err := cluster.RunSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseline = res.Final.UsefulSteps
+		}
+		pct := "100.0"
+		if baseline > 0 {
+			pct = fmt.Sprintf("%.1f", 100*float64(res.Final.UsefulSteps)/float64(baseline))
+		}
+		t.Rows = append(t.Rows, []string{labels[i], fmt.Sprint(res.Final.UsefulSteps), pct})
+	}
+	return t, nil
+}
+
+func mapStr(xs []int, f func(int) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}

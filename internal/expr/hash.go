@@ -1,0 +1,137 @@
+package expr
+
+// Structural hashing and equality. Expressions are immutable DAGs, so a
+// recursive FNV-style hash over the structure is stable for the lifetime
+// of a node. The solver's caches key on these hashes.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+// Hash returns a structural hash of e. Equal structures hash equally;
+// collisions are possible and callers must confirm with Equal.
+func (e *Expr) Hash() uint64 {
+	h := uint64(fnvOffset)
+	h = mix(h, uint64(e.op))
+	h = mix(h, uint64(e.width))
+	h = mix(h, e.val)
+	for _, k := range e.kids {
+		h = mix(h, k.Hash())
+	}
+	return h
+}
+
+// Equal reports structural equality of a and b.
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.op != b.op || a.width != b.width || a.val != b.val || len(a.kids) != len(b.kids) {
+		return false
+	}
+	if a.op == OpVar && a.name != b.name {
+		return false
+	}
+	for i := range a.kids {
+		if !Equal(a.kids[i], b.kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of nodes in e (DAG nodes counted per occurrence).
+func (e *Expr) Size() int {
+	n := 1
+	for _, k := range e.kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// SubstSlice replaces every variable bound in the dense assignment
+// (vals[id] >= 0) with its constant and re-simplifies bottom-up. The
+// solver uses it to collapse constraints to their residual free
+// variables before domain scans.
+func (e *Expr) SubstSlice(vals []int16) *Expr {
+	switch e.op {
+	case OpConst:
+		return e
+	case OpVar:
+		if e.val < uint64(len(vals)) && vals[e.val] >= 0 {
+			return Const(uint64(vals[e.val]), e.width)
+		}
+		return e
+	}
+	kids := make([]*Expr, len(e.kids))
+	changed := false
+	for i, k := range e.kids {
+		kids[i] = k.SubstSlice(vals)
+		if kids[i] != k {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	return rebuild(e, kids)
+}
+
+// SubstConsts replaces every variable that has a binding in a with its
+// constant value and re-simplifies bottom-up. Unbound variables are kept.
+func (e *Expr) SubstConsts(a Assignment) *Expr {
+	switch e.op {
+	case OpConst:
+		return e
+	case OpVar:
+		if v, ok := a[e.val]; ok {
+			return Const(uint64(v), e.width)
+		}
+		return e
+	}
+	kids := make([]*Expr, len(e.kids))
+	changed := false
+	for i, k := range e.kids {
+		kids[i] = k.SubstConsts(a)
+		if kids[i] != k {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	return rebuild(e, kids)
+}
+
+func rebuild(e *Expr, kids []*Expr) *Expr {
+	switch e.op {
+	case OpNot:
+		return Not(kids[0])
+	case OpLAnd:
+		return LAnd(kids[0], kids[1])
+	case OpLOr:
+		return LOr(kids[0], kids[1])
+	case OpConcat:
+		return Concat(kids[0], kids[1])
+	case OpExtract:
+		return Extract(kids[0], uint(e.val), e.width)
+	case OpZExt:
+		return ZExt(kids[0], e.width)
+	case OpSExt:
+		return SExt(kids[0], e.width)
+	case OpIte:
+		return Ite(kids[0], kids[1], kids[2])
+	default:
+		return Binary(e.op, kids[0], kids[1])
+	}
+}

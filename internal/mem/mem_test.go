@@ -1,0 +1,280 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloud9/internal/expr"
+)
+
+func newObj(t *testing.T, size int64) (*AddressSpace, *ObjectState) {
+	t.Helper()
+	alloc := NewAllocator(0x1000)
+	obj := alloc.Allocate(size, "test")
+	os := NewObjectState(obj)
+	as := NewAddressSpace()
+	as.Bind(os)
+	return as, os
+}
+
+func TestConcreteReadWrite(t *testing.T) {
+	_, os := newObj(t, 16)
+	os.Write(0, expr.Const(0xdeadbeef, expr.W32))
+	got := os.Read(0, expr.W32)
+	if !got.IsConst() || got.ConstVal() != 0xdeadbeef {
+		t.Fatalf("read back %v", got)
+	}
+	// Little-endian byte order.
+	b0 := os.Read(0, expr.W8)
+	if b0.ConstVal() != 0xef {
+		t.Fatalf("byte 0 = %#x, want 0xef", b0.ConstVal())
+	}
+	b3 := os.Read(3, expr.W8)
+	if b3.ConstVal() != 0xde {
+		t.Fatalf("byte 3 = %#x, want 0xde", b3.ConstVal())
+	}
+}
+
+func TestSymbolicReadWrite(t *testing.T) {
+	_, os := newObj(t, 16)
+	v := expr.Var(1, "in")
+	os.PutByte(4, v)
+	if os.IsFullyConcrete() {
+		t.Fatal("object should have a symbolic byte")
+	}
+	got := os.Byte(4)
+	if got != v {
+		t.Fatalf("read back %v", got)
+	}
+	// Wide read mixing concrete and symbolic bytes.
+	w := os.Read(4, expr.W16)
+	val, ok := w.Eval(expr.Assignment{1: 0x7f})
+	if !ok || val != 0x007f {
+		t.Fatalf("mixed read eval = %#x ok=%v", val, ok)
+	}
+	// Overwriting with a constant restores concreteness.
+	os.PutByte(4, expr.Const(9, expr.W8))
+	if !os.IsFullyConcrete() {
+		t.Fatal("constant write should clear symbolic byte")
+	}
+}
+
+func TestWideSymbolicRoundTrip(t *testing.T) {
+	_, os := newObj(t, 16)
+	word := expr.Concat(expr.Var(2, "hi"), expr.Var(1, "lo"))
+	os.Write(0, word)
+	back := os.Read(0, expr.W16)
+	asg := expr.Assignment{1: 0x34, 2: 0x12}
+	v, ok := back.Eval(asg)
+	if !ok || v != 0x1234 {
+		t.Fatalf("round trip = %#x ok=%v", v, ok)
+	}
+}
+
+func TestConcreteBytesUnderAssignment(t *testing.T) {
+	_, os := newObj(t, 4)
+	os.PutByte(0, expr.Const('G', expr.W8))
+	os.PutByte(1, expr.Var(7, "x"))
+	bytes := os.ConcreteBytes(expr.Assignment{7: 'E'})
+	if bytes[0] != 'G' || bytes[1] != 'E' {
+		t.Fatalf("concretized = %q", bytes)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	alloc := NewAllocator(0x1000)
+	as := NewAddressSpace()
+	o1 := NewObjectState(alloc.Allocate(16, "a"))
+	o2 := NewObjectState(alloc.Allocate(32, "b"))
+	as.Bind(o1)
+	as.Bind(o2)
+
+	got, off, ok := as.Resolve(o1.Obj.Base + 5)
+	if !ok || got != o1 || off != 5 {
+		t.Fatalf("resolve a+5: %v %d %v", got, off, ok)
+	}
+	got, off, ok = as.Resolve(o2.Obj.Base)
+	if !ok || got != o2 || off != 0 {
+		t.Fatalf("resolve b+0: %v %d %v", got, off, ok)
+	}
+	// Guard gap between objects must be unmapped.
+	if _, _, ok := as.Resolve(o1.Obj.End()); ok {
+		t.Fatal("one past end should be unmapped")
+	}
+	if _, _, ok := as.Resolve(0x0); ok {
+		t.Fatal("null should be unmapped")
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	alloc := NewAllocator(0x1000)
+	as := NewAddressSpace()
+	o := NewObjectState(alloc.Allocate(8, "x"))
+	as.Bind(o)
+	if got := as.Unbind(o.Obj.Base); got != o {
+		t.Fatal("unbind returned wrong state")
+	}
+	if _, _, ok := as.Resolve(o.Obj.Base); ok {
+		t.Fatal("resolved after unbind")
+	}
+	if as.Unbind(o.Obj.Base) != nil {
+		t.Fatal("double unbind should return nil")
+	}
+}
+
+func TestCopyOnWriteIsolation(t *testing.T) {
+	alloc := NewAllocator(0x1000)
+	as1 := NewAddressSpace()
+	o := NewObjectState(alloc.Allocate(8, "x"))
+	o.Write(0, expr.Const(1, expr.W64))
+	as1.Bind(o)
+
+	as2 := as1.Clone()
+	// Write through as2: must not affect as1's view.
+	os2, _, _ := as2.Resolve(o.Obj.Base)
+	w := as2.Writable(os2)
+	w.Write(0, expr.Const(2, expr.W64))
+
+	v1, _, _ := as1.Resolve(o.Obj.Base)
+	if got := v1.Read(0, expr.W64); got.ConstVal() != 1 {
+		t.Fatalf("original space sees %d, want 1", got.ConstVal())
+	}
+	v2, _, _ := as2.Resolve(o.Obj.Base)
+	if got := v2.Read(0, expr.W64); got.ConstVal() != 2 {
+		t.Fatalf("cloned space sees %d, want 2", got.ConstVal())
+	}
+}
+
+func TestCoWNoCopyWhenExclusive(t *testing.T) {
+	alloc := NewAllocator(0x1000)
+	as := NewAddressSpace()
+	o := NewObjectState(alloc.Allocate(8, "x"))
+	as.Bind(o)
+	if w := as.Writable(o); w != o {
+		t.Fatal("exclusive owner should not copy")
+	}
+}
+
+func TestCoWCopiesSymbolicBytes(t *testing.T) {
+	alloc := NewAllocator(0x1000)
+	as1 := NewAddressSpace()
+	o := NewObjectState(alloc.Allocate(8, "x"))
+	o.PutByte(3, expr.Var(5, "s"))
+	as1.Bind(o)
+	as2 := as1.Clone()
+	os2, _, _ := as2.Resolve(o.Obj.Base)
+	w := as2.Writable(os2)
+	w.PutByte(3, expr.Const(0, expr.W8))
+
+	v1, _, _ := as1.Resolve(o.Obj.Base)
+	if v1.Byte(3).IsConst() {
+		t.Fatal("original lost its symbolic byte")
+	}
+}
+
+func TestAllocatorDeterminism(t *testing.T) {
+	a1 := NewAllocator(0x4000)
+	a2 := NewAllocator(0x4000)
+	for i := 0; i < 100; i++ {
+		o1 := a1.Allocate(int64(i%37+1), "x")
+		o2 := a2.Allocate(int64(i%37+1), "x")
+		if o1.Base != o2.Base || o1.ID != o2.ID {
+			t.Fatalf("allocation %d diverged: %#x vs %#x", i, o1.Base, o2.Base)
+		}
+	}
+	// Clone continues the same sequence.
+	c := a1.Clone()
+	if a1.Allocate(8, "x").Base != c.Allocate(8, "x").Base {
+		t.Fatal("clone diverged")
+	}
+}
+
+func TestAllocatorGuardGaps(t *testing.T) {
+	a := NewAllocator(0x1000)
+	prev := a.Allocate(24, "p")
+	next := a.Allocate(8, "n")
+	if next.Base < prev.End()+1 {
+		t.Fatalf("no guard gap: prev end %#x, next base %#x", prev.End(), next.Base)
+	}
+	if next.Base%allocAlign != 0 {
+		t.Fatalf("unaligned base %#x", next.Base)
+	}
+}
+
+func TestZeroSizeAllocation(t *testing.T) {
+	a := NewAllocator(0x1000)
+	o1 := a.Allocate(0, "z1")
+	o2 := a.Allocate(0, "z2")
+	if o1.Base == o2.Base {
+		t.Fatal("zero-size allocations must get distinct addresses")
+	}
+}
+
+// Property: for any width and offset, write-then-read round-trips.
+func TestQuickReadWriteRoundTrip(t *testing.T) {
+	f := func(val uint64, offSeed uint8, wSeed uint8) bool {
+		widths := []expr.Width{expr.W8, expr.W16, expr.W32, expr.W64}
+		w := widths[int(wSeed)%len(widths)]
+		off := int64(offSeed % 8)
+		alloc := NewAllocator(0x1000)
+		os := NewObjectState(alloc.Allocate(16, "t"))
+		os.Write(off, expr.Const(val, w))
+		got := os.Read(off, w)
+		return got.IsConst() && got.ConstVal() == val&w.Mask()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Resolve agrees with Contains for random addresses.
+func TestQuickResolveConsistent(t *testing.T) {
+	alloc := NewAllocator(0x1000)
+	as := NewAddressSpace()
+	var objs []*Object
+	for i := 0; i < 20; i++ {
+		o := alloc.Allocate(int64(i*7+1), "o")
+		objs = append(objs, o)
+		as.Bind(NewObjectState(o))
+	}
+	f := func(addrSeed uint16) bool {
+		addr := 0x1000 + uint64(addrSeed)
+		os, off, ok := as.Resolve(addr)
+		var want *Object
+		for _, o := range objs {
+			if o.Contains(addr) {
+				want = o
+			}
+		}
+		if want == nil {
+			return !ok
+		}
+		return ok && os.Obj == want && off == int64(addr-want.Base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCloneSpace(b *testing.B) {
+	alloc := NewAllocator(0x1000)
+	as := NewAddressSpace()
+	for i := 0; i < 100; i++ {
+		as.Bind(NewObjectState(alloc.Allocate(64, "o")))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := as.Clone()
+		c.Release()
+	}
+}
+
+func BenchmarkReadWrite(b *testing.B) {
+	alloc := NewAllocator(0x1000)
+	os := NewObjectState(alloc.Allocate(64, "o"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		os.Write(int64(i%8)*8, expr.Const(uint64(i), expr.W64))
+		os.Read(int64(i%8)*8, expr.W64)
+	}
+}

@@ -1,0 +1,93 @@
+package posix
+
+import (
+	"cloud9/internal/cc"
+	"cloud9/internal/cvm"
+)
+
+// Externs returns the compiler signature table for every host-provided
+// builtin: the Table 1 symbolic system calls, the engine intrinsics, and
+// the POSIX model primitives. Guest code gets the higher-level POSIX API
+// from Prelude.
+func Externs() map[string]*cc.Signature {
+	i := cc.TypeInt
+	long := cc.TypeLong
+	v := cc.TypeVoid
+	pc := cc.Ptr(cc.TypeChar)
+	pi := cc.Ptr(cc.TypeInt)
+	sig := func(ret *cc.Type, params ...*cc.Type) *cc.Signature {
+		return &cc.Signature{Ret: ret, Params: params}
+	}
+	return map[string]*cc.Signature{
+		// Table 1: symbolic system calls.
+		"cloud9_make_shared":       sig(i, pc),
+		"cloud9_thread_create":     sig(i, pc, long),
+		"cloud9_thread_terminate":  sig(v),
+		"cloud9_process_fork":      sig(i),
+		"cloud9_process_terminate": sig(v, i),
+		"cloud9_get_pid":           sig(i),
+		"cloud9_get_tid":           sig(i),
+		"cloud9_thread_preempt":    sig(i),
+		"cloud9_thread_sleep":      sig(i, long),
+		"cloud9_thread_notify":     sig(i, long, i),
+		"cloud9_get_wlist":         sig(long),
+
+		// Table 2: symbolic test API.
+		"cloud9_make_symbolic":   sig(i, pc, long, pc),
+		"cloud9_assume":          sig(i, i),
+		"cloud9_fi_enable":       sig(i),
+		"cloud9_fi_disable":      sig(i),
+		"cloud9_set_max_heap":    sig(i, long),
+		"cloud9_set_scheduler":   sig(i, i),
+		"cloud9_set_sched_bound": sig(i, i),
+
+		// Engine intrinsics.
+		"__c9_thread_alive":    sig(i, i),
+		"__c9_join_wlist":      sig(long, i),
+		"__c9_proc_exited":     sig(i, i),
+		"__c9_proc_exit_wlist": sig(long, i),
+		"__c9_proc_exit_code":  sig(i, i),
+		"__c9_out_byte":        sig(i, i),
+		"malloc":               sig(pc, long),
+		"calloc":               sig(pc, long, long),
+		"free":                 sig(v, pc),
+		"exit":                 sig(v, i),
+		"abort":                sig(v),
+		"time":                 sig(long),
+
+		// POSIX model primitives (wrapped by Prelude).
+		"__px_socket":       sig(i, i),
+		"__px_bind":         sig(i, i, i),
+		"__px_listen":       sig(i, i, i),
+		"__px_connect":      sig(i, i, i),
+		"__px_accept_try":   sig(i, i),
+		"__px_read_try":     sig(i, i, pc, long),
+		"__px_write_try":    sig(i, i, pc, long),
+		"__px_recvfrom_try": sig(i, i, pc, long, pi),
+		"__px_sendto":       sig(i, i, pc, long, i),
+		"__px_close":        sig(i, i),
+		"__px_dup":          sig(i, i),
+		"__px_pipe":         sig(i, pi),
+		"__px_open":         sig(i, pc, i),
+		"__px_lseek":        sig(long, i, long, i),
+		"__px_ioctl":        sig(i, i, i, i),
+		"__px_rd_wlist":     sig(long, i),
+		"__px_wr_wlist":     sig(long, i),
+		"__px_sel_wlist":    sig(long),
+		"__px_select_try":   sig(i, pi, i, pi, i),
+		"__px_fork":         sig(i),
+
+		// Test helpers.
+		"c9_write_file": sig(i, pc, pc, long),
+	}
+}
+
+// CompileTarget compiles target C source together with the POSIX model
+// prelude. Prelude lines are excluded from coverage accounting.
+func CompileTarget(name, src string) (*cvm.Program, error) {
+	full := Prelude + "\n" + src
+	return cc.Compile(name, full, cc.Options{
+		Externs:           Externs(),
+		CoverageStartLine: preludeLines() + 1,
+	})
+}

@@ -1,0 +1,671 @@
+package posix
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cloud9/internal/interp"
+	"cloud9/internal/state"
+)
+
+// explore compiles src with the prelude, installs the model, and
+// exhaustively explores main().
+func explore(t *testing.T, src string, opts Options) (*interp.Interp, []*state.S) {
+	t.Helper()
+	prog, err := CompileTarget("test.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in := interp.New(prog)
+	Install(in, opts)
+	root, err := in.InitialState("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.MaxSteps = 5_000_000
+	work := []*state.S{root}
+	var done []*state.S
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		kids, err := in.Advance(s)
+		if err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+		if kids == nil {
+			done = append(done, s)
+			continue
+		}
+		work = append(work, kids...)
+		if len(done)+len(work) > 200000 {
+			t.Fatal("path explosion in test")
+		}
+	}
+	return in, done
+}
+
+func outs(states []*state.S) []string {
+	var o []string
+	for _, s := range states {
+		o = append(o, string(interp.Output(s).Bytes))
+	}
+	sort.Strings(o)
+	return o
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fds[2];
+			pipe(fds);
+			write(fds[1], "ping", 4);
+			char buf[8];
+			int n = read(fds[0], buf, 8);
+			buf[n] = 0;
+			print_str(buf);
+			print_int(n);
+			return 0;
+		}`, Options{})
+	if len(done) != 1 {
+		t.Fatalf("paths = %d", len(done))
+	}
+	if got := string(interp.Output(done[0]).Bytes); got != "ping4" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestPipeBlocksUntilData(t *testing.T) {
+	_, done := explore(t, `
+		int wfd;
+		void producer(long arg) {
+			write(wfd, "x", 1);
+		}
+		int main() {
+			int fds[2];
+			pipe(fds);
+			wfd = fds[1];
+			cloud9_thread_create("producer", 0);
+			char b[1];
+			read(fds[0], b, 1); // must block until producer writes
+			__c9_out_byte(b[0]);
+			return 0;
+		}`, Options{})
+	if len(done) != 1 || string(interp.Output(done[0]).Bytes) != "x" {
+		t.Fatalf("outputs %v", outs(done))
+	}
+	if done[0].Term != state.TermExit {
+		t.Fatalf("term %v (%s)", done[0].Term, done[0].TermMsg)
+	}
+}
+
+func TestTCPConnectAcceptEcho(t *testing.T) {
+	_, done := explore(t, `
+		void server(long arg) {
+			int ls = socket(SOCK_STREAM, SOCK_STREAM);
+			bind(ls, 8080);
+			listen(ls, 4);
+			int conn = accept(ls);
+			char buf[16];
+			int n = read(conn, buf, 16);
+			write(conn, buf, n); // echo
+			close(conn);
+		}
+		int main() {
+			cloud9_thread_create("server", 0);
+			int fd = socket(SOCK_STREAM, SOCK_STREAM);
+			while (connect(fd, 8080) != 0) cloud9_thread_preempt();
+			write(fd, "hello", 5);
+			char buf[16];
+			int n = read(fd, buf, 16);
+			buf[n] = 0;
+			print_str(buf);
+			return 0;
+		}`, Options{})
+	if len(done) != 1 {
+		t.Fatalf("paths = %d", len(done))
+	}
+	if got := string(interp.Output(done[0]).Bytes); got != "hello" {
+		t.Fatalf("echo output %q (%v %s)", got, done[0].Term, done[0].TermMsg)
+	}
+}
+
+func TestConnectRefusedWithoutListener(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fd = socket(SOCK_STREAM, SOCK_STREAM);
+			if (connect(fd, 9999) != 0) print_str("refused");
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "refused" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestUDPDatagramBoundaries(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int a = socket(SOCK_DGRAM, SOCK_DGRAM);
+			int b = socket(SOCK_DGRAM, SOCK_DGRAM);
+			bind(a, 1000);
+			bind(b, 2000);
+			sendto(a, "one", 3, 2000);
+			sendto(a, "two", 3, 2000);
+			char buf[16];
+			int src;
+			int n = recvfrom(b, buf, 16, &src);
+			print_int(n); // 3, not 6: datagram boundaries preserved
+			n = recvfrom(b, buf, 16, &src);
+			print_int(n);
+			print_int(src);
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "331000" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestFileReadWrite(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fd = open("/tmp/t", O_CREAT);
+			write(fd, "data", 4);
+			lseek(fd, 0, 0);
+			char buf[8];
+			int n = read(fd, buf, 8);
+			buf[n] = 0;
+			print_str(buf);
+			print_int(n);
+			close(fd);
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "data4" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestHostFSSnapshotReadOnly(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fd = open("/etc/cfg", O_RDONLY);
+			if (fd < 0) { print_str("missing"); return 1; }
+			char buf[8];
+			int n = read(fd, buf, 7);
+			buf[n] = 0;
+			print_str(buf);
+			if (write(fd, "x", 1) < 0) print_str("!ro");
+			return 0;
+		}`, Options{HostFS: map[string][]byte{"/etc/cfg": []byte("conf=1")}})
+	if got := string(interp.Output(done[0]).Bytes); got != "conf=1!ro" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestSelectWakesOnData(t *testing.T) {
+	_, done := explore(t, `
+		int wfd;
+		void writer(long arg) { write(wfd, "z", 1); }
+		int main() {
+			int fds[2];
+			pipe(fds);
+			wfd = fds[1];
+			cloud9_thread_create("writer", 0);
+			int rset[1];
+			rset[0] = fds[0];
+			int wset[1];
+			wset[0] = -1;
+			int c = select_rw(rset, 1, wset, 1);
+			print_int(c);
+			if (rset[0] == fds[0]) print_str("r"); // still set => readable
+			char b[1];
+			read(fds[0], b, 1);
+			__c9_out_byte(b[0]);
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "1rz" {
+		t.Fatalf("output %q (%v %s)", got, done[0].Term, done[0].TermMsg)
+	}
+}
+
+func TestMutexProtectsCounter(t *testing.T) {
+	_, done := explore(t, `
+		long mtx[2];
+		int counter = 0;
+		int done_n = 0;
+		long done_wl;
+		void incr(long arg) {
+			int i;
+			for (i = 0; i < 3; i++) {
+				pthread_mutex_lock(mtx);
+				int v = counter;
+				cloud9_thread_preempt(); // try to expose races
+				counter = v + 1;
+				pthread_mutex_unlock(mtx);
+			}
+			done_n++;
+			cloud9_thread_notify(done_wl, 1);
+		}
+		int main() {
+			pthread_mutex_init(mtx);
+			done_wl = cloud9_get_wlist();
+			pthread_create("incr", 0);
+			pthread_create("incr", 0);
+			while (done_n < 2) cloud9_thread_sleep(done_wl);
+			print_int(counter);
+			return 0;
+		}`, Options{})
+	for _, s := range done {
+		if got := string(interp.Output(s).Bytes); got != "6" {
+			t.Fatalf("counter = %q, want 6", got)
+		}
+	}
+}
+
+func TestCondVarProducerConsumer(t *testing.T) {
+	_, done := explore(t, `
+		long mtx[2];
+		long cv[1];
+		int queue = 0;
+		int total = 0;
+		void producer(long arg) {
+			int i;
+			for (i = 0; i < 2; i++) {
+				pthread_mutex_lock(mtx);
+				queue++;
+				pthread_cond_signal(cv);
+				pthread_mutex_unlock(mtx);
+			}
+		}
+		int main() {
+			pthread_mutex_init(mtx);
+			pthread_cond_init(cv);
+			pthread_create("producer", 0);
+			int got = 0;
+			pthread_mutex_lock(mtx);
+			while (got < 2) {
+				while (queue == 0) pthread_cond_wait(cv, mtx);
+				queue--;
+				got++;
+			}
+			pthread_mutex_unlock(mtx);
+			print_int(got);
+			return 0;
+		}`, Options{})
+	if len(done) != 1 || string(interp.Output(done[0]).Bytes) != "2" {
+		t.Fatalf("outputs %v (term %v %s)", outs(done), done[0].Term, done[0].TermMsg)
+	}
+}
+
+func TestForkInheritsFDs(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fds[2];
+			pipe(fds);
+			int pid = fork();
+			if (pid == 0) {
+				write(fds[1], "c", 1);
+				exit(0);
+			}
+			char b[1];
+			read(fds[0], b, 1);
+			__c9_out_byte(b[0]);
+			waitpid(pid);
+			return 0;
+		}`, Options{})
+	if len(done) != 1 || string(interp.Output(done[0]).Bytes) != "c" {
+		t.Fatalf("outputs %v", outs(done))
+	}
+}
+
+func TestSymbolicSocketForks(t *testing.T) {
+	_, done := explore(t, `
+		void client(long arg) {
+			int fd = socket(SOCK_STREAM, SOCK_STREAM);
+			while (connect(fd, 80) != 0) cloud9_thread_preempt();
+			write(fd, "AB", 2);
+		}
+		int main() {
+			int ls = socket(SOCK_STREAM, SOCK_STREAM);
+			bind(ls, 80);
+			listen(ls, 1);
+			cloud9_thread_create("client", 0);
+			int conn = accept(ls);
+			ioctl(conn, SIO_SYMBOLIC, 1); // reads become symbolic
+			char buf[2];
+			read(conn, buf, 2);
+			if (buf[0] == 'G') print_str("get");
+			else print_str("other");
+			return 0;
+		}`, Options{})
+	got := outs(done)
+	if len(got) != 2 || got[0] != "get" || got[1] != "other" {
+		t.Fatalf("outputs %v", got)
+	}
+}
+
+func TestPacketFragmentationExploresSplits(t *testing.T) {
+	_, done := explore(t, `
+		void client(long arg) {
+			int fd = socket(SOCK_STREAM, SOCK_STREAM);
+			while (connect(fd, 80) != 0) cloud9_thread_preempt();
+			write(fd, "abcd", 4);
+			close(fd);
+		}
+		int main() {
+			int ls = socket(SOCK_STREAM, SOCK_STREAM);
+			bind(ls, 80);
+			listen(ls, 1);
+			cloud9_thread_create("client", 0);
+			int conn = accept(ls);
+			ioctl(conn, SIO_PKT_FRAGMENT, 1);
+			char buf[8];
+			int total = 0;
+			int reads = 0;
+			while (total < 4) {
+				int n = read(conn, buf + total, 4 - total);
+				if (n <= 0) break;
+				total += n;
+				reads++;
+			}
+			print_int(reads);
+			return 0;
+		}`, Options{})
+	// Fragmenting a 4-byte message explores all compositions of 4:
+	// 2^(4-1) = 8 paths; read counts range 1..4.
+	if len(done) != 8 {
+		t.Fatalf("paths = %d, want 8 fragmentation patterns", len(done))
+	}
+	counts := map[string]int{}
+	for _, s := range done {
+		counts[string(interp.Output(s).Bytes)]++
+	}
+	if counts["1"] != 1 || counts["4"] != 1 || counts["2"] != 3 || counts["3"] != 3 {
+		t.Fatalf("read-count distribution %v", counts)
+	}
+}
+
+func TestFaultInjectionForksErrorReturns(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fds[2];
+			pipe(fds);
+			cloud9_fi_enable();
+			ioctl(fds[1], SIO_FAULT_INJ, 1);
+			write(fds[1], "x", 1);
+			int r = __px_write_try(fds[1], "y", 1);
+			if (r < 0) print_str("fault");
+			else print_str("ok");
+			return 0;
+		}`, Options{})
+	got := outs(done)
+	// write() is a loop over write_try: the first write has fault and
+	// success paths; the explicit try has both as well.
+	joined := strings.Join(got, ",")
+	if !strings.Contains(joined, "fault") || !strings.Contains(joined, "ok") {
+		t.Fatalf("outputs %v", got)
+	}
+	// Fault paths must carry FaultsTaken > 0.
+	foundFault := false
+	for _, s := range done {
+		if s.FaultsTaken > 0 {
+			foundFault = true
+		}
+	}
+	if !foundFault {
+		t.Fatal("no state recorded an injected fault")
+	}
+}
+
+func TestWriteBlocksWhenBufferFull(t *testing.T) {
+	_, done := explore(t, `
+		int rfd;
+		void drain(long arg) {
+			char buf[4];
+			read(rfd, buf, 4);
+		}
+		int main() {
+			int fds[2];
+			pipe(fds);
+			rfd = fds[0];
+			cloud9_thread_create("drain", 0);
+			// Capacity is 4 (set via options); writing 6 must block and
+			// complete only after the reader drains.
+			int n = write(fds[1], "abcdef", 6);
+			print_int(n);
+			return 0;
+		}`, Options{StreamCap: 4})
+	if len(done) != 1 || string(interp.Output(done[0]).Bytes) != "6" {
+		t.Fatalf("outputs %v (term %s)", outs(done), done[0].TermMsg)
+	}
+}
+
+func TestReadEOFAfterClose(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fds[2];
+			pipe(fds);
+			write(fds[1], "q", 1);
+			close(fds[1]);
+			char b[4];
+			int n1 = read(fds[0], b, 4);
+			int n2 = read(fds[0], b, 4);
+			print_int(n1);
+			print_int(n2); // 0 = EOF
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "10" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestStdoutWrite(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			write(1, "out", 3);
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "out" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestStringLibrary(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			char buf[32];
+			strcpy(buf, "hello");
+			strcat(buf, " world");
+			print_int(strlen(buf));          // 11
+			print_int(strcmp(buf, "hello")); // > 0 (' ' vs NUL)
+			char *p = strchr(buf, 'w');
+			print_str(p);                    // "world"
+			print_int(atoi(" -42"));         // -42
+			char *q = strstr(buf, "lo w");
+			if (q) print_str("found");
+			return 0;
+		}`, Options{})
+	got := string(interp.Output(done[0]).Bytes)
+	if got != "1132world-42found" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestSymbolicStrcmpForks(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			char buf[4];
+			cloud9_make_symbolic(buf, 3, "cmd");
+			buf[3] = 0;
+			if (strcmp(buf, "GET") == 0) print_str("G");
+			else print_str("N");
+			return 0;
+		}`, Options{})
+	got := map[string]bool{}
+	for _, s := range done {
+		got[string(interp.Output(s).Bytes)] = true
+	}
+	if !got["G"] || !got["N"] {
+		t.Fatalf("outputs %v; strcmp over symbolic data should fork", got)
+	}
+}
+
+func TestContextBoundedSchedulerLimitsInterleavings(t *testing.T) {
+	// Two workers each record their id around one yield point. Exhaustive
+	// schedule forking explores more distinct interleavings than the
+	// context-bounded scheduler, which in turn beats deterministic
+	// round-robin — the §5.1 scheduler spectrum.
+	prog := `
+	int order_n = 0;
+	char order[16];
+	void w(long id) {
+		order[order_n] = (char)('0' + id); order_n++;
+		cloud9_thread_preempt();
+		order[order_n] = (char)('0' + id); order_n++;
+	}
+	int main() {
+		%s
+		int t1 = cloud9_thread_create("w", 1);
+		int t2 = cloud9_thread_create("w", 2);
+		pthread_join(t1);
+		pthread_join(t2);
+		cloud9_set_scheduler(0);
+		int i;
+		for (i = 0; i < order_n; i++) __c9_out_byte(order[i]);
+		return 0;
+	}`
+	count := func(setup string) int {
+		_, done := explore(t, strings.Replace(prog, "%s", setup, 1), Options{})
+		outs := map[string]bool{}
+		for _, s := range done {
+			if s.Term != state.TermExit {
+				t.Fatalf("%s: unexpected termination %v (%s)", setup, s.Term, s.TermMsg)
+			}
+			outs[string(interp.Output(s).Bytes)] = true
+		}
+		return len(outs)
+	}
+	rr := count("")
+	bounded := count("cloud9_set_sched_bound(1);")
+	exhaustive := count("cloud9_set_scheduler(1);")
+	if rr != 1 {
+		t.Fatalf("round-robin should be deterministic, got %d orders", rr)
+	}
+	if bounded <= 1 {
+		t.Fatalf("bound 1 should explore several interleavings, got %d", bounded)
+	}
+	if exhaustive < bounded {
+		t.Fatalf("exhaustive (%d) should cover at least bounded (%d)", exhaustive, bounded)
+	}
+}
+
+func TestDupSharesOffset(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int fd = open("/tmp/d", O_CREAT);
+			write(fd, "abcdef", 6);
+			int fd2 = dup(fd);
+			lseek(fd, 0, 0);
+			char b[4];
+			read(fd, b, 2);  // reads "ab", shared offset now 2
+			read(fd2, b, 2); // dup shares the description: reads "cd"
+			__c9_out_byte(b[0]);
+			__c9_out_byte(b[1]);
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "cd" {
+		t.Fatalf("dup offset sharing broken: %q", got)
+	}
+}
+
+func TestUDPBindConflict(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int a = socket(SOCK_DGRAM, SOCK_DGRAM);
+			int b = socket(SOCK_DGRAM, SOCK_DGRAM);
+			if (bind(a, 5000) != 0) abort();
+			if (bind(b, 5000) == 0) abort(); // port already taken
+			print_str("ok");
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "ok" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestListenPortConflict(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			int a = socket(SOCK_STREAM, SOCK_STREAM);
+			int b = socket(SOCK_STREAM, SOCK_STREAM);
+			bind(a, 6000);
+			bind(b, 6000);
+			if (listen(a, 1) != 0) abort();
+			if (listen(b, 1) == 0) abort();
+			print_str("ok");
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "ok" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestPreludeStringEdgeCases(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			char buf[8];
+			strncpy(buf, "ab", 5);       // pads with NULs
+			if (buf[2] != 0 || buf[4] != 0) abort();
+			if (strncmp("abc", "abd", 2) != 0) abort();
+			if (strncmp("abc", "abd", 3) >= 0) abort();
+			if (tolower('A') != 'a' || toupper('z') != 'Z') abort();
+			if (tolower('5') != '5') abort();
+			char *p = strchr("hay", 0);  // strchr of NUL finds terminator
+			if (!p || *p != 0) abort();
+			if (strstr("needle", "") != (char*)0) { /* empty needle -> hay */ }
+			if (atoi("+17") != 17) abort();
+			if (atoi("  -3x") != -3) abort();
+			print_str("ok");
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "ok" {
+		t.Fatalf("output %q (%v %s)", got, done[0].Term, done[0].TermMsg)
+	}
+}
+
+func TestCloseWakesBlockedReader(t *testing.T) {
+	_, done := explore(t, `
+		int rfd;
+		int wfd;
+		void closer(long arg) { close(wfd); }
+		int main() {
+			int fds[2];
+			pipe(fds);
+			rfd = fds[0];
+			wfd = fds[1];
+			cloud9_thread_create("closer", 0);
+			char b[1];
+			int n = read(rfd, b, 1); // blocks, then closer runs -> EOF
+			print_int(n);
+			return 0;
+		}`, Options{})
+	if len(done) != 1 || string(interp.Output(done[0]).Bytes) != "0" {
+		t.Fatalf("blocked reader not woken by close: %v (%v %s)",
+			outs(done), done[0].Term, done[0].TermMsg)
+	}
+}
+
+func TestMaxHeapLimitsMalloc(t *testing.T) {
+	_, done := explore(t, `
+		int main() {
+			cloud9_set_max_heap(32);
+			char *a = malloc(16);
+			if (!a) abort();
+			char *b = malloc(32); // would exceed the 32-byte cap
+			if (b) abort();
+			print_str("ok");
+			return 0;
+		}`, Options{})
+	if got := string(interp.Output(done[0]).Bytes); got != "ok" {
+		t.Fatalf("max-heap not enforced: %q", got)
+	}
+}

@@ -1,0 +1,240 @@
+package posix
+
+// Prelude is the guest-side C model library compiled with every target
+// program. It corresponds to the paper's symbolic C library (Fig. 4):
+// POSIX wrappers that implement blocking by looping over non-blocking
+// __px_*_try builtins and sleeping on the event wait lists, pthreads
+// built from the Table 1 primitives (compare Fig. 5), and the reused
+// string/memory routines.
+//
+// Its line numbers are excluded from coverage accounting (the paper also
+// measures coverage of the target, not of the model).
+const Prelude = `
+// ---- socket constants (globals; the dialect has no preprocessor) ----
+int SOCK_STREAM = 1;
+int SOCK_DGRAM = 2;
+int SIO_SYMBOLIC = 1;
+int SIO_PKT_FRAGMENT = 2;
+int SIO_FAULT_INJ = 3;
+int O_RDONLY = 0;
+int O_CREAT = 1;
+
+// ---- pthreads (cooperative; see paper Fig. 5) ----
+int pthread_mutex_init(long *m) { m[0] = 0; m[1] = cloud9_get_wlist(); return 0; }
+int pthread_mutex_lock(long *m) {
+	while (m[0]) { cloud9_thread_sleep(m[1]); }
+	m[0] = 1;
+	return 0;
+}
+int pthread_mutex_unlock(long *m) {
+	if (!m[0]) return -1;
+	m[0] = 0;
+	cloud9_thread_notify(m[1], 0);
+	return 0;
+}
+int pthread_cond_init(long *c) { c[0] = cloud9_get_wlist(); return 0; }
+int pthread_cond_wait(long *c, long *m) {
+	pthread_mutex_unlock(m);
+	cloud9_thread_sleep(c[0]);
+	pthread_mutex_lock(m);
+	return 0;
+}
+int pthread_cond_signal(long *c) { cloud9_thread_notify(c[0], 0); return 0; }
+int pthread_cond_broadcast(long *c) { cloud9_thread_notify(c[0], 1); return 0; }
+int pthread_create(char *fname, long arg) { return cloud9_thread_create(fname, arg); }
+int pthread_join(int tid) {
+	while (__c9_thread_alive(tid)) cloud9_thread_sleep(__c9_join_wlist(tid));
+	return 0;
+}
+
+// ---- processes ----
+int fork() { return __px_fork(); }
+int waitpid(int pid) {
+	while (!__c9_proc_exited(pid)) cloud9_thread_sleep(__c9_proc_exit_wlist(pid));
+	return __c9_proc_exit_code(pid);
+}
+
+// ---- blocking I/O over the non-blocking model primitives ----
+int read(int fd, char *buf, long n) {
+	while (1) {
+		int r = __px_read_try(fd, buf, n);
+		if (r != -2) return r;
+		cloud9_thread_sleep(__px_rd_wlist(fd));
+	}
+	return -1;
+}
+int write(int fd, char *buf, long n) {
+	long done = 0;
+	while (done < n) {
+		int r = __px_write_try(fd, buf + done, n - done);
+		if (r == -2) { cloud9_thread_sleep(__px_wr_wlist(fd)); continue; }
+		if (r < 0) return -1;
+		done += r;
+	}
+	return (int)done;
+}
+int recv(int fd, char *buf, long n) { return read(fd, buf, n); }
+int send(int fd, char *buf, long n) { return write(fd, buf, n); }
+int accept(int fd) {
+	while (1) {
+		int r = __px_accept_try(fd);
+		if (r != -2) return r;
+		cloud9_thread_sleep(__px_rd_wlist(fd));
+	}
+	return -1;
+}
+int socket(int domain, int type) { return __px_socket(type); }
+int bind(int fd, int port) { return __px_bind(fd, port); }
+int listen(int fd, int backlog) { return __px_listen(fd, backlog); }
+int connect(int fd, int port) { return __px_connect(fd, port); }
+int close(int fd) { return __px_close(fd); }
+int dup(int fd) { return __px_dup(fd); }
+int pipe(int *fds) { return __px_pipe(fds); }
+int open(char *path, int flags) { return __px_open(path, flags); }
+long lseek(int fd, long off, int whence) { return __px_lseek(fd, off, whence); }
+int ioctl(int fd, int code, int arg) { return __px_ioctl(fd, code, arg); }
+int recvfrom(int fd, char *buf, long n, int *srcport) {
+	while (1) {
+		int r = __px_recvfrom_try(fd, buf, n, srcport);
+		if (r != -2) return r;
+		cloud9_thread_sleep(__px_rd_wlist(fd));
+	}
+	return -1;
+}
+int sendto(int fd, char *buf, long n, int port) { return __px_sendto(fd, buf, n, port); }
+
+// select over explicit fd arrays; not-ready entries are set to -1 on
+// return. Returns the number of ready descriptors; blocks until >= 1.
+int select_rw(int *rfds, int nr, int *wfds, int nw) {
+	while (1) {
+		int c = __px_select_try(rfds, nr, wfds, nw);
+		if (c > 0) return c;
+		cloud9_thread_sleep(__px_sel_wlist());
+	}
+	return -1;
+}
+
+// ---- string / memory (the "unaltered C library" of Fig. 4) ----
+long strlen(char *s) {
+	long n = 0;
+	while (s[n]) n++;
+	return n;
+}
+int strcmp(char *a, char *b) {
+	long i = 0;
+	while (a[i] && a[i] == b[i]) i++;
+	return (int)a[i] - (int)b[i];
+}
+int strncmp(char *a, char *b, long n) {
+	long i = 0;
+	while (i < n && a[i] && a[i] == b[i]) i++;
+	if (i == n) return 0;
+	return (int)a[i] - (int)b[i];
+}
+char *strcpy(char *dst, char *src) {
+	long i = 0;
+	while (src[i]) { dst[i] = src[i]; i++; }
+	dst[i] = 0;
+	return dst;
+}
+char *strncpy(char *dst, char *src, long n) {
+	long i = 0;
+	while (i < n && src[i]) { dst[i] = src[i]; i++; }
+	while (i < n) { dst[i] = 0; i++; }
+	return dst;
+}
+char *strcat(char *dst, char *src) {
+	long n = strlen(dst);
+	strcpy(dst + n, src);
+	return dst;
+}
+char *strchr(char *s, int ch) {
+	long i = 0;
+	while (s[i]) {
+		if (s[i] == ch) return s + i;
+		i++;
+	}
+	if (ch == 0) return s + i;
+	return (char*)0;
+}
+char *strstr(char *hay, char *needle) {
+	long n = strlen(needle);
+	if (n == 0) return hay;
+	long i = 0;
+	while (hay[i]) {
+		if (strncmp(hay + i, needle, n) == 0) return hay + i;
+		i++;
+	}
+	return (char*)0;
+}
+char *memcpy(char *dst, char *src, long n) {
+	long i;
+	for (i = 0; i < n; i++) dst[i] = src[i];
+	return dst;
+}
+char *memset(char *dst, int v, long n) {
+	long i;
+	for (i = 0; i < n; i++) dst[i] = (char)v;
+	return dst;
+}
+int memcmp(char *a, char *b, long n) {
+	long i;
+	for (i = 0; i < n; i++) {
+		if (a[i] != b[i]) return (int)a[i] - (int)b[i];
+	}
+	return 0;
+}
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isalpha(int c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+int isspace(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+int isupper(int c) { return c >= 'A' && c <= 'Z'; }
+int islower(int c) { return c >= 'a' && c <= 'z'; }
+int tolower(int c) { if (isupper(c)) return c + 32; return c; }
+int toupper(int c) { if (islower(c)) return c - 32; return c; }
+int atoi(char *s) {
+	int neg = 0;
+	long i = 0;
+	while (isspace(s[i])) i++;
+	if (s[i] == '-') { neg = 1; i++; }
+	else if (s[i] == '+') i++;
+	int v = 0;
+	while (isdigit(s[i])) { v = v * 10 + (s[i] - '0'); i++; }
+	if (neg) return -v;
+	return v;
+}
+
+// ---- stdio-lite ----
+int putchar(int c) { return __c9_out_byte(c); }
+int puts(char *s) {
+	long i = 0;
+	while (s[i]) { __c9_out_byte(s[i]); i++; }
+	__c9_out_byte('\n');
+	return 0;
+}
+int print_str(char *s) {
+	long i = 0;
+	while (s[i]) { __c9_out_byte(s[i]); i++; }
+	return 0;
+}
+int print_int(long v) {
+	char tmp[24];
+	int i = 0;
+	if (v < 0) { __c9_out_byte('-'); v = -v; }
+	if (v == 0) { __c9_out_byte('0'); return 0; }
+	while (v > 0) { tmp[i] = (char)('0' + v % 10); v /= 10; i++; }
+	while (i > 0) { i--; __c9_out_byte(tmp[i]); }
+	return 0;
+}
+`
+
+// PreludeLines is the number of source lines Prelude occupies; target
+// code compiled after it starts at line PreludeLines+1.
+func preludeLines() int {
+	n := 1
+	for _, ch := range Prelude {
+		if ch == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+// Package solver decides satisfiability of path conditions and produces
+// concrete models (test inputs). It plays the role STP plays for KLEE.
+//
+// All symbolic variables are bytes (see package expr), so satisfiability
+// reduces to a constraint-satisfaction search over byte domains. The
+// solver layers, from the outside in:
+//
+//  1. a counterexample/model cache keyed on structural hashes,
+//  2. unit propagation of equalities with constants,
+//  3. independence partitioning (KLEE's independent-constraint
+//     optimization): only the constraint group transitively sharing
+//     variables with the query is solved,
+//  4. interval pruning from unary comparisons, and
+//  5. backtracking search with forward checking over 256-value domains.
+package solver
+
+import (
+	"cloud9/internal/expr"
+)
+
+// ConstraintSet is an immutable, persistent set of boolean constraints
+// (the path condition). Extending a set shares structure with its parent,
+// so cloning execution states is O(1) in the constraint count.
+type ConstraintSet struct {
+	parent *ConstraintSet
+	c      *expr.Expr
+	depth  int
+	hash   uint64
+}
+
+// EmptySet is the constraint set with no constraints.
+var EmptySet = (*ConstraintSet)(nil)
+
+// Append returns a new set containing all of cs plus c. Constant-true
+// constraints are dropped.
+func (cs *ConstraintSet) Append(c *expr.Expr) *ConstraintSet {
+	if c.Width() != expr.W1 {
+		panic("solver: non-boolean constraint")
+	}
+	if c.IsTrue() {
+		return cs
+	}
+	h, d := uint64(0), 0
+	if cs != nil {
+		h, d = cs.hash, cs.depth
+	}
+	return &ConstraintSet{parent: cs, c: c, depth: d + 1, hash: h*1099511628211 ^ c.Hash()}
+}
+
+// Len returns the number of constraints in the set.
+func (cs *ConstraintSet) Len() int {
+	if cs == nil {
+		return 0
+	}
+	return cs.depth
+}
+
+// Hash returns an order-sensitive structural hash of the set.
+func (cs *ConstraintSet) Hash() uint64 {
+	if cs == nil {
+		return 0
+	}
+	return cs.hash
+}
+
+// Slice materializes the constraints oldest-first.
+func (cs *ConstraintSet) Slice() []*expr.Expr {
+	out := make([]*expr.Expr, cs.Len())
+	i := cs.Len() - 1
+	for n := cs; n != nil; n = n.parent {
+		out[i] = n.c
+		i--
+	}
+	return out
+}
+
+// HasFalse reports whether the set contains the constant-false constraint
+// (a trivially unsatisfiable path).
+func (cs *ConstraintSet) HasFalse() bool {
+	for n := cs; n != nil; n = n.parent {
+		if n.c.IsFalse() {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns the distinct variable ids referenced by the set.
+func (cs *ConstraintSet) Vars() []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for n := cs; n != nil; n = n.parent {
+		out = n.c.Vars(seen, out)
+	}
+	return out
+}
+
+// EvalAll reports whether every constraint is satisfied by a.
+// Missing variables make it return false.
+func (cs *ConstraintSet) EvalAll(a expr.Assignment) bool {
+	for n := cs; n != nil; n = n.parent {
+		v, ok := n.c.Eval(a)
+		if !ok || v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// flatten splits nested conjunctions into their conjuncts, which exposes
+// more structure to unit propagation and independence analysis.
+func flatten(c *expr.Expr, out []*expr.Expr) []*expr.Expr {
+	if c.Op() == expr.OpLAnd {
+		out = flatten(c.Kid(0), out)
+		return flatten(c.Kid(1), out)
+	}
+	return append(out, c)
+}
+
+// Flattened returns the constraints with top-level conjunctions split.
+func (cs *ConstraintSet) Flattened() []*expr.Expr {
+	var out []*expr.Expr
+	for _, c := range cs.Slice() {
+		out = flatten(c, out)
+	}
+	return out
+}

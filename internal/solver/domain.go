@@ -1,0 +1,81 @@
+package solver
+
+import "math/bits"
+
+// domain is the set of candidate values for one symbolic byte, as a
+// 256-bit set.
+type domain struct {
+	bits [4]uint64
+}
+
+func fullDomain() domain {
+	return domain{bits: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+}
+
+func (d *domain) has(v uint8) bool {
+	return d.bits[v>>6]&(1<<(v&63)) != 0
+}
+
+func (d *domain) remove(v uint8) {
+	d.bits[v>>6] &^= 1 << (v & 63)
+}
+
+func (d *domain) removeOutside(lo, hi uint8) {
+	for v := 0; v < 256; v++ {
+		if v < int(lo) || v > int(hi) {
+			d.remove(uint8(v))
+		}
+	}
+}
+
+func (d *domain) count() int {
+	return bits.OnesCount64(d.bits[0]) + bits.OnesCount64(d.bits[1]) +
+		bits.OnesCount64(d.bits[2]) + bits.OnesCount64(d.bits[3])
+}
+
+func (d *domain) empty() bool {
+	return d.bits[0]|d.bits[1]|d.bits[2]|d.bits[3] == 0
+}
+
+// first returns the smallest value in the domain; ok=false when empty.
+func (d *domain) first() (uint8, bool) {
+	for w := 0; w < 4; w++ {
+		if d.bits[w] != 0 {
+			return uint8(w*64 + bits.TrailingZeros64(d.bits[w])), true
+		}
+	}
+	return 0, false
+}
+
+// next returns the smallest value strictly greater than v; ok=false when
+// no such value exists.
+func (d *domain) next(v uint8) (uint8, bool) {
+	if v == 255 {
+		return 0, false
+	}
+	v++
+	w := int(v >> 6)
+	rem := d.bits[w] & (^uint64(0) << (v & 63))
+	for {
+		if rem != 0 {
+			return uint8(w*64 + bits.TrailingZeros64(rem)), true
+		}
+		w++
+		if w == 4 {
+			return 0, false
+		}
+		rem = d.bits[w]
+	}
+}
+
+// singleton reports whether the domain holds exactly one value.
+func (d *domain) singleton() (uint8, bool) {
+	v, ok := d.first()
+	if !ok {
+		return 0, false
+	}
+	if _, more := d.next(v); more {
+		return 0, false
+	}
+	return v, true
+}

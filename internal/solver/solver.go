@@ -1,0 +1,663 @@
+package solver
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+
+	"cloud9/internal/expr"
+)
+
+// ErrBudget is returned when the backtracking search exceeds the solver's
+// backtrack budget (the analog of an SMT solver timeout). Callers should
+// treat the query result as unknown.
+var ErrBudget = errors.New("solver: backtrack budget exceeded")
+
+// Stats counts solver activity. Fields are updated atomically; read them
+// with Snapshot for a consistent view.
+type Stats struct {
+	Queries       uint64 // top-level satisfiability queries
+	CacheHits     uint64 // answered from the result cache
+	ModelReuse    uint64 // answered by re-checking a recent model
+	SolverRuns    uint64 // group searches actually executed
+	Backtracks    uint64 // value choices undone
+	Unsat         uint64 // queries found unsatisfiable
+	UnitPropFolds uint64 // constraints discharged by unit propagation
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Queries:       atomic.LoadUint64(&s.Queries),
+		CacheHits:     atomic.LoadUint64(&s.CacheHits),
+		ModelReuse:    atomic.LoadUint64(&s.ModelReuse),
+		SolverRuns:    atomic.LoadUint64(&s.SolverRuns),
+		Backtracks:    atomic.LoadUint64(&s.Backtracks),
+		Unsat:         atomic.LoadUint64(&s.Unsat),
+		UnitPropFolds: atomic.LoadUint64(&s.UnitPropFolds),
+	}
+}
+
+type cacheEntry struct {
+	sat    bool
+	budget bool // query previously exceeded the backtrack budget
+	model  expr.Assignment
+}
+
+// Solver answers satisfiability queries over constraint sets. It is not
+// safe for concurrent use; each worker owns one Solver (matching the
+// shared-nothing cluster design — caches are per worker and are *not*
+// shipped with job transfers, as in the paper §6 "Constraint Caches").
+type Solver struct {
+	// MaxBacktracks bounds the search effort per independent group.
+	MaxBacktracks uint64
+	// Stats accumulates counters across queries.
+	Stats Stats
+
+	cache       map[uint64]cacheEntry
+	cacheKeys   []uint64 // FIFO eviction order
+	maxCache    int
+	recent      []expr.Assignment // recent models for the reuse fast path
+	maxRecent   int
+	scratchSeen map[uint64]bool
+
+	// groupCache memoizes solveGroup outcomes keyed by an
+	// order-insensitive hash of the group's constraints. Path conditions
+	// grow incrementally, so most groups recur verbatim across queries.
+	groupCache     map[uint64]groupResult
+	groupCacheKeys []uint64
+}
+
+type groupResult struct {
+	sat   bool
+	model []groupBinding
+}
+
+type groupBinding struct {
+	id uint64
+	v  uint8
+}
+
+// New returns a solver with default budgets.
+func New() *Solver {
+	return &Solver{
+		MaxBacktracks: 1 << 16,
+		cache:         make(map[uint64]cacheEntry),
+		maxCache:      1 << 16,
+		maxRecent:     8,
+		scratchSeen:   make(map[uint64]bool),
+		groupCache:    make(map[uint64]groupResult),
+	}
+}
+
+// MayBeTrue reports whether cs ∧ cond is satisfiable.
+func (s *Solver) MayBeTrue(cs *ConstraintSet, cond *expr.Expr) (bool, error) {
+	sat, _, err := s.check(cs, cond, false)
+	return sat, err
+}
+
+// MustBeTrue reports whether cond holds on every solution of cs.
+func (s *Solver) MustBeTrue(cs *ConstraintSet, cond *expr.Expr) (bool, error) {
+	sat, _, err := s.check(cs, expr.Not(cond), false)
+	return !sat, err
+}
+
+// CheckSat reports whether cs itself is satisfiable.
+func (s *Solver) CheckSat(cs *ConstraintSet) (bool, error) {
+	sat, _, err := s.check(cs, nil, false)
+	return sat, err
+}
+
+// Solve returns a full model of cs (every referenced variable bound).
+// ok=false means unsatisfiable.
+func (s *Solver) Solve(cs *ConstraintSet) (expr.Assignment, bool, error) {
+	sat, model, err := s.check(cs, nil, true)
+	return model, sat, err
+}
+
+// SolveWith returns a model of cs ∧ cond.
+func (s *Solver) SolveWith(cs *ConstraintSet, cond *expr.Expr) (expr.Assignment, bool, error) {
+	sat, model, err := s.check(cs, cond, true)
+	return model, sat, err
+}
+
+// check is the core query path. When fullModel is false and cond is
+// non-nil, independence partitioning restricts the search to groups
+// sharing variables with cond.
+func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool, expr.Assignment, error) {
+	atomic.AddUint64(&s.Stats.Queries, 1)
+
+	if cond != nil && cond.IsFalse() {
+		atomic.AddUint64(&s.Stats.Unsat, 1)
+		return false, nil, nil
+	}
+	key := cs.Hash()
+	if cond != nil {
+		key = key*0x9e3779b97f4a7c15 ^ cond.Hash()
+	}
+	if fullModel {
+		key ^= 0xf00d
+	}
+	if e, ok := s.cache[key]; ok {
+		atomic.AddUint64(&s.Stats.CacheHits, 1)
+		if e.budget {
+			return false, nil, ErrBudget
+		}
+		if !e.sat {
+			atomic.AddUint64(&s.Stats.Unsat, 1)
+		}
+		return e.sat, e.model, nil
+	}
+
+	// Fast path: try recently produced models. Skipped for full-model
+	// queries: their results feed concretization decisions that must be
+	// deterministic functions of the constraint set alone, or replays
+	// diverge across workers (§6 "Broken Replays").
+	if !fullModel {
+		for _, m := range s.recent {
+			if condHolds(cond, m) && cs.EvalAll(m) {
+				atomic.AddUint64(&s.Stats.ModelReuse, 1)
+				s.put(key, cacheEntry{sat: true, model: m})
+				return true, m, nil
+			}
+		}
+	}
+
+	cons := cs.Flattened()
+	if cond != nil {
+		cons = flatten(cond, cons)
+	}
+	sat, model, err := s.solveConstraints(cons, cond, fullModel)
+	if err != nil {
+		if errors.Is(err, ErrBudget) {
+			s.put(key, cacheEntry{budget: true})
+		}
+		return false, nil, err
+	}
+	if sat {
+		s.remember(model)
+	} else {
+		atomic.AddUint64(&s.Stats.Unsat, 1)
+	}
+	s.put(key, cacheEntry{sat: sat, model: model})
+	return sat, model, nil
+}
+
+func condHolds(cond *expr.Expr, m expr.Assignment) bool {
+	if cond == nil {
+		return true
+	}
+	v, ok := cond.Eval(m)
+	return ok && v != 0
+}
+
+func (s *Solver) put(key uint64, e cacheEntry) {
+	if len(s.cache) >= s.maxCache {
+		// Evict the oldest half; simple and allocation-friendly.
+		half := len(s.cacheKeys) / 2
+		for _, k := range s.cacheKeys[:half] {
+			delete(s.cache, k)
+		}
+		s.cacheKeys = append(s.cacheKeys[:0], s.cacheKeys[half:]...)
+	}
+	if _, dup := s.cache[key]; !dup {
+		s.cacheKeys = append(s.cacheKeys, key)
+	}
+	s.cache[key] = e
+}
+
+func (s *Solver) remember(m expr.Assignment) {
+	if len(s.recent) >= s.maxRecent {
+		copy(s.recent, s.recent[1:])
+		s.recent = s.recent[:len(s.recent)-1]
+	}
+	s.recent = append(s.recent, m)
+}
+
+// solveConstraints decides a flattened conjunction.
+func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel bool) (bool, expr.Assignment, error) {
+	model := expr.Assignment{}
+
+	// Unit propagation to fixpoint: bind Eq(const, var) facts and
+	// substitute them everywhere.
+	for {
+		progress := false
+		units := expr.Assignment{}
+		next := cons[:0]
+		for _, c := range cons {
+			if c.IsTrue() {
+				atomic.AddUint64(&s.Stats.UnitPropFolds, 1)
+				continue
+			}
+			if c.IsFalse() {
+				return false, nil, nil
+			}
+			if c.Op() == expr.OpLAnd {
+				// Substitution may rebuild conjunctions; re-flatten.
+				next = flatten(c, next)
+				progress = true
+				continue
+			}
+			if c.Op() == expr.OpEq && c.Kid(0).IsConst() && c.Kid(1).IsVar() {
+				id := c.Kid(1).VarID()
+				v := uint8(c.Kid(0).ConstVal())
+				if prev, ok := model[id]; ok && prev != v {
+					return false, nil, nil
+				}
+				if prev, ok := units[id]; ok && prev != v {
+					return false, nil, nil
+				}
+				units[id] = v
+				model[id] = v
+				progress = true
+				atomic.AddUint64(&s.Stats.UnitPropFolds, 1)
+				continue
+			}
+			next = append(next, c)
+		}
+		cons = next
+		if !progress {
+			break
+		}
+		for i, c := range cons {
+			cons[i] = c.SubstConsts(units)
+		}
+	}
+
+	// Partition remaining constraints into independent groups.
+	groups := partition(cons)
+
+	var queryVars map[uint64]bool
+	if cond != nil && !fullModel {
+		queryVars = map[uint64]bool{}
+		cond.Vars(queryVars, nil)
+		// A query var may have been bound by unit propagation already;
+		// then its group is trivially consistent with the binding
+		// (substitution has happened). Remaining relevance is via the
+		// substituted cond's vars.
+	}
+
+	for _, g := range groups {
+		if queryVars != nil && !g.touches(queryVars) {
+			continue // independent of the query; satisfiable on its own
+		}
+		key := groupKey(g)
+		if res, hit := s.groupCache[key]; hit {
+			if !res.sat {
+				return false, nil, nil
+			}
+			ok := true
+			for _, b := range res.model {
+				if prev, bound := model[b.id]; bound && prev != b.v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, b := range res.model {
+					model[b.id] = b.v
+				}
+				continue
+			}
+			// Unit bindings conflict with the cached model: fall through
+			// to a fresh search.
+		}
+		before := make(map[uint64]bool, len(g.vars))
+		for id := range g.vars {
+			if _, bound := model[id]; bound {
+				before[id] = true
+			}
+		}
+		ok, err := s.solveGroup(g, model)
+		if err != nil {
+			return false, nil, err
+		}
+		// Cache only groups whose variables were entirely free (so the
+		// result does not depend on outside unit bindings).
+		if len(before) == 0 {
+			res := groupResult{sat: ok}
+			if ok {
+				for id := range g.vars {
+					res.model = append(res.model, groupBinding{id, model[id]})
+				}
+			}
+			s.putGroup(key, res)
+		}
+		if !ok {
+			return false, nil, nil
+		}
+	}
+	if fullModel {
+		// Bind any variable mentioned anywhere but left unconstrained.
+		for _, g := range groups {
+			for id := range g.vars {
+				if _, ok := model[id]; !ok {
+					model[id] = 0
+				}
+			}
+		}
+	}
+	return true, model, nil
+}
+
+// groupKey hashes a group's constraints order-insensitively.
+func groupKey(g *group) uint64 {
+	var h uint64
+	for _, c := range g.cons {
+		h += c.Hash() * 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+func (s *Solver) putGroup(key uint64, res groupResult) {
+	if len(s.groupCache) >= s.maxCache {
+		half := len(s.groupCacheKeys) / 2
+		for _, k := range s.groupCacheKeys[:half] {
+			delete(s.groupCache, k)
+		}
+		s.groupCacheKeys = append(s.groupCacheKeys[:0], s.groupCacheKeys[half:]...)
+	}
+	if _, dup := s.groupCache[key]; !dup {
+		s.groupCacheKeys = append(s.groupCacheKeys, key)
+	}
+	s.groupCache[key] = res
+}
+
+// group is a set of constraints over a connected set of variables.
+type group struct {
+	cons []*expr.Expr
+	vars map[uint64]bool
+}
+
+func (g *group) touches(vars map[uint64]bool) bool {
+	for id := range vars {
+		if g.vars[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// partition groups constraints by transitive variable sharing (union-find).
+func partition(cons []*expr.Expr) []*group {
+	parent := map[uint64]uint64{}
+	var find func(x uint64) uint64
+	find = func(x uint64) uint64 {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p != x {
+			p = find(p)
+			parent[x] = p
+		}
+		return p
+	}
+	union := func(a, b uint64) { parent[find(a)] = find(b) }
+
+	varLists := make([][]uint64, len(cons))
+	for i, c := range cons {
+		vl := c.Vars(map[uint64]bool{}, nil)
+		varLists[i] = vl
+		for j := 1; j < len(vl); j++ {
+			union(vl[0], vl[j])
+		}
+	}
+	byRoot := map[uint64]*group{}
+	var order []*group
+	for i, c := range cons {
+		if len(varLists[i]) == 0 {
+			continue // constant constraints handled by unit pass
+		}
+		root := find(varLists[i][0])
+		g := byRoot[root]
+		if g == nil {
+			g = &group{vars: map[uint64]bool{}}
+			byRoot[root] = g
+			order = append(order, g)
+		}
+		g.cons = append(g.cons, c)
+		for _, v := range varLists[i] {
+			g.vars[v] = true
+		}
+	}
+	return order
+}
+
+// solveGroup runs backtracking search over one independent group,
+// extending model in place on success. The search works over a dense
+// slice-backed assignment (see expr.EvalSlice) — this is the hot path.
+func (s *Solver) solveGroup(g *group, model expr.Assignment) (bool, error) {
+	atomic.AddUint64(&s.Stats.SolverRuns, 1)
+
+	maxID := uint64(0)
+	for id := range g.vars {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := range model {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID >= 1<<22 {
+		return false, ErrBudget // pathological id space; treat as unknown
+	}
+	vals := make([]int16, maxID+1)
+	for i := range vals {
+		vals[i] = -1
+	}
+	for id, v := range model {
+		vals[id] = int16(v)
+	}
+
+	vars := make([]uint64, 0, len(g.vars))
+	for id := range g.vars {
+		if vals[id] < 0 {
+			vars = append(vars, id)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	if len(vars) == 0 {
+		// Everything bound by units; just verify.
+		for _, c := range g.cons {
+			v, ok := c.EvalSlice(vals)
+			if !ok || v == 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	domains := make(map[uint64]*domain, len(vars))
+	for _, id := range vars {
+		d := fullDomain()
+		domains[id] = &d
+	}
+
+	// Per-constraint bookkeeping: which vars it mentions.
+	type conInfo struct {
+		c    *expr.Expr
+		vars []uint64
+	}
+	infos := make([]conInfo, 0, len(g.cons))
+	for _, c := range g.cons {
+		infos = append(infos, conInfo{c: c, vars: c.Vars(map[uint64]bool{}, nil)})
+	}
+
+	// pruneUnary restricts var id's domain using constraint c, assuming
+	// id is c's only unbound variable. The constraint is first partially
+	// evaluated under the current assignment, collapsing everything but
+	// the scanned variable; the 256-value scan then runs on the (usually
+	// tiny) residual. Returns false if the domain empties.
+	pruneUnary := func(c *expr.Expr, id uint64) bool {
+		d := domains[id]
+		reduced := c.SubstSlice(vals)
+		if reduced.IsConst() {
+			return reduced.ConstVal() != 0
+		}
+		v, ok := d.first()
+		for ok {
+			vals[id] = int16(v)
+			ev, evOK := reduced.EvalSlice(vals)
+			if !evOK || ev == 0 {
+				d.remove(v)
+			}
+			v, ok = d.next(v)
+		}
+		vals[id] = -1
+		return !d.empty()
+	}
+
+	unboundIn := func(ci conInfo) (uint64, int) {
+		var last uint64
+		n := 0
+		for _, id := range ci.vars {
+			if vals[id] < 0 {
+				last = id
+				n++
+			}
+		}
+		return last, n
+	}
+
+	// Initial unary pruning pass.
+	for _, ci := range infos {
+		if id, n := unboundIn(ci); n == 1 {
+			if !pruneUnary(ci.c, id) {
+				return false, nil
+			}
+		} else if n == 0 {
+			v, ok := ci.c.EvalSlice(vals)
+			if !ok || v == 0 {
+				return false, nil
+			}
+		}
+	}
+
+	var backtracks uint64
+
+	// Count how many constraints mention each var, for ordering.
+	mentions := map[uint64]int{}
+	for _, ci := range infos {
+		for _, id := range ci.vars {
+			mentions[id]++
+		}
+	}
+
+	// minUnbound[id] = the smallest number of unbound variables among
+	// constraints mentioning id (computed per pick). Choosing the
+	// variable that brings some constraint closest to unary lets forward
+	// checking prune as early as possible.
+	pickVar := func() (uint64, bool) {
+		nearUnary := map[uint64]int{}
+		for _, ci := range infos {
+			_, n := unboundIn(ci)
+			if n == 0 {
+				continue
+			}
+			for _, id := range ci.vars {
+				if vals[id] >= 0 {
+					continue
+				}
+				if cur, ok := nearUnary[id]; !ok || n < cur {
+					nearUnary[id] = n
+				}
+			}
+		}
+		best := uint64(0)
+		bestScore := -1
+		found := false
+		for _, id := range vars {
+			if vals[id] >= 0 {
+				continue
+			}
+			near := nearUnary[id]
+			if near == 0 {
+				near = 64 // mentioned by no active constraint
+			}
+			// Prefer: constraints nearest unary, then small domains,
+			// then high mention counts.
+			score := (64-near)*1_000_000 + (256-domains[id].count())*1000 + mentions[id]
+			if score > bestScore {
+				best, bestScore, found = id, score, true
+			}
+		}
+		return best, found
+	}
+
+	var solve func() (bool, error)
+	solve = func() (bool, error) {
+		id, found := pickVar()
+		if !found {
+			// All assigned: final verification.
+			for _, ci := range infos {
+				v, ok := ci.c.EvalSlice(vals)
+				if !ok || v == 0 {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		d := domains[id]
+		v, ok := d.first()
+		for ok {
+			vals[id] = int16(v)
+			// Forward checking: constraints that now have exactly one
+			// unbound var prune that var's domain.
+			saved := map[uint64]domain{}
+			feasible := true
+			for _, ci := range infos {
+				uid, n := unboundIn(ci)
+				if n == 0 {
+					ev, evOK := ci.c.EvalSlice(vals)
+					if !evOK || ev == 0 {
+						feasible = false
+						break
+					}
+				} else if n == 1 {
+					if _, snap := saved[uid]; !snap {
+						saved[uid] = *domains[uid]
+					}
+					if !pruneUnary(ci.c, uid) {
+						feasible = false
+						break
+					}
+				}
+			}
+			if feasible {
+				done, err := solve()
+				if err != nil {
+					return false, err
+				}
+				if done {
+					return true, nil
+				}
+			}
+			// Restore and try next value.
+			for uid, dom := range saved {
+				restored := dom
+				*domains[uid] = restored
+			}
+			vals[id] = -1
+			backtracks++
+			if backtracks > s.MaxBacktracks {
+				return false, ErrBudget
+			}
+			v, ok = d.next(v)
+		}
+		return false, nil
+	}
+
+	sat, err := solve()
+	atomic.AddUint64(&s.Stats.Backtracks, backtracks)
+	if err != nil || !sat {
+		return sat, err
+	}
+	for _, id := range vars {
+		model[id] = uint8(vals[id])
+	}
+	return true, nil
+}

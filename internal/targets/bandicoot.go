@@ -1,0 +1,144 @@
+package targets
+
+import "fmt"
+
+// bandicootCore is a miniature of the Bandicoot DBMS's HTTP GET handler
+// (§7.3.5). SEEDED BUG: the relation-name extractor copies up to the
+// buffer size and then NUL-terminates at name[len] — one past the end
+// when the name fills the buffer, reading (and clobbering) adjacent
+// memory. As in the paper, a concrete test is unlikely to trigger it;
+// exhaustive GET exploration finds it.
+const bandicootCore = `
+char rel_names[32]; // 4 slots x 8 bytes
+int rel_count = 0;
+
+int bc_register(char *name) {
+	if (rel_count >= 4) return -1;
+	strncpy(rel_names + rel_count * 8, name, 8);
+	rel_count++;
+	return rel_count - 1;
+}
+
+int bc_lookup(char *name) {
+	int i;
+	for (i = 0; i < rel_count; i++) {
+		if (strcmp(rel_names + i * 8, name) == 0) return i;
+	}
+	return -1;
+}
+
+// bc_handle_get parses "GET /<relation>" from req[0..n).
+int bc_handle_get(char *req, int n) {
+	if (n < 5) return -1;
+	if (strncmp(req, "GET /", 5) != 0) return -1;
+	char name[4];
+	int i = 5;
+	int len = 0;
+	while (i < n && req[i] != ' ' && req[i] != 0) {
+		if (len < 4) {           // BUG: bound should be < 3 to leave
+			name[len] = req[i];  // room for the terminator below
+			len++;
+		}
+		i++;
+	}
+	name[len] = 0;  // OOB write when len == 4
+	return bc_lookup(name);
+}
+`
+
+// Bandicoot returns the Bandicoot target exploring GETs with a
+// symbolic path of pathLen bytes.
+func Bandicoot(pathLen int) Target {
+	src := bandicootCore + fmt.Sprintf(`
+int main() {
+	bc_register("t");
+	bc_register("xy");
+	char req[%d];
+	strcpy(req, "GET /");
+	cloud9_make_symbolic(req + 5, %d, "path");
+	bc_handle_get(req, %d);
+	return 0;
+}`, 5+pathLen+1, pathLen, 5+pathLen)
+	return Target{Name: "bandicoot", Mimics: "Bandicoot DBMS 1.0", Source: src}
+}
+
+// ProducerConsumer returns the multi-threaded multi-process benchmark of
+// §7.1 that exercises the entire POSIX model: threads, synchronization,
+// processes, and networking.
+func ProducerConsumer() Target {
+	src := `
+long mtx[2];
+long cv[1];
+int queue_len = 0;
+int produced = 0;
+int consumed = 0;
+int N = 3;
+
+void producer(long arg) {
+	int i;
+	for (i = 0; i < N; i++) {
+		pthread_mutex_lock(mtx);
+		queue_len++;
+		produced++;
+		pthread_cond_signal(cv);
+		pthread_mutex_unlock(mtx);
+	}
+}
+
+void consumer(long arg) {
+	int got = 0;
+	pthread_mutex_lock(mtx);
+	while (got < N) {
+		while (queue_len == 0) pthread_cond_wait(cv, mtx);
+		queue_len--;
+		consumed++;
+		got++;
+	}
+	pthread_mutex_unlock(mtx);
+}
+
+int main() {
+	pthread_mutex_init(mtx);
+	pthread_cond_init(cv);
+
+	// Stage 1: threads within one process.
+	int tp = pthread_create("producer", 0);
+	int tc = pthread_create("consumer", 0);
+	pthread_join(tp);
+	pthread_join(tc);
+	if (produced != N || consumed != N) abort();
+
+	// Stage 2: processes over a pipe.
+	int fds[2];
+	pipe(fds);
+	int pid = fork();
+	if (pid == 0) {
+		write(fds[1], "123", 3);
+		exit(7);
+	}
+	char buf[4];
+	int n = read(fds[0], buf, 3);
+	int code = waitpid(pid);
+	if (n != 3 || code != 7) abort();
+
+	// Stage 3: a TCP round trip.
+	int ls = socket(SOCK_STREAM, SOCK_STREAM);
+	bind(ls, 4000);
+	listen(ls, 1);
+	int cpid = fork();
+	if (cpid == 0) {
+		int fd = socket(SOCK_STREAM, SOCK_STREAM);
+		while (connect(fd, 4000) != 0) cloud9_thread_preempt();
+		write(fd, buf, 3);
+		exit(0);
+	}
+	int conn = accept(ls);
+	char back[4];
+	int m = read(conn, back, 3);
+	waitpid(cpid);
+	if (m != 3 || memcmp(buf, back, 3) != 0) abort();
+	print_str("ok");
+	return 0;
+}`
+	return Target{Name: "prodcons", Mimics: "producer-consumer benchmark (§7.1)", Source: src}
+}

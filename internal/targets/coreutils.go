@@ -1,0 +1,352 @@
+package targets
+
+import "fmt"
+
+// coreutil bodies: each defines `int run(char *a, int n)` over a
+// NUL-terminated symbolic argument a of length n, exercising the kind of
+// option/format parsing the real Coreutils do (Fig. 11's workload).
+// They intentionally differ in structure (loops, tables, state machines)
+// so their path spaces are genuinely distinct.
+var coreutilBodies = map[string]string{
+	"echo": `
+int run(char *a, int n) {
+	int i = 0;
+	int esc = 0;
+	if (a[0] == '-' && a[1] == 'e' && a[2] == 0) return 0;
+	if (a[0] == '-' && a[1] == 'e' && a[2] == ' ') { esc = 1; i = 3; }
+	while (a[i]) {
+		if (esc && a[i] == 92) {
+			i++;
+			if (a[i] == 'n') putchar(10);
+			else if (a[i] == 't') putchar(9);
+			else if (a[i] == 'c') return 0;
+			else if (a[i] == 0) { putchar(92); break; }
+			else { putchar(92); putchar(a[i]); }
+		} else putchar(a[i]);
+		i++;
+	}
+	putchar(10);
+	return 0;
+}`,
+	"basename": `
+int run(char *a, int n) {
+	int last = -1;
+	int i;
+	for (i = 0; a[i]; i++) if (a[i] == '/') last = i;
+	if (last == i - 1 && i > 1) { // trailing slash: strip and rescan
+		a[i-1] = 0;
+		last = -1;
+		for (i = 0; a[i]; i++) if (a[i] == '/') last = i;
+	}
+	print_str(a + last + 1);
+	return 0;
+}`,
+	"dirname": `
+int run(char *a, int n) {
+	int last = -1;
+	int i;
+	for (i = 0; a[i]; i++) if (a[i] == '/') last = i;
+	if (last < 0) { print_str("."); return 0; }
+	if (last == 0) { print_str("/"); return 0; }
+	a[last] = 0;
+	print_str(a);
+	return 0;
+}`,
+	"wc": `
+int run(char *a, int n) {
+	int lines = 0;
+	int words = 0;
+	int chars = 0;
+	int inword = 0;
+	int i;
+	for (i = 0; a[i]; i++) {
+		chars++;
+		if (a[i] == 10) lines++;
+		if (isspace(a[i])) inword = 0;
+		else if (!inword) { inword = 1; words++; }
+	}
+	print_int(lines); putchar(' ');
+	print_int(words); putchar(' ');
+	print_int(chars);
+	return 0;
+}`,
+	"tr": `
+int run(char *a, int n) {
+	// tr SET1 SET2 applied to the rest: "ab xyz..." maps a->b.
+	if (n < 4 || a[1] != ' ') return 1;
+	char from = a[0];
+	char to = a[2];
+	int i;
+	for (i = 3; a[i]; i++) putchar(a[i] == from ? to : a[i]);
+	return 0;
+}`,
+	"head": `
+int run(char *a, int n) {
+	// head -N: print first N bytes of the remainder.
+	if (a[0] != '-' || !isdigit(a[1])) return 1;
+	int k = a[1] - '0';
+	int i = 2;
+	if (a[i] == ' ') i++;
+	while (a[i] && k > 0) { putchar(a[i]); i++; k--; }
+	return 0;
+}`,
+	"tail": `
+int run(char *a, int n) {
+	if (a[0] != '-' || !isdigit(a[1])) return 1;
+	int k = a[1] - '0';
+	int len = (int)strlen(a + 2);
+	int start = len - k;
+	if (start < 0) start = 0;
+	print_str(a + 2 + start);
+	return 0;
+}`,
+	"yes": `
+int run(char *a, int n) {
+	int reps = 3;
+	int i;
+	for (i = 0; i < reps; i++) {
+		if (a[0]) print_str(a);
+		else putchar('y');
+		putchar(10);
+	}
+	return 0;
+}`,
+	"rev": `
+int run(char *a, int n) {
+	int len = (int)strlen(a);
+	int i;
+	for (i = len - 1; i >= 0; i--) putchar(a[i]);
+	return 0;
+}`,
+	"seq": `
+int run(char *a, int n) {
+	// seq N or seq A B with single digits.
+	if (!isdigit(a[0])) return 1;
+	int lo = 1;
+	int hi = a[0] - '0';
+	if (a[1] == ' ' && isdigit(a[2])) { lo = hi; hi = a[2] - '0'; }
+	else if (a[1] != 0) return 1;
+	while (lo <= hi) { print_int(lo); putchar(10); lo++; }
+	return 0;
+}`,
+	"expr": `
+int run(char *a, int n) {
+	// expr D op D for one-digit operands.
+	if (strlen(a) < 5) return 2;
+	if (!isdigit(a[0]) || a[1] != ' ' || a[3] != ' ' || !isdigit(a[4])) return 2;
+	int x = a[0] - '0';
+	int y = a[4] - '0';
+	char op = a[2];
+	if (op == '+') print_int(x + y);
+	else if (op == '-') print_int(x - y);
+	else if (op == '*') print_int(x * y);
+	else if (op == '/') { if (y == 0) return 2; print_int(x / y); }
+	else if (op == '%') { if (y == 0) return 2; print_int(x % y); }
+	else if (op == '<') print_int(x < y);
+	else if (op == '=') print_int(x == y);
+	else return 2;
+	return 0;
+}`,
+	"uniq": `
+int run(char *a, int n) {
+	char prev = 0;
+	int i;
+	for (i = 0; a[i]; i++) {
+		if (a[i] != prev) putchar(a[i]);
+		prev = a[i];
+	}
+	return 0;
+}`,
+	"cut": `
+int run(char *a, int n) {
+	// cut -dC -fN: print the Nth C-separated field of the rest.
+	if (strlen(a) < 6) return 1;
+	if (a[0] != '-' || a[1] != 'd' || a[3] != '-' || a[4] != 'f' || !isdigit(a[5])) return 1;
+	char delim = a[2];
+	int want = a[5] - '0';
+	int field = 1;
+	int i = 6;
+	if (a[i] == ' ') i++;
+	while (a[i]) {
+		if (a[i] == delim) field++;
+		else if (field == want) putchar(a[i]);
+		i++;
+	}
+	return 0;
+}`,
+	"sort": `
+int run(char *a, int n) {
+	// insertion sort of the argument bytes
+	char buf[16];
+	int len = 0;
+	while (a[len] && len < 15) { buf[len] = a[len]; len++; }
+	int i;
+	for (i = 1; i < len; i++) {
+		char key = buf[i];
+		int j = i - 1;
+		while (j >= 0 && buf[j] > key) { buf[j+1] = buf[j]; j--; }
+		buf[j+1] = key;
+	}
+	for (i = 0; i < len; i++) putchar(buf[i]);
+	return 0;
+}`,
+	"nl": `
+int run(char *a, int n) {
+	int line = 1;
+	int bol = 1;
+	int i;
+	for (i = 0; a[i]; i++) {
+		if (bol) { print_int(line); putchar(' '); line++; bol = 0; }
+		putchar(a[i]);
+		if (a[i] == 10) bol = 1;
+	}
+	return 0;
+}`,
+	"fold": `
+int run(char *a, int n) {
+	// fold -wN
+	if (a[0] != '-' || !isdigit(a[1])) return 1;
+	int w = a[1] - '0';
+	if (w == 0) return 1;
+	int col = 0;
+	int i = 2;
+	if (a[i] == ' ') i++;
+	for (; a[i]; i++) {
+		putchar(a[i]);
+		col++;
+		if (col == w) { putchar(10); col = 0; }
+	}
+	return 0;
+}`,
+	"comm": `
+int run(char *a, int n) {
+	// comm of two single-char-sorted "files" separated by '|'
+	int i = 0;
+	while (a[i] && a[i] != '|') i++;
+	if (!a[i]) return 1;
+	int x = 0;
+	int y = i + 1;
+	while (x < i && a[y]) {
+		if (a[x] < a[y]) { putchar(a[x]); x++; }
+		else if (a[x] > a[y]) { putchar(' '); putchar(a[y]); y++; }
+		else { putchar('='); putchar(a[x]); x++; y++; }
+	}
+	return 0;
+}`,
+	"tee": `
+int run(char *a, int n) {
+	int fd = open("/tmp/tee", O_CREAT);
+	int i;
+	for (i = 0; a[i]; i++) {
+		putchar(a[i]);
+		write(fd, a + i, 1);
+	}
+	close(fd);
+	return 0;
+}`,
+	"od": `
+int run(char *a, int n) {
+	int i;
+	for (i = 0; a[i]; i++) {
+		int v = a[i] & 0xff;
+		putchar('0' + v / 100);
+		putchar('0' + v / 10 % 10);
+		putchar('0' + v % 10);
+		putchar(' ');
+	}
+	return 0;
+}`,
+	"base32lite": `
+int run(char *a, int n) {
+	// 4-bit-per-symbol encoding (base16), structurally like base32/64.
+	int i;
+	for (i = 0; a[i]; i++) {
+		int v = a[i] & 0xff;
+		int hi = v >> 4;
+		int lo = v & 15;
+		putchar(hi < 10 ? '0' + hi : 'a' + hi - 10);
+		putchar(lo < 10 ? '0' + lo : 'a' + lo - 10);
+	}
+	return 0;
+}`,
+	"paste": `
+int run(char *a, int n) {
+	// interleave halves around '|'
+	int i = 0;
+	while (a[i] && a[i] != '|') i++;
+	if (!a[i]) return 1;
+	int x = 0;
+	int y = i + 1;
+	while (x < i || a[y]) {
+		if (x < i) { putchar(a[x]); x++; }
+		if (a[y]) { putchar(a[y]); y++; }
+	}
+	return 0;
+}`,
+	"truefalse": `
+int run(char *a, int n) {
+	if (a[0] == 't') return 0;
+	if (a[0] == 'f') return 1;
+	if (strcmp(a, "--help") == 0) { print_str("usage"); return 0; }
+	return 2;
+}`,
+	"sum": `
+int run(char *a, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; a[i]; i++) s = (s + (a[i] & 0xff)) % 255;
+	print_int(s);
+	return 0;
+}`,
+	"env": `
+int run(char *a, int n) {
+	// parse NAME=VALUE
+	int eq = -1;
+	int i;
+	for (i = 0; a[i]; i++) if (a[i] == '=' && eq < 0) eq = i;
+	if (eq <= 0) return 1;
+	for (i = 0; i < eq; i++) {
+		if (!isalpha(a[i]) && a[i] != '_') return 1;
+	}
+	print_str(a + eq + 1);
+	return 0;
+}`,
+}
+
+// coreutilOrder fixes a deterministic target order.
+var coreutilOrder = []string{
+	"echo", "basename", "dirname", "wc", "tr", "head", "tail", "yes",
+	"rev", "seq", "expr", "uniq", "cut", "sort", "nl", "fold", "comm",
+	"tee", "od", "base32lite", "paste", "truefalse", "sum", "env",
+}
+
+// Coreutils returns the mini-coreutils suite, each utility driven by an
+// argLen-byte symbolic argument (Fig. 11's 96-utility sweep, scaled to
+// 24 miniatures).
+func Coreutils(argLen int) []Target {
+	if argLen < 1 {
+		argLen = 6
+	}
+	out := make([]Target, 0, len(coreutilOrder))
+	for _, name := range coreutilOrder {
+		body := coreutilBodies[name]
+		src := body + fmt.Sprintf(`
+int main() {
+	char a[%d];
+	cloud9_make_symbolic(a, %d, "argv");
+	a[%d] = 0;
+	return run(a, %d);
+}`, argLen+1, argLen, argLen, argLen)
+		out = append(out, Target{
+			Name:   "coreutil-" + name,
+			Mimics: "Coreutils 6.10 " + name,
+			Source: src,
+		})
+	}
+	return out
+}
+
+// CoreutilNames lists the miniature coreutils in order.
+func CoreutilNames() []string {
+	return append([]string(nil), coreutilOrder...)
+}

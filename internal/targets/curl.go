@@ -1,0 +1,88 @@
+package targets
+
+import "fmt"
+
+// curlCore is a miniature of curl's URL globbing (§7.3.2): the
+// {a,b,c}-style brace expansion whose unmatched-brace handling crashed
+// real curl. SEEDED BUG: when a '{' opens with no closing '}', the
+// scanner keeps advancing past the string terminator and reads outside
+// the buffer — the exact failure mode of the reported bug
+// ("http://site.{one,two,three}.com{").
+const curlCore = `
+char glob_out[64];
+int glob_n = 0;
+
+int glob_emit(char c) {
+	if (glob_n < 63) { glob_out[glob_n] = c; glob_n++; }
+	return 0;
+}
+
+// curl_glob expands the first {...} alternation of url, selecting
+// the pick-th alternative; returns 0 on success, <0 on malformed input.
+int curl_glob(char *url, int pick) {
+	int i = 0;
+	glob_n = 0;
+	while (url[i]) {
+		if (url[i] == '{') {
+			// find the closing brace
+			int j = i + 1;
+			// BUG: the loop tests only for '}' — a missing close brace
+			// walks past the NUL terminator and off the buffer.
+			while (url[j] != '}') {
+				j++;
+			}
+			// choose the pick-th comma-separated alternative
+			int k = i + 1;
+			int idx = 0;
+			int start = k;
+			while (k <= j) {
+				if (k == j || url[k] == ',') {
+					if (idx == pick) {
+						int t;
+						for (t = start; t < k; t++) glob_emit(url[t]);
+					}
+					idx++;
+					start = k + 1;
+				}
+				k++;
+			}
+			if (pick >= idx) return -1;
+			i = j + 1;
+			continue;
+		}
+		if (url[i] == '[') {
+			// numeric range [a-b]
+			if (isdigit(url[i+1]) && url[i+2] == '-' && isdigit(url[i+3]) && url[i+4] == ']') {
+				int lo = url[i+1] - '0';
+				int hi = url[i+3] - '0';
+				if (lo > hi) return -2;
+				int v = lo + pick;
+				if (v > hi) v = hi;
+				glob_emit((char)('0' + v));
+				i += 5;
+				continue;
+			}
+			return -3;
+		}
+		glob_emit(url[i]);
+		i++;
+	}
+	glob_out[glob_n] = 0;
+	return 0;
+}
+`
+
+// Curl returns the curl target with a symbolic URL tail of tailLen
+// bytes after a fixed prefix, so exploration reaches the globbing code.
+func Curl(tailLen int) Target {
+	src := curlCore + fmt.Sprintf(`
+int main() {
+	char url[16];
+	strcpy(url, "h://a");
+	cloud9_make_symbolic(url + 5, %d, "tail");
+	url[%d] = 0;
+	curl_glob(url, 0);
+	return 0;
+}`, tailLen, 5+tailLen)
+	return Target{Name: "curl", Mimics: "curl 7.21.1", Source: src}
+}

@@ -1,0 +1,191 @@
+package targets
+
+import "fmt"
+
+// lighttpdCore is a miniature of lighttpd's request-processing path
+// (§7.3.4, Table 6). The server reads an HTTP request from a socket in
+// whatever chunks the transport delivers and scans for the CRLFCRLF
+// terminator. Two seeded bug generations reproduce the paper's finding:
+//
+//	version 12 (lighttpd 1.4.12, pre-patch): the terminator matcher
+//	  resets at every read boundary, so a terminator split across two
+//	  reads is missed entirely;
+//	version 13 (1.4.13, post-patch): the matcher survives read
+//	  boundaries — but the fix is INCOMPLETE: a 1-byte read still
+//	  resets it (the paper proved the official fix incomplete the same
+//	  way, with symbolic fragmentation).
+//
+// When the terminator is missed the request "completes" at EOF with a
+// header length of -1, and the response path indexes the buffer with it
+// — an out-of-bounds access Cloud9 reports as a crash.
+const lighttpdCore = `
+int http_find_terminator(char *buf, int start, int n, int *match) {
+	// Scans buf[start..n) for \r\n\r\n, continuing from *match matched
+	// characters. Returns the end-of-header index or -1.
+	int m = *match;
+	int i = start;
+	while (i < n) {
+		char c = buf[i];
+		if ((m == 0 || m == 2) && c == 13) m++;
+		else if ((m == 1 || m == 3) && c == 10) m++;
+		else if (c == 13) m = 1;
+		else m = 0;
+		i++;
+		if (m == 4) { *match = 4; return i; }
+	}
+	*match = m;
+	return -1;
+}
+
+// lh_handle_request serves one connection; version selects the bug
+// generation. Returns 0 on success; an out-of-bounds access terminates
+// the path as a memory error (the "crash").
+int lh_handle_request(int fd, int version) {
+	char buf[40];
+	int used = 0;
+	int hdr_end = -1;
+	int match = 0;
+	while (hdr_end < 0) {
+		if (used >= 39) return -1; // request too large: reject
+		int r = read(fd, buf + used, 39 - used);
+		if (r == 0) break;  // EOF
+		if (r < 0) return -1;
+		int scan_from = used;
+		if (version == 12) {
+			match = 0;          // BUG v12: matcher reset per read
+		}
+		if (version == 13 && r == 1) {
+			match = 0;          // BUG v13: incomplete fix, 1-byte reads
+		}
+		hdr_end = http_find_terminator(buf, scan_from, used + r, &match);
+		used += r;
+	}
+	// Request "complete": parse the request line.
+	int line_end = hdr_end - 4;  // start of the terminator
+	// find the path between the first two spaces
+	int sp1 = -1;
+	int sp2 = -1;
+	int i;
+	for (i = 0; i < line_end; i++) {
+		if (buf[i] == ' ') {
+			if (sp1 < 0) sp1 = i;
+			else { sp2 = i; break; }
+		}
+	}
+	// Response assembly reads the last header byte: with a missed
+	// terminator hdr_end is -1, so line_end is -5 and this indexes
+	// buf[-5] — the crash.
+	char last = buf[line_end];
+	if (sp1 < 0) {
+		write(fd, "HTTP/1.0 400\r\n\r\n", 16);
+		return 0;
+	}
+	write(fd, "HTTP/1.0 200\r\n\r\n", 16);
+	if (last != 10 && last != 13) {
+		// keep the read live so the compiler cannot drop it
+		__c9_out_byte('#');
+	}
+	return 0;
+}
+`
+
+// Lighttpd driver selection.
+const (
+	// LHDriverSinglePacket sends the canonical 28-byte request in one
+	// chunk (Table 6 row 1).
+	LHDriverSinglePacket = "single"
+	// LHDriverSplit26Plus2 fragments it 26+2 (Table 6 row 2).
+	LHDriverSplit26Plus2 = "split-26-2"
+	// LHDriverManySmall uses the paper's third pattern
+	// 2+5+1+5+2x1+3x2+5+2x1 (Table 6 row 3).
+	LHDriverManySmall = "many-small"
+	// LHDriverSymbolicFragmentation turns on SIO_PKT_FRAGMENT and lets
+	// the engine explore every fragmentation of a short request — the
+	// regression test that proves the v13 fix incomplete (§7.3.4).
+	LHDriverSymbolicFragmentation = "symbolic-frag"
+)
+
+// lighttpdRequest is the request of Table 6 (length 28).
+const lighttpdRequest = `GET /index.html HTTP/1.0\r\n\r\n`
+
+// Lighttpd returns the lighttpd target at the given bug generation
+// (12 = pre-patch 1.4.12, 13 = post-patch 1.4.13, 14 = fully fixed) with
+// the chosen client driver.
+func Lighttpd(version int, driver string) Target {
+	if version == 14 {
+		// The complete fix: never reset the matcher.
+		version = 99 // any value != 12 and != 13 disables both bugs
+	}
+	var client string
+	switch driver {
+	case LHDriverSinglePacket:
+		client = `
+void client(long arg) {
+	int fd = socket(SOCK_STREAM, SOCK_STREAM);
+	while (connect(fd, 80) != 0) cloud9_thread_preempt();
+	write(fd, "` + lighttpdRequest + `", 28);
+	close(fd);
+}`
+	case LHDriverSplit26Plus2:
+		client = `
+void client(long arg) {
+	int fd = socket(SOCK_STREAM, SOCK_STREAM);
+	while (connect(fd, 80) != 0) cloud9_thread_preempt();
+	char *req = "` + lighttpdRequest + `";
+	write(fd, req, 26);
+	cloud9_thread_preempt(); // force separate reads
+	write(fd, req + 26, 2);
+	close(fd);
+}`
+	case LHDriverManySmall:
+		client = `
+void client(long arg) {
+	int fd = socket(SOCK_STREAM, SOCK_STREAM);
+	while (connect(fd, 80) != 0) cloud9_thread_preempt();
+	char *req = "` + lighttpdRequest + `";
+	int sizes[12];
+	sizes[0] = 2; sizes[1] = 5; sizes[2] = 1; sizes[3] = 5;
+	sizes[4] = 1; sizes[5] = 1; sizes[6] = 2; sizes[7] = 2;
+	sizes[8] = 2; sizes[9] = 5; sizes[10] = 1; sizes[11] = 1;
+	int off = 0;
+	int i;
+	for (i = 0; i < 12; i++) {
+		write(fd, req + off, sizes[i]);
+		off += sizes[i];
+		cloud9_thread_preempt();
+	}
+	close(fd);
+}`
+	case LHDriverSymbolicFragmentation:
+		client = `
+void client(long arg) {
+	int fd = socket(SOCK_STREAM, SOCK_STREAM);
+	while (connect(fd, 80) != 0) cloud9_thread_preempt();
+	// Short request keeps the fragmentation space tractable.
+	write(fd, "G /\r\n\r\n", 7);
+	close(fd);
+}`
+	default:
+		panic("targets: unknown lighttpd driver " + driver)
+	}
+	frag := ""
+	if driver == LHDriverSymbolicFragmentation {
+		frag = "\n\tioctl(conn, SIO_PKT_FRAGMENT, 1);"
+	}
+	main := fmt.Sprintf(`
+int main() {
+	int ls = socket(SOCK_STREAM, SOCK_STREAM);
+	bind(ls, 80);
+	listen(ls, 2);
+	cloud9_thread_create("client", 0);
+	int conn = accept(ls);%s
+	lh_handle_request(conn, %d);
+	close(conn);
+	return 0;
+}`, frag, version)
+	return Target{
+		Name:   fmt.Sprintf("lighttpd-v%d-%s", version, driver),
+		Mimics: "lighttpd 1.4.12/1.4.13",
+		Source: lighttpdCore + client + main,
+	}
+}

@@ -1,0 +1,386 @@
+package targets
+
+// memcachedCore is a miniature of memcached (§7.3.3): a key-value cache
+// speaking a compact binary protocol over TCP plus a UDP frame protocol,
+// with a hash-table store and a worker-thread structure. The UDP
+// fragment-reassembly loop carries the seeded infinite-loop hang the
+// paper found (a zero-length fragment leaves the scan index unchanged).
+const memcachedCore = `
+// ---- store: fixed-bucket chained hash table ----
+long store_keys[64];   // entry pointers (0 = empty)
+long store_next[64];   // chains unused in the miniature: open addressing
+char store_used[64];
+
+int mc_hash(char *key, int klen) {
+	int h = 5381;
+	int i;
+	for (i = 0; i < klen; i++) h = h * 33 + key[i];
+	if (h < 0) h = -h;
+	return h % 64;
+}
+
+// Entry layout in heap: [klen(1) vlen(1) key... val...]
+char *mc_find(char *key, int klen) {
+	int h = mc_hash(key, klen);
+	int probes = 0;
+	while (probes < 64) {
+		int slot = (h + probes) % 64;
+		if (!store_used[slot]) return (char*)0;
+		char *e = (char*)store_keys[slot];
+		if (e[0] == klen && memcmp(e + 2, key, klen) == 0) return e;
+		probes++;
+	}
+	return (char*)0;
+}
+
+int mc_set(char *key, int klen, char *val, int vlen) {
+	int h = mc_hash(key, klen);
+	int probes = 0;
+	while (probes < 64) {
+		int slot = (h + probes) % 64;
+		if (!store_used[slot]) {
+			char *e = malloc(2 + klen + vlen);
+			if (!e) return -1;
+			e[0] = (char)klen;
+			e[1] = (char)vlen;
+			memcpy(e + 2, key, klen);
+			memcpy(e + 2 + klen, val, vlen);
+			store_keys[slot] = (long)e;
+			store_used[slot] = 1;
+			return 0;
+		}
+		char *e = (char*)store_keys[slot];
+		if (e[0] == klen && memcmp(e + 2, key, klen) == 0) {
+			// overwrite in place when the value fits
+			if (vlen <= e[1]) {
+				e[1] = (char)vlen;
+				memcpy(e + 2 + klen, val, vlen);
+				return 0;
+			}
+			char *n = malloc(2 + klen + vlen);
+			if (!n) return -1;
+			n[0] = (char)klen;
+			n[1] = (char)vlen;
+			memcpy(n + 2, key, klen);
+			memcpy(n + 2 + klen, val, vlen);
+			free(e);
+			store_keys[slot] = (long)n;
+			return 0;
+		}
+		probes++;
+	}
+	return -1;
+}
+
+int mc_delete(char *key, int klen) {
+	int h = mc_hash(key, klen);
+	int probes = 0;
+	while (probes < 64) {
+		int slot = (h + probes) % 64;
+		if (!store_used[slot]) return -1;
+		char *e = (char*)store_keys[slot];
+		if (e[0] == klen && memcmp(e + 2, key, klen) == 0) {
+			free(e);
+			store_used[slot] = 0;
+			store_keys[slot] = 0;
+			return 0;
+		}
+		probes++;
+	}
+	return -1;
+}
+
+// ---- binary protocol ----
+// Request:  [magic=0x80][opcode][klen][vlen][key bytes][val bytes]
+// Response: [magic=0x81][status][vlen][val bytes]
+int OP_GET = 0;
+int OP_SET = 1;
+int OP_DEL = 2;
+int OP_ADD = 3;
+int OP_INCR = 4;
+int OP_STATS = 5;
+int OP_QUIT = 6;
+int ST_OK = 0;
+int ST_NOTFOUND = 1;
+int ST_ERR = 2;
+int ST_EXISTS = 3;
+
+long stat_gets = 0;
+long stat_sets = 0;
+long stat_hits = 0;
+
+// mc_process handles one request in req[0..n); writes a response into
+// resp and returns its length, or -1 to close the connection.
+int mc_process(char *req, int n, char *resp) {
+	if (n < 4) { resp[0] = (char)0x81; resp[1] = (char)ST_ERR; resp[2] = 0; return 3; }
+	int magic = req[0] & 0xff;
+	int op = req[1] & 0xff;
+	int klen = req[2] & 0xff;
+	int vlen = req[3] & 0xff;
+	if (magic != 0x80) { resp[0] = (char)0x81; resp[1] = (char)ST_ERR; resp[2] = 0; return 3; }
+	if (4 + klen + vlen > n) { resp[0] = (char)0x81; resp[1] = (char)ST_ERR; resp[2] = 0; return 3; }
+	if (klen == 0 && op != OP_STATS && op != OP_QUIT) {
+		resp[0] = (char)0x81; resp[1] = (char)ST_ERR; resp[2] = 0;
+		return 3;
+	}
+	char *key = req + 4;
+	char *val = req + 4 + klen;
+	resp[0] = (char)0x81;
+	if (op == OP_GET) {
+		stat_gets++;
+		char *e = mc_find(key, klen);
+		if (!e) { resp[1] = (char)ST_NOTFOUND; resp[2] = 0; return 3; }
+		stat_hits++;
+		int v = e[1] & 0xff;
+		resp[1] = (char)ST_OK;
+		resp[2] = (char)v;
+		memcpy(resp + 3, e + 2 + (e[0] & 0xff), v);
+		return 3 + v;
+	}
+	if (op == OP_SET) {
+		stat_sets++;
+		if (mc_set(key, klen, val, vlen) < 0) { resp[1] = (char)ST_ERR; resp[2] = 0; return 3; }
+		resp[1] = (char)ST_OK;
+		resp[2] = 0;
+		return 3;
+	}
+	if (op == OP_ADD) {
+		if (mc_find(key, klen)) { resp[1] = (char)ST_EXISTS; resp[2] = 0; return 3; }
+		if (mc_set(key, klen, val, vlen) < 0) { resp[1] = (char)ST_ERR; resp[2] = 0; return 3; }
+		resp[1] = (char)ST_OK;
+		resp[2] = 0;
+		return 3;
+	}
+	if (op == OP_DEL) {
+		if (mc_delete(key, klen) < 0) { resp[1] = (char)ST_NOTFOUND; resp[2] = 0; return 3; }
+		resp[1] = (char)ST_OK;
+		resp[2] = 0;
+		return 3;
+	}
+	if (op == OP_INCR) {
+		char *e = mc_find(key, klen);
+		if (!e || (e[1] & 0xff) != 1) { resp[1] = (char)ST_NOTFOUND; resp[2] = 0; return 3; }
+		char *vp = e + 2 + (e[0] & 0xff);
+		vp[0] = (char)(vp[0] + 1);
+		resp[1] = (char)ST_OK;
+		resp[2] = 1;
+		resp[3] = vp[0];
+		return 4;
+	}
+	if (op == OP_STATS) {
+		resp[1] = (char)ST_OK;
+		resp[2] = 3;
+		resp[3] = (char)stat_gets;
+		resp[4] = (char)stat_sets;
+		resp[5] = (char)stat_hits;
+		return 6;
+	}
+	if (op == OP_QUIT) return -1;
+	resp[1] = (char)ST_ERR;
+	resp[2] = 0;
+	return 3;
+}
+
+// mc_serve_conn reads length-prefixed requests ([len][payload]) from a
+// connection until QUIT/EOF.
+int mc_serve_conn(int fd) {
+	char req[64];
+	char resp[64];
+	while (1) {
+		char lenb[1];
+		int r = read(fd, lenb, 1);
+		if (r <= 0) return 0;
+		int want = lenb[0] & 0xff;
+		if (want == 0 || want > 63) return 0;
+		int got = 0;
+		while (got < want) {
+			r = read(fd, req + got, want - got);
+			if (r <= 0) return 0;
+			got += r;
+		}
+		int rn = mc_process(req, want, resp);
+		if (rn < 0) return 0;
+		write(fd, resp, rn);
+	}
+	return 0;
+}
+
+// ---- UDP framing (§7.3.3) ----
+// A UDP datagram may carry several fragments, each:
+//   [reqid][fragidx][payload_len][payload bytes]
+// mc_handle_udp scans the fragments and feeds complete payloads to
+// mc_process. SEEDED BUG (as found by Cloud9 in the real memcached): a
+// zero-length fragment does not advance the scan index, so the loop
+// never terminates and the server stops serving UDP.
+int mc_handle_udp(char *pkt, int n, char *resp) {
+	int i = 0;
+	int rlen = 0;
+	while (i + 3 <= n) {
+		int plen = pkt[i + 2] & 0xff;
+		if (i + 3 + plen > n) break;     // truncated fragment: stop
+		if (plen > 0) {
+			rlen = mc_process(pkt + i + 3, plen, resp);
+		}
+		if (plen == 0) { continue; }     // BUG: i is not advanced
+		i += 3 + plen;
+	}
+	return rlen;
+}
+`
+
+// Memcached driver selection.
+const (
+	// MCDriverTwoSymbolicPackets sends two fully symbolic binary-protocol
+	// commands — the exhaustive test of Fig. 7 / Table 5 "symbolic
+	// packets".
+	MCDriverTwoSymbolicPackets = "two-symbolic-packets"
+	// MCDriverConcreteSuite replays the concrete regression suite
+	// (Table 5 "entire test suite").
+	MCDriverConcreteSuite = "concrete-suite"
+	// MCDriverBinaryProtoSuite replays only the binary-protocol subset
+	// (Table 5 row 2).
+	MCDriverBinaryProtoSuite = "binary-suite"
+	// MCDriverSuiteFaultInjection replays the suite with fault injection
+	// on the server socket (Table 5 row 4).
+	MCDriverSuiteFaultInjection = "suite-fi"
+	// MCDriverUDPHang sends symbolic UDP frames, exposing the reassembly
+	// hang (§7.3.3).
+	MCDriverUDPHang = "udp-hang"
+)
+
+// mcSuite is the concrete test sequence shared by the suite drivers:
+// a SET/GET/ADD/DEL/INCR/STATS workout.
+const mcSuite = `
+int mc_run_suite(int useBinaryOnly) {
+	char resp[64];
+	char req[64];
+	// SET k=ab -> v=xy
+	req[0] = (char)0x80; req[1] = (char)OP_SET; req[2] = 2; req[3] = 2;
+	req[4] = 'a'; req[5] = 'b'; req[6] = 'x'; req[7] = 'y';
+	mc_process(req, 8, resp);
+	// GET ab
+	req[1] = (char)OP_GET; req[3] = 0;
+	mc_process(req, 6, resp);
+	// ADD ab (exists)
+	req[1] = (char)OP_ADD; req[3] = 1; req[6] = 'q';
+	mc_process(req, 7, resp);
+	// GET missing
+	req[1] = (char)OP_GET; req[2] = 2; req[3] = 0; req[4] = 'z'; req[5] = 'z';
+	mc_process(req, 6, resp);
+	// counter: SET 1-byte, INCR twice
+	req[1] = (char)OP_SET; req[2] = 1; req[3] = 1; req[4] = 'c'; req[5] = 0;
+	mc_process(req, 6, resp);
+	req[1] = (char)OP_INCR; req[3] = 0;
+	mc_process(req, 5, resp);
+	mc_process(req, 5, resp);
+	// DEL ab
+	req[1] = (char)OP_DEL; req[2] = 2; req[3] = 0; req[4] = 'a'; req[5] = 'b';
+	mc_process(req, 6, resp);
+	// DEL missing
+	mc_process(req, 6, resp);
+	if (!useBinaryOnly) {
+		// STATS + malformed + QUIT (the "perl suite" analog drives the
+		// server loop over a real connection).
+		req[1] = (char)OP_STATS; req[2] = 0;
+		mc_process(req, 4, resp);
+		req[0] = 0x7f;
+		mc_process(req, 4, resp);  // bad magic
+		mc_process(req, 2, resp);  // short packet
+	}
+	return 0;
+}
+`
+
+// Memcached returns the memcached target with the chosen driver.
+func Memcached(driver string) Target {
+	var main string
+	switch driver {
+	case MCDriverTwoSymbolicPackets:
+		main = `
+void client(long arg) {
+	int fd = socket(SOCK_STREAM, SOCK_STREAM);
+	while (connect(fd, 11211) != 0) cloud9_thread_preempt();
+	// Two length-prefixed symbolic commands.
+	char pkt[7];
+	pkt[0] = 6;
+	cloud9_make_symbolic(pkt + 1, 6, "pkt1");
+	write(fd, pkt, 7);
+	pkt[0] = 6;
+	cloud9_make_symbolic(pkt + 1, 6, "pkt2");
+	write(fd, pkt, 7);
+	close(fd);
+}
+int main() {
+	int ls = socket(SOCK_STREAM, SOCK_STREAM);
+	bind(ls, 11211);
+	listen(ls, 4);
+	cloud9_thread_create("client", 0);
+	int conn = accept(ls);
+	mc_serve_conn(conn);
+	close(conn);
+	close(ls);
+	return 0;
+}`
+	case MCDriverConcreteSuite:
+		main = mcSuite + `
+int main() { return mc_run_suite(0); }`
+	case MCDriverBinaryProtoSuite:
+		main = mcSuite + `
+int main() { return mc_run_suite(1); }`
+	case MCDriverSuiteFaultInjection:
+		main = mcSuite + `
+void client(long arg) {
+	int fd = socket(SOCK_STREAM, SOCK_STREAM);
+	while (connect(fd, 11211) != 0) cloud9_thread_preempt();
+	char pkt[9];
+	pkt[0] = 8;
+	pkt[1] = (char)0x80; pkt[2] = (char)OP_SET; pkt[3] = 2; pkt[4] = 2;
+	pkt[5] = 'f'; pkt[6] = 'i'; pkt[7] = 'o'; pkt[8] = 'k';
+	write(fd, pkt, 9);
+	char resp[64];
+	read(fd, resp, 64);
+	close(fd);
+}
+int main() {
+	mc_run_suite(0);
+	// Re-run the suite against a live connection with fault injection
+	// on every socket operation (Table 5 row 4).
+	int ls = socket(SOCK_STREAM, SOCK_STREAM);
+	bind(ls, 11211);
+	listen(ls, 4);
+	cloud9_thread_create("client", 0);
+	int conn = accept(ls);
+	cloud9_fi_enable();
+	ioctl(conn, SIO_FAULT_INJ, 1);
+	mc_serve_conn(conn);
+	cloud9_fi_disable();
+	close(conn);
+	return 0;
+}`
+	case MCDriverUDPHang:
+		main = `
+int main() {
+	int srv = socket(SOCK_DGRAM, SOCK_DGRAM);
+	bind(srv, 11211);
+	int cli = socket(SOCK_DGRAM, SOCK_DGRAM);
+	bind(cli, 9999);
+	// One symbolic UDP datagram with symbolic fragment headers.
+	char pkt[6];
+	cloud9_make_symbolic(pkt, 6, "udp");
+	sendto(cli, pkt, 6, 11211);
+	char buf[16];
+	char resp[64];
+	int src;
+	int n = recvfrom(srv, buf, 16, &src);
+	mc_handle_udp(buf, n, resp);
+	return 0;
+}`
+	default:
+		panic("targets: unknown memcached driver " + driver)
+	}
+	return Target{
+		Name:   "memcached-" + driver,
+		Mimics: "memcached 1.4.5",
+		Source: memcachedCore + main,
+	}
+}

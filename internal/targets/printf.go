@@ -1,0 +1,139 @@
+package targets
+
+import "fmt"
+
+// printfCore is a miniature of the printf UNIX utility (§7.2, Fig. 8 and
+// Fig. 10): a format-string interpreter whose parsing produces the same
+// kind of deep, constraint-heavy path structure the paper reports.
+const printfCore = `
+int out_n = 0;
+char out_buf[128];
+
+int emit(int c) {
+	if (out_n < 127) { out_buf[out_n] = (char)c; out_n++; }
+	return 0;
+}
+
+int emit_int(long v, int base, int upper, int width, int zeropad, int leftalign) {
+	char tmp[24];
+	int n = 0;
+	int neg = 0;
+	if (v < 0) { neg = 1; v = -v; }
+	if (v == 0) { tmp[n] = '0'; n++; }
+	while (v > 0) {
+		int d = (int)(v % base);
+		if (d < 10) tmp[n] = (char)('0' + d);
+		else if (upper) tmp[n] = (char)('A' + d - 10);
+		else tmp[n] = (char)('a' + d - 10);
+		n++;
+		v /= base;
+	}
+	if (neg) { tmp[n] = '-'; n++; }
+	int pad = width - n;
+	if (!leftalign) {
+		while (pad > 0) {
+			if (zeropad) emit('0');
+			else emit(' ');
+			pad--;
+		}
+	}
+	while (n > 0) { n--; emit(tmp[n]); }
+	if (leftalign) {
+		while (pad > 0) { emit(' '); pad--; }
+	}
+	return 0;
+}
+
+// do_printf interprets fmt with two argument slots, like the utility
+// invoked as: printf FORMAT ARG1 ARG2.
+int do_printf(char *fmt, long a1, char *s1) {
+	int i = 0;
+	int used = 0;
+	while (fmt[i]) {
+		char c = fmt[i];
+		if (c != '%') {
+			if (c == 92) { // backslash escapes
+				i++;
+				char e = fmt[i];
+				if (e == 'n') emit(10);
+				else if (e == 't') emit(9);
+				else if (e == 92) emit(92);
+				else if (e == '0') emit(0);
+				else if (e == 0) { emit(92); return 1; } // dangling escape
+				else { emit(92); emit(e); }
+				i++;
+				continue;
+			}
+			emit(c);
+			i++;
+			continue;
+		}
+		// conversion specification
+		i++;
+		int zeropad = 0;
+		int leftalign = 0;
+		int width = 0;
+		int longmod = 0;
+		while (fmt[i] == '0' || fmt[i] == '-' || fmt[i] == '+' || fmt[i] == ' ') {
+			if (fmt[i] == '0') zeropad = 1;
+			if (fmt[i] == '-') leftalign = 1;
+			i++;
+		}
+		while (isdigit(fmt[i])) {
+			width = width * 10 + (fmt[i] - '0');
+			if (width > 64) return 2; // reject absurd widths
+			i++;
+		}
+		while (fmt[i] == 'l') { longmod = 1; i++; }
+		char conv = fmt[i];
+		if (conv == 0) return 3; // truncated specification
+		i++;
+		if (conv == '%') { emit('%'); continue; }
+		if (conv == 'd' || conv == 'i') {
+			emit_int(a1, 10, 0, width, zeropad, leftalign);
+			used++;
+		} else if (conv == 'u') {
+			emit_int(a1 < 0 ? -a1 : a1, 10, 0, width, zeropad, leftalign);
+			used++;
+		} else if (conv == 'x') {
+			emit_int(a1, 16, 0, width, zeropad, leftalign);
+			used++;
+		} else if (conv == 'X') {
+			emit_int(a1, 16, 1, width, zeropad, leftalign);
+			used++;
+		} else if (conv == 'o') {
+			emit_int(a1, 8, 0, width, zeropad, leftalign);
+			used++;
+		} else if (conv == 'c') {
+			emit((int)(a1 & 0xff));
+			used++;
+		} else if (conv == 's') {
+			int j = 0;
+			int n = (int)strlen(s1);
+			int pad = width - n;
+			if (!leftalign) while (pad > 0) { emit(' '); pad--; }
+			while (s1[j]) { emit(s1[j]); j++; }
+			if (leftalign) while (pad > 0) { emit(' '); pad--; }
+			used++;
+		} else {
+			return 4; // unknown conversion
+		}
+		if (longmod) { /* width semantics identical in the miniature */ }
+	}
+	return 0;
+}
+`
+
+// Printf returns the printf target with a symbolic format string of
+// fmtLen bytes.
+func Printf(fmtLen int) Target {
+	src := printfCore + fmt.Sprintf(`
+int main() {
+	char f[%d];
+	cloud9_make_symbolic(f, %d, "fmt");
+	f[%d] = 0;
+	int rc = do_printf(f, 42, "ab");
+	return rc;
+}`, fmtLen+1, fmtLen, fmtLen)
+	return Target{Name: "printf", Mimics: "coreutils printf", Source: src}
+}

@@ -1,0 +1,232 @@
+package targets
+
+import "fmt"
+
+// rsyncCore is a miniature of rsync's delta-transfer algorithm: the
+// receiver computes per-block rolling checksums of its old file, the
+// sender scans the new file matching blocks against those checksums,
+// and emits a delta of COPY(block) and LITERAL(byte) commands which the
+// receiver applies. The miniature runs sender and receiver as separate
+// processes over a pipe, like rsync's local mode.
+const rsyncCore = `
+int BLK = 4;
+
+// weak rolling checksum (adler-ish, mod 251 to keep it one byte)
+int rs_weak(char *p, int n) {
+	int a = 1;
+	int b = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		a = (a + (p[i] & 0xff)) % 251;
+		b = (b + a) % 251;
+	}
+	return (b << 8) | a;
+}
+
+// rs_gen_delta writes the delta of newd against the checksums of old
+// blocks into out; returns delta length.
+// Delta format: ['C' blockidx] | ['L' byte], terminated by 'E'.
+int rs_gen_delta(char *old, int oldn, char *newd, int newn, char *out) {
+	int sums[8];
+	int nblocks = oldn / BLK;
+	if (nblocks > 8) nblocks = 8;
+	int i;
+	for (i = 0; i < nblocks; i++) sums[i] = rs_weak(old + i * BLK, BLK);
+	int o = 0;
+	int pos = 0;
+	while (pos < newn) {
+		int matched = -1;
+		if (pos + BLK <= newn) {
+			int w = rs_weak(newd + pos, BLK);
+			for (i = 0; i < nblocks; i++) {
+				if (sums[i] == w && memcmp(old + i * BLK, newd + pos, BLK) == 0) {
+					matched = i;
+					break;
+				}
+			}
+		}
+		if (matched >= 0) {
+			out[o] = 'C'; out[o+1] = (char)matched; o += 2;
+			pos += BLK;
+		} else {
+			out[o] = 'L'; out[o+1] = newd[pos]; o += 2;
+			pos++;
+		}
+	}
+	out[o] = 'E';
+	return o + 1;
+}
+
+// rs_apply_delta reconstructs the new file from old + delta.
+int rs_apply_delta(char *old, char *delta, char *out) {
+	int d = 0;
+	int o = 0;
+	while (delta[d] != 'E') {
+		if (delta[d] == 'C') {
+			int idx = delta[d+1] & 0xff;
+			memcpy(out + o, old + idx * BLK, BLK);
+			o += BLK;
+		} else if (delta[d] == 'L') {
+			out[o] = delta[d+1];
+			o++;
+		} else {
+			return -1; // corrupt delta
+		}
+		d += 2;
+	}
+	return o;
+}
+`
+
+// Rsync returns the rsync target: sender and receiver processes sync a
+// file whose mutated tail is symbolic, and the result is verified
+// byte-for-byte (any delta-algorithm bug aborts).
+func Rsync(symBytes int) Target {
+	src := rsyncCore + fmt.Sprintf(`
+char oldfile[16] = "aaaabbbbccccdddd";
+char newfile[16] = "aaaaXbbbbccccdd";
+
+int main() {
+	// Mutate bytes inside the third block symbolically: checksum matching
+	// branches on whether the block still equals the old one, and the
+	// delta algorithm must round-trip every variant. The mutation
+	// alphabet is restricted so the checksum constraints stay tractable
+	// (the rolling sum couples all mutated bytes).
+	cloud9_make_symbolic(newfile + 8, %d, "mut");
+	{
+		int mi;
+		for (mi = 0; mi < %d; mi++) {
+			cloud9_assume(newfile[8 + mi] == 'c' || newfile[8 + mi] == 'z');
+		}
+	}
+	int fds[2];
+	pipe(fds);
+	int pid = fork();
+	if (pid == 0) {
+		// Sender: generate and ship the delta.
+		char delta[64];
+		int dn = rs_gen_delta(oldfile, 16, newfile, 16, delta);
+		char len[1];
+		len[0] = (char)dn;
+		write(fds[1], len, 1);
+		write(fds[1], delta, dn);
+		exit(0);
+	}
+	// Receiver: apply the delta and verify.
+	char len[1];
+	read(fds[0], len, 1);
+	int dn = len[0] & 0xff;
+	char delta[64];
+	int got = 0;
+	while (got < dn) {
+		int r = read(fds[0], delta + got, dn - got);
+		if (r <= 0) abort();
+		got += r;
+	}
+	char rebuilt[32];
+	int rn = rs_apply_delta(oldfile, delta, rebuilt);
+	waitpid(pid);
+	if (rn != 16) abort();
+	if (memcmp(rebuilt, newfile, 16) != 0) abort();
+	return 0;
+}`, symBytes, symBytes)
+	return Target{Name: "rsync", Mimics: "rsync 3.0.7", Source: src}
+}
+
+// pbzipCore is a miniature of pbzip2: a work queue of file blocks
+// compressed in parallel by worker threads (RLE stands in for BWT), then
+// reassembled in order and verified by decompression.
+const pbzipCore = `
+long q_mtx[2];
+long q_cv[1];
+int q_next = 0;          // next block index to hand out
+int q_done = 0;          // blocks completed
+int NBLOCKS = 3;
+int BLKSZ = 6;
+
+char input[18];
+char outbuf[64];         // 16 bytes of RLE space per block, 3 blocks
+int outlen[4];
+
+// RLE-compress n bytes of src into dst; returns compressed length.
+int pb_compress(char *src, int n, char *dst) {
+	int o = 0;
+	int i = 0;
+	while (i < n) {
+		char c = src[i];
+		int run = 1;
+		while (i + run < n && src[i + run] == c && run < 9) run++;
+		dst[o] = (char)('0' + run);
+		dst[o + 1] = c;
+		o += 2;
+		i += run;
+	}
+	return o;
+}
+
+int pb_decompress(char *src, int n, char *dst) {
+	int o = 0;
+	int i = 0;
+	while (i < n) {
+		int run = src[i] - '0';
+		char c = src[i + 1];
+		int k;
+		for (k = 0; k < run; k++) { dst[o] = c; o++; }
+		i += 2;
+	}
+	return o;
+}
+
+void worker(long id) {
+	while (1) {
+		pthread_mutex_lock(q_mtx);
+		if (q_next >= NBLOCKS) {
+			pthread_mutex_unlock(q_mtx);
+			return;
+		}
+		int blk = q_next;
+		q_next++;
+		pthread_mutex_unlock(q_mtx);
+
+		int n = pb_compress(input + blk * BLKSZ, BLKSZ, outbuf + blk * 16);
+		pthread_mutex_lock(q_mtx);
+		outlen[blk] = n;
+		q_done++;
+		pthread_cond_broadcast(q_cv);
+		pthread_mutex_unlock(q_mtx);
+	}
+}
+`
+
+// Pbzip returns the pbzip target: worker threads compress symbolic
+// blocks in parallel; the result must decompress to the input.
+func Pbzip(symBytes int) Target {
+	src := pbzipCore + fmt.Sprintf(`
+int main() {
+	pthread_mutex_init(q_mtx);
+	pthread_cond_init(q_cv);
+	memset(input, 'a', 18);
+	cloud9_make_symbolic(input, %d, "data");
+	// Keep the alphabet tiny so exploration stays tractable.
+	int i;
+	for (i = 0; i < %d; i++) cloud9_assume(input[i] == 'a' || input[i] == 'b');
+
+	int t1 = pthread_create("worker", 1);
+	int t2 = pthread_create("worker", 2);
+	pthread_mutex_lock(q_mtx);
+	while (q_done < NBLOCKS) pthread_cond_wait(q_cv, q_mtx);
+	pthread_mutex_unlock(q_mtx);
+	pthread_join(t1);
+	pthread_join(t2);
+
+	// Decompress each block and verify round trip.
+	char check[32];
+	for (i = 0; i < NBLOCKS; i++) {
+		int n = pb_decompress(outbuf + i * 16, outlen[i], check);
+		if (n != BLKSZ) abort();
+		if (memcmp(check, input + i * BLKSZ, BLKSZ) != 0) abort();
+	}
+	return 0;
+}`, symBytes, symBytes)
+	return Target{Name: "pbzip", Mimics: "pbzip2 2.1.1", Source: src}
+}

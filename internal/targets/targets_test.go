@@ -1,0 +1,288 @@
+package targets
+
+import (
+	"strings"
+	"testing"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/state"
+	"cloud9/internal/tree"
+)
+
+func explorerFor(t *testing.T, tgt Target, maxSteps uint64) *engine.Explorer {
+	t.Helper()
+	in, err := Factory(tgt)()
+	if err != nil {
+		t.Fatalf("%s: %v", tgt.Name, err)
+	}
+	e, err := engine.New(in, "main", engine.Config{
+		MaxStateSteps: maxSteps,
+		Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAllTargetsCompile(t *testing.T) {
+	for _, tgt := range All() {
+		if _, err := Factory(tgt)(); err != nil {
+			t.Errorf("%s does not compile: %v", tgt.Name, err)
+		}
+	}
+}
+
+func TestProducerConsumerExercisesWholePOSIXModel(t *testing.T) {
+	e := explorerFor(t, ProducerConsumer(), 3_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors != 0 || e.Stats.Hangs != 0 {
+		t.Fatalf("errors=%d hangs=%d (tests: %+v)", e.Stats.Errors, e.Stats.Hangs, e.Tests)
+	}
+	if e.Stats.PathsExplored == 0 {
+		t.Fatal("no paths explored")
+	}
+}
+
+func TestMemcachedConcreteSuiteClean(t *testing.T) {
+	e := explorerFor(t, Memcached(MCDriverConcreteSuite), 3_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.PathsExplored != 1 {
+		t.Fatalf("concrete suite should be a single path, got %d", e.Stats.PathsExplored)
+	}
+	if e.Stats.Errors != 0 {
+		t.Fatalf("suite hit errors: %+v", e.Tests)
+	}
+}
+
+func TestMemcachedSymbolicPacketsExploreProtocol(t *testing.T) {
+	e := explorerFor(t, Memcached(MCDriverTwoSymbolicPackets), 3_000_000)
+	steps, err := e.RunToCompletion(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps >= 20000 {
+		t.Logf("exploration capped at %d steps (paths so far: %d)", steps, e.Stats.PathsExplored)
+	}
+	if e.Stats.PathsExplored < 50 {
+		t.Fatalf("two symbolic packets should fan out widely, got %d paths", e.Stats.PathsExplored)
+	}
+	if e.Stats.Errors != 0 {
+		t.Fatalf("protocol handler crashed: %+v", e.Tests[:min(3, len(e.Tests))])
+	}
+}
+
+func TestMemcachedUDPHangFound(t *testing.T) {
+	e := explorerFor(t, Memcached(MCDriverUDPHang), 200_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Hangs == 0 {
+		t.Fatal("UDP reassembly hang not found")
+	}
+	var hang *engine.TestCase
+	for i := range e.Tests {
+		if e.Tests[i].Kind == state.TermHang &&
+			strings.Contains(e.Tests[i].Message, "instruction limit") {
+			hang = &e.Tests[i]
+		}
+	}
+	if hang == nil {
+		t.Fatalf("no instruction-limit hang test case: %+v", e.Tests)
+	}
+	// The triggering datagram must contain a zero-length fragment header.
+	pkt := hang.Inputs["udp"]
+	if len(pkt) != 6 {
+		t.Fatalf("inputs %v", hang.Inputs)
+	}
+	if pkt[2] != 0 {
+		t.Fatalf("fragment payload_len = %d, want 0 (the seeded bug trigger)", pkt[2])
+	}
+}
+
+func TestMemcachedFaultInjectionAddsPaths(t *testing.T) {
+	plain := explorerFor(t, Memcached(MCDriverConcreteSuite), 3_000_000)
+	if _, err := plain.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	fi := explorerFor(t, Memcached(MCDriverSuiteFaultInjection), 3_000_000)
+	if _, err := fi.RunToCompletion(4000); err != nil {
+		t.Fatal(err)
+	}
+	if fi.Stats.PathsExplored <= plain.Stats.PathsExplored {
+		t.Fatalf("fault injection should multiply paths: %d vs %d",
+			fi.Stats.PathsExplored, plain.Stats.PathsExplored)
+	}
+}
+
+func TestLighttpdTable6Matrix(t *testing.T) {
+	cases := []struct {
+		version int
+		driver  string
+		crash   bool
+	}{
+		{12, LHDriverSinglePacket, false},
+		{12, LHDriverSplit26Plus2, true},
+		{12, LHDriverManySmall, true},
+		{13, LHDriverSinglePacket, false},
+		{13, LHDriverSplit26Plus2, false}, // the patch fixes this row
+		{13, LHDriverManySmall, true},     // ... but not this one
+		{14, LHDriverSinglePacket, false},
+		{14, LHDriverSplit26Plus2, false},
+		{14, LHDriverManySmall, false},
+	}
+	for _, c := range cases {
+		e := explorerFor(t, Lighttpd(c.version, c.driver), 2_000_000)
+		if _, err := e.RunToCompletion(0); err != nil {
+			t.Fatalf("v%d/%s: %v", c.version, c.driver, err)
+		}
+		crashed := e.Stats.Errors > 0
+		if crashed != c.crash {
+			t.Errorf("v%d %s: crash=%v, want %v (%d paths)",
+				c.version, c.driver, crashed, c.crash, e.Stats.PathsExplored)
+		}
+	}
+}
+
+func TestLighttpdSymbolicFragmentationProvesFixIncomplete(t *testing.T) {
+	// The post-patch server still crashes for SOME fragmentation pattern;
+	// the fully fixed one survives all of them (§7.3.4).
+	v13 := explorerFor(t, Lighttpd(13, LHDriverSymbolicFragmentation), 2_000_000)
+	if _, err := v13.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if v13.Stats.Errors == 0 {
+		t.Fatal("symbolic fragmentation failed to expose the incomplete fix")
+	}
+	v14 := explorerFor(t, Lighttpd(14, LHDriverSymbolicFragmentation), 2_000_000)
+	if _, err := v14.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if v14.Stats.Errors != 0 {
+		t.Fatalf("fully fixed version crashed %d times", v14.Stats.Errors)
+	}
+}
+
+func TestCurlUnmatchedBraceCrash(t *testing.T) {
+	e := explorerFor(t, Curl(4), 2_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors == 0 {
+		t.Fatal("unmatched-brace bug not found")
+	}
+	// At least one error input must contain '{' and no matching '}'.
+	found := false
+	for _, tc := range e.Tests {
+		if tc.Kind != state.TermError {
+			continue
+		}
+		tail := string(tc.Inputs["tail"])
+		if strings.Contains(tail, "{") {
+			open := strings.Index(tail, "{")
+			if !strings.Contains(tail[open:], "}") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no test case shows the unmatched-brace trigger: %+v", e.Tests)
+	}
+}
+
+func TestBandicootOOBReadFound(t *testing.T) {
+	e := explorerFor(t, Bandicoot(5), 2_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors == 0 {
+		t.Fatal("bandicoot OOB not found by exhaustive GET exploration")
+	}
+	for _, tc := range e.Tests {
+		if tc.Kind == state.TermError && !strings.Contains(tc.Message, "out-of-bounds") {
+			t.Fatalf("unexpected error kind: %s", tc.Message)
+		}
+	}
+}
+
+func TestPrintfParsesFormats(t *testing.T) {
+	e := explorerFor(t, Printf(2), 2_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors != 0 {
+		t.Fatalf("printf crashed: %+v", e.Tests)
+	}
+	// 2 symbolic format bytes already produce a rich path structure.
+	if e.Stats.PathsExplored < 20 {
+		t.Fatalf("paths = %d, expected a wide fan-out", e.Stats.PathsExplored)
+	}
+}
+
+func TestTestUtilEvaluates(t *testing.T) {
+	e := explorerFor(t, TestUtil(2), 2_000_000)
+	if _, err := e.RunToCompletion(8000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors != 0 {
+		t.Fatalf("test(1) crashed: %+v", e.Tests[:min(3, len(e.Tests))])
+	}
+	if e.Stats.PathsExplored < 10 {
+		t.Fatalf("paths = %d", e.Stats.PathsExplored)
+	}
+}
+
+func TestCoreutilsAllRunCleanly(t *testing.T) {
+	for _, tgt := range Coreutils(2) {
+		e := explorerFor(t, tgt, 2_000_000)
+		if _, err := e.RunToCompletion(3000); err != nil {
+			t.Fatalf("%s: %v", tgt.Name, err)
+		}
+		if e.Stats.Errors != 0 {
+			t.Errorf("%s crashed: %v", tgt.Name, e.Tests[0].Message)
+		}
+		if e.Stats.PathsExplored == 0 {
+			t.Errorf("%s explored nothing", tgt.Name)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRsyncDeltaRoundTrip(t *testing.T) {
+	e := explorerFor(t, Rsync(3), 3_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors != 0 || e.Stats.Hangs != 0 {
+		t.Fatalf("delta algorithm failed round trip: errors=%d hangs=%d (%+v)",
+			e.Stats.Errors, e.Stats.Hangs, e.Tests[:min(2, len(e.Tests))])
+	}
+	if e.Stats.PathsExplored < 2 {
+		t.Fatalf("symbolic tail should fan out, got %d paths", e.Stats.PathsExplored)
+	}
+}
+
+func TestPbzipParallelCompressRoundTrip(t *testing.T) {
+	e := explorerFor(t, Pbzip(2), 3_000_000)
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Errors != 0 || e.Stats.Hangs != 0 {
+		t.Fatalf("parallel compression failed: errors=%d hangs=%d (%+v)",
+			e.Stats.Errors, e.Stats.Hangs, e.Tests[:min(2, len(e.Tests))])
+	}
+	// 2 symbolic bytes from a 2-letter alphabet: 4 data variants.
+	if e.Stats.PathsExplored < 4 {
+		t.Fatalf("paths = %d, want >= 4", e.Stats.PathsExplored)
+	}
+}

@@ -1,0 +1,95 @@
+package targets
+
+import "fmt"
+
+// testCore is a miniature of the test(1) UNIX utility (Fig. 10): a
+// little expression evaluator over string/number operands.
+const testCore = `
+// Operand tokens live in fixed slots, like a tiny argv.
+char t_arg0[8];
+char t_arg1[8];
+char t_arg2[8];
+
+int t_isnum(char *s) {
+	int i = 0;
+	if (s[0] == '-') i = 1;
+	if (!s[i]) return 0;
+	while (s[i]) {
+		if (!isdigit(s[i])) return 0;
+		i++;
+	}
+	return 1;
+}
+
+// eval_unary handles: -n STR, -z STR, -e STR (file exists).
+int eval_unary(char *op, char *v) {
+	if (op[0] != '-' || op[1] == 0 || op[2] != 0) return -1;
+	if (op[1] == 'n') return strlen(v) > 0;
+	if (op[1] == 'z') return strlen(v) == 0;
+	if (op[1] == 'e') {
+		int fd = open(v, O_RDONLY);
+		if (fd >= 0) { close(fd); return 1; }
+		return 0;
+	}
+	return -1;
+}
+
+// eval_binary handles: = != -eq -ne -lt -le -gt -ge.
+int eval_binary(char *a, char *op, char *b) {
+	if (op[0] == '=' && op[1] == 0) return strcmp(a, b) == 0;
+	if (op[0] == '!' && op[1] == '=' && op[2] == 0) return strcmp(a, b) != 0;
+	if (op[0] == '-') {
+		if (!t_isnum(a) || !t_isnum(b)) return -1;
+		int x = atoi(a);
+		int y = atoi(b);
+		if (op[1] == 'e' && op[2] == 'q' && op[3] == 0) return x == y;
+		if (op[1] == 'n' && op[2] == 'e' && op[3] == 0) return x != y;
+		if (op[1] == 'l' && op[2] == 't' && op[3] == 0) return x < y;
+		if (op[1] == 'l' && op[2] == 'e' && op[3] == 0) return x <= y;
+		if (op[1] == 'g' && op[2] == 't' && op[3] == 0) return x > y;
+		if (op[1] == 'g' && op[2] == 'e' && op[3] == 0) return x >= y;
+	}
+	return -1;
+}
+
+// do_test evaluates with nargs in {1,2,3}; optional leading ! negates.
+int do_test(int nargs) {
+	int neg = 0;
+	char *a0 = t_arg0;
+	char *a1 = t_arg1;
+	char *a2 = t_arg2;
+	if (nargs >= 1 && a0[0] == '!' && a0[1] == 0) {
+		neg = 1;
+		a0 = a1;
+		a1 = a2;
+		nargs--;
+	}
+	int r;
+	if (nargs == 1) r = strlen(a0) > 0;       // test STR
+	else if (nargs == 2) r = eval_unary(a0, a1);
+	else if (nargs == 3) r = eval_binary(a0, a1, a2);
+	else return 2;
+	if (r < 0) return 2;  // syntax error
+	if (neg) r = !r;
+	if (r) return 0;      // true -> exit 0
+	return 1;             // false -> exit 1
+}
+`
+
+// TestUtil returns the test(1) target with argLen-byte symbolic operand
+// slots.
+func TestUtil(argLen int) Target {
+	src := testCore + fmt.Sprintf(`
+int main() {
+	char n;
+	cloud9_make_symbolic(&n, 1, "nargs");
+	cloud9_assume(n >= 1);
+	cloud9_assume(n <= 3);
+	cloud9_make_symbolic(t_arg0, %d, "arg0");
+	t_arg0[%d] = 0;
+	if (n >= 2) { cloud9_make_symbolic(t_arg1, %d, "arg1"); t_arg1[%d] = 0; }
+	if (n >= 3) { cloud9_make_symbolic(t_arg2, %d, "arg2"); t_arg2[%d] = 0; }
+	return do_test(n);
+}`, argLen, argLen, argLen, argLen, argLen, argLen)
+	return Target{Name: "test", Mimics: "coreutils test", Source: src}
+}
