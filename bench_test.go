@@ -244,6 +244,108 @@ func BenchmarkTable6_Lighttpd(b *testing.B) {
 	b.ReportMetric(float64(crashes), "crashing-cells")
 }
 
+// ---- Hash-consing microbenches ----
+//
+// The expression layer is hash-consed: Hash(), Equal and the
+// free-variable summaries are stamped at construction and read in O(1).
+// Each bench below compares the interned fast path against the recursive
+// reference implementation (Deep*), which is what every call used to cost
+// before interning. These keep the ≥5× win visible in the bench
+// trajectory.
+
+var (
+	benchSinkU64 uint64
+	benchSinkInt int
+)
+
+// deepBenchExpr builds a linear expression chain of roughly 3n nodes with
+// no constant-folding collapse, standing in for the deep path-condition
+// terms real targets accumulate.
+func deepBenchExpr(n int) *expr.Expr {
+	e := expr.ZExt(expr.Var(0, "x"), expr.W32)
+	for i := 1; i < n; i++ {
+		v := expr.ZExt(expr.Var(uint64(i%8), "x"), expr.W32)
+		e = expr.Xor(expr.Add(e, v), expr.Const(uint64(i)|1, expr.W32))
+	}
+	return e
+}
+
+// BenchmarkExprHash: cached structural hash vs. the full recursive walk.
+func BenchmarkExprHash(b *testing.B) {
+	e := deepBenchExpr(512)
+	b.Run("interned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSinkU64 = e.Hash()
+		}
+	})
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSinkU64 = e.DeepHash()
+		}
+	})
+}
+
+// BenchmarkSolverCacheKey measures computing a solver result-cache key
+// (constraint-set hash combined with the query hash) the way
+// Solver.check does, against recomputing every constraint hash
+// recursively as the pre-interning implementation did.
+func BenchmarkSolverCacheKey(b *testing.B) {
+	cs := solver.EmptySet
+	for i := uint64(0); i < 48; i++ {
+		cs = cs.Append(expr.Ult(expr.Var(i, "v"), expr.Const(200, expr.W8)))
+		cs = cs.Append(expr.Not(expr.Eq(expr.Var(i, "v"), expr.Var((i+1)%48, "v"))))
+	}
+	cond := expr.Eq(deepBenchExpr(64), expr.Const(99, expr.W32))
+	b.Run("interned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSinkU64 = cs.Hash()*0x9e3779b97f4a7c15 ^ cond.Hash()
+		}
+	})
+	cons := cs.Slice()
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var h uint64
+			for _, c := range cons {
+				h = h*1099511628211 ^ c.DeepHash()
+			}
+			benchSinkU64 = h ^ cond.DeepHash()
+		}
+	})
+}
+
+// BenchmarkPartitionVars measures collecting per-constraint variable
+// sets, the inner loop of independence partitioning, from the cached
+// summaries vs. re-walking each constraint's DAG with a dedup map.
+func BenchmarkPartitionVars(b *testing.B) {
+	var cons []*expr.Expr
+	for i := uint64(0); i < 64; i++ {
+		lhs := expr.Add(
+			expr.ZExt(expr.Var(i, "v"), expr.W32),
+			expr.ZExt(expr.Var(i+1, "v"), expr.W32))
+		cons = append(cons, expr.Ult(expr.Xor(lhs, deepBenchExpr(16)), expr.Const(500+i, expr.W32)))
+	}
+	b.Run("interned", func(b *testing.B) {
+		var buf []uint64
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, c := range cons {
+				buf = c.FreeVars().AppendIDs(buf[:0])
+				n += len(buf)
+			}
+			benchSinkInt = n
+		}
+	})
+	b.Run("recursive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, c := range cons {
+				n += len(c.DeepVars(map[uint64]bool{}, nil))
+			}
+			benchSinkInt = n
+		}
+	})
+}
+
 // ---- Ablation benches (design decisions from DESIGN.md §4) ----
 
 // BenchmarkAblation_SolverCaches compares a shared solver (caches warm

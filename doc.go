@@ -15,6 +15,11 @@
 //   - cmd/c9-repro  — regenerates every table/figure of the paper's §7
 //   - examples/     — runnable API walkthroughs
 //
+// The expression layer (internal/expr) is hash-consed: structural
+// hashing, equality, and free-variable queries on constraints are O(1)
+// field reads, which is what keeps the solver's constraint caches (paper
+// §6) near-free to key. See internal/expr's package docs for the design.
+//
 // See README.md for the architecture overview, DESIGN.md for the
 // system inventory and substitutions, and EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go regenerate

@@ -1,0 +1,3 @@
+module cloud9
+
+go 1.24

@@ -1,12 +1,5 @@
-// Package expr implements the bit-vector expression language used by the
-// symbolic execution engine. Expressions are immutable DAGs built through
-// smart constructors that canonicalize and constant-fold aggressively, so
-// that the constraint solver sees small, normalized formulas.
-//
-// All symbolic inputs are byte-wide variables (see Var); wider symbolic
-// values are built by concatenating bytes, mirroring KLEE's byte-level
-// array model. Widths of 1 (booleans), 8, 16, 32 and 64 bits are
-// supported.
+// Expression node representation and smart constructors. Package
+// documentation lives in doc.go; hash-consing machinery in intern.go.
 package expr
 
 import (
@@ -100,7 +93,11 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-// Expr is an immutable bit-vector expression node.
+// Expr is an immutable bit-vector expression node. Nodes are hash-consed:
+// the constructors intern every node in a global table (see intern.go), so
+// structurally equal expressions are pointer-identical, and each node
+// carries its structural hash, node count, and free-variable summary
+// stamped at construction.
 //
 // The zero value is not a valid expression; use the constructors.
 type Expr struct {
@@ -109,6 +106,11 @@ type Expr struct {
 	val   uint64 // OpConst: value; OpVar: variable id; OpExtract: bit offset
 	name  string // OpVar only: symbolic name
 	kids  []*Expr
+
+	// Stamped by intern() at construction; immutable afterwards.
+	hash uint64  // structural hash (see Hash)
+	size uint32  // occurrence-counted node count, saturating (see Size)
+	vars *VarSet // free-variable summary, shared across nodes
 }
 
 // Op returns the node operator.
@@ -188,7 +190,7 @@ func init() {
 			n = 2
 		}
 		for v := 0; v < n; v++ {
-			smallConsts[c][v] = &Expr{op: OpConst, width: w, val: uint64(v)}
+			smallConsts[c][v] = intern(OpConst, w, uint64(v), "")
 		}
 	}
 	boolConsts[0] = smallConsts[0][0]
@@ -203,7 +205,7 @@ func Const(v uint64, w Width) *Expr {
 			return e
 		}
 	}
-	return &Expr{op: OpConst, width: w, val: v}
+	return intern(OpConst, w, v, "")
 }
 
 // True is the width-1 constant 1.
@@ -220,11 +222,12 @@ func Bool(b bool) *Expr {
 	return False()
 }
 
-// Var returns a fresh reference to symbolic byte variable id. All symbolic
-// variables are byte-wide; the engine builds wider values with Concat.
-// name is used for diagnostics and test-case rendering.
+// Var returns the canonical node for symbolic byte variable id. All
+// symbolic variables are byte-wide; the engine builds wider values with
+// Concat. name is used for diagnostics and test-case rendering and
+// participates in node identity.
 func Var(id uint64, name string) *Expr {
-	return &Expr{op: OpVar, width: W8, val: id, name: name}
+	return intern(OpVar, W8, id, name)
 }
 
 func signExtend(v uint64, w Width) int64 {
@@ -323,7 +326,7 @@ func isCommutative(op Op) bool {
 }
 
 func newBin(op Op, w Width, l, r *Expr) *Expr {
-	return &Expr{op: op, width: w, kids: []*Expr{l, r}}
+	return intern(op, w, 0, "", l, r)
 }
 
 // Binary builds a binary operation with canonicalization and folding.
@@ -566,7 +569,7 @@ func Not(e *Expr) *Expr {
 	if e.op == OpNot {
 		return e.kids[0]
 	}
-	return &Expr{op: OpNot, width: W1, kids: []*Expr{e}}
+	return intern(OpNot, W1, 0, "", e)
 }
 
 // LAnd returns the boolean conjunction of l and r.
@@ -586,7 +589,7 @@ func LAnd(l, r *Expr) *Expr {
 	if l == r {
 		return l
 	}
-	return &Expr{op: OpLAnd, width: W1, kids: []*Expr{l, r}}
+	return intern(OpLAnd, W1, 0, "", l, r)
 }
 
 // LOr returns the boolean disjunction of l and r.
@@ -606,7 +609,7 @@ func LOr(l, r *Expr) *Expr {
 	if l == r {
 		return l
 	}
-	return &Expr{op: OpLOr, width: W1, kids: []*Expr{l, r}}
+	return intern(OpLOr, W1, 0, "", l, r)
 }
 
 // Concat returns hi ++ lo. The result width is the sum of the operand
@@ -631,7 +634,7 @@ func Concat(hi, lo *Expr) *Expr {
 	if hi.op == OpConst && hi.val == 0 {
 		return ZExt(lo, w)
 	}
-	return &Expr{op: OpConcat, width: w, kids: []*Expr{hi, lo}}
+	return intern(OpConcat, w, 0, "", hi, lo)
 }
 
 // Extract returns bits [off, off+w) of e.
@@ -675,7 +678,7 @@ func Extract(e *Expr, off uint, w Width) *Expr {
 	case OpExtract:
 		return Extract(e.kids[0], uint(e.val)+off, w)
 	}
-	return &Expr{op: OpExtract, width: w, val: uint64(off), kids: []*Expr{e}}
+	return intern(OpExtract, w, uint64(off), "", e)
 }
 
 // ZExt zero-extends e to width w (no-op if already that width).
@@ -692,7 +695,7 @@ func ZExt(e *Expr, w Width) *Expr {
 	if e.op == OpZExt {
 		return ZExt(e.kids[0], w)
 	}
-	return &Expr{op: OpZExt, width: w, kids: []*Expr{e}}
+	return intern(OpZExt, w, 0, "", e)
 }
 
 // SExt sign-extends e to width w (no-op if already that width).
@@ -706,7 +709,7 @@ func SExt(e *Expr, w Width) *Expr {
 	if e.op == OpConst {
 		return Const(uint64(signExtend(e.val, e.width)), w)
 	}
-	return &Expr{op: OpSExt, width: w, kids: []*Expr{e}}
+	return intern(OpSExt, w, 0, "", e)
 }
 
 // Ite returns "if cond then a else b". cond must have width W1 and a, b
@@ -727,7 +730,7 @@ func Ite(cond, a, b *Expr) *Expr {
 	if a == b {
 		return a
 	}
-	return &Expr{op: OpIte, width: a.width, kids: []*Expr{cond, a, b}}
+	return intern(OpIte, a.width, 0, "", cond, a, b)
 }
 
 // Assignment maps symbolic byte-variable ids to concrete byte values.
@@ -898,9 +901,53 @@ func foldBinFast(op Op, a, b uint64, w Width) (uint64, bool) {
 	}
 }
 
-// Vars appends the distinct variable ids referenced by e to dst,
-// using seen to dedupe, and returns dst.
+// Vars appends the distinct variable ids referenced by e to dst, using
+// seen to dedupe across calls, and returns dst. It reads the cached
+// free-variable summary — no DAG traversal — and appends in ascending id
+// order.
 func (e *Expr) Vars(seen map[uint64]bool, dst []uint64) []uint64 {
+	s := e.vars
+	w := s.lo
+	for w != 0 {
+		id := uint64(trailingZeros64(w))
+		w &= w - 1
+		if !seen[id] {
+			seen[id] = true
+			dst = append(dst, id)
+		}
+	}
+	for _, id := range s.hi {
+		if !seen[id] {
+			seen[id] = true
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// VarIDs returns the distinct variable ids referenced by e in ascending
+// order. It decodes the cached summary; no DAG traversal.
+func (e *Expr) VarIDs() []uint64 {
+	if e.vars.n == 0 {
+		return nil
+	}
+	return e.vars.AppendIDs(make([]uint64, 0, e.vars.n))
+}
+
+// FreeVars returns e's cached free-variable summary. The set is shared
+// and must not be mutated.
+func (e *Expr) FreeVars() *VarSet { return e.vars }
+
+// NumVars returns the number of distinct variables in e. O(1).
+func (e *Expr) NumVars() int { return e.vars.n }
+
+// HasVars reports whether e references any symbolic variable. O(1).
+func (e *Expr) HasVars() bool { return e.vars.n > 0 }
+
+// DeepVars is the recursive reference implementation of Vars, retained
+// for verification and benchmarking: it re-walks the DAG per occurrence
+// and appends ids in discovery order.
+func (e *Expr) DeepVars(seen map[uint64]bool, dst []uint64) []uint64 {
 	if e.op == OpVar {
 		if !seen[e.val] {
 			seen[e.val] = true
@@ -909,22 +956,9 @@ func (e *Expr) Vars(seen map[uint64]bool, dst []uint64) []uint64 {
 		return dst
 	}
 	for _, k := range e.kids {
-		dst = k.Vars(seen, dst)
+		dst = k.DeepVars(seen, dst)
 	}
 	return dst
-}
-
-// HasVars reports whether e references any symbolic variable.
-func (e *Expr) HasVars() bool {
-	if e.op == OpVar {
-		return true
-	}
-	for _, k := range e.kids {
-		if k.HasVars() {
-			return true
-		}
-	}
-	return false
 }
 
 // String renders e in a compact s-expression form for diagnostics.

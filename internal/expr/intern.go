@@ -1,0 +1,303 @@
+package expr
+
+// Hash consing. Every expression node is interned at construction time in
+// a global sharded table, so structurally equal expressions are always the
+// same pointer. Each node is stamped, once, with
+//
+//   - its structural hash (computed from the children's already-cached
+//     hashes, so stamping is O(1) per node),
+//   - its occurrence-counted node count (saturating), and
+//   - a summary of its free variables (VarSet below).
+//
+// This is what makes the solver's caches cheap: Hash() is a field read,
+// Equal() is a pointer comparison, and independence partitioning reads
+// per-node variable summaries instead of re-walking the DAG.
+//
+// Workers are shared-nothing, but targets and tests construct expressions
+// concurrently, so the table is lock-striped across 64 shards keyed by the
+// node hash. The table is append-only and lives for the process lifetime;
+// that matches Cloud9's per-worker-process model, where the expression
+// population is bounded by the constraint population of the explored
+// subtree.
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+func popcount64(w uint64) int { return bits.OnesCount64(w) }
+
+func trailingZeros64(w uint64) int { return bits.TrailingZeros64(w) }
+
+func sortIDs(ids []uint64) { slices.Sort(ids) }
+
+// VarSet is an immutable summary of the distinct free variables of an
+// expression: a 64-bit inline bitset for ids 0..63 (the overwhelmingly
+// common case — symbolic inputs are small byte buffers) plus a sorted
+// spill slice for larger ids. VarSets are shared between parent and child
+// nodes whenever one side's set covers the merge, so most interior nodes
+// carry a pointer to a set allocated far below them.
+type VarSet struct {
+	lo uint64   // bitset of ids 0..63
+	hi []uint64 // sorted distinct ids >= 64
+	n  int      // total distinct ids
+}
+
+var emptyVarSet = &VarSet{}
+
+// Len returns the number of distinct variables in the set.
+func (s *VarSet) Len() int { return s.n }
+
+// Empty reports whether the set contains no variables.
+func (s *VarSet) Empty() bool { return s.n == 0 }
+
+// Has reports whether id is in the set.
+func (s *VarSet) Has(id uint64) bool {
+	if id < 64 {
+		return s.lo&(1<<id) != 0
+	}
+	lo, hi := 0, len(s.hi)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.hi[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.hi) && s.hi[lo] == id
+}
+
+// Intersects reports whether the two sets share any variable.
+func (s *VarSet) Intersects(o *VarSet) bool {
+	if s.lo&o.lo != 0 {
+		return true
+	}
+	a, b := s.hi, o.hi
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// AppendIDs appends the set's variable ids to dst in ascending order.
+func (s *VarSet) AppendIDs(dst []uint64) []uint64 {
+	w := s.lo
+	for w != 0 {
+		dst = append(dst, uint64(bits.TrailingZeros64(w)))
+		w &= w - 1
+	}
+	return append(dst, s.hi...)
+}
+
+// subsetOf reports a ⊆ b.
+func subsetOf(a, b *VarSet) bool {
+	if a.lo&^b.lo != 0 {
+		return false
+	}
+	if len(a.hi) > len(b.hi) {
+		return false
+	}
+	j := 0
+	for _, id := range a.hi {
+		for j < len(b.hi) && b.hi[j] < id {
+			j++
+		}
+		if j >= len(b.hi) || b.hi[j] != id {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// mergeVarSets returns the union of a and b, sharing an input set's
+// pointer whenever it already covers the union.
+func mergeVarSets(a, b *VarSet) *VarSet {
+	if a.n == 0 || a == b {
+		return b
+	}
+	if b.n == 0 {
+		return a
+	}
+	if subsetOf(b, a) {
+		return a
+	}
+	if subsetOf(a, b) {
+		return b
+	}
+	lo := a.lo | b.lo
+	hi := make([]uint64, 0, len(a.hi)+len(b.hi))
+	i, j := 0, 0
+	for i < len(a.hi) && j < len(b.hi) {
+		switch {
+		case a.hi[i] < b.hi[j]:
+			hi = append(hi, a.hi[i])
+			i++
+		case a.hi[i] > b.hi[j]:
+			hi = append(hi, b.hi[j])
+			j++
+		default:
+			hi = append(hi, a.hi[i])
+			i, j = i+1, j+1
+		}
+	}
+	hi = append(hi, a.hi[i:]...)
+	hi = append(hi, b.hi[j:]...)
+	return &VarSet{lo: lo, hi: hi, n: bits.OnesCount64(lo) + len(hi)}
+}
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = mix(h, uint64(s[i]))
+	}
+	return h
+}
+
+// hashParts computes the structural hash of a node described by its
+// parts, from the children's already-cached hashes. It must agree with
+// Expr.DeepHash. The name participates in identity for variables (Equal
+// distinguishes it), so it participates in the hash.
+func hashParts(op Op, w Width, val uint64, name string, kids []*Expr) uint64 {
+	h := uint64(fnvOffset)
+	h = mix(h, uint64(op))
+	h = mix(h, uint64(w))
+	h = mix(h, val)
+	if op == OpVar {
+		h = mix(h, hashString(name))
+	}
+	for _, k := range kids {
+		h = mix(h, k.hash)
+	}
+	return h
+}
+
+// matches reports whether the interned node e describes the same
+// structure as the parts. Children are compared by pointer: they are
+// interned before their parents, so pointer identity is structural
+// identity.
+func (e *Expr) matches(op Op, w Width, val uint64, name string, kids []*Expr) bool {
+	if e.op != op || e.width != w || e.val != val || len(e.kids) != len(kids) {
+		return false
+	}
+	if op == OpVar && e.name != name {
+		return false
+	}
+	for i := range kids {
+		if e.kids[i] != kids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const internShardCount = 64 // power of two; indexed by low hash bits
+
+// internShardCap bounds the published node population per shard (~4M
+// nodes total). The solver's substitution loops create transient residual
+// expressions per partial assignment; without a bound, every residual
+// ever formed would be retained for the process lifetime. Past the cap,
+// intern degrades gracefully: nodes are still stamped (Hash/Vars stay
+// O(1)) but no longer published, so they remain garbage-collectible,
+// identical constructions may return distinct pointers, and Equal falls
+// back to its hash-guarded structural slow path. A var, not a const, so
+// tests can exercise the overflow path.
+var internShardCap uint64 = (4 << 20) / internShardCount
+
+type internShard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Expr
+	nodes   uint64
+	hits    uint64
+}
+
+// internTab is initialized as a package-level variable (not in init) so it
+// is ready before any other file's init runs — expr.go's init interns the
+// small-constant pool.
+var internTab = func() *[internShardCount]internShard {
+	t := new([internShardCount]internShard)
+	for i := range t {
+		t[i].buckets = make(map[uint64][]*Expr, 256)
+	}
+	return t
+}()
+
+// intern returns the canonical node for the structure described by the
+// parts: an existing table entry when one matches (the steady-state case
+// — no allocation at all), or a freshly stamped node, published unless
+// the shard is at capacity. kids is only copied on a miss, so call sites
+// can pass stack-backed variadic slices.
+func intern(op Op, w Width, val uint64, name string, kids ...*Expr) *Expr {
+	h := hashParts(op, w, val, name, kids)
+	sh := &internTab[h&(internShardCount-1)]
+	sh.mu.Lock()
+	bucket := sh.buckets[h]
+	for _, c := range bucket {
+		if c.matches(op, w, val, name, kids) {
+			sh.hits++
+			sh.mu.Unlock()
+			return c
+		}
+	}
+	if sh.nodes >= internShardCap {
+		sh.mu.Unlock()
+		return buildNode(op, w, val, name, kids, h) // stamped, unpublished
+	}
+	e := buildNode(op, w, val, name, kids, h)
+	sh.buckets[h] = append(bucket, e)
+	sh.nodes++
+	sh.mu.Unlock()
+	return e
+}
+
+// buildNode allocates and stamps a node from its parts and precomputed
+// hash, copying kids.
+func buildNode(op Op, w Width, val uint64, name string, kids []*Expr, h uint64) *Expr {
+	size := uint64(1)
+	vars := emptyVarSet
+	if op == OpVar {
+		if val < 64 {
+			vars = &VarSet{lo: 1 << val, n: 1}
+		} else {
+			vars = &VarSet{hi: []uint64{val}, n: 1}
+		}
+	} else {
+		for _, k := range kids {
+			size += uint64(k.size)
+			vars = mergeVarSets(vars, k.vars)
+		}
+	}
+	if size > math.MaxUint32 {
+		size = math.MaxUint32 // deep shared DAGs: saturate, don't wrap
+	}
+	e := &Expr{op: op, width: w, val: val, name: name, hash: h, size: uint32(size), vars: vars}
+	if len(kids) > 0 {
+		e.kids = make([]*Expr, len(kids))
+		copy(e.kids, kids)
+	}
+	return e
+}
+
+// InternStats reports the number of distinct interned nodes and the
+// number of constructions answered with an existing node.
+func InternStats() (nodes, hits uint64) {
+	for i := range internTab {
+		sh := &internTab[i]
+		sh.mu.Lock()
+		nodes += sh.nodes
+		hits += sh.hits
+		sh.mu.Unlock()
+	}
+	return nodes, hits
+}

@@ -330,7 +330,7 @@ func (c *Ctx) Concretize(e *expr.Expr) (uint64, error) {
 		for k, mv := range model {
 			full[k] = mv
 		}
-		for _, id := range e.Vars(map[uint64]bool{}, nil) {
+		for _, id := range e.VarIDs() {
 			if _, bound := full[id]; !bound {
 				full[id] = 0
 			}

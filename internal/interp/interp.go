@@ -292,7 +292,7 @@ func (in *Interp) resolveAddr(s *state.S, e *expr.Expr) (uint64, error) {
 		for k, mv := range model {
 			full[k] = mv
 		}
-		for _, id := range e.Vars(map[uint64]bool{}, nil) {
+		for _, id := range e.VarIDs() {
 			if _, bound := full[id]; !bound {
 				full[id] = 0
 			}
@@ -325,7 +325,7 @@ func (in *Interp) checkSymbolicBounds(s *state.S, t *state.Thread, f *state.Fram
 		for k, mv := range model {
 			full[k] = mv
 		}
-		for _, id := range addrE.Vars(map[uint64]bool{}, nil) {
+		for _, id := range addrE.VarIDs() {
 			if _, bound := full[id]; !bound {
 				full[id] = 0
 			}

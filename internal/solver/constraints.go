@@ -5,7 +5,8 @@
 // reduces to a constraint-satisfaction search over byte domains. The
 // solver layers, from the outside in:
 //
-//  1. a counterexample/model cache keyed on structural hashes,
+//  1. a counterexample/model cache keyed on structural hashes (O(1) to
+//     compute: expressions are hash-consed, see package expr),
 //  2. unit propagation of equalities with constants,
 //  3. independence partitioning (KLEE's independent-constraint
 //     optimization): only the constraint group transitively sharing
@@ -32,7 +33,9 @@ type ConstraintSet struct {
 var EmptySet = (*ConstraintSet)(nil)
 
 // Append returns a new set containing all of cs plus c. Constant-true
-// constraints are dropped.
+// constraints are dropped. The set hash is extended from c's cached
+// structural hash (expressions are hash-consed), so appending is O(1)
+// regardless of c's size.
 func (cs *ConstraintSet) Append(c *expr.Expr) *ConstraintSet {
 	if c.Width() != expr.W1 {
 		panic("solver: non-boolean constraint")
@@ -55,7 +58,8 @@ func (cs *ConstraintSet) Len() int {
 	return cs.depth
 }
 
-// Hash returns an order-sensitive structural hash of the set.
+// Hash returns an order-sensitive structural hash of the set. O(1): the
+// hash is maintained incrementally by Append from cached node hashes.
 func (cs *ConstraintSet) Hash() uint64 {
 	if cs == nil {
 		return 0
@@ -85,7 +89,9 @@ func (cs *ConstraintSet) HasFalse() bool {
 	return false
 }
 
-// Vars returns the distinct variable ids referenced by the set.
+// Vars returns the distinct variable ids referenced by the set. Each
+// constraint contributes its cached free-variable summary; no expression
+// DAG is traversed.
 func (cs *ConstraintSet) Vars() []uint64 {
 	seen := map[uint64]bool{}
 	var out []uint64

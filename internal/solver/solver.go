@@ -259,8 +259,9 @@ func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel 
 		if !progress {
 			break
 		}
+		bound := units.VarSet() // one summary for the whole round
 		for i, c := range cons {
-			cons[i] = c.SubstConsts(units)
+			cons[i] = c.SubstConstsWith(units, bound)
 		}
 	}
 
@@ -398,7 +399,7 @@ func partition(cons []*expr.Expr) []*group {
 
 	varLists := make([][]uint64, len(cons))
 	for i, c := range cons {
-		vl := c.Vars(map[uint64]bool{}, nil)
+		vl := c.VarIDs() // cached per-node summary; no DAG walk
 		varLists[i] = vl
 		for j := 1; j < len(vl); j++ {
 			union(vl[0], vl[j])
@@ -484,7 +485,7 @@ func (s *Solver) solveGroup(g *group, model expr.Assignment) (bool, error) {
 	}
 	infos := make([]conInfo, 0, len(g.cons))
 	for _, c := range g.cons {
-		infos = append(infos, conInfo{c: c, vars: c.Vars(map[uint64]bool{}, nil)})
+		infos = append(infos, conInfo{c: c, vars: c.VarIDs()})
 	}
 
 	// pruneUnary restricts var id's domain using constraint c, assuming
