@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Cluster smoke test: a real 3-process TCP exploration of a coreutils
+# miniature with one worker kill -9'd mid-run must finish with exactly
+# the same path count as a single-node run — the load balancer evicts the
+# silent worker when its lease lapses and re-seats its last-reported
+# frontier onto the survivors.
+#
+# Usage: ci/tcp_smoke.sh [target] [port]
+set -euo pipefail
+
+# The coreutils `test` miniature explores ~540 paths in ~10s on one
+# node, long enough that the mid-run kill below lands while all three
+# workers still hold jobs.
+TARGET="${1:-test}"
+PORT="${2:-7911}"
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
+
+echo "== building binaries"
+go build -o "$BIN" ./cmd/c9 ./cmd/c9-lb ./cmd/c9-worker
+
+echo "== single-node reference run ($TARGET)"
+"$BIN/c9" -target "$TARGET" -tests=false | tee "$LOGS/single.txt"
+REF=$(awk '/^paths explored:/ {print $3}' "$LOGS/single.txt")
+if [[ -z "$REF" || "$REF" -eq 0 ]]; then
+  echo "smoke: could not get reference path count" >&2
+  exit 1
+fi
+echo "== reference: $REF paths"
+
+echo "== starting LB + 3 workers (will kill -9 one mid-run)"
+# Lease must exceed the worst single solver query (a worker cannot
+# heartbeat mid-step), but stay well under the post-kill run time so the
+# eviction + re-seat actually happens before quiescence.
+"$BIN/c9-lb" -listen "127.0.0.1:$PORT" -target "$TARGET" -min-workers 3 \
+  -lease 2s -max-duration 5m >"$LOGS/lb.txt" 2>&1 &
+LB_PID=$!
+sleep 1
+
+WPIDS=()
+for i in 0 1 2; do
+  "$BIN/c9-worker" -lb "127.0.0.1:$PORT" -target "$TARGET" -batch 8 \
+    >"$LOGS/worker$i.txt" 2>&1 &
+  WPIDS+=($!)
+done
+
+# Kill worker 1 once the run is underway (it has joined and the cluster
+# is exploring), well before the LB can be done.
+for _ in $(seq 1 100); do
+  grep -q "joined as worker" "$LOGS/worker1.txt" 2>/dev/null && break
+  sleep 0.1
+done
+sleep 1
+if kill -0 "${WPIDS[1]}" 2>/dev/null; then
+  echo "== kill -9 worker pid ${WPIDS[1]}"
+  kill -9 "${WPIDS[1]}"
+else
+  echo "smoke: worker 1 exited before the kill — run too short for a mid-run crash" >&2
+  exit 1
+fi
+
+wait "$LB_PID"
+cat "$LOGS/lb.txt"
+
+TOTAL=$(awk -F'paths=' '/^cluster total:/ {split($2,a," "); print a[1]}' "$LOGS/lb.txt")
+EVICTS=$(awk -F'evictions=' '/^membership:/ {split($2,a," "); print a[1]}' "$LOGS/lb.txt")
+echo "== cluster total: ${TOTAL:-?} paths (reference $REF), evictions: ${EVICTS:-?}"
+
+if [[ -z "${TOTAL:-}" ]]; then
+  echo "smoke: LB never printed a cluster total" >&2
+  exit 1
+fi
+if [[ "$TOTAL" -ne "$REF" ]]; then
+  echo "smoke: FAIL — cluster explored $TOTAL paths, single node explored $REF" >&2
+  exit 1
+fi
+if [[ "${EVICTS:-0}" -lt 1 ]]; then
+  echo "smoke: FAIL — the killed worker was never evicted" >&2
+  exit 1
+fi
+echo "smoke: OK — crash-tolerant cluster matches single-node exploration ($TOTAL paths)"

@@ -1,0 +1,178 @@
+// Command c9-benchgate parses `go test -bench` output, serializes it to
+// JSON (the CI bench artifact), and gates merges on performance
+// regressions of the hash-consing fast paths.
+//
+// The gate is expressed as a minimum speedup of the interned fast path
+// over the recursive reference implementation measured in the same
+// process (e.g. BenchmarkExprHash/interned vs .../recursive). Comparing
+// a ratio taken on one machine keeps the gate meaningful across runner
+// generations, unlike absolute ns/op; the committed baseline stores the
+// reference speedup divided by the allowed regression factor (3x), so a
+// fast path that gets >3x slower relative to its baseline fails CI.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' | tee bench.txt
+//	go test -bench 'BenchmarkExprHash|BenchmarkSolverCacheKey' -benchtime 100000x -run '^$' | tee gate.txt
+//	c9-benchgate -results bench.txt -gate gate.txt -baseline ci/bench_baseline.json -out BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark line: ns/op plus any custom
+// b.ReportMetric values.
+type BenchResult struct {
+	NsOp    float64            `json:"ns_op"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Gate compares the measured speedup fast→slow against a floor.
+type Gate struct {
+	Name string `json:"name"`
+	// Fast and Slow are benchmark names (sub-benchmarks of the same
+	// parent); speedup = ns_op(Slow) / ns_op(Fast).
+	Fast string `json:"fast"`
+	Slow string `json:"slow"`
+	// MinSpeedup is the smallest acceptable speedup: the reference
+	// measurement divided by the allowed regression factor.
+	MinSpeedup float64 `json:"min_speedup"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Comment string `json:"comment,omitempty"`
+	Gates   []Gate `json:"gates"`
+}
+
+// Artifact is the uploaded CI result file.
+type Artifact struct {
+	Suite map[string]BenchResult `json:"suite"`
+	Gate  map[string]BenchResult `json:"gate,omitempty"`
+	Pass  bool                   `json:"pass"`
+	Notes []string               `json:"notes,omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkExprHash/interned-8   1000000   0.5023 ns/op   12.0 paths"
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.e+]+) ns/op(.*)$`)
+
+func parseFile(path string) (map[string]BenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]BenchResult{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{NsOp: ns, Iters: iters}
+		// Trailing "value unit" metric pairs from b.ReportMetric.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		results  = flag.String("results", "", "full-suite `go test -bench` output (artifact body)")
+		gateFile = flag.String("gate", "", "stabilized gate-bench output (defaults to -results)")
+		baseline = flag.String("baseline", "", "committed baseline JSON with speedup gates")
+		out      = flag.String("out", "", "write the JSON artifact here")
+	)
+	flag.Parse()
+	if *results == "" {
+		fmt.Fprintln(os.Stderr, "c9-benchgate: -results is required")
+		os.Exit(2)
+	}
+	suite, err := parseFile(*results)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	gateRes := suite
+	art := Artifact{Suite: suite, Pass: true}
+	if *gateFile != "" {
+		if gateRes, err = parseFile(*gateFile); err != nil {
+			fmt.Fprintf(os.Stderr, "c9-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		art.Gate = gateRes
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c9-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		var base Baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "c9-benchgate: %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+		for _, g := range base.Gates {
+			fast, okF := gateRes[g.Fast]
+			slow, okS := gateRes[g.Slow]
+			if !okF || !okS {
+				art.Pass = false
+				art.Notes = append(art.Notes,
+					fmt.Sprintf("%s: missing bench results (%s/%s)", g.Name, g.Fast, g.Slow))
+				continue
+			}
+			speedup := slow.NsOp / fast.NsOp
+			note := fmt.Sprintf("%s: speedup %.0fx (floor %.0fx; fast %.4g ns/op, slow %.4g ns/op)",
+				g.Name, speedup, g.MinSpeedup, fast.NsOp, slow.NsOp)
+			if speedup < g.MinSpeedup {
+				art.Pass = false
+				note += " REGRESSION"
+			}
+			art.Notes = append(art.Notes, note)
+		}
+	}
+
+	if *out != "" {
+		blob, _ := json.MarshalIndent(art, "", "  ")
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "c9-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, n := range art.Notes {
+		fmt.Println(n)
+	}
+	if !art.Pass {
+		fmt.Println("c9-benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Printf("c9-benchgate: OK (%d benchmarks)\n", len(suite))
+}

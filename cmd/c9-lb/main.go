@@ -1,12 +1,15 @@
 // Command c9-lb runs the Cloud9 load balancer for a cross-process
-// cluster. Workers (cmd/c9-worker) dial in, stream status updates, and
-// receive balancing instructions; job transfers flow directly between
-// workers. The LB exits when the cluster is quiescent and prints the
-// aggregate results.
+// cluster. Workers (cmd/c9-worker) dial in at any time, stream status
+// updates, and receive balancing instructions; job transfers flow
+// directly between workers. Membership is elastic: workers may join
+// mid-run, leave gracefully, or crash — a silent worker is evicted when
+// its lease lapses and its last-reported jobs are re-seated onto
+// survivors. The LB exits when the cluster is quiescent and prints the
+// aggregate results, including departed workers' final contributions.
 //
 // Usage:
 //
-//	c9-lb -listen 127.0.0.1:7747 -target memcached -workers 4
+//	c9-lb -listen 127.0.0.1:7747 -target memcached -min-workers 4
 package main
 
 import (
@@ -24,9 +27,12 @@ func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7747", "address to listen on")
 		targetName = flag.String("target", "memcached", "target (for coverage sizing)")
-		workers    = flag.Int("workers", 2, "number of workers expected before balancing")
+		minWorkers = flag.Int("min-workers", 2, "workers that must have joined before quiescence can end the run")
+		lease      = flag.Duration("lease", cluster.DefaultLease, "membership lease; silent workers are evicted past this")
 		maxDur     = flag.Duration("max-duration", 10*time.Minute, "run bound")
 	)
+	// Back-compat alias for the old flag name.
+	flag.IntVar(minWorkers, "workers", *minWorkers, "alias for -min-workers")
 	flag.Parse()
 
 	tgt, ok := targets.ByName(*targetName)
@@ -40,12 +46,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv, err := cluster.NewLBServer(*listen, cluster.DefaultBalancerConfig(), prog.MaxLine, *workers)
+	cfg := cluster.DefaultBalancerConfig()
+	cfg.Lease = *lease
+	srv, err := cluster.NewLBServer(*listen, cfg, prog.MaxLine, *minWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("c9-lb: listening on %s, waiting for %d workers...\n", srv.Addr(), *workers)
+	fmt.Printf("c9-lb: listening on %s (elastic membership, quiescence after ≥%d workers)\n",
+		srv.Addr(), *minWorkers)
 	statuses, err := srv.Serve(*maxDur)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
@@ -59,9 +68,12 @@ func main() {
 		hangs += st.Hangs
 		useful += st.UsefulSteps
 		replay += st.ReplaySteps
-		fmt.Printf("  worker %d: paths=%d errors=%d useful=%d replay=%d cov=%d\n",
-			st.Worker, st.Paths, st.Errors, st.UsefulSteps, st.ReplaySteps, st.CovCount)
+		fmt.Printf("  worker %d (epoch %d): paths=%d errors=%d useful=%d replay=%d cov=%d\n",
+			st.Worker, st.Epoch, st.Paths, st.Errors, st.UsefulSteps, st.ReplaySteps, st.CovCount)
 	}
+	evictions, leaves, transfers, transferred := srv.Stats()
+	fmt.Printf("membership: evictions=%d leaves=%d transfers=%d states-transferred=%d\n",
+		evictions, leaves, transfers, transferred)
 	fmt.Printf("cluster total: paths=%d errors=%d hangs=%d useful=%d replay=%d\n",
 		paths, errors, hangs, useful, replay)
 }

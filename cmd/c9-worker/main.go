@@ -1,7 +1,12 @@
 // Command c9-worker runs one Cloud9 worker node: it dials the load
-// balancer, receives its cluster id (worker 0 seeds the exploration),
-// and explores its share of the execution tree, exchanging path-encoded
-// jobs directly with peer workers.
+// balancer, receives its cluster id and membership epoch (worker 0
+// seeds the exploration), and explores its share of the execution tree,
+// exchanging path-encoded jobs directly with peer workers. Workers may
+// join a run already in progress — the next balancing round ships them
+// jobs — and may leave gracefully with -retire-after, handing their
+// remaining frontier back to the cluster. If the LB connection drops,
+// the worker re-dials and resumes its membership; if the worker is
+// evicted in the meantime, it halts (its jobs were re-seated).
 //
 // Usage:
 //
@@ -12,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cloud9/internal/cluster"
 	"cloud9/internal/engine"
@@ -20,10 +26,11 @@ import (
 
 func main() {
 	var (
-		lbAddr     = flag.String("lb", "127.0.0.1:7747", "load balancer address")
-		targetName = flag.String("target", "memcached", "target to explore")
-		steps      = flag.Uint64("steps", 2_000_000, "per-path instruction budget")
-		batch      = flag.Int("batch", 16, "exploration steps between mailbox polls")
+		lbAddr      = flag.String("lb", "127.0.0.1:7747", "load balancer address")
+		targetName  = flag.String("target", "memcached", "target to explore")
+		steps       = flag.Uint64("steps", 2_000_000, "per-path instruction budget")
+		batch       = flag.Int("batch", 16, "exploration steps between mailbox polls")
+		retireAfter = flag.Duration("retire-after", 0, "leave the cluster gracefully after this long (0 = run to completion)")
 	)
 	flag.Parse()
 
@@ -38,10 +45,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer tr.Close()
-	fmt.Printf("c9-worker: joined as worker %d (seed=%v)\n", ack.ID, ack.Seed)
+	fmt.Printf("c9-worker: joined as worker %d (epoch %d, seed=%v)\n", ack.ID, ack.Epoch, ack.Seed)
 
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		ID:        ack.ID,
+		Epoch:     ack.Epoch,
 		Seed:      ack.Seed,
 		Batch:     *batch,
 		Engine:    engine.Config{MaxStateSteps: *steps},
@@ -52,11 +60,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
 		os.Exit(1)
 	}
+	if *retireAfter > 0 {
+		time.AfterFunc(*retireAfter, w.Retire)
+	}
 	if err := w.RunLoop(); err != nil {
 		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("c9-worker %d: paths=%d errors=%d hangs=%d useful=%d replay=%d tests=%d\n",
+	fmt.Printf("c9-worker %d: paths=%d errors=%d hangs=%d useful=%d replay=%d tests=%d departed=%v\n",
 		w.ID, w.Exp.Stats.PathsExplored, w.Exp.Stats.Errors, w.Exp.Stats.Hangs,
-		w.Exp.Stats.UsefulSteps, w.Exp.Stats.ReplaySteps, len(w.Exp.Tests))
+		w.Exp.Stats.UsefulSteps, w.Exp.Stats.ReplaySteps, len(w.Exp.Tests), w.Departed())
 }

@@ -9,11 +9,39 @@
 //
 // Entry points:
 //
-//   - cmd/c9        — single-node symbolic testing CLI
-//   - cmd/c9-lb     — cluster load balancer (TCP)
-//   - cmd/c9-worker — cluster worker node (TCP)
-//   - cmd/c9-repro  — regenerates every table/figure of the paper's §7
-//   - examples/     — runnable API walkthroughs
+//   - cmd/c9          — single-node symbolic testing CLI
+//   - cmd/c9-lb       — cluster load balancer (TCP, elastic membership)
+//   - cmd/c9-worker   — cluster worker node (TCP; joins/leaves at will)
+//   - cmd/c9-repro    — regenerates every table/figure of the paper's §7
+//   - cmd/c9-benchgate — CI perf-regression gate over the bench suite
+//   - examples/       — runnable API walkthroughs
+//
+// # Cluster architecture
+//
+// The fabric (internal/cluster) follows the paper's shared-nothing
+// design: each worker owns a private interpreter, solver, and execution
+// tree; the load balancer only sees queue lengths, cumulative counters,
+// and coverage bit vectors, and instructs workers to ship path-encoded
+// job trees directly to each other (§3.1–3.3). Three transports speak
+// the same protocol: an in-process channel fabric (cluster.Run), a
+// deterministic lock-step simulation (cluster.RunSim) used by the
+// benchmarks, and gob over TCP for real multi-process clusters.
+//
+// Membership is elastic and crash-tolerant. Workers join at any time
+// and are assigned an id plus a monotonically increasing epoch; their
+// status stream doubles as a lease, and a member silent past the lease
+// is evicted. Each status carries a consistent snapshot of the worker's
+// frontier as path prefixes, so on eviction the LB re-seats the
+// departed worker's last-reported jobs onto the least-loaded survivor
+// through the ordinary job-tree replay path; everything the worker did
+// after that snapshot is discarded and re-explored exactly once, which
+// keeps the cluster-wide path count identical to an undisturbed run
+// (kill -9 a worker mid-run and the totals still match — this is CI's
+// smoke test). Worker-to-worker transfers are protected by sender-side
+// custody with acknowledgments relayed through the LB, and every
+// message is epoch-stamped so a falsely evicted straggler's traffic is
+// fenced off instead of corrupting the accounting. See
+// internal/cluster's package docs for the protocol details.
 //
 // The expression layer (internal/expr) is hash-consed: structural
 // hashing, equality, and free-variable queries on constraints are O(1)
@@ -23,5 +51,6 @@
 // See README.md for the architecture overview, DESIGN.md for the
 // system inventory and substitutions, and EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go regenerate
-// each experiment at reduced scale.
+// each experiment at reduced scale; .github/workflows/ci.yml runs them
+// once per PR and gates on the committed baseline in ci/.
 package cloud9

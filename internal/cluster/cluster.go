@@ -9,6 +9,24 @@ import (
 	"cloud9/internal/interp"
 )
 
+// FaultEvent schedules a membership event for fault injection: it fires
+// once the cluster-wide explored-path count reaches AfterPaths.
+type FaultEvent struct {
+	Worker     int    // target worker id (ignored for Join)
+	AfterPaths uint64 // trigger threshold on the LB's path total
+}
+
+// FaultPlan injects membership events into an in-process run, for crash
+// recovery and elasticity testing.
+type FaultPlan struct {
+	// Kill crashes the worker abruptly: no goodbye, no final status.
+	Kill *FaultEvent
+	// Retire makes the worker leave gracefully (final status + goodbye).
+	Retire *FaultEvent
+	// Join spawns one additional worker mid-run.
+	Join *FaultEvent
+}
+
 // Config describes an in-process cluster run.
 type Config struct {
 	Workers   int
@@ -30,6 +48,8 @@ type Config struct {
 	DisableLBAfter time.Duration
 	// WorkerBatch is the per-worker step batch between mailbox polls.
 	WorkerBatch int
+	// Faults schedules membership events (crash/retire/join) mid-run.
+	Faults FaultPlan
 }
 
 // Snapshot is a point-in-time view of cluster progress.
@@ -53,13 +73,63 @@ type Result struct {
 	Exhausted bool // ended by frontier exhaustion (vs. time/stop rule)
 	Wall      time.Duration
 	Workers   []*Worker
+	Evictions int
+	Leaves    int
 }
 
-// fabric is the in-process transport: one mailbox per worker plus a
-// status channel into the LB.
+// fabric is the in-process transport: one mailbox per worker plus an
+// ordered control channel into the LB. Mailboxes are registered
+// dynamically as members join.
 type fabric struct {
-	mailboxes []chan Message
-	statusCh  chan Status
+	mu        sync.Mutex
+	mailboxes map[int]chan Message
+	// peeked holds messages WaitForMail pulled off a mailbox while
+	// blocking; Recv drains it before the channel so per-source FIFO
+	// order — which the custody protocol's sequence high-water marks
+	// depend on — is preserved.
+	peeked map[int][]Message
+	toLB   chan Message
+}
+
+func (f *fabric) register(id int) chan Message {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mb := make(chan Message, 16384)
+	f.mailboxes[id] = mb
+	return mb
+}
+
+func (f *fabric) mailbox(id int) chan Message {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mailboxes[id]
+}
+
+func (f *fabric) all() []chan Message {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]chan Message, 0, len(f.mailboxes))
+	for _, mb := range f.mailboxes {
+		out = append(out, mb)
+	}
+	return out
+}
+
+// dispatch routes LB outbounds. Sends are blocking: mailboxes are amply
+// buffered and FIFO order is what the custody protocol's sequence
+// high-water marks rely on.
+func (f *fabric) dispatch(outs []Outbound) {
+	for _, out := range outs {
+		if out.To == Broadcast {
+			for _, mb := range f.all() {
+				mb <- out.Msg
+			}
+			continue
+		}
+		if mb := f.mailbox(out.To); mb != nil {
+			mb <- out.Msg
+		}
+	}
 }
 
 type endpoint struct {
@@ -67,20 +137,29 @@ type endpoint struct {
 	id int
 }
 
-func (e endpoint) SendStatus(st Status) {
-	select {
-	case e.f.statusCh <- st:
-	default: // LB behind; cumulative counters make drops harmless
-	}
-}
+func (e endpoint) SendToLB(m Message) { e.f.toLB <- m }
 
-func (e endpoint) SendJobs(dst, from int, jt *JobTree) {
-	e.f.mailboxes[dst] <- Message{Kind: MsgJobs, From: from, Jobs: jt}
+func (e endpoint) SendJobs(dst int, m Message) bool {
+	mb := e.f.mailbox(dst)
+	if mb == nil {
+		return false
+	}
+	mb <- m
+	return true
 }
 
 func (e endpoint) Recv() (Message, bool) {
+	e.f.mu.Lock()
+	if q := e.f.peeked[e.id]; len(q) > 0 {
+		m := q[0]
+		e.f.peeked[e.id] = q[1:]
+		e.f.mu.Unlock()
+		return m, true
+	}
+	mb := e.f.mailboxes[e.id]
+	e.f.mu.Unlock()
 	select {
-	case m := <-e.f.mailboxes[e.id]:
+	case m := <-mb:
 		return m, true
 	default:
 		return Message{}, false
@@ -89,14 +168,20 @@ func (e endpoint) Recv() (Message, bool) {
 
 func (e endpoint) WaitForMail() {
 	select {
-	case m := <-e.f.mailboxes[e.id]:
-		// Re-queue so drainMailbox sees it; mailboxes are amply buffered.
-		e.f.mailboxes[e.id] <- m
+	case m := <-e.f.mailbox(e.id):
+		// Park it in the peek buffer (NOT back onto the channel, which
+		// would reorder it behind later messages) for the next Recv.
+		e.f.mu.Lock()
+		e.f.peeked[e.id] = append(e.f.peeked[e.id], m)
+		e.f.mu.Unlock()
 	case <-time.After(2 * time.Millisecond):
 	}
 }
 
 // Run executes a cluster until exhaustion, MaxDuration, or StopWhen.
+// Workers may crash, retire, or join mid-run (Config.Faults or real
+// crashes over TCP): the LB evicts silent members when their lease
+// lapses and re-seats their last-reported jobs onto survivors.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -107,57 +192,92 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 50 * time.Millisecond
 	}
-	f := &fabric{
-		mailboxes: make([]chan Message, cfg.Workers),
-		statusCh:  make(chan Status, 16384),
+	// In-process, a worker cannot die silently — a worker error aborts
+	// the whole Run — so lease eviction only serves fault injection.
+	// Arming it unconditionally would let a single multi-second solver
+	// step falsely evict a live worker mid-run.
+	leaseExpiry := cfg.Faults.Kill != nil || cfg.Balancer.Lease > 0
+	if cfg.Balancer.Delta == 0 {
+		d := cfg.Balancer
+		cfg.Balancer = DefaultBalancerConfig()
+		if d.Lease > 0 {
+			cfg.Balancer.Lease = d.Lease
+		}
 	}
-	for i := range f.mailboxes {
-		f.mailboxes[i] = make(chan Message, 16384)
+	f := &fabric{
+		mailboxes: map[int]chan Message{},
+		peeked:    map[int][]Message{},
+		toLB:      make(chan Message, 1<<16),
 	}
 
-	workers := make([]*Worker, cfg.Workers)
-	var covLen int
-	for i := 0; i < cfg.Workers; i++ {
-		w, err := NewWorker(WorkerConfig{
-			ID:        i,
-			Seed:      i == 0,
-			Batch:     cfg.WorkerBatch,
-			Engine:    cfg.Engine,
-			NewInterp: cfg.NewInterp,
-			Entry:     cfg.Entry,
-		}, endpoint{f, i})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
-		}
-		workers[i] = w
-		covLen = w.Exp.Cov.Len() - 1
+	// Bootstrap one interpreter to size the coverage vector before the
+	// LB exists.
+	probe, err := NewWorker(WorkerConfig{
+		ID: 0, Seed: true, Batch: cfg.WorkerBatch, Engine: cfg.Engine,
+		NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+	}, endpoint{f, 0})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker 0: %w", err)
 	}
+	covLen := probe.Exp.Cov.Len() - 1
 	lb := NewLoadBalancer(cfg.Balancer, covLen)
-	if lb.cfg.Delta == 0 {
-		lb.cfg = DefaultBalancerConfig()
-	}
 
 	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Workers)
-	for _, w := range workers {
+	errCh := make(chan error, cfg.Workers+8)
+	var workersMu sync.Mutex
+	var workers []*Worker
+
+	start := func(w *Worker) {
+		workersMu.Lock()
+		workers = append(workers, w)
+		workersMu.Unlock()
 		wg.Add(1)
-		go func(w *Worker) {
+		go func() {
 			defer wg.Done()
 			if err := w.RunLoop(); err != nil {
 				errCh <- fmt.Errorf("worker %d: %w", w.ID, err)
 			}
-		}(w)
+		}()
+	}
+	spawn := func(seedOK bool) (*Worker, error) {
+		m, outs := lb.Join("", time.Now())
+		f.register(m.ID)
+		f.dispatch(outs)
+		w, err := NewWorker(WorkerConfig{
+			ID: m.ID, Epoch: m.Epoch, Seed: seedOK && m.ID == 0,
+			Batch: cfg.WorkerBatch, Engine: cfg.Engine,
+			NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+		}, endpoint{f, m.ID})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", m.ID, err)
+		}
+		return w, nil
 	}
 
-	start := time.Now()
-	res := &Result{Workers: workers}
+	// Seed worker reuses the probe (id 0 is the first join by
+	// construction).
+	m0, outs0 := lb.Join("", time.Now())
+	f.register(m0.ID)
+	f.dispatch(outs0)
+	probe.Epoch = m0.Epoch
+	start(probe)
+	for i := 1; i < cfg.Workers; i++ {
+		w, err := spawn(false)
+		if err != nil {
+			return nil, err
+		}
+		start(w)
+	}
+
+	startT := time.Now()
+	res := &Result{}
 	balanceTick := time.NewTicker(cfg.BalanceEvery)
 	defer balanceTick.Stop()
 	sampleTick := time.NewTicker(cfg.SampleEvery)
 	defer sampleTick.Stop()
 
 	snapshot := func() Snapshot {
-		s := Snapshot{Elapsed: time.Since(start)}
+		s := Snapshot{Elapsed: time.Since(startT)}
 		for _, st := range lb.Statuses() {
 			s.UsefulSteps += st.UsefulSteps
 			s.ReplaySteps += st.ReplaySteps
@@ -168,25 +288,54 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cov, _ := lb.GlobalCoverage()
 		s.Coverage = cov.Count()
-		s.StatesTransferred = lb.StatesTransferred
+		s.StatesTransferred = lb.StatesTransferred()
 		s.TransfersIssued = lb.TransfersIssued
 		return s
 	}
 
 	stop := func() {
-		for i := range f.mailboxes {
+		for _, mb := range f.all() {
 			// Non-blocking: a full mailbox still gets the stop flag via a
 			// retry below.
 			select {
-			case f.mailboxes[i] <- Message{Kind: MsgStop}:
+			case mb <- Message{Kind: MsgStop}:
 			default:
-				go func(i int) { f.mailboxes[i] <- Message{Kind: MsgStop} }(i)
+				go func(mb chan Message) { mb <- Message{Kind: MsgStop} }(mb)
 			}
 		}
 	}
 
+	handleControl := func(m Message) {
+		switch m.Kind {
+		case MsgStatus:
+			if m.Status != nil {
+				outs, _ := lb.Update(*m.Status, time.Now())
+				f.dispatch(outs)
+			}
+		case MsgGoodbye:
+			if lb.IsMember(m.From, m.Epoch) {
+				f.dispatch(lb.Goodbye(m.From, time.Now()))
+			}
+		}
+	}
+
+	kill := cfg.Faults.Kill
+	retire := cfg.Faults.Retire
+	join := cfg.Faults.Join
+	workerByID := func(id int) *Worker {
+		workersMu.Lock()
+		defer workersMu.Unlock()
+		for _, w := range workers {
+			if w.ID == id {
+				return w
+			}
+		}
+		return nil
+	}
+
 	var runErr error
 	quietRounds := 0
+	doomed := -2 // worker id a fired kill is about to take down
 loop:
 	for {
 		select {
@@ -194,38 +343,88 @@ loop:
 			runErr = err
 			stop()
 			break loop
-		case st := <-f.statusCh:
-			lb.Update(st)
+		case m := <-f.toLB:
+			handleControl(m)
 		case <-balanceTick.C:
-			// Drain pending statuses first for fresh decisions.
+			// Drain pending control messages first for fresh decisions.
 			for {
 				select {
-				case st := <-f.statusCh:
-					lb.Update(st)
+				case m := <-f.toLB:
+					handleControl(m)
 					continue
 				default:
 				}
 				break
 			}
-			if cfg.DisableLBAfter > 0 && time.Since(start) >= cfg.DisableLBAfter {
+			now := time.Now()
+			if leaseExpiry {
+				f.dispatch(lb.ExpireLeases(now))
+			}
+			f.dispatch(lb.Tick(now))
+			// Fault plan triggers.
+			paths := lb.TotalPaths()
+			batch := cfg.WorkerBatch
+			if batch <= 0 {
+				batch = 16
+			}
+			if kill != nil && paths >= kill.AfterPaths {
+				// Fire only while the victim's reported queue is well
+				// clear of empty: its final report then shows work
+				// outstanding, so the cluster cannot look quiescent until
+				// the lease lapses and the jobs are re-seated — the crash
+				// path is exercised deterministically.
+				if m := lb.members[kill.Worker]; m != nil && m.Last.Queue >= 2*batch {
+					if w := workerByID(kill.Worker); w != nil {
+						w.Crash()
+					}
+					doomed = kill.Worker
+					kill = nil
+				}
+			}
+			if retire != nil && paths >= retire.AfterPaths {
+				if w := workerByID(retire.Worker); w != nil {
+					w.Retire()
+				}
+				retire = nil
+			}
+			if join != nil && paths >= join.AfterPaths {
+				join = nil
+				w, err := spawn(false)
+				if err != nil {
+					runErr = err
+					stop()
+					break loop
+				}
+				start(w)
+			}
+			if cfg.DisableLBAfter > 0 && time.Since(startT) >= cfg.DisableLBAfter {
 				lb.Enabled = false
 			}
 			for _, ord := range lb.Balance() {
-				select {
-				case f.mailboxes[ord.Src] <- Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs}:
-				default:
+				if ord.Src == doomed || ord.Dst == doomed {
+					continue // victim of a fired kill: about to vanish
 				}
-			}
-			if cov, dirty := lb.GlobalCoverage(); dirty {
-				words := append([]uint64(nil), cov.Words()...)
-				for i := range f.mailboxes {
+				if mb := f.mailbox(ord.Src); mb != nil {
 					select {
-					case f.mailboxes[i] <- Message{Kind: MsgCoverage, CovWords: words}:
+					case mb <- Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs}:
 					default:
 					}
 				}
 			}
-			if lb.Quiescent(cfg.Workers) {
+			if cov, dirty := lb.GlobalCoverage(); dirty {
+				words := append([]uint64(nil), cov.Words()...)
+				for _, mb := range f.all() {
+					select {
+					case mb <- Message{Kind: MsgCoverage, CovWords: words}:
+					default:
+					}
+				}
+			}
+			if lb.Quiescent() {
+				// Pending fault events whose path thresholds were never
+				// reached can no longer change the outcome; drop them so
+				// the run can terminate.
+				kill, retire, join = nil, nil, nil
 				quietRounds++
 				if quietRounds >= 3 {
 					res.Exhausted = true
@@ -235,7 +434,7 @@ loop:
 			} else {
 				quietRounds = 0
 			}
-			if cfg.MaxDuration > 0 && time.Since(start) >= cfg.MaxDuration {
+			if cfg.MaxDuration > 0 && time.Since(startT) >= cfg.MaxDuration {
 				stop()
 				break loop
 			}
@@ -248,9 +447,40 @@ loop:
 		}
 	}
 	wg.Wait()
-	// Final accounting directly from the workers (post-join: no races).
-	final := Snapshot{Elapsed: time.Since(start)}
-	for _, w := range workers {
+	// Drain control messages that were still in flight when the loop
+	// exited (e.g. a goodbye racing an early stop) so the LB's records
+	// are as complete as they can be.
+	for {
+		select {
+		case m := <-f.toLB:
+			handleControl(m)
+			continue
+		default:
+		}
+		break
+	}
+	// Final accounting (post-join: no races). Live workers contribute
+	// their in-memory stats; departed workers (crashed, retired, or
+	// evicted) contribute the LB's final record for them — everything
+	// they did after that snapshot was re-explored by survivors. A
+	// departed worker whose departure the LB never processed (crash with
+	// an unexpired lease at shutdown) is still a member: fold in its
+	// member record so its contribution isn't dropped.
+	final := Snapshot{Elapsed: time.Since(startT)}
+	workersMu.Lock()
+	res.Workers = append(res.Workers, workers...)
+	workersMu.Unlock()
+	for _, w := range res.Workers {
+		if w.Departed() {
+			if rec, ok := lb.MemberRecord(w.ID); ok {
+				final.UsefulSteps += rec.UsefulSteps
+				final.ReplaySteps += rec.ReplaySteps
+				final.Paths += rec.Paths
+				final.Errors += rec.Errors
+				final.Hangs += rec.Hangs
+			}
+			continue
+		}
 		final.UsefulSteps += w.Exp.Stats.UsefulSteps
 		final.ReplaySteps += w.Exp.Stats.ReplaySteps
 		final.Paths += w.Exp.Stats.PathsExplored
@@ -260,12 +490,21 @@ loop:
 		cov, _ := lb.GlobalCoverage()
 		cov.Or(w.Exp.Cov)
 	}
+	for _, st := range lb.GoneStatuses() {
+		final.UsefulSteps += st.UsefulSteps
+		final.ReplaySteps += st.ReplaySteps
+		final.Paths += st.Paths
+		final.Errors += st.Errors
+		final.Hangs += st.Hangs
+	}
 	cov, _ := lb.GlobalCoverage()
 	final.Coverage = cov.Count()
-	final.StatesTransferred = lb.StatesTransferred
+	final.StatesTransferred = lb.StatesTransferred()
 	final.TransfersIssued = lb.TransfersIssued
 	res.Final = final
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(startT)
+	res.Evictions = lb.Evictions
+	res.Leaves = lb.Leaves
 	select {
 	case err := <-errCh:
 		if runErr == nil {

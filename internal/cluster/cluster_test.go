@@ -38,6 +38,28 @@ func mkInterp(t *testing.T, src string) func() (*interp.Interp, error) {
 	}
 }
 
+// joinN admits n members and returns them; statuses sent through
+// reportQueue renew their leases at t0.
+func joinN(t *testing.T, lb *LoadBalancer, n int) []*Member {
+	t.Helper()
+	ms := make([]*Member, n)
+	for i := 0; i < n; i++ {
+		m, _ := lb.Join("", time.Unix(0, 0))
+		ms[i] = m
+	}
+	return ms
+}
+
+// report sends a status for member m, defaulting the epoch and worker id.
+func report(t *testing.T, lb *LoadBalancer, m *Member, st Status) {
+	t.Helper()
+	st.Worker = m.ID
+	st.Epoch = m.Epoch
+	if _, ok := lb.Update(st, time.Unix(1, 0)); !ok {
+		t.Fatalf("status for member %d rejected", m.ID)
+	}
+}
+
 func TestJobTreeRoundTrip(t *testing.T) {
 	paths := [][]uint8{{0, 1, 1}, {0, 1, 0}, {1}, {0, 0}, {}}
 	jt := BuildJobTree(paths)
@@ -92,38 +114,96 @@ func TestQuickJobTreePreservesPathSets(t *testing.T) {
 
 func TestBalancerClassification(t *testing.T) {
 	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
-	lb.Update(Status{Worker: 0, Queue: 20})
-	lb.Update(Status{Worker: 1, Queue: 0})
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 20})
+	report(t, lb, ms[1], Status{Queue: 0})
 	orders := lb.Balance()
 	if len(orders) != 1 {
 		t.Fatalf("orders = %v", orders)
 	}
-	if orders[0].Src != 0 || orders[0].Dst != 1 || orders[0].NJobs != 10 {
+	if orders[0].Src != ms[0].ID || orders[0].Dst != ms[1].ID || orders[0].NJobs != 10 {
 		t.Fatalf("order = %+v, want 0->1 x10", orders[0])
 	}
 }
 
 func TestBalancerBalancedClusterNoTransfers(t *testing.T) {
 	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
-	for i := 0; i < 4; i++ {
-		lb.Update(Status{Worker: i, Queue: 10})
+	for _, m := range joinN(t, lb, 4) {
+		report(t, lb, m, Status{Queue: 10})
 	}
 	if orders := lb.Balance(); len(orders) != 0 {
 		t.Fatalf("balanced cluster produced orders %v", orders)
 	}
 }
 
+func TestBalancerDegenerateSigmaAllEqual(t *testing.T) {
+	// σ = 0 for all-equal queues: the under/over bands collapse onto the
+	// mean and no worker qualifies — including the all-zero cluster,
+	// where the starved-worker override must not fire (no peer has work
+	// to spare).
+	for _, q := range []int{0, 7} {
+		lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+		for _, m := range joinN(t, lb, 5) {
+			report(t, lb, m, Status{Queue: q})
+		}
+		if orders := lb.Balance(); len(orders) != 0 {
+			t.Fatalf("queues all %d: got orders %v", q, orders)
+		}
+	}
+}
+
+func TestBalancerMinTransferCutoff(t *testing.T) {
+	cfg := DefaultBalancerConfig()
+	cfg.MinTransfer = 6
+	lb := NewLoadBalancer(cfg, 64)
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 10})
+	report(t, lb, ms[1], Status{Queue: 0})
+	// (10-0)/2 = 5 < MinTransfer: suppressed.
+	if orders := lb.Balance(); len(orders) != 0 {
+		t.Fatalf("transfer below MinTransfer issued: %v", orders)
+	}
+	cfg.MinTransfer = 5
+	lb2 := NewLoadBalancer(cfg, 64)
+	ms2 := joinN(t, lb2, 2)
+	report(t, lb2, ms2[0], Status{Queue: 10})
+	report(t, lb2, ms2[1], Status{Queue: 0})
+	if orders := lb2.Balance(); len(orders) != 1 || orders[0].NJobs != 5 {
+		t.Fatalf("transfer at MinTransfer suppressed: %v", orders)
+	}
+}
+
+func TestBalancerStarvedWorkerOverride(t *testing.T) {
+	// Queues {0,5,5,5,5}: mean 4, σ 2, so no worker is strictly
+	// overloaded (5 < 4+0.5·2) — only the starved-worker override can
+	// pair the idle worker with one that has jobs to spare.
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	ms := joinN(t, lb, 5)
+	report(t, lb, ms[0], Status{Queue: 0})
+	for _, m := range ms[1:] {
+		report(t, lb, m, Status{Queue: 5})
+	}
+	orders := lb.Balance()
+	if len(orders) != 1 {
+		t.Fatalf("starved worker not rescued: %v", orders)
+	}
+	if orders[0].Dst != ms[0].ID || orders[0].NJobs != 2 {
+		t.Fatalf("order = %+v, want dst=%d n=2", orders[0], ms[0].ID)
+	}
+}
+
 func TestBalancerPairsExtremes(t *testing.T) {
 	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
-	lb.Update(Status{Worker: 0, Queue: 100})
-	lb.Update(Status{Worker: 1, Queue: 50})
-	lb.Update(Status{Worker: 2, Queue: 50})
-	lb.Update(Status{Worker: 3, Queue: 0})
+	ms := joinN(t, lb, 4)
+	report(t, lb, ms[0], Status{Queue: 100})
+	report(t, lb, ms[1], Status{Queue: 50})
+	report(t, lb, ms[2], Status{Queue: 50})
+	report(t, lb, ms[3], Status{Queue: 0})
 	orders := lb.Balance()
 	if len(orders) == 0 {
 		t.Fatal("no orders for skewed cluster")
 	}
-	if orders[0].Src != 0 || orders[0].Dst != 3 {
+	if orders[0].Src != ms[0].ID || orders[0].Dst != ms[3].ID {
 		t.Fatalf("should pair extremes, got %+v", orders[0])
 	}
 }
@@ -131,26 +211,174 @@ func TestBalancerPairsExtremes(t *testing.T) {
 func TestBalancerDisabled(t *testing.T) {
 	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
 	lb.Enabled = false
-	lb.Update(Status{Worker: 0, Queue: 100})
-	lb.Update(Status{Worker: 1, Queue: 0})
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 100})
+	report(t, lb, ms[1], Status{Queue: 0})
 	if orders := lb.Balance(); orders != nil {
 		t.Fatal("disabled LB must not issue orders")
 	}
 }
 
+func TestBalancerSkipsUnreportedMembers(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	ms := joinN(t, lb, 3)
+	report(t, lb, ms[0], Status{Queue: 100})
+	report(t, lb, ms[1], Status{Queue: 0})
+	// ms[2] joined but never reported: it must neither balance nor
+	// receive jobs.
+	for _, ord := range lb.Balance() {
+		if ord.Src == ms[2].ID || ord.Dst == ms[2].ID {
+			t.Fatalf("unreported member involved in %+v", ord)
+		}
+	}
+}
+
 func TestQuiescenceDetection(t *testing.T) {
 	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
-	lb.Update(Status{Worker: 0, Queue: 0, JobsSent: 5, JobsRecv: 2})
-	lb.Update(Status{Worker: 1, Queue: 0, JobsSent: 0, JobsRecv: 2})
-	if lb.Quiescent(2) {
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 0, JobsSent: 5, JobsRecv: 2})
+	report(t, lb, ms[1], Status{Queue: 0, JobsSent: 0, JobsRecv: 2})
+	if lb.Quiescent() {
 		t.Fatal("in-flight jobs: not quiescent")
 	}
-	lb.Update(Status{Worker: 1, Queue: 0, JobsSent: 0, JobsRecv: 3})
-	if !lb.Quiescent(2) {
+	report(t, lb, ms[1], Status{Queue: 0, JobsSent: 0, JobsRecv: 3})
+	if !lb.Quiescent() {
 		t.Fatal("should be quiescent")
 	}
-	if lb.Quiescent(3) {
-		t.Fatal("missing worker: not quiescent")
+	m3, _ := lb.Join("", time.Unix(1, 0))
+	if lb.Quiescent() {
+		t.Fatal("unreported member: not quiescent")
+	}
+	report(t, lb, m3, Status{Queue: 4})
+	if lb.Quiescent() {
+		t.Fatal("member with queued jobs: not quiescent")
+	}
+}
+
+func TestQuiescenceWithInFlightJobTrees(t *testing.T) {
+	// A job tree in flight shows up as sent-but-not-received: the sender
+	// reported JobsSent before the receiver reported JobsRecv. The LB
+	// must not declare quiescence in between, even though every reported
+	// queue is empty (the receiver would re-fill its queue on receipt).
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 0, JobsSent: 3, JobsRecv: 0})
+	report(t, lb, ms[1], Status{Queue: 0, JobsSent: 0, JobsRecv: 0})
+	if lb.Quiescent() {
+		t.Fatal("3 jobs in flight: not quiescent")
+	}
+	// Receiver ingests the tree: queue jumps, still not quiescent.
+	report(t, lb, ms[1], Status{Queue: 3, JobsSent: 0, JobsRecv: 3})
+	if lb.Quiescent() {
+		t.Fatal("receiver has queued jobs: not quiescent")
+	}
+	// Receiver finishes them.
+	report(t, lb, ms[1], Status{Queue: 0, JobsSent: 0, JobsRecv: 3})
+	if !lb.Quiescent() {
+		t.Fatal("should be quiescent after the tree lands and drains")
+	}
+}
+
+func TestQuiescenceSurvivesEviction(t *testing.T) {
+	// Worker 1 received 4 jobs from worker 0, reported them, then
+	// crashed. Its final counters fold into the reconciliation and its
+	// frontier is re-seated onto worker 0; quiescence is reached only
+	// after worker 0 receives and drains the re-seated jobs.
+	frontier := BuildJobTree([][]uint8{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	lb2 := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	ms := joinN(t, lb2, 2)
+	report(t, lb2, ms[0], Status{Queue: 0, JobsSent: 4})
+	report(t, lb2, ms[1], Status{Queue: 4, JobsRecv: 4, Frontier: frontier})
+	// Renew worker 0 at a late time, then expire: only worker 1 lapses.
+	late := time.Unix(1, 0).Add(lb2.cfg.Lease)
+	report2 := Status{Worker: ms[0].ID, Epoch: ms[0].Epoch, Queue: 0, JobsSent: 4}
+	if _, ok := lb2.Update(report2, late); !ok {
+		t.Fatal("renewal rejected")
+	}
+	outs := lb2.ExpireLeases(late.Add(time.Second))
+	var evict, reseat bool
+	var reseatSeq uint64
+	for _, out := range outs {
+		switch out.Msg.Kind {
+		case MsgEvict:
+			if out.Msg.From != ms[1].ID {
+				t.Fatalf("evicted wrong worker: %+v", out.Msg)
+			}
+			evict = true
+		case MsgJobs:
+			if out.To != ms[0].ID || out.Msg.From != LBFrom || out.Msg.Jobs.Count() != 4 {
+				t.Fatalf("bad re-seat: %+v", out)
+			}
+			reseat = true
+			reseatSeq = out.Msg.Seq
+		}
+	}
+	if !evict || !reseat {
+		t.Fatalf("expected evict + re-seat, got %+v", outs)
+	}
+	if lb2.Quiescent() {
+		t.Fatal("re-seated jobs outstanding: not quiescent")
+	}
+	// Survivor ingests the re-seated tree (recv 4+4) and drains it.
+	if _, ok := lb2.Update(Status{
+		Worker: ms[0].ID, Epoch: ms[0].Epoch,
+		Queue: 0, JobsSent: 4, JobsRecv: 4, ReseatAcks: []uint64{reseatSeq},
+	}, late.Add(2*time.Second)); !ok {
+		t.Fatal("survivor status rejected")
+	}
+	if !lb2.Quiescent() {
+		t.Fatal("should be quiescent after the re-seat lands")
+	}
+	if lb2.Evictions != 1 {
+		t.Fatalf("evictions = %d", lb2.Evictions)
+	}
+}
+
+func TestStaleEpochStatusRejected(t *testing.T) {
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 1})
+	// Evict worker 1 by lease expiry, then replay a status from its dead
+	// epoch: it must be discarded.
+	late := time.Unix(1, 0).Add(lb.cfg.Lease)
+	if _, ok := lb.Update(Status{Worker: ms[0].ID, Epoch: ms[0].Epoch, Queue: 1}, late); !ok {
+		t.Fatal("renewal rejected")
+	}
+	lb.ExpireLeases(late.Add(time.Second))
+	if lb.IsMember(ms[1].ID, ms[1].Epoch) {
+		t.Fatal("worker 1 should be evicted")
+	}
+	if _, ok := lb.Update(Status{Worker: ms[1].ID, Epoch: ms[1].Epoch, Queue: 99}, late.Add(2*time.Second)); ok {
+		t.Fatal("stale-epoch status accepted")
+	}
+	if _, ok := lb.Update(Status{Worker: 77, Epoch: 3}, late.Add(2*time.Second)); ok {
+		t.Fatal("unknown-member status accepted")
+	}
+}
+
+func TestStatesTransferredCountsActualReceipts(t *testing.T) {
+	// Balance may request more jobs than the source actually has; the
+	// transfer metric must reflect what receivers got (JobTree.Count on
+	// receipt), not the requested order sizes.
+	lb := NewLoadBalancer(DefaultBalancerConfig(), 64)
+	ms := joinN(t, lb, 2)
+	report(t, lb, ms[0], Status{Queue: 20})
+	report(t, lb, ms[1], Status{Queue: 0})
+	orders := lb.Balance()
+	if len(orders) != 1 || orders[0].NJobs != 10 {
+		t.Fatalf("orders = %v", orders)
+	}
+	if got := lb.StatesTransferred(); got != 0 {
+		t.Fatalf("StatesTransferred counted requested jobs at order time: %d", got)
+	}
+	// The source only had 3 exportable jobs; the receiver reports what
+	// actually arrived.
+	report(t, lb, ms[1], Status{Queue: 3, JobsRecv: 3, TransferredIn: 3})
+	if got := lb.StatesTransferred(); got != 3 {
+		t.Fatalf("StatesTransferred = %d, want 3 (actual receipts)", got)
+	}
+	if lb.TransfersIssued != 1 {
+		t.Fatalf("TransfersIssued = %d", lb.TransfersIssued)
 	}
 }
 

@@ -3,23 +3,33 @@ package cluster
 import (
 	"math"
 	"sort"
+	"time"
 
 	"cloud9/internal/coverage"
 )
 
-// BalancerConfig tunes the load balancing algorithm of §3.3.
+// BalancerConfig tunes the load balancing algorithm of §3.3 and the
+// membership protocol layered on top of it.
 type BalancerConfig struct {
 	// Delta is the σ multiplier classifying workers as under/overloaded
 	// (li < max(l̄ − δσ, 0) resp. li > l̄ + δσ).
 	Delta float64
 	// MinTransfer suppresses transfers smaller than this many jobs.
 	MinTransfer int
+	// Lease is how long a member may stay silent (no accepted status)
+	// before it is presumed crashed and evicted. 0 means DefaultLease.
+	Lease time.Duration
 }
+
+// DefaultLease is the membership lease used when BalancerConfig.Lease is
+// zero. Generous relative to worker status cadence so that a slow batch
+// never triggers a false eviction.
+const DefaultLease = 2 * time.Second
 
 // DefaultBalancerConfig mirrors the paper's description with a moderate
 // δ so that small clusters still balance.
 func DefaultBalancerConfig() BalancerConfig {
-	return BalancerConfig{Delta: 0.5, MinTransfer: 1}
+	return BalancerConfig{Delta: 0.5, MinTransfer: 1, Lease: DefaultLease}
 }
 
 // TransferOrder is the LB's instruction ⟨source, destination, #jobs⟩.
@@ -27,46 +37,346 @@ type TransferOrder struct {
 	Src, Dst, NJobs int
 }
 
-// LoadBalancer keeps per-worker status, computes balancing decisions,
-// and maintains the global coverage overlay. It never touches program
-// states — encoding and transfer of work happen worker-to-worker,
-// keeping the LB off the critical path (§3.1).
+// Broadcast as an Outbound.To value addresses every current member.
+const Broadcast = -1
+
+// Outbound is a message the load balancer wants delivered; the owning
+// transport (in-process fabric, sim, or TCP server) dispatches it.
+// Dispatch order must be preserved per destination: acknowledgment
+// relays must arrive before a subsequent eviction notice.
+type Outbound struct {
+	To  int // member id, or Broadcast
+	Msg Message
+}
+
+// Member is the load balancer's view of one cluster worker.
+type Member struct {
+	ID    int
+	Epoch uint64
+	Addr  string // transport hint (TCP peer job-transfer address)
+	// Reported is set once the first status arrives; unreported members
+	// neither balance nor count toward quiescence.
+	Reported bool
+	// Last is the most recent accepted status (used for balancing and
+	// quiescence). LastFull is the most recent status that carried the
+	// frontier snapshot; it becomes the member's accounting record if the
+	// member departs — workers guarantee a full status whenever their
+	// transfer counters move, so LastFull's counters always match Last's
+	// and only discardable exploration progress can sit between the two.
+	Last     Status
+	LastFull Status
+	// LastSeen is the lease renewal time.
+	LastSeen time.Time
+	// ackRelayed tracks, per source, the highest batch ack already
+	// relayed on this member's behalf, so the cumulative acks workers
+	// repeat in every status don't turn into repeated MsgJobsAck relays.
+	ackRelayed map[int]uint64
+}
+
+// Record is the member's accounting record: the last frontier-bearing
+// snapshot (everything after it is re-explored by whoever inherits the
+// frontier), falling back to the latest status if no full snapshot ever
+// arrived.
+func (m *Member) Record() Status {
+	if m.LastFull.Frontier != nil {
+		return m.LastFull
+	}
+	return m.Last
+}
+
+// custodyBatch is a job tree the LB holds in custody after reclaiming it
+// from a departed member, until a survivor acknowledges it.
+type custodyBatch struct {
+	jt *JobTree
+	n  int
+	// counted is set once the batch's job count has been added to the
+	// send side of the quiescence reconciliation (exactly once, however
+	// many times the batch is re-delivered).
+	counted bool
+	dst     int
+	seq     uint64
+	sentAt  time.Time
+}
+
+// LoadBalancer keeps per-worker status, the membership table, computes
+// balancing decisions, and maintains the global coverage overlay. It
+// never touches program states — encoding and transfer of work happen
+// worker-to-worker, keeping the LB off the critical path (§3.1). The
+// exception is crash recovery: the LB re-seats a departed member's
+// last-reported frontier (already path-encoded) onto a survivor.
+//
+// All methods that need wall-clock time take it as a parameter so the
+// deterministic simulation can drive the membership machinery with a
+// synthetic clock.
 type LoadBalancer struct {
 	cfg      BalancerConfig
-	statuses map[int]Status
+	members  map[int]*Member
+	evicted  map[int]uint64 // departed id → epoch, for stale-message rejection
 	cov      *coverage.BitVec
 	covDirty bool
+
+	nextID    int
+	nextEpoch uint64
+
+	// Custody of re-seated jobs: outstanding (delivered, unacked) batches
+	// by sequence, plus orphans waiting for a survivor to exist.
+	reseats   map[uint64]*custodyBatch
+	orphans   []*custodyBatch
+	reseatSeq uint64
+
+	// Quiescence reconciliation state for departed members: their final
+	// counters, plus jobs the LB itself delivered while re-seating.
+	gone       []Status
+	goneSent   uint64
+	goneRecv   uint64
+	reseatSent uint64
 
 	// Enabled gates balancing (Fig. 13 disables it mid-run).
 	Enabled bool
 
-	// TransfersIssued counts ⟨src,dst,n⟩ orders; StatesTransferred sums
-	// requested job counts (Fig. 12's numerator).
-	TransfersIssued   int
-	StatesTransferred int
+	// TransfersIssued counts ⟨src,dst,n⟩ orders. Evictions counts
+	// lease-expiry departures; Leaves counts graceful goodbyes.
+	TransfersIssued int
+	Evictions       int
+	Leaves          int
 }
 
 // NewLoadBalancer builds an LB for coverage vectors of the given bit
 // length.
 func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultLease
+	}
 	return &LoadBalancer{
-		cfg:      cfg,
-		statuses: map[int]Status{},
-		cov:      coverage.New(covLen),
-		Enabled:  true,
+		cfg:     cfg,
+		members: map[int]*Member{},
+		evicted: map[int]uint64{},
+		reseats: map[uint64]*custodyBatch{},
+		cov:     coverage.New(covLen),
+		Enabled: true,
 	}
 }
 
+// Join admits a new member, assigning it a fresh id and epoch. The
+// returned outbounds broadcast the updated membership view.
+func (lb *LoadBalancer) Join(addr string, now time.Time) (*Member, []Outbound) {
+	id := lb.nextID
+	lb.nextID++
+	lb.nextEpoch++
+	m := &Member{ID: id, Epoch: lb.nextEpoch, Addr: addr, LastSeen: now}
+	lb.members[id] = m
+	return m, []Outbound{{To: Broadcast, Msg: Message{Kind: MsgMembers, Members: lb.memberView()}}}
+}
+
+// IsMember reports whether id is a current member with the given epoch.
+func (lb *LoadBalancer) IsMember(id int, epoch uint64) bool {
+	m := lb.members[id]
+	return m != nil && m.Epoch == epoch
+}
+
+// NumMembers returns the current membership size.
+func (lb *LoadBalancer) NumMembers() int { return len(lb.members) }
+
+// Touch renews a member's lease without a status (TCP reconnects).
+func (lb *LoadBalancer) Touch(id int, now time.Time) {
+	if m := lb.members[id]; m != nil {
+		m.LastSeen = now
+	}
+}
+
+// memberView snapshots the membership table as id → epoch.
+func (lb *LoadBalancer) memberView() map[int]uint64 {
+	v := make(map[int]uint64, len(lb.members))
+	for id, m := range lb.members {
+		v[id] = m.Epoch
+	}
+	return v
+}
+
 // Update ingests a worker status (coverage is OR-merged into the global
-// vector).
-func (lb *LoadBalancer) Update(st Status) {
-	lb.statuses[st.Worker] = st
+// vector) and renews the member's lease. Statuses from non-members or
+// stale epochs are discarded (ok=false) so a falsely evicted straggler
+// cannot corrupt the accounting. The returned outbounds relay the
+// status's job-batch acknowledgments to their sources.
+func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bool) {
+	m := lb.members[st.Worker]
+	if m == nil || m.Epoch != st.Epoch {
+		return nil, false
+	}
+	m.Last = st
+	if st.Frontier != nil {
+		m.LastFull = st
+	}
+	m.Reported = true
+	m.LastSeen = now
 	if len(st.CovWords) > 0 {
 		g := coverage.FromWords(st.CovWords, lb.cov.Len()-1)
 		if lb.cov.Or(g) > 0 {
 			lb.covDirty = true
 		}
 	}
+	// Relay peer-batch acks to their sources — only when the mark
+	// advanced, since workers repeat their cumulative acks in every
+	// status. Clear acknowledged LB custody the same way; both are
+	// idempotent high-water marks.
+	for _, ack := range st.Acks {
+		if m.ackRelayed[ack.Src] >= ack.Seq {
+			continue
+		}
+		if m.ackRelayed == nil {
+			m.ackRelayed = map[int]uint64{}
+		}
+		m.ackRelayed[ack.Src] = ack.Seq
+		if lb.members[ack.Src] != nil {
+			outs = append(outs, Outbound{To: ack.Src, Msg: Message{
+				Kind: MsgJobsAck, From: st.Worker, Seq: ack.Seq,
+			}})
+		}
+	}
+	if len(st.ReseatAcks) > 0 {
+		acked := make(map[uint64]bool, len(st.ReseatAcks))
+		for _, seq := range st.ReseatAcks {
+			acked[seq] = true
+		}
+		for seq, b := range lb.reseats {
+			if b.dst == st.Worker && acked[seq] {
+				delete(lb.reseats, seq)
+			}
+		}
+	}
+	return outs, true
+}
+
+// Goodbye handles a graceful leave: the member's final status (sent just
+// before the goodbye) becomes its accounting record and any remaining
+// frontier is re-seated.
+func (lb *LoadBalancer) Goodbye(id int, now time.Time) []Outbound {
+	if lb.members[id] == nil {
+		return nil
+	}
+	lb.Leaves++
+	return lb.depart(id, now)
+}
+
+// ExpireLeases evicts every member whose lease has lapsed and returns
+// the resulting eviction notices and re-seat deliveries.
+func (lb *LoadBalancer) ExpireLeases(now time.Time) []Outbound {
+	var expired []int
+	for id, m := range lb.members {
+		if now.Sub(m.LastSeen) > lb.cfg.Lease {
+			expired = append(expired, id)
+		}
+	}
+	sort.Ints(expired)
+	var outs []Outbound
+	for _, id := range expired {
+		lb.Evictions++
+		outs = append(outs, lb.depart(id, now)...)
+	}
+	return outs
+}
+
+// depart removes a member, folds its final counters into the quiescence
+// reconciliation, reclaims custody of its last-reported frontier plus
+// any unacknowledged LB batches addressed to it, and re-seats everything
+// onto a survivor (or holds it as an orphan until one joins).
+func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
+	m := lb.members[id]
+	delete(lb.members, id)
+	lb.evicted[id] = m.Epoch
+	if m.Reported {
+		// The accounting record's counters match the latest status
+		// (workers send a full status on every transfer), and everything
+		// explored after it is re-explored by whoever inherits the
+		// frontier — counted exactly once either way.
+		rec := m.Record()
+		lb.gone = append(lb.gone, rec)
+		lb.goneSent += rec.JobsSent
+		lb.goneRecv += rec.JobsRecv
+		if n := rec.Frontier.Count(); n > 0 {
+			lb.orphans = append(lb.orphans, &custodyBatch{jt: rec.Frontier, n: n})
+		}
+	}
+	var rehome []uint64
+	for seq, b := range lb.reseats {
+		if b.dst == id {
+			rehome = append(rehome, seq)
+		}
+	}
+	sort.Slice(rehome, func(i, j int) bool { return rehome[i] < rehome[j] })
+	for _, seq := range rehome {
+		lb.orphans = append(lb.orphans, lb.reseats[seq])
+		delete(lb.reseats, seq)
+	}
+	outs := []Outbound{{To: Broadcast, Msg: Message{
+		Kind: MsgEvict, From: id, Epoch: m.Epoch, Members: lb.memberView(),
+	}}}
+	return append(outs, lb.placeOrphans(now)...)
+}
+
+// placeOrphans delivers held custody batches to the least-loaded
+// reported member. Each batch's job count enters the quiescence send
+// side exactly once, no matter how often the batch is re-delivered.
+func (lb *LoadBalancer) placeOrphans(now time.Time) []Outbound {
+	if len(lb.orphans) == 0 {
+		return nil
+	}
+	dst, ok := lb.leastLoaded()
+	if !ok {
+		return nil
+	}
+	var outs []Outbound
+	for _, b := range lb.orphans {
+		lb.reseatSeq++
+		b.seq = lb.reseatSeq
+		b.dst = dst
+		b.sentAt = now
+		if !b.counted {
+			lb.reseatSent += uint64(b.n)
+			b.counted = true
+		}
+		lb.reseats[b.seq] = b
+		outs = append(outs, Outbound{To: dst, Msg: Message{
+			Kind: MsgJobs, From: LBFrom, Seq: b.seq, Jobs: b.jt,
+		}})
+	}
+	lb.orphans = nil
+	return outs
+}
+
+// leastLoaded picks the reported member with the shortest queue
+// (deterministic tie-break on id).
+func (lb *LoadBalancer) leastLoaded() (int, bool) {
+	best, bestQ, found := 0, 0, false
+	for id, m := range lb.members {
+		if !m.Reported {
+			continue
+		}
+		if !found || m.Last.Queue < bestQ || (m.Last.Queue == bestQ && id < best) {
+			best, bestQ, found = id, m.Last.Queue, true
+		}
+	}
+	return best, found
+}
+
+// Tick runs the periodic custody maintenance: orphan placement for
+// batches that had no survivor at departure time, and re-delivery of
+// custody batches whose acknowledgment is overdue (receivers suppress
+// duplicates via the sequence high-water mark).
+func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
+	outs := lb.placeOrphans(now)
+	for _, b := range lb.reseats {
+		if lb.members[b.dst] == nil {
+			continue // re-homed on that member's departure
+		}
+		if !b.sentAt.IsZero() && now.Sub(b.sentAt) > lb.cfg.Lease {
+			b.sentAt = now
+			outs = append(outs, Outbound{To: b.dst, Msg: Message{
+				Kind: MsgJobs, From: LBFrom, Seq: b.seq, Jobs: b.jt,
+			}})
+		}
+	}
+	return outs
 }
 
 // GlobalCoverage returns the merged coverage vector and whether it
@@ -77,47 +387,100 @@ func (lb *LoadBalancer) GlobalCoverage() (*coverage.BitVec, bool) {
 	return lb.cov, dirty
 }
 
-// Statuses returns the latest statuses (read-only copy).
+// Statuses returns the latest statuses of current members plus the
+// final statuses of departed members (read-only copies, ordered by
+// worker id; departed entries keep their original ids).
 func (lb *LoadBalancer) Statuses() []Status {
-	out := make([]Status, 0, len(lb.statuses))
-	for _, st := range lb.statuses {
-		out = append(out, st)
+	out := make([]Status, 0, len(lb.members)+len(lb.gone))
+	for _, m := range lb.members {
+		if m.Reported {
+			out = append(out, m.Last)
+		}
 	}
+	out = append(out, lb.gone...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
 	return out
 }
 
-// TotalQueue sums the reported queue lengths.
+// GoneStatuses returns the final statuses of departed members.
+func (lb *LoadBalancer) GoneStatuses() []Status {
+	return append([]Status(nil), lb.gone...)
+}
+
+// MemberRecord returns the accounting record of a current member, if id
+// is one and has reported. Used for final accounting of workers that
+// departed without their departure being processed (e.g. a crash whose
+// lease had not lapsed when the run ended).
+func (lb *LoadBalancer) MemberRecord(id int) (Status, bool) {
+	m := lb.members[id]
+	if m == nil || !m.Reported {
+		return Status{}, false
+	}
+	return m.Record(), true
+}
+
+// TotalQueue sums the reported queue lengths of current members.
 func (lb *LoadBalancer) TotalQueue() int {
 	n := 0
-	for _, st := range lb.statuses {
-		n += st.Queue
+	for _, m := range lb.members {
+		n += m.Last.Queue
 	}
 	return n
 }
 
-// Quiescent reports global completion: every worker idle with an empty
-// queue and all sent jobs received.
-func (lb *LoadBalancer) Quiescent(numWorkers int) bool {
-	if len(lb.statuses) < numWorkers {
+// TotalPaths sums explored paths across current and departed members.
+func (lb *LoadBalancer) TotalPaths() uint64 {
+	var n uint64
+	for _, m := range lb.members {
+		n += m.Last.Paths
+	}
+	for _, st := range lb.gone {
+		n += st.Paths
+	}
+	return n
+}
+
+// StatesTransferred sums jobs actually received from peer workers
+// (JobTree.Count on receipt, Fig. 12's numerator) across current and
+// departed members — not the requested order sizes, which overcount
+// when a source has fewer jobs than reported.
+func (lb *LoadBalancer) StatesTransferred() int {
+	n := 0
+	for _, m := range lb.members {
+		n += int(m.Last.TransferredIn)
+	}
+	for _, st := range lb.gone {
+		n += int(st.TransferredIn)
+	}
+	return n
+}
+
+// Quiescent reports global completion: at least one member, every
+// member reported idle with an empty queue, no orphaned custody, and
+// the send/receive reconciliation balanced across live members,
+// departed members' final counters, and the LB's own re-seat
+// deliveries. In-flight or unprocessed job batches keep the counters
+// unbalanced, so termination cannot be declared while work is moving.
+func (lb *LoadBalancer) Quiescent() bool {
+	if len(lb.members) == 0 || len(lb.orphans) > 0 {
 		return false
 	}
 	var sent, recv uint64
-	for _, st := range lb.statuses {
-		if st.Queue > 0 {
+	for _, m := range lb.members {
+		if !m.Reported || m.Last.Queue > 0 {
 			return false
 		}
-		sent += st.JobsSent
-		recv += st.JobsRecv
+		sent += m.Last.JobsSent
+		recv += m.Last.JobsRecv
 	}
-	return sent == recv
+	return sent+lb.goneSent+lb.reseatSent == recv+lb.goneRecv
 }
 
 // Balance computes transfer orders per the paper's algorithm: classify
 // workers against mean ± δ·σ of queue lengths, sort, and pair
 // underloaded with overloaded workers, requesting (lj − li)/2 jobs.
 func (lb *LoadBalancer) Balance() []TransferOrder {
-	if !lb.Enabled || len(lb.statuses) < 2 {
+	if !lb.Enabled {
 		return nil
 	}
 	type wl struct {
@@ -126,9 +489,15 @@ func (lb *LoadBalancer) Balance() []TransferOrder {
 	}
 	var ws []wl
 	var sum float64
-	for id, st := range lb.statuses {
-		ws = append(ws, wl{id, st.Queue})
-		sum += float64(st.Queue)
+	for id, m := range lb.members {
+		if !m.Reported {
+			continue
+		}
+		ws = append(ws, wl{id, m.Last.Queue})
+		sum += float64(m.Last.Queue)
+	}
+	if len(ws) < 2 {
+		return nil
 	}
 	n := float64(len(ws))
 	mean := sum / n
@@ -153,10 +522,13 @@ func (lb *LoadBalancer) Balance() []TransferOrder {
 	for lo < hi {
 		// Starved workers (0 jobs) count as underloaded even when σ is
 		// degenerate, as long as a peer has work to spare.
-		u := under(ws[lo].l) || (ws[lo].l == 0 && ws[hi].l >= 2)
-		o := over(ws[hi].l) || (ws[lo].l == 0 && ws[hi].l >= 2)
-		if !u || !o {
-			break
+		starved := ws[lo].l == 0 && ws[hi].l >= 2
+		if !under(ws[lo].l) && !starved {
+			break // receivers exhausted (sorted: inner ones are closer to the mean)
+		}
+		if !over(ws[hi].l) && !starved {
+			hi-- // donor exhausted (possibly by an earlier order); try the next-heaviest
+			continue
 		}
 		k := (ws[hi].l - ws[lo].l) / 2
 		if k < lb.cfg.MinTransfer {
@@ -164,9 +536,11 @@ func (lb *LoadBalancer) Balance() []TransferOrder {
 		}
 		orders = append(orders, TransferOrder{Src: ws[hi].id, Dst: ws[lo].id, NJobs: k})
 		lb.TransfersIssued++
-		lb.StatesTransferred += k
+		// Water-filling: the donor keeps giving while it has surplus, so
+		// several starved workers (e.g. late joiners) are all fed in one
+		// round instead of the lowest id winning every tie.
+		ws[hi].l -= k
 		lo++
-		hi--
 	}
 	return orders
 }

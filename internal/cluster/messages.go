@@ -1,8 +1,51 @@
 // Package cluster implements Cloud9's parallelization fabric (§3): a
 // load balancer plus shared-nothing workers exchanging path-encoded jobs
 // directly with each other. Works both in-process (goroutines and
-// channels; used by the benchmarks) and across real processes (gob over
-// TCP; see cmd/c9-lb and cmd/c9-worker).
+// channels; used by the benchmarks), in a deterministic lock-step
+// simulation (sim.go), and across real processes (gob over TCP; see
+// cmd/c9-lb and cmd/c9-worker).
+//
+// # Membership protocol
+//
+// Cluster membership is dynamic and crash-tolerant. Workers join at any
+// time (MsgHello over TCP, LoadBalancer.Join in-process), each receiving
+// a cluster id and a monotonically increasing epoch. Statuses double as
+// lease renewals: a member that stays silent longer than the balancer's
+// Lease is presumed crashed and evicted. Workers may also leave
+// gracefully by sending a final status followed by MsgGoodbye.
+//
+// # Job custody and crash recovery
+//
+// Every status carries the worker's frontier — its candidate nodes
+// encoded as a JobTree of path prefixes. When a member departs, the load
+// balancer re-seats that last-reported frontier onto the least-loaded
+// survivor via the ordinary MsgJobs replay path (From = LBFrom). All
+// work a member did after its last accepted status is discarded — its
+// final counters come from that same status — so the re-explored subtree
+// is counted exactly once and the cluster-wide path count matches an
+// undisturbed run.
+//
+// Worker-to-worker transfers use sender-side custody: the source keeps
+// each exported batch, stamped with a per-sender sequence number, until
+// the receiver's acknowledgment (piggybacked on its status and relayed
+// by the LB as MsgJobsAck) arrives. If the destination is evicted first,
+// the source re-imports the unacknowledged batches locally. Re-sent
+// batches are de-duplicated by the receiver's per-sender high-water
+// mark.
+//
+// # Epochs
+//
+// Messages and statuses are stamped with the sender's epoch. The load
+// balancer discards statuses whose (worker, epoch) pair is not the
+// current member — a falsely evicted straggler cannot corrupt the
+// accounting — and workers drop job batches from peers they know to be
+// evicted (MsgEvict broadcasts carry the new membership view). A worker
+// that sees its own eviction halts immediately.
+//
+// Quiescence detection survives departures: the balancer folds departed
+// members' final sent/received counters and its own re-seat deliveries
+// into the reconciliation, so the cluster terminates exactly when every
+// live member is idle and no job batch is in flight or orphaned.
 package cluster
 
 import (
@@ -14,17 +57,33 @@ type MsgKind uint8
 
 // Message kinds.
 const (
-	MsgJobs        MsgKind = iota // job tree transferred from another worker
+	MsgJobs        MsgKind = iota // job tree transferred from another worker (or LBFrom)
 	MsgTransferReq                // LB asks this worker to send jobs to Dst
 	MsgCoverage                   // LB broadcasts the global coverage vector
 	MsgStop                       // shut down
+	MsgStatus                     // worker → LB: periodic status snapshot (lease renewal)
+	MsgHello                      // worker → LB: join or reconnect announcement
+	MsgGoodbye                    // worker → LB: graceful leave (after a final status)
+	MsgEvict                      // LB → workers: member departed; Members is the new view
+	MsgJobsAck                    // LB → worker: Dst acknowledged job batches up to Seq
+	MsgMembers                    // LB → workers: membership snapshot (id → epoch)
 )
+
+// LBFrom is the From id used for job batches the load balancer re-seats
+// itself after a member departs.
+const LBFrom = -1
 
 // Message is a worker-bound message. One struct (not an interface) so it
 // gob-encodes directly for the TCP transport.
 type Message struct {
 	Kind MsgKind
 	From int
+	// Epoch identifies the sender's membership incarnation (MsgJobs,
+	// MsgStatus) or the departed member's epoch (MsgEvict).
+	Epoch uint64
+	// Seq numbers job batches for custody acknowledgment (MsgJobs,
+	// MsgJobsAck). Per-sender monotonic.
+	Seq uint64
 	// MsgJobs
 	Jobs *JobTree
 	// MsgTransferReq
@@ -32,13 +91,34 @@ type Message struct {
 	NJobs int
 	// MsgCoverage
 	CovWords []uint64
+	// MsgStatus
+	Status *Status
+	// MsgEvict / MsgMembers: current membership view (id → epoch).
+	Members map[int]uint64
+	// MsgHello (TCP): the worker's peer job-transfer address.
+	Addr string
+}
+
+// JobAck acknowledges, per source worker, every job batch with sequence
+// number ≤ Seq. Batch sequences are per (sender, receiver) pair and the
+// receiver only advances its mark contiguously (a gap means a batch was
+// lost in transit and must be re-sent first), so the high-water mark is
+// exact and acks are idempotent.
+type JobAck struct {
+	Src int
+	Seq uint64
 }
 
 // Status is a worker's periodic report to the load balancer (§3.3):
-// queue length (exploration jobs), cumulative work counters, and the
-// worker's coverage bit vector piggybacked on the update.
+// queue length (exploration jobs), cumulative work counters, the
+// worker's coverage bit vector, and — for crash recovery — a consistent
+// snapshot of its frontier as path prefixes. It also renews the worker's
+// membership lease.
 type Status struct {
-	Worker      int
+	Worker int
+	// Epoch is the membership incarnation this status belongs to; the LB
+	// discards statuses from stale epochs.
+	Epoch       uint64
 	Queue       int    // candidate nodes (exploration jobs)
 	JobsSent    uint64 // cumulative, for quiescence detection
 	JobsRecv    uint64
@@ -51,6 +131,22 @@ type Status struct {
 	CovWords    []uint64
 	CovCount    int
 	Done        bool // frontier empty and no pending imports
+	// Frontier is the worker's candidate set as a job tree, taken in the
+	// same instant as the counters above. On eviction the LB re-seats it
+	// onto a survivor; everything the worker did after this snapshot is
+	// discarded, keeping cluster totals exact.
+	Frontier *JobTree
+	// TransferredIn counts jobs actually received from peer workers
+	// (JobTree.Count on receipt) — the Fig. 12 numerator. Excludes LB
+	// re-seats and local re-imports.
+	TransferredIn uint64
+	// Acks acknowledge received peer job batches (relayed by the LB to
+	// each source as MsgJobsAck).
+	Acks []JobAck
+	// ReseatAcks lists every LB-origin job batch sequence this worker has
+	// processed (a set, not a high-water mark: LB sequences are global
+	// across destinations, so gaps are normal and must not be skipped).
+	ReseatAcks []uint64
 }
 
 // JobTree aggregates path-encoded jobs into a trie so that shared path
@@ -106,6 +202,9 @@ func (jt *JobTree) Paths() [][]uint8 {
 
 // Count returns the number of jobs (leaves) in the trie.
 func (jt *JobTree) Count() int {
+	if jt == nil {
+		return 0
+	}
 	n := 0
 	if jt.Leaf {
 		n = 1

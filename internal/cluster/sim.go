@@ -2,10 +2,18 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
 )
+
+// SimEvent schedules a membership event at a virtual-time tick.
+type SimEvent struct {
+	Tick   int
+	Worker int // target worker id (ignored for joins)
+}
 
 // SimConfig drives a deterministic lock-step cluster simulation.
 //
@@ -14,7 +22,11 @@ import (
 // executes up to Quantum instructions, and the load balancer runs every
 // BalanceTicks ticks. Virtual time (ticks) plays the role of wall-clock
 // time, making the scalability experiments (Figs. 7–10, 12, 13)
-// machine-independent and reproducible on a single core.
+// machine-independent and reproducible on a single core. Membership is
+// simulated too: Crashes silences a worker abruptly (its lease then
+// expires after LeaseTicks), Retires makes one leave gracefully, and
+// Joins adds workers mid-run — all at deterministic ticks, so crash
+// recovery itself is reproducible bit-for-bit.
 type SimConfig struct {
 	Workers   int
 	Entry     string
@@ -34,6 +46,17 @@ type SimConfig struct {
 	DisableLBAtTick int
 	// SampleTicks is the metrics sampling period (default: BalanceTicks).
 	SampleTicks int
+
+	// Crashes kills workers abruptly at the given ticks (no goodbye; the
+	// LB evicts them when their lease lapses and re-seats their jobs).
+	Crashes []SimEvent
+	// Retires makes workers leave gracefully at the given ticks.
+	Retires []SimEvent
+	// Joins adds one worker at each listed tick.
+	Joins []int
+	// LeaseTicks is the membership lease in virtual ticks (default: 3
+	// balance periods).
+	LeaseTicks int
 }
 
 // SimResult is the outcome of a simulated run.
@@ -44,6 +67,7 @@ type SimResult struct {
 	Samples   []Snapshot // sampled every SampleTicks
 	Workers   []*Worker
 	LB        *LoadBalancer
+	Evictions int
 }
 
 // simEndpoint is a synchronous transport: messages land in slices the
@@ -53,10 +77,23 @@ type simEndpoint struct {
 	id  int
 }
 
-func (e simEndpoint) SendStatus(st Status) { e.sim.lb.Update(st) }
-func (e simEndpoint) SendJobs(dst, from int, jt *JobTree) {
-	e.sim.pending[dst] = append(e.sim.pending[dst], Message{Kind: MsgJobs, From: from, Jobs: jt})
+func (e simEndpoint) SendToLB(m Message) {
+	switch m.Kind {
+	case MsgStatus:
+		if m.Status != nil {
+			outs, _ := e.sim.lb.Update(*m.Status, e.sim.now)
+			e.sim.dispatch(outs)
+		}
+	case MsgGoodbye:
+		e.sim.dispatch(e.sim.lb.Goodbye(m.From, e.sim.now))
+	}
 }
+
+func (e simEndpoint) SendJobs(dst int, m Message) bool {
+	e.sim.pending[dst] = append(e.sim.pending[dst], m)
+	return true
+}
+
 func (e simEndpoint) Recv() (Message, bool) {
 	q := e.sim.inbox[e.id]
 	if len(q) == 0 {
@@ -69,8 +106,35 @@ func (e simEndpoint) Recv() (Message, bool) {
 
 type sim struct {
 	lb      *LoadBalancer
-	inbox   [][]Message
-	pending [][]Message // delivered at the next tick boundary
+	now     time.Time // virtual clock: one second per tick
+	inbox   map[int][]Message
+	pending map[int][]Message // delivered at the next tick boundary
+}
+
+// dispatch queues LB outbounds for delivery at the next tick boundary.
+func (s *sim) dispatch(outs []Outbound) {
+	for _, out := range outs {
+		if out.To == Broadcast {
+			ids := make([]int, 0, len(s.pending))
+			for id := range s.pending {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				s.pending[id] = append(s.pending[id], out.Msg)
+			}
+			continue
+		}
+		if _, ok := s.pending[out.To]; ok {
+			s.pending[out.To] = append(s.pending[out.To], out.Msg)
+		}
+	}
+}
+
+// simTick converts a virtual tick to the synthetic wall clock the LB's
+// lease machinery runs on.
+func simTick(tick int) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(tick) * time.Second)
 }
 
 // RunSim executes the lock-step simulation.
@@ -90,33 +154,57 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if cfg.Balancer.Delta == 0 {
 		cfg.Balancer = DefaultBalancerConfig()
 	}
+	if cfg.LeaseTicks <= 0 {
+		cfg.LeaseTicks = 3 * cfg.BalanceTicks
+	}
+	cfg.Balancer.Lease = time.Duration(cfg.LeaseTicks) * time.Second
 
 	s := &sim{
-		inbox:   make([][]Message, cfg.Workers),
-		pending: make([][]Message, cfg.Workers),
+		now:     simTick(0),
+		inbox:   map[int][]Message{},
+		pending: map[int][]Message{},
 	}
-	workers := make([]*Worker, cfg.Workers)
-	covLen := 0
-	for i := 0; i < cfg.Workers; i++ {
-		w, err := NewWorker(WorkerConfig{
-			ID:        i,
-			Seed:      i == 0,
-			Engine:    cfg.Engine,
-			NewInterp: cfg.NewInterp,
-			Entry:     cfg.Entry,
-		}, simEndpoint{s, i})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: sim worker %d: %w", i, err)
-		}
-		workers[i] = w
-		covLen = w.Exp.Cov.Len() - 1
-	}
-	s.lb = NewLoadBalancer(cfg.Balancer, covLen)
+	var workers []*Worker
+	alive := map[int]*Worker{}
+	crashed := map[int]bool{}
 
-	res := &SimResult{Workers: workers, LB: s.lb}
-	snapshot := func(tick int) Snapshot {
+	spawn := func(seedOK bool) (*Worker, error) {
+		m, outs := s.lb.Join("", s.now)
+		s.inbox[m.ID] = nil
+		s.pending[m.ID] = nil
+		s.dispatch(outs)
+		w, err := NewWorker(WorkerConfig{
+			ID: m.ID, Epoch: m.Epoch, Seed: seedOK && m.ID == 0,
+			Engine: cfg.Engine, NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+		}, simEndpoint{s, m.ID})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sim worker %d: %w", m.ID, err)
+		}
+		workers = append(workers, w)
+		alive[m.ID] = w
+		w.sendStatus()
+		return w, nil
+	}
+
+	// Coverage length requires an interpreter; probe one state first.
+	probeIn, err := cfg.NewInterp()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: sim: %w", err)
+	}
+	s.lb = NewLoadBalancer(cfg.Balancer, probeIn.Prog.MaxLine)
+	for i := 0; i < cfg.Workers; i++ {
+		if _, err := spawn(true); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SimResult{LB: s.lb}
+	snapshot := func() Snapshot {
 		snap := Snapshot{}
 		for _, w := range workers {
+			if w.Departed() || crashed[w.ID] {
+				continue
+			}
 			snap.UsefulSteps += w.Exp.Stats.UsefulSteps
 			snap.ReplaySteps += w.Exp.Stats.ReplaySteps
 			snap.Paths += w.Exp.Stats.PathsExplored
@@ -124,25 +212,92 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			snap.Hangs += w.Exp.Stats.Hangs
 			snap.Queues = append(snap.Queues, w.Exp.Tree.NumCandidates())
 		}
+		for _, st := range s.lb.GoneStatuses() {
+			snap.UsefulSteps += st.UsefulSteps
+			snap.ReplaySteps += st.ReplaySteps
+			snap.Paths += st.Paths
+			snap.Errors += st.Errors
+			snap.Hangs += st.Hangs
+		}
+		// Crashed-but-not-yet-evicted workers: count the snapshot that
+		// will become their accounting record at eviction (everything
+		// past it is re-explored by survivors).
+		for id := range crashed {
+			if rec, ok := s.lb.MemberRecord(id); ok {
+				snap.UsefulSteps += rec.UsefulSteps
+				snap.ReplaySteps += rec.ReplaySteps
+				snap.Paths += rec.Paths
+				snap.Errors += rec.Errors
+				snap.Hangs += rec.Hangs
+			}
+		}
 		cov, _ := s.lb.GlobalCoverage()
 		snap.Coverage = cov.Count()
-		snap.StatesTransferred = s.lb.StatesTransferred
+		snap.StatesTransferred = s.lb.StatesTransferred()
 		snap.TransfersIssued = s.lb.TransfersIssued
-		_ = tick
 		return snap
+	}
+
+	crashAt := map[int][]int{}
+	for _, ev := range cfg.Crashes {
+		crashAt[ev.Tick] = append(crashAt[ev.Tick], ev.Worker)
+	}
+	retireAt := map[int][]int{}
+	for _, ev := range cfg.Retires {
+		retireAt[ev.Tick] = append(retireAt[ev.Tick], ev.Worker)
+	}
+	joinAt := map[int]int{}
+	for _, t := range cfg.Joins {
+		joinAt[t]++
 	}
 
 	tick := 0
 	for {
 		tick++
-		// Deliver messages produced last tick.
-		for i := range s.pending {
-			s.inbox[i] = append(s.inbox[i], s.pending[i]...)
-			s.pending[i] = nil
+		s.now = simTick(tick)
+		// Membership events first: a crash at tick T means the worker
+		// does nothing at T or later; its inbox freezes.
+		for _, id := range crashAt[tick] {
+			if w := alive[id]; w != nil {
+				w.Crash()
+				crashed[id] = true
+				delete(alive, id)
+			}
 		}
-		// Each worker: process mail, then run one quantum.
-		for _, w := range workers {
+		for _, id := range retireAt[tick] {
+			if w := alive[id]; w != nil {
+				w.sendGoodbye()
+				delete(alive, id)
+			}
+		}
+		for i := 0; i < joinAt[tick]; i++ {
+			if _, err := spawn(false); err != nil {
+				return nil, err
+			}
+		}
+		// Deliver messages produced last tick.
+		ids := make([]int, 0, len(s.pending))
+		for id := range s.pending {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			s.inbox[id] = append(s.inbox[id], s.pending[id]...)
+			s.pending[id] = nil
+		}
+		// Each live worker: process mail, then run one quantum.
+		aliveIDs := make([]int, 0, len(alive))
+		for id := range alive {
+			aliveIDs = append(aliveIDs, id)
+		}
+		sort.Ints(aliveIDs)
+		for _, id := range aliveIDs {
+			w := alive[id]
 			w.drainMailbox()
+			if w.Stopped() {
+				delete(alive, id)
+				continue
+			}
 			if w.Exp.Done() {
 				continue
 			}
@@ -158,56 +313,79 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			if cfg.DisableLBAtTick > 0 && tick >= cfg.DisableLBAtTick {
 				s.lb.Enabled = false
 			}
-			for _, w := range workers {
-				w.sendStatus()
+			for _, id := range aliveIDs {
+				if w := alive[id]; w != nil {
+					w.sendStatus()
+				}
 			}
+			s.dispatch(s.lb.ExpireLeases(s.now))
+			s.dispatch(s.lb.Tick(s.now))
 			for _, ord := range s.lb.Balance() {
 				s.inbox[ord.Src] = append(s.inbox[ord.Src],
 					Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs})
 			}
 			if cov, dirty := s.lb.GlobalCoverage(); dirty {
 				words := append([]uint64(nil), cov.Words()...)
-				for i := range s.inbox {
-					s.inbox[i] = append(s.inbox[i], Message{Kind: MsgCoverage, CovWords: words})
+				for _, id := range aliveIDs {
+					s.inbox[id] = append(s.inbox[id], Message{Kind: MsgCoverage, CovWords: words})
 				}
 			}
 		}
 		if tick%cfg.SampleTicks == 0 {
-			res.Samples = append(res.Samples, snapshot(tick))
+			res.Samples = append(res.Samples, snapshot())
 		}
-		// Termination checks.
+		// Termination: every live worker idle, nothing in flight, no
+		// orphaned custody, and every crashed worker already evicted (so
+		// its re-seated jobs are accounted for).
 		done := true
-		for _, w := range workers {
+		for _, w := range alive {
 			if !w.Exp.Done() {
 				done = false
 				break
 			}
 		}
-		pendingJobs := false
-		for i := range s.inbox {
-			for _, msg := range s.inbox[i] {
-				if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq {
-					pendingJobs = true
-				}
-			}
-			for _, msg := range s.pending[i] {
-				if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq {
-					pendingJobs = true
-				}
+		for id := range crashed {
+			if _, still := s.lb.members[id]; still {
+				done = false
+				break
 			}
 		}
-		if done && !pendingJobs {
+		if len(s.lb.orphans) > 0 {
+			done = false
+		}
+		if done {
+			scan := func(q []Message) {
+				for _, msg := range q {
+					if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq {
+						done = false
+					}
+				}
+			}
+			for id := range s.inbox {
+				if _, live := alive[id]; !live {
+					// Departed worker's frozen inbox: anything stranded in
+					// it was re-imported by its sender or re-seated by the
+					// LB; it can't hold live work.
+					continue
+				}
+				scan(s.inbox[id])
+				scan(s.pending[id])
+			}
+		}
+		if done && len(alive) > 0 {
 			res.Exhausted = true
 			break
 		}
 		if cfg.MaxTicks > 0 && tick >= cfg.MaxTicks {
 			break
 		}
-		if cfg.StopWhen != nil && cfg.StopWhen(snapshot(tick)) {
+		if cfg.StopWhen != nil && cfg.StopWhen(snapshot()) {
 			break
 		}
 	}
 	res.Ticks = tick
-	res.Final = snapshot(tick)
+	res.Workers = workers
+	res.Final = snapshot()
+	res.Evictions = s.lb.Evictions
 	return res, nil
 }

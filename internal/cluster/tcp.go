@@ -2,35 +2,49 @@ package cluster
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
+// ErrJoinRefused is returned when the LB rejects a (re)join — the
+// worker's membership was evicted and its work re-seated elsewhere.
+var ErrJoinRefused = errors.New("cluster: join refused (evicted)")
+
 // The TCP fabric runs the same worker/LB protocol across real processes:
-// workers register with the load balancer, stream status updates to it,
-// and ship job trees directly to each other (the LB stays off the
-// critical path, §3.1). cmd/c9-lb and cmd/c9-worker wrap this.
+// workers register with the load balancer at any time (no fixed cluster
+// size), stream status updates to it, and ship job trees directly to
+// each other (the LB stays off the critical path, §3.1). A worker whose
+// LB connection drops re-dials and resumes its membership; a worker that
+// goes silent past its lease is evicted and its last-reported frontier
+// re-seated onto survivors. cmd/c9-lb and cmd/c9-worker wrap this.
 
 // Hello registers a worker with the LB. Addr is the worker's own
-// listening address for peer job transfers.
+// listening address for peer job transfers. ID < 0 requests a fresh
+// join; otherwise the worker is re-dialing and asks to resume the
+// membership identified by (ID, Epoch).
 type Hello struct {
-	Addr string
+	Addr  string
+	ID    int
+	Epoch uint64
 }
 
-// HelloAck assigns the worker its cluster id and seed role.
+// HelloAck assigns the worker its cluster id, epoch, and seed role.
+// ID < 0 means the join was refused (stale reconnect of an evicted
+// member).
 type HelloAck struct {
-	ID   int
-	Seed bool
+	ID    int
+	Epoch uint64
+	Seed  bool
 }
 
 // WireMsg is the union envelope exchanged over TCP.
 type WireMsg struct {
-	Hello  *Hello
-	Ack    *HelloAck
-	Status *Status
-	Msg    *Message
+	Hello *Hello
+	Ack   *HelloAck
+	Msg   *Message
 	// PeerAddrs maps worker ids to their job-transfer addresses
 	// (piggybacked on LB messages so sources can dial destinations).
 	PeerAddrs map[int]string
@@ -38,8 +52,10 @@ type WireMsg struct {
 
 // TCPWorkerTransport implements Transport over the TCP fabric.
 type TCPWorkerTransport struct {
-	ID int
+	ID    int
+	Epoch uint64
 
+	lbAddr string
 	lbConn net.Conn
 	lbEnc  *gob.Encoder
 	encMu  sync.Mutex
@@ -50,85 +66,151 @@ type TCPWorkerTransport struct {
 	inbox     []Message
 	mailCond  *sync.Cond
 	peerAddrs map[int]string
-	peerConns map[string]*gob.Encoder
+	peerConns map[string]*peerConn
 	closed    bool
 }
 
+type peerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
 // DialLB connects to the load balancer, registers, and starts the
-// worker's peer listener.
+// worker's peer listener and reconnect-aware LB pump.
 func DialLB(lbAddr string) (*TCPWorkerTransport, *HelloAck, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
 	}
-	conn, err := net.Dial("tcp", lbAddr)
+	t := &TCPWorkerTransport{
+		lbAddr:    lbAddr,
+		listener:  ln,
+		peerAddrs: map[int]string{},
+		peerConns: map[string]*peerConn{},
+	}
+	t.mailCond = sync.NewCond(&t.mu)
+	ack, dec, err := t.dialHello(-1, 0)
 	if err != nil {
 		ln.Close()
 		return nil, nil, err
 	}
-	t := &TCPWorkerTransport{
-		lbConn:    conn,
-		lbEnc:     gob.NewEncoder(conn),
-		listener:  ln,
-		peerAddrs: map[int]string{},
-		peerConns: map[string]*gob.Encoder{},
+	t.ID = ack.ID
+	t.Epoch = ack.Epoch
+
+	go t.pump(dec)
+	go t.acceptPeers()
+	return t, ack, nil
+}
+
+// dialHello dials the LB and performs the join (id < 0) or resume
+// handshake, installing the new connection on success.
+func (t *TCPWorkerTransport) dialHello(id int, epoch uint64) (*HelloAck, *gob.Decoder, error) {
+	conn, err := net.Dial("tcp", t.lbAddr)
+	if err != nil {
+		return nil, nil, err
 	}
-	t.mailCond = sync.NewCond(&t.mu)
-	if err := t.lbEnc.Encode(WireMsg{Hello: &Hello{Addr: ln.Addr().String()}}); err != nil {
+	enc := gob.NewEncoder(conn)
+	hello := Hello{Addr: t.listener.Addr().String(), ID: id, Epoch: epoch}
+	if err := enc.Encode(WireMsg{Hello: &hello}); err != nil {
 		conn.Close()
-		ln.Close()
 		return nil, nil, err
 	}
 	dec := gob.NewDecoder(conn)
-	var ack WireMsg
-	if err := dec.Decode(&ack); err != nil || ack.Ack == nil {
+	var wm WireMsg
+	if err := dec.Decode(&wm); err != nil || wm.Ack == nil {
 		conn.Close()
-		ln.Close()
 		return nil, nil, fmt.Errorf("cluster: bad hello ack: %v", err)
 	}
-	t.ID = ack.Ack.ID
+	if wm.Ack.ID < 0 {
+		conn.Close()
+		return nil, nil, ErrJoinRefused
+	}
+	t.encMu.Lock()
+	if t.lbConn != nil {
+		t.lbConn.Close()
+	}
+	t.lbConn = conn
+	t.lbEnc = enc
+	t.encMu.Unlock()
+	return wm.Ack, dec, nil
+}
 
-	// LB message pump.
-	go func() {
-		for {
-			var wm WireMsg
-			if err := dec.Decode(&wm); err != nil {
+// pump decodes LB messages, reconnecting with the worker's identity when
+// the connection drops. If the LB refuses the resume (we were evicted)
+// or stays unreachable, the worker is stopped.
+func (t *TCPWorkerTransport) pump(dec *gob.Decoder) {
+	for {
+		var wm WireMsg
+		if err := dec.Decode(&wm); err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			nd, ok := t.reconnect()
+			if !ok {
 				t.push(Message{Kind: MsgStop})
 				return
 			}
-			t.mu.Lock()
-			for id, addr := range wm.PeerAddrs {
-				t.peerAddrs[id] = addr
-			}
-			t.mu.Unlock()
-			if wm.Msg != nil {
-				t.push(*wm.Msg)
-			}
+			dec = nd
+			continue
 		}
-	}()
-	// Peer job listener.
-	go func() {
-		for {
-			c, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go func(c net.Conn) {
-				d := gob.NewDecoder(c)
-				for {
-					var wm WireMsg
-					if err := d.Decode(&wm); err != nil {
-						c.Close()
-						return
-					}
-					if wm.Msg != nil {
-						t.push(*wm.Msg)
-					}
+		t.mu.Lock()
+		for id, addr := range wm.PeerAddrs {
+			t.peerAddrs[id] = addr
+		}
+		t.mu.Unlock()
+		if wm.Msg != nil {
+			t.push(*wm.Msg)
+		}
+	}
+}
+
+// reconnect re-dials the LB, resuming this worker's membership. It
+// retries briefly — well inside the lease — before giving up.
+func (t *TCPWorkerTransport) reconnect() (*gob.Decoder, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		ack, dec, err := t.dialHello(t.ID, t.Epoch)
+		if err == nil && ack.ID == t.ID {
+			return dec, true
+		}
+		if errors.Is(err, ErrJoinRefused) {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// acceptPeers receives direct worker-to-worker job transfers.
+func (t *TCPWorkerTransport) acceptPeers() {
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			d := gob.NewDecoder(c)
+			for {
+				var wm WireMsg
+				if err := d.Decode(&wm); err != nil {
+					c.Close()
+					return
 				}
-			}(c)
-		}
-	}()
-	return t, ack.Ack, nil
+				if wm.Msg != nil {
+					t.push(*wm.Msg)
+				}
+			}
+		}(c)
+	}
 }
 
 func (t *TCPWorkerTransport) push(m Message) {
@@ -138,33 +220,52 @@ func (t *TCPWorkerTransport) push(m Message) {
 	t.mu.Unlock()
 }
 
-// SendStatus implements Transport.
-func (t *TCPWorkerTransport) SendStatus(st Status) {
+// SendToLB implements Transport. Failures are absorbed: the pump's
+// reconnect restores the stream and statuses are cumulative.
+func (t *TCPWorkerTransport) SendToLB(m Message) {
 	t.encMu.Lock()
 	defer t.encMu.Unlock()
-	_ = t.lbEnc.Encode(WireMsg{Status: &st})
+	if t.lbEnc != nil {
+		_ = t.lbEnc.Encode(WireMsg{Msg: &m})
+	}
 }
 
-// SendJobs implements Transport (direct worker-to-worker transfer).
-func (t *TCPWorkerTransport) SendJobs(dst, from int, jt *JobTree) {
+// SendJobs implements Transport (direct worker-to-worker transfer). A
+// false return means the batch was not handed to a connection; the
+// caller keeps custody and re-imports it.
+func (t *TCPWorkerTransport) SendJobs(dst int, m Message) bool {
 	t.mu.Lock()
 	addr := t.peerAddrs[dst]
-	enc := t.peerConns[addr]
+	pc := t.peerConns[addr]
 	t.mu.Unlock()
 	if addr == "" {
-		return // destination unknown yet; the LB will rebalance later
+		return false // destination unknown yet; the LB will rebalance later
 	}
-	if enc == nil {
+	if pc == nil {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			return
+			return false
 		}
-		enc = gob.NewEncoder(conn)
+		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
 		t.mu.Lock()
-		t.peerConns[addr] = enc
+		t.peerConns[addr] = pc
 		t.mu.Unlock()
 	}
-	_ = enc.Encode(WireMsg{Msg: &Message{Kind: MsgJobs, From: from, Jobs: jt}})
+	pc.mu.Lock()
+	err := pc.enc.Encode(WireMsg{Msg: &m})
+	pc.mu.Unlock()
+	if err != nil {
+		// Connection died; drop it so the next send re-dials. The caller
+		// keeps custody (ack high-water marks de-duplicate resends).
+		pc.conn.Close()
+		t.mu.Lock()
+		if t.peerConns[addr] == pc {
+			delete(t.peerConns, addr)
+		}
+		t.mu.Unlock()
+		return false
+	}
+	return true
 }
 
 // Recv implements Transport.
@@ -204,28 +305,38 @@ func (t *TCPWorkerTransport) Close() {
 	t.closed = true
 	t.mailCond.Broadcast()
 	t.mu.Unlock()
-	t.lbConn.Close()
+	t.encMu.Lock()
+	if t.lbConn != nil {
+		t.lbConn.Close()
+	}
+	t.encMu.Unlock()
 	t.listener.Close()
 }
 
-// LBServer runs the load-balancer side of the TCP fabric.
+// LBServer runs the load-balancer side of the TCP fabric. Workers join
+// and leave at any time; there is no fixed cluster size and no startup
+// barrier.
 type LBServer struct {
 	cfg      BalancerConfig
 	listener net.Listener
 
 	mu      sync.Mutex
 	lb      *LoadBalancer
-	workers map[int]*lbWorkerConn
-	nextID  int
-	// ExpectWorkers, when > 0, delays balancing until that many workers
-	// have joined.
-	ExpectWorkers int
+	conns   map[int]*lbWorkerConn
+	stopped bool
+	// MinWorkers, when > 0, delays quiescence-based shutdown until that
+	// many workers have been members at some point (prevents the LB from
+	// declaring a tiny exploration finished before peers ever join). It
+	// is NOT a startup barrier: balancing begins as soon as two members
+	// report.
+	MinWorkers  int
+	peakMembers int
 }
 
 type lbWorkerConn struct {
 	id   int
-	addr string
 	enc  *gob.Encoder
+	conn net.Conn
 	mu   sync.Mutex
 }
 
@@ -235,29 +346,80 @@ func (wc *lbWorkerConn) send(wm WireMsg) {
 	_ = wc.enc.Encode(wm)
 }
 
-// NewLBServer listens on addr.
-func NewLBServer(addr string, cfg BalancerConfig, covLen int, expect int) (*LBServer, error) {
+// NewLBServer listens on addr. minWorkers gates quiescence-based
+// shutdown only (see LBServer.MinWorkers); pass 0 for a fully elastic
+// cluster.
+func NewLBServer(addr string, cfg BalancerConfig, covLen int, minWorkers int) (*LBServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Delta == 0 {
+		lease := cfg.Lease
 		cfg = DefaultBalancerConfig()
+		if lease > 0 {
+			cfg.Lease = lease
+		}
 	}
 	return &LBServer{
-		cfg:           cfg,
-		listener:      ln,
-		lb:            NewLoadBalancer(cfg, covLen),
-		workers:       map[int]*lbWorkerConn{},
-		ExpectWorkers: expect,
+		cfg:        cfg,
+		listener:   ln,
+		lb:         NewLoadBalancer(cfg, covLen),
+		conns:      map[int]*lbWorkerConn{},
+		MinWorkers: minWorkers,
 	}, nil
 }
 
 // Addr returns the listening address.
 func (s *LBServer) Addr() string { return s.listener.Addr().String() }
 
+// TotalPaths reports the cluster-wide explored-path count (live members'
+// last reports plus departed members' final ones). Safe concurrently
+// with Serve.
+func (s *LBServer) TotalPaths() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.TotalPaths()
+}
+
+// addrsLocked snapshots the member id → peer address map.
+func (s *LBServer) addrsLocked() map[int]string {
+	addrs := map[int]string{}
+	for id, m := range s.lb.members {
+		addrs[id] = m.Addr
+	}
+	return addrs
+}
+
+// dispatchLocked routes LB outbounds to worker connections, attaching
+// the current peer-address map. Eviction notices also go to the evicted
+// member itself (if still connected) so a falsely evicted straggler
+// halts, then its connection is dropped.
+func (s *LBServer) dispatchLocked(outs []Outbound) {
+	addrs := s.addrsLocked()
+	for _, out := range outs {
+		msg := out.Msg
+		if out.To == Broadcast {
+			for _, wc := range s.conns {
+				wc.send(WireMsg{Msg: &msg, PeerAddrs: addrs})
+			}
+			if msg.Kind == MsgEvict {
+				if wc := s.conns[msg.From]; wc != nil {
+					wc.conn.Close()
+					delete(s.conns, msg.From)
+				}
+			}
+			continue
+		}
+		if wc := s.conns[out.To]; wc != nil {
+			wc.send(WireMsg{Msg: &msg, PeerAddrs: addrs})
+		}
+	}
+}
+
 // Serve accepts workers and balances until quiescence (or maxDuration),
-// then broadcasts stop and returns the final statuses.
+// then broadcasts stop and returns the final statuses — live members'
+// last reports plus the final records of departed members.
 func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 	go s.acceptLoop()
 	start := time.Now()
@@ -265,19 +427,16 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 	defer tick.Stop()
 	quiet := 0
 	for range tick.C {
+		now := time.Now()
 		s.mu.Lock()
-		n := len(s.workers)
-		ready := s.ExpectWorkers == 0 || n >= s.ExpectWorkers
-		var orders []TransferOrder
-		if ready {
-			orders = s.lb.Balance()
+		if n := s.lb.NumMembers(); n > s.peakMembers {
+			s.peakMembers = n
 		}
-		addrs := map[int]string{}
-		for id, wc := range s.workers {
-			addrs[id] = wc.addr
-		}
-		for _, ord := range orders {
-			if wc := s.workers[ord.Src]; wc != nil {
+		s.dispatchLocked(s.lb.ExpireLeases(now))
+		s.dispatchLocked(s.lb.Tick(now))
+		addrs := s.addrsLocked()
+		for _, ord := range s.lb.Balance() {
+			if wc := s.conns[ord.Src]; wc != nil {
 				wc.send(WireMsg{
 					Msg:       &Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs},
 					PeerAddrs: addrs,
@@ -286,11 +445,11 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 		}
 		if cov, dirty := s.lb.GlobalCoverage(); dirty {
 			words := append([]uint64(nil), cov.Words()...)
-			for _, wc := range s.workers {
+			for _, wc := range s.conns {
 				wc.send(WireMsg{Msg: &Message{Kind: MsgCoverage, CovWords: words}})
 			}
 		}
-		done := ready && s.lb.Quiescent(n) && n > 0
+		done := s.peakMembers >= s.MinWorkers && s.lb.Quiescent()
 		s.mu.Unlock()
 		if done {
 			quiet++
@@ -305,13 +464,29 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 		}
 	}
 	s.mu.Lock()
-	for _, wc := range s.workers {
+	// Freeze the balancer before releasing the lock: handler goroutines
+	// check stopped and won't apply further updates, so post-Serve reads
+	// of the LB (totals, membership counters) are race-free.
+	s.stopped = true
+	for _, wc := range s.conns {
 		wc.send(WireMsg{Msg: &Message{Kind: MsgStop}})
 	}
 	statuses := s.lb.Statuses()
+	for _, wc := range s.conns {
+		wc.conn.Close()
+	}
+	s.conns = map[int]*lbWorkerConn{}
 	s.mu.Unlock()
 	s.listener.Close()
 	return statuses, nil
+}
+
+// Stats returns the membership and transfer counters (safe after — or
+// concurrently with — Serve).
+func (s *LBServer) Stats() (evictions, leaves, transfersIssued, statesTransferred int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.Evictions, s.lb.Leaves, s.lb.TransfersIssued, s.lb.StatesTransferred()
 }
 
 func (s *LBServer) acceptLoop() {
@@ -324,6 +499,10 @@ func (s *LBServer) acceptLoop() {
 	}
 }
 
+// handle serves one worker connection: the join/resume handshake, then
+// the status stream. A decode error only drops the connection — the
+// membership survives until the lease lapses, so a worker that re-dials
+// in time resumes exactly where it was.
 func (s *LBServer) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -332,22 +511,64 @@ func (s *LBServer) handle(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	h := hello.Hello
+	now := time.Now()
 	s.mu.Lock()
-	id := s.nextID
-	s.nextID++
-	wc := &lbWorkerConn{id: id, addr: hello.Hello.Addr, enc: enc}
-	s.workers[id] = wc
+	if s.stopped {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	var id int
+	var epoch uint64
+	if h.ID >= 0 {
+		// Resume: accept only if (id, epoch) is still a member.
+		if !s.lb.IsMember(h.ID, h.Epoch) {
+			s.mu.Unlock()
+			wc := &lbWorkerConn{enc: enc, conn: conn}
+			wc.send(WireMsg{Ack: &HelloAck{ID: -1}})
+			conn.Close()
+			return
+		}
+		id, epoch = h.ID, h.Epoch
+		s.lb.Touch(id, now)
+	} else {
+		m, outs := s.lb.Join(h.Addr, now)
+		id, epoch = m.ID, m.Epoch
+		s.dispatchLocked(outs)
+	}
+	wc := &lbWorkerConn{id: id, enc: enc, conn: conn}
+	if old := s.conns[id]; old != nil {
+		old.conn.Close()
+	}
+	s.conns[id] = wc
+	addrs := s.addrsLocked()
 	s.mu.Unlock()
-	wc.send(WireMsg{Ack: &HelloAck{ID: id, Seed: id == 0}})
+	wc.send(WireMsg{Ack: &HelloAck{ID: id, Epoch: epoch, Seed: id == 0}, PeerAddrs: addrs})
 	for {
 		var wm WireMsg
 		if err := dec.Decode(&wm); err != nil {
 			conn.Close()
 			return
 		}
-		if wm.Status != nil {
+		if wm.Msg == nil {
+			continue
+		}
+		switch wm.Msg.Kind {
+		case MsgStatus:
+			if wm.Msg.Status != nil {
+				s.mu.Lock()
+				if !s.stopped {
+					outs, _ := s.lb.Update(*wm.Msg.Status, time.Now())
+					s.dispatchLocked(outs)
+				}
+				s.mu.Unlock()
+			}
+		case MsgGoodbye:
 			s.mu.Lock()
-			s.lb.Update(*wm.Status)
+			if !s.stopped && s.lb.IsMember(wm.Msg.From, wm.Msg.Epoch) {
+				s.dispatchLocked(s.lb.Goodbye(wm.Msg.From, time.Now()))
+			}
 			s.mu.Unlock()
 		}
 	}

@@ -6,7 +6,57 @@ import (
 	"time"
 
 	"cloud9/internal/engine"
+	"cloud9/internal/interp"
 )
+
+// startTCPWorker dials the LB and runs a full worker. The interpreter
+// is compiled before dialing so join latency is milliseconds, and
+// crashWhen (optional, evaluated on the worker's thread with its
+// current queue length) triggers an abrupt crash — no goodbye, the
+// connection just goes silent mid-run.
+func startTCPWorker(t *testing.T, lbs *LBServer, src string, wg *sync.WaitGroup, errCh chan error,
+	register func(*Worker), crashWhen func(queue int) bool) {
+	t.Helper()
+	factory := mkInterp(t, src)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Compile before dialing so join latency is milliseconds.
+		in, err := factory()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		tr, ack, err := DialLB(lbs.Addr())
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer tr.Close()
+		w, err := NewWorker(WorkerConfig{
+			ID:     ack.ID,
+			Epoch:  ack.Epoch,
+			Seed:   ack.Seed,
+			Batch:  8,
+			Engine: engine.Config{MaxStateSteps: 1_000_000},
+			// Frontier with every status: cheap at this scale, and it
+			// keeps the custody snapshot maximally fresh for the crash
+			// assertions below.
+			FrontierEvery: 1,
+			NewInterp:     func() (*interp.Interp, error) { return in, nil },
+			Entry:         "main",
+			CrashWhen:     crashWhen,
+		}, tr)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		register(w)
+		if err := w.RunLoop(); err != nil {
+			errCh <- err
+		}
+	}()
+}
 
 // TestTCPClusterEndToEnd runs an LB and three workers over real TCP
 // sockets (in one process, but speaking the cross-process protocol) and
@@ -29,38 +79,15 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	const numWorkers = 3
 	var wg sync.WaitGroup
 	errCh := make(chan error, numWorkers)
-	workers := make([]*Worker, numWorkers)
 	var mu sync.Mutex
-
+	workers := map[int]*Worker{}
+	register := func(w *Worker) {
+		mu.Lock()
+		workers[w.ID] = w
+		mu.Unlock()
+	}
 	for i := 0; i < numWorkers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tr, ack, err := DialLB(lbs.Addr())
-			if err != nil {
-				errCh <- err
-				return
-			}
-			defer tr.Close()
-			w, err := NewWorker(WorkerConfig{
-				ID:        ack.ID,
-				Seed:      ack.Seed,
-				Batch:     8,
-				Engine:    engine.Config{MaxStateSteps: 1_000_000},
-				NewInterp: factory,
-				Entry:     "main",
-			}, tr)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			mu.Lock()
-			workers[ack.ID] = w
-			mu.Unlock()
-			if err := w.RunLoop(); err != nil {
-				errCh <- err
-			}
-		}()
+		startTCPWorker(t, lbs, bigClusterTarget, &wg, errCh, register, nil)
 	}
 
 	statuses, err := lbs.Serve(60 * time.Second)
@@ -75,10 +102,10 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 
 	var paths, errors uint64
+	if len(workers) != numWorkers {
+		t.Fatalf("registered %d workers", len(workers))
+	}
 	for _, w := range workers {
-		if w == nil {
-			t.Fatal("worker did not register")
-		}
 		paths += w.Exp.Stats.PathsExplored
 		errors += w.Exp.Stats.Errors
 	}
@@ -90,6 +117,159 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 	if len(statuses) != numWorkers {
 		t.Fatalf("statuses = %d", len(statuses))
+	}
+}
+
+// hugeClusterTarget has 4096 paths, so a TCP cluster run lasts long
+// enough (seconds) for a mid-run join to land with plenty of work left.
+const hugeClusterTarget = `
+int main() {
+	char buf[12];
+	cloud9_make_symbolic(buf, 12, "in");
+	int n = 0;
+	int i;
+	for (i = 0; i < 12; i++) {
+		if (buf[i] > 100) n++;
+	}
+	if (n == 12) abort();
+	return 0;
+}`
+
+// TestTCPWorkerCrashRecovery kills one of three TCP workers mid-run (no
+// goodbye — its connection just goes silent). The LB must evict it when
+// the lease lapses, re-seat its last-reported frontier, and the final
+// path count must match the undisturbed total exactly.
+func TestTCPWorkerCrashRecovery(t *testing.T) {
+	factory := mkInterp(t, hugeClusterTarget)
+	in, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBalancerConfig()
+	cfg.Lease = 400 * time.Millisecond
+	lbs, err := NewLBServer("127.0.0.1:0", cfg, in.Prog.MaxLine, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	var mu sync.Mutex
+	workers := map[int]*Worker{}
+	register := func(w *Worker) {
+		mu.Lock()
+		workers[w.ID] = w
+		mu.Unlock()
+	}
+	// Workers A and B run normally; worker C crashes once the cluster
+	// has explored 50 paths (well before the 4096 total) AND it holds a
+	// healthy queue — its last report then shows outstanding work, so
+	// the LB cannot reach quiescence without evicting it and re-seating
+	// those jobs.
+	startTCPWorker(t, lbs, hugeClusterTarget, &wg, errCh, register, nil)
+	startTCPWorker(t, lbs, hugeClusterTarget, &wg, errCh, register, nil)
+	startTCPWorker(t, lbs, hugeClusterTarget, &wg, errCh, register, func(queue int) bool {
+		return queue >= 16 && lbs.TotalPaths() >= 50
+	})
+
+	statuses, err := lbs.Serve(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Total paths = live workers' last reports + the evicted worker's
+	// final record, exactly the undisturbed count.
+	var paths, errors uint64
+	for _, st := range statuses {
+		paths += st.Paths
+		errors += st.Errors
+	}
+	if paths != 4096 {
+		t.Fatalf("paths = %d, want exactly 4096 after mid-run crash", paths)
+	}
+	if errors != 1 {
+		t.Fatalf("errors = %d, want 1", errors)
+	}
+	if evictions, _, _, _ := lbs.Stats(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	crashed := 0
+	for _, w := range workers {
+		if w.Departed() {
+			crashed++
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("departed workers = %d, want 1", crashed)
+	}
+}
+
+// TestTCPLateJoin starts the LB with two workers and adds a third once
+// exploration is underway; the joiner must receive jobs and the total
+// must stay exact.
+func TestTCPLateJoin(t *testing.T) {
+	factory := mkInterp(t, hugeClusterTarget)
+	in, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbs, err := NewLBServer("127.0.0.1:0", DefaultBalancerConfig(), in.Prog.MaxLine, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	var mu sync.Mutex
+	workers := map[int]*Worker{}
+	register := func(w *Worker) {
+		mu.Lock()
+		workers[w.ID] = w
+		mu.Unlock()
+	}
+	startTCPWorker(t, lbs, hugeClusterTarget, &wg, errCh, register, nil)
+	startTCPWorker(t, lbs, hugeClusterTarget, &wg, errCh, register, nil)
+	go func() {
+		for lbs.TotalPaths() < 20 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		startTCPWorker(t, lbs, hugeClusterTarget, &wg, errCh, register, nil)
+	}()
+
+	statuses, err := lbs.Serve(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	var paths uint64
+	for _, st := range statuses {
+		paths += st.Paths
+	}
+	if paths != 4096 {
+		t.Fatalf("paths = %d, want exactly 4096 with a late joiner", paths)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(workers) != 3 {
+		t.Fatalf("workers = %d", len(workers))
+	}
+	// The joiner must have been shipped jobs (it may still be mid-replay
+	// when the cluster quiesces, so received jobs — not useful steps — is
+	// the right signal).
+	if w := workers[2]; w == nil || w.jobsRecv == 0 {
+		t.Fatal("late joiner never received work")
 	}
 }
 
@@ -113,24 +293,37 @@ func TestTCPTransportJobDelivery(t *testing.T) {
 	if ack1.ID == ack2.ID {
 		t.Fatal("duplicate worker ids")
 	}
-
-	// Publish peer addresses via a direct poke (normally piggybacked on
-	// LB transfer requests).
-	t1.mu.Lock()
-	lbs.mu.Lock()
-	for id, wc := range lbs.workers {
-		t1.peerAddrs[id] = wc.addr
+	if ack1.Epoch == ack2.Epoch {
+		t.Fatal("duplicate epochs")
 	}
-	lbs.mu.Unlock()
-	t1.mu.Unlock()
 
-	jobs := BuildJobTree([][]uint8{{0, 1}, {1}})
-	t1.SendJobs(ack2.ID, ack1.ID, jobs)
-
+	// Peer addresses arrive via the membership broadcast; wait for t1 to
+	// learn t2's.
 	deadline := time.After(5 * time.Second)
 	for {
+		t1.mu.Lock()
+		known := t1.peerAddrs[ack2.ID] != ""
+		t1.mu.Unlock()
+		if known {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("membership broadcast never delivered peer address")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	jobs := BuildJobTree([][]uint8{{0, 1}, {1}})
+	if !t1.SendJobs(ack2.ID, Message{
+		Kind: MsgJobs, From: ack1.ID, Epoch: ack1.Epoch, Seq: 1, Jobs: jobs,
+	}) {
+		t.Fatal("SendJobs failed")
+	}
+
+	for {
 		if m, ok := t2.Recv(); ok {
-			if m.Kind != MsgJobs || m.Jobs.Count() != 2 {
+			if m.Kind != MsgJobs || m.Jobs.Count() != 2 || m.Seq != 1 || m.From != ack1.ID {
 				t.Fatalf("got %+v", m)
 			}
 			return

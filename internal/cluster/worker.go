@@ -1,6 +1,10 @@
 package cluster
 
 import (
+	"sort"
+	"sync/atomic"
+	"time"
+
 	"cloud9/internal/coverage"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
@@ -9,8 +13,29 @@ import (
 // WorkerConfig configures one cluster worker.
 type WorkerConfig struct {
 	ID    int
-	Seed  bool // the seed worker starts with the whole-tree job
-	Batch int  // exploration steps between mailbox polls
+	Epoch uint64 // membership incarnation assigned at join
+	Seed  bool   // the seed worker starts with the whole-tree job
+	Batch int    // exploration steps between mailbox polls
+
+	// Heartbeat is the maximum silence between statuses even mid-batch,
+	// so slow batches never expire the membership lease (default: 250ms).
+	Heartbeat time.Duration
+	// ResendAfter re-sends unacknowledged exported job batches (lossy
+	// transports only; receivers suppress duplicates). Default: 2s.
+	ResendAfter time.Duration
+	// CrashWhen, if set, is a fault-injection hook evaluated on the
+	// worker's own thread at each loop boundary with the current queue
+	// length; returning true crashes the worker on the spot (no goodbye,
+	// no further statuses).
+	CrashWhen func(queue int) bool
+	// FrontierEvery is the cadence (in statuses) of full status
+	// snapshots carrying the frontier job tree; in between, cheap
+	// counters-only statuses renew the lease. A status is always full
+	// when the send/receive counters changed, so the LB's custody
+	// snapshot never misses a transfer — light statuses only carry
+	// exploration progress, which crash recovery discards anyway.
+	// Default: 16. Use 1 to ship the frontier with every status.
+	FrontierEvery int
 
 	Engine engine.Config
 	// NewInterp builds the worker's private interpreter+model stack
@@ -21,32 +46,78 @@ type WorkerConfig struct {
 }
 
 // Transport delivers messages between cluster members. Implementations:
-// the in-process channel fabric (this package) and gob/TCP (cmd/).
+// the in-process channel fabric (this package), the lock-step sim, and
+// gob/TCP (tcp.go). Per-destination delivery must be FIFO — the custody
+// protocol de-duplicates on sequence high-water marks.
 type Transport interface {
-	// SendStatus delivers a status update to the load balancer.
-	SendStatus(st Status)
-	// SendJobs delivers a job batch to another worker.
-	SendJobs(dst int, from int, jt *JobTree)
+	// SendToLB delivers a control message (status, goodbye) to the load
+	// balancer, in order.
+	SendToLB(m Message)
+	// SendJobs delivers a job batch to another worker. A false return
+	// means the batch was definitely not delivered (the caller re-imports
+	// it); true means it was handed to the transport.
+	SendJobs(dst int, m Message) bool
 	// Recv returns the next pending message, or ok=false when the
 	// mailbox is empty.
 	Recv() (Message, bool)
 }
 
+// unackedBatch is an exported job batch awaiting the receiver's
+// acknowledgment; if the receiver is evicted first, the batch is
+// re-imported locally.
+type unackedBatch struct {
+	jt     *JobTree
+	n      int
+	sentAt time.Time
+}
+
 // Worker is one Cloud9 worker node: a private symbolic execution engine
-// plus the job-transfer protocol.
+// plus the job-transfer and membership protocol.
 type Worker struct {
-	ID  int
-	Exp *engine.Explorer
+	ID    int
+	Epoch uint64
+	Exp   *engine.Explorer
 
 	cfg       WorkerConfig
 	transport Transport
 
-	jobsSent uint64
-	jobsRecv uint64
-	stopped  bool
+	jobsSent    uint64
+	jobsRecv    uint64
+	transfersIn uint64 // jobs actually received from peers (Fig. 12)
 
-	// stepsSinceStatus throttles status updates.
-	stepsSinceStatus int
+	// Sender-side custody: per-destination unacked exported batches,
+	// keyed by a per-destination sequence number — so each (src, dst)
+	// stream is contiguous (1, 2, 3, …) and receivers can detect a lost
+	// batch as a gap.
+	exportSeq map[int]uint64
+	unacked   map[int]map[uint64]*unackedBatch
+
+	// Receiver-side duplicate suppression and LB custody acks: highest
+	// contiguously-processed batch sequence per source, and the set of
+	// processed LB re-seat batches (LB sequences are global, not
+	// per-destination, so a set rather than a high-water mark — it stays
+	// tiny because re-seats only happen on membership changes).
+	ackHW      map[int]uint64
+	reseatSeen map[uint64]bool
+
+	// Known-evicted peers (id → epoch), learned from MsgEvict
+	// broadcasts; the fencing rule for stale senders and departed
+	// destinations.
+	evictedPeers map[int]uint64
+
+	stopped  bool
+	departed bool // left without a final status: crash, self-eviction, or retire
+	crash    atomic.Bool
+	retire   atomic.Bool
+
+	// stepsSinceStatus throttles status updates; lastStatus backs the
+	// mid-batch heartbeat. statusesSinceFull and lastFullSent/Recv drive
+	// the full-vs-light status cadence.
+	stepsSinceStatus  int
+	lastStatus        time.Time
+	statusesSinceFull int
+	lastFullSent      uint64
+	lastFullRecv      uint64
 }
 
 // NewWorker builds a worker (its engine fully initialized).
@@ -65,11 +136,70 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 16
 	}
-	return &Worker{ID: cfg.ID, Exp: exp, cfg: cfg, transport: tr}, nil
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 250 * time.Millisecond
+	}
+	if cfg.ResendAfter <= 0 {
+		cfg.ResendAfter = 2 * time.Second
+	}
+	if cfg.FrontierEvery <= 0 {
+		cfg.FrontierEvery = 16
+	}
+	return &Worker{
+		ID:           cfg.ID,
+		Epoch:        cfg.Epoch,
+		Exp:          exp,
+		cfg:          cfg,
+		transport:    tr,
+		exportSeq:    map[int]uint64{},
+		unacked:      map[int]map[uint64]*unackedBatch{},
+		ackHW:        map[int]uint64{},
+		reseatSeen:   map[uint64]bool{},
+		evictedPeers: map[int]uint64{},
+		// The first status is always a full snapshot.
+		statusesSinceFull: cfg.FrontierEvery,
+	}, nil
 }
 
-// Stopped reports whether the worker received MsgStop.
+// Stopped reports whether the worker received MsgStop (or halted on its
+// own eviction).
 func (w *Worker) Stopped() bool { return w.stopped }
+
+// Departed reports that the worker left the cluster without a final
+// status: it crashed, saw its own eviction, or retired. Its contribution
+// to cluster totals is whatever the load balancer last recorded for it;
+// its in-memory stats must not be double counted.
+func (w *Worker) Departed() bool { return w.departed }
+
+// Crash makes the worker vanish at its next loop boundary: no goodbye,
+// no final status — exactly what a kill -9 looks like to the cluster.
+// Test/fault-injection hook; safe from other goroutines.
+func (w *Worker) Crash() { w.crash.Store(true) }
+
+// Retire makes the worker leave gracefully at its next loop boundary: a
+// final status (carrying its whole frontier) followed by MsgGoodbye, so
+// the LB re-seats its remaining work without waiting out a lease.
+func (w *Worker) Retire() { w.retire.Store(true) }
+
+// importPaths installs received job paths and keeps the send/receive
+// reconciliation balanced: every delivered batch counts once on the
+// receive side, whether it came from a peer, the LB, or a local
+// re-import after a destination's eviction.
+func (w *Worker) importPaths(paths [][]uint8) {
+	w.Exp.ImportJobs(paths)
+	w.jobsRecv += uint64(len(paths))
+}
+
+// reimport takes back custody of a batch whose destination is gone.
+func (w *Worker) reimport(dst int, seq uint64) {
+	byseq := w.unacked[dst]
+	b := byseq[seq]
+	if b == nil {
+		return
+	}
+	delete(byseq, seq)
+	w.importPaths(b.jt.Paths())
+}
 
 // drainMailbox processes all pending messages.
 func (w *Worker) drainMailbox() {
@@ -83,16 +213,26 @@ func (w *Worker) drainMailbox() {
 			w.stopped = true
 			return
 		case MsgJobs:
-			paths := msg.Jobs.Paths()
-			n := w.Exp.ImportJobs(paths)
-			w.jobsRecv += uint64(len(paths))
-			_ = n
+			w.handleJobs(msg)
 		case MsgTransferReq:
-			paths := w.Exp.ExportCandidates(msg.NJobs)
-			if len(paths) > 0 {
-				w.jobsSent += uint64(len(paths))
-				w.transport.SendJobs(msg.Dst, w.ID, BuildJobTree(paths))
+			w.handleTransferReq(msg)
+		case MsgJobsAck:
+			// The receiver (msg.From) has processed every batch we sent it
+			// up through msg.Seq: release custody.
+			for seq := range w.unacked[msg.From] {
+				if seq <= msg.Seq {
+					delete(w.unacked[msg.From], seq)
+				}
 			}
+		case MsgEvict:
+			w.handleEvict(msg)
+			if w.stopped {
+				return
+			}
+		case MsgMembers:
+			// Membership snapshots exist for the transports (the TCP
+			// layer piggybacks peer addresses on them); workers fence on
+			// MsgEvict alone.
 		case MsgCoverage:
 			// OR the global vector into the local one so the local
 			// strategy makes globally consistent choices (§3.3).
@@ -102,35 +242,223 @@ func (w *Worker) drainMailbox() {
 	}
 }
 
-// sendStatus reports the worker's load and coverage to the LB.
+// handleJobs ingests a job batch from a peer or an LB re-seat. The
+// import, the receive counter, and the acknowledgment all land in the
+// same status snapshot, so the LB's view stays consistent whatever
+// happens to this worker afterwards.
+func (w *Worker) handleJobs(msg Message) {
+	if msg.Jobs == nil {
+		return
+	}
+	if msg.From == LBFrom {
+		if w.reseatSeen[msg.Seq] {
+			return // duplicate re-delivery
+		}
+		w.reseatSeen[msg.Seq] = true
+		w.importPaths(msg.Jobs.Paths())
+		w.sendStatus()
+		return
+	}
+	if ep, gone := w.evictedPeers[msg.From]; gone && msg.Epoch <= ep {
+		// Stale sender: its frontier was already re-seated at eviction;
+		// importing this would duplicate work. Drop without counting —
+		// the sender's counters died with its membership.
+		return
+	}
+	if msg.Seq <= w.ackHW[msg.From] {
+		return // duplicate resend
+	}
+	if msg.Seq != w.ackHW[msg.From]+1 {
+		// Gap: an earlier batch from this sender was lost (e.g. its
+		// connection died with the batch buffered). Drop this one too,
+		// without counting — the sender still holds custody of both and
+		// re-sends them in order, so processing out of order here would
+		// let the cumulative ack wrongly release the lost batch.
+		return
+	}
+	w.ackHW[msg.From] = msg.Seq
+	paths := msg.Jobs.Paths()
+	w.transfersIn += uint64(len(paths))
+	w.importPaths(paths)
+	w.sendStatus()
+}
+
+// handleTransferReq exports candidates to the destination the LB chose.
+// Custody of the batch stays here until the receiver's ack comes back.
+func (w *Worker) handleTransferReq(msg Message) {
+	if _, gone := w.evictedPeers[msg.Dst]; gone {
+		return // stale order for a departed destination
+	}
+	paths := w.Exp.ExportCandidates(msg.NJobs)
+	if len(paths) == 0 {
+		return
+	}
+	jt := BuildJobTree(paths)
+	w.exportSeq[msg.Dst]++
+	seq := w.exportSeq[msg.Dst]
+	w.jobsSent += uint64(len(paths))
+	if w.unacked[msg.Dst] == nil {
+		w.unacked[msg.Dst] = map[uint64]*unackedBatch{}
+	}
+	w.unacked[msg.Dst][seq] = &unackedBatch{jt: jt, n: len(paths), sentAt: time.Now()}
+	if !w.transport.SendJobs(msg.Dst, Message{
+		Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: jt,
+	}) {
+		w.reimport(msg.Dst, seq)
+	}
+	w.sendStatus()
+}
+
+// handleEvict processes a membership eviction: remember the departed
+// (id, epoch) so its late messages are dropped, take back custody of
+// anything we sent it that was never acknowledged, and halt immediately
+// if the eviction is our own (we have been presumed dead; continuing
+// would duplicate the re-seated work).
+func (w *Worker) handleEvict(msg Message) {
+	w.evictedPeers[msg.From] = msg.Epoch
+	if msg.From == w.ID {
+		w.stopped = true
+		w.departed = true
+		return
+	}
+	if byseq := w.unacked[msg.From]; len(byseq) > 0 {
+		seqs := make([]uint64, 0, len(byseq))
+		for seq := range byseq {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			w.reimport(msg.From, seq)
+		}
+		w.sendStatus()
+	}
+}
+
+// resendOverdue re-sends exported batches whose ack is overdue — only
+// relevant on lossy transports (a TCP peer connection that died after
+// the batch was buffered). Re-sends go out in ascending sequence order
+// so the receiver's contiguity check accepts them; receivers suppress
+// true duplicates by sequence.
+func (w *Worker) resendOverdue() {
+	now := time.Now()
+	for dst, byseq := range w.unacked {
+		if _, gone := w.evictedPeers[dst]; gone {
+			continue
+		}
+		overdue := false
+		for _, b := range byseq {
+			if now.Sub(b.sentAt) > w.cfg.ResendAfter {
+				overdue = true
+				break
+			}
+		}
+		if !overdue {
+			continue
+		}
+		seqs := make([]uint64, 0, len(byseq))
+		for seq := range byseq {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			b := byseq[seq]
+			b.sentAt = now
+			if !w.transport.SendJobs(dst, Message{
+				Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: b.jt,
+			}) {
+				w.reimport(dst, seq)
+			}
+		}
+	}
+}
+
+// sendStatus reports a consistent snapshot to the LB: load, counters,
+// coverage, and acknowledgments, plus — on full statuses — the frontier
+// as path prefixes. Building the frontier tree is O(frontier · depth),
+// so it is shipped when the transfer counters moved (keeping the LB's
+// custody snapshot exact) and every FrontierEvery-th status otherwise;
+// the cadence is count-based so the lock-step sim stays deterministic.
 func (w *Worker) sendStatus() {
-	w.transport.SendStatus(Status{
-		Worker:      w.ID,
-		Queue:       w.Exp.Tree.NumCandidates(),
-		JobsSent:    w.jobsSent,
-		JobsRecv:    w.jobsRecv,
-		UsefulSteps: w.Exp.Stats.UsefulSteps,
-		ReplaySteps: w.Exp.Stats.ReplaySteps,
-		Paths:       w.Exp.Stats.PathsExplored,
-		Errors:      w.Exp.Stats.Errors,
-		Hangs:       w.Exp.Stats.Hangs,
-		Tests:       len(w.Exp.Tests),
-		CovWords:    append([]uint64(nil), w.Exp.Cov.Words()...),
-		CovCount:    w.Exp.Cov.Count(),
-		Done:        w.Exp.Done(),
-	})
+	full := w.jobsSent != w.lastFullSent || w.jobsRecv != w.lastFullRecv ||
+		w.statusesSinceFull >= w.cfg.FrontierEvery || w.Exp.Done()
+	w.sendStatusOpt(full)
+}
+
+func (w *Worker) sendStatusOpt(full bool) {
+	acks := make([]JobAck, 0, len(w.ackHW))
+	for src, seq := range w.ackHW {
+		acks = append(acks, JobAck{Src: src, Seq: seq})
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i].Src < acks[j].Src })
+	reseatAcks := make([]uint64, 0, len(w.reseatSeen))
+	for seq := range w.reseatSeen {
+		reseatAcks = append(reseatAcks, seq)
+	}
+	sort.Slice(reseatAcks, func(i, j int) bool { return reseatAcks[i] < reseatAcks[j] })
+	st := Status{
+		Worker:        w.ID,
+		Epoch:         w.Epoch,
+		Queue:         w.Exp.Tree.NumCandidates(),
+		JobsSent:      w.jobsSent,
+		JobsRecv:      w.jobsRecv,
+		TransferredIn: w.transfersIn,
+		UsefulSteps:   w.Exp.Stats.UsefulSteps,
+		ReplaySteps:   w.Exp.Stats.ReplaySteps,
+		Paths:         w.Exp.Stats.PathsExplored,
+		Errors:        w.Exp.Stats.Errors,
+		Hangs:         w.Exp.Stats.Hangs,
+		Tests:         len(w.Exp.Tests),
+		CovWords:      append([]uint64(nil), w.Exp.Cov.Words()...),
+		CovCount:      w.Exp.Cov.Count(),
+		Done:          w.Exp.Done(),
+		Acks:          acks,
+		ReseatAcks:    reseatAcks,
+	}
+	if full {
+		st.Frontier = BuildJobTree(w.Exp.FrontierPaths())
+		w.statusesSinceFull = 0
+		w.lastFullSent = w.jobsSent
+		w.lastFullRecv = w.jobsRecv
+	} else {
+		w.statusesSinceFull++
+	}
+	w.transport.SendToLB(Message{Kind: MsgStatus, From: w.ID, Epoch: w.Epoch, Status: &st})
+	w.lastStatus = time.Now()
+}
+
+// sendGoodbye announces a graceful leave. The preceding status carries
+// the whole frontier, so the LB re-seats it immediately.
+func (w *Worker) sendGoodbye() {
+	w.sendStatusOpt(true)
+	w.transport.SendToLB(Message{Kind: MsgGoodbye, From: w.ID, Epoch: w.Epoch})
+	w.departed = true
+	w.stopped = true
 }
 
 // RunLoop executes the worker until stopped. It alternates between
 // processing messages and exploring a batch of candidates, sending
-// status updates as it goes.
+// status updates as it goes. Crash and retire requests are honored at
+// loop boundaries so every status remains a consistent snapshot.
 func (w *Worker) RunLoop() error {
 	w.sendStatus()
 	for !w.stopped {
+		if w.cfg.CrashWhen != nil && !w.crash.Load() &&
+			w.cfg.CrashWhen(w.Exp.Tree.NumCandidates()) {
+			w.crash.Store(true)
+		}
+		if w.crash.Load() {
+			w.departed = true
+			return nil
+		}
+		if w.retire.Load() {
+			w.sendGoodbye()
+			return nil
+		}
 		w.drainMailbox()
 		if w.stopped {
 			break
 		}
+		w.resendOverdue()
 		if w.Exp.Done() {
 			// Idle: report and wait for jobs (blocking receive happens
 			// in the transport's Recv via polling in drainMailbox; a
@@ -144,13 +472,21 @@ func (w *Worker) RunLoop() error {
 				return err
 			}
 			w.stepsSinceStatus++
+			if time.Since(w.lastStatus) >= w.cfg.Heartbeat {
+				// Mid-batch heartbeat: keep the lease alive through slow
+				// solver batches.
+				w.sendStatus()
+				w.stepsSinceStatus = 0
+			}
 		}
 		if w.stepsSinceStatus >= w.cfg.Batch {
 			w.sendStatus()
 			w.stepsSinceStatus = 0
 		}
 	}
-	w.sendStatus()
+	if !w.departed {
+		w.sendStatus()
+	}
 	return nil
 }
 

@@ -292,6 +292,19 @@ func (e *Explorer) ExportCandidates(n int) [][]uint8 {
 	return paths
 }
 
+// FrontierPaths returns the root paths of every candidate node — the
+// worker's frontier as path prefixes. Shipped (as a job tree) with each
+// cluster status so the load balancer can re-seat the jobs of a crashed
+// worker onto survivors.
+func (e *Explorer) FrontierPaths() [][]uint8 {
+	cands := e.Tree.CandidatesUnder(e.Tree.Root, e.Tree.NumCandidates())
+	paths := make([][]uint8, len(cands))
+	for i, c := range cands {
+		paths[i] = c.PathFromRoot()
+	}
+	return paths
+}
+
 // ImportJobs installs path-encoded jobs received from another worker as
 // virtual candidate nodes (lazily replayed on selection).
 func (e *Explorer) ImportJobs(paths [][]uint8) int {
