@@ -137,7 +137,10 @@ type endpoint struct {
 	id int
 }
 
-func (e endpoint) SendToLB(m Message) { e.f.toLB <- m }
+func (e endpoint) SendToLB(m Message) bool {
+	e.f.toLB <- m
+	return true
+}
 
 func (e endpoint) SendJobs(dst int, m Message) bool {
 	mb := e.f.mailbox(dst)
@@ -305,20 +308,6 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	handleControl := func(m Message) {
-		switch m.Kind {
-		case MsgStatus:
-			if m.Status != nil {
-				outs, _ := lb.Update(*m.Status, time.Now())
-				f.dispatch(outs)
-			}
-		case MsgGoodbye:
-			if lb.IsMember(m.From, m.Epoch) {
-				f.dispatch(lb.Goodbye(m.From, time.Now()))
-			}
-		}
-	}
-
 	kill := cfg.Faults.Kill
 	retire := cfg.Faults.Retire
 	join := cfg.Faults.Join
@@ -332,10 +321,50 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil
 	}
+	batch := cfg.WorkerBatch
+	if batch <= 0 {
+		batch = 16
+	}
+	doomed := -2 // worker id a fired kill is about to take down
+
+	// checkKill fires the kill fault once the path threshold is reached
+	// AND the victim's reported queue is well clear of empty: its final
+	// report then shows work outstanding, so the cluster cannot look
+	// quiescent until the lease lapses and the jobs are re-seated — the
+	// crash path is exercised deterministically. Evaluated on every
+	// accepted status, not just balance rounds: on a fast machine the
+	// whole run fits in a handful of rounds and the queue window would
+	// otherwise be missed.
+	checkKill := func() {
+		if kill == nil || lb.TotalPaths() < kill.AfterPaths {
+			return
+		}
+		if m := lb.members[kill.Worker]; m != nil && m.Last.Queue >= 2*batch {
+			if w := workerByID(kill.Worker); w != nil {
+				w.Crash()
+			}
+			doomed = kill.Worker
+			kill = nil
+		}
+	}
+
+	handleControl := func(m Message) {
+		switch m.Kind {
+		case MsgStatus:
+			if m.Status != nil {
+				outs, _ := lb.Update(*m.Status, time.Now())
+				f.dispatch(outs)
+				checkKill()
+			}
+		case MsgGoodbye:
+			if lb.IsMember(m.From, m.Epoch) {
+				f.dispatch(lb.Goodbye(m.From, time.Now()))
+			}
+		}
+	}
 
 	var runErr error
 	quietRounds := 0
-	doomed := -2 // worker id a fired kill is about to take down
 loop:
 	for {
 		select {
@@ -363,24 +392,7 @@ loop:
 			f.dispatch(lb.Tick(now))
 			// Fault plan triggers.
 			paths := lb.TotalPaths()
-			batch := cfg.WorkerBatch
-			if batch <= 0 {
-				batch = 16
-			}
-			if kill != nil && paths >= kill.AfterPaths {
-				// Fire only while the victim's reported queue is well
-				// clear of empty: its final report then shows work
-				// outstanding, so the cluster cannot look quiescent until
-				// the lease lapses and the jobs are re-seated — the crash
-				// path is exercised deterministically.
-				if m := lb.members[kill.Worker]; m != nil && m.Last.Queue >= 2*batch {
-					if w := workerByID(kill.Worker); w != nil {
-						w.Crash()
-					}
-					doomed = kill.Worker
-					kill = nil
-				}
-			}
+			checkKill()
 			if retire != nil && paths >= retire.AfterPaths {
 				if w := workerByID(retire.Worker); w != nil {
 					w.Retire()

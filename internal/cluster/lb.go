@@ -60,9 +60,11 @@ type Member struct {
 	// Last is the most recent accepted status (used for balancing and
 	// quiescence). LastFull is the most recent status that carried the
 	// frontier snapshot; it becomes the member's accounting record if the
-	// member departs — workers guarantee a full status whenever their
-	// transfer counters move, so LastFull's counters always match Last's
-	// and only discardable exploration progress can sit between the two.
+	// member departs — workers send a full status whenever their transfer
+	// counters move AND re-send one after any LB stream interruption (a
+	// failed send or a reconnect, see lbStreamTransport), so a lost full
+	// snapshot is replaced as soon as the stream resumes and only
+	// discardable exploration progress can sit between LastFull and Last.
 	Last     Status
 	LastFull Status
 	// LastSeen is the lease renewal time.

@@ -77,7 +77,7 @@ type simEndpoint struct {
 	id  int
 }
 
-func (e simEndpoint) SendToLB(m Message) {
+func (e simEndpoint) SendToLB(m Message) bool {
 	switch m.Kind {
 	case MsgStatus:
 		if m.Status != nil {
@@ -87,6 +87,7 @@ func (e simEndpoint) SendToLB(m Message) {
 	case MsgGoodbye:
 		e.sim.dispatch(e.sim.lb.Goodbye(m.From, e.sim.now))
 	}
+	return true
 }
 
 func (e simEndpoint) SendJobs(dst int, m Message) bool {

@@ -58,6 +58,7 @@ type TCPWorkerTransport struct {
 	lbAddr string
 	lbConn net.Conn
 	lbEnc  *gob.Encoder
+	lbGen  uint64 // bumped each time the LB stream is (re)established
 	encMu  sync.Mutex
 
 	listener net.Listener
@@ -132,8 +133,18 @@ func (t *TCPWorkerTransport) dialHello(id int, epoch uint64) (*HelloAck, *gob.De
 	}
 	t.lbConn = conn
 	t.lbEnc = enc
+	t.lbGen++
 	t.encMu.Unlock()
 	return wm.Ack, dec, nil
+}
+
+// LBGen implements lbStreamTransport: statuses sent under an older
+// generation may have died with the previous connection, so the worker
+// re-sends a full snapshot after each bump.
+func (t *TCPWorkerTransport) LBGen() uint64 {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	return t.lbGen
 }
 
 // pump decodes LB messages, reconnecting with the worker's identity when
@@ -220,14 +231,40 @@ func (t *TCPWorkerTransport) push(m Message) {
 	t.mu.Unlock()
 }
 
-// SendToLB implements Transport. Failures are absorbed: the pump's
-// reconnect restores the stream and statuses are cumulative.
-func (t *TCPWorkerTransport) SendToLB(m Message) {
+// SendToLB implements Transport. A false return means the message was
+// not handed to a live LB stream; the pump's reconnect restores the
+// stream (bumping the generation) and the worker re-sends a full status.
+func (t *TCPWorkerTransport) SendToLB(m Message) bool {
 	t.encMu.Lock()
 	defer t.encMu.Unlock()
-	if t.lbEnc != nil {
-		_ = t.lbEnc.Encode(WireMsg{Msg: &m})
+	return t.sendToLBLocked(m)
+}
+
+// SendToLBAt implements lbStreamTransport: the message goes out only if
+// the stream generation still equals gen, so a caller's stream-freshness
+// decision and the encode are atomic.
+func (t *TCPWorkerTransport) SendToLBAt(m Message, gen uint64) bool {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	if t.lbGen != gen {
+		return false
 	}
+	return t.sendToLBLocked(m)
+}
+
+func (t *TCPWorkerTransport) sendToLBLocked(m Message) bool {
+	if t.lbEnc == nil {
+		return false
+	}
+	if err := t.lbEnc.Encode(WireMsg{Msg: &m}); err != nil {
+		// The connection is dead: close it so the pump's Decode fails now
+		// and reconnection starts immediately, and drop the encoder so
+		// further sends fail fast until dialHello installs a new stream.
+		t.lbConn.Close()
+		t.lbEnc = nil
+		return false
+	}
+	return true
 }
 
 // SendJobs implements Transport (direct worker-to-worker transfer). A
@@ -538,13 +575,16 @@ func (s *LBServer) handle(conn net.Conn) {
 		s.dispatchLocked(outs)
 	}
 	wc := &lbWorkerConn{id: id, enc: enc, conn: conn}
+	// Send the ack before registering the connection for dispatch: the
+	// moment wc is in s.conns, a concurrent Serve tick or another
+	// handler's dispatchLocked may send it a broadcast, and dialHello
+	// requires the HelloAck to be the first WireMsg on the wire.
+	wc.send(WireMsg{Ack: &HelloAck{ID: id, Epoch: epoch, Seed: id == 0}, PeerAddrs: s.addrsLocked()})
 	if old := s.conns[id]; old != nil {
 		old.conn.Close()
 	}
 	s.conns[id] = wc
-	addrs := s.addrsLocked()
 	s.mu.Unlock()
-	wc.send(WireMsg{Ack: &HelloAck{ID: id, Epoch: epoch, Seed: id == 0}, PeerAddrs: addrs})
 	for {
 		var wm WireMsg
 		if err := dec.Decode(&wm); err != nil {

@@ -51,8 +51,11 @@ type WorkerConfig struct {
 // protocol de-duplicates on sequence high-water marks.
 type Transport interface {
 	// SendToLB delivers a control message (status, goodbye) to the load
-	// balancer, in order.
-	SendToLB(m Message)
+	// balancer, in order. A false return means the message definitely did
+	// not reach the LB stream (the sender re-establishes what the lost
+	// message carried — e.g. a full status snapshot — once the stream is
+	// back); true means it was handed to the transport.
+	SendToLB(m Message) bool
 	// SendJobs delivers a job batch to another worker. A false return
 	// means the batch was definitely not delivered (the caller re-imports
 	// it); true means it was handed to the transport.
@@ -112,12 +115,17 @@ type Worker struct {
 
 	// stepsSinceStatus throttles status updates; lastStatus backs the
 	// mid-batch heartbeat. statusesSinceFull and lastFullSent/Recv drive
-	// the full-vs-light status cadence.
+	// the full-vs-light status cadence. fullPending forces the next
+	// status to carry the frontier after a full snapshot may have been
+	// lost (LB send failure or stream reconnect); lastLBGen is the LB
+	// stream generation the last status went out on.
 	stepsSinceStatus  int
 	lastStatus        time.Time
 	statusesSinceFull int
 	lastFullSent      uint64
 	lastFullRecv      uint64
+	fullPending       bool
+	lastLBGen         uint64
 }
 
 // NewWorker builds a worker (its engine fully initialized).
@@ -304,6 +312,14 @@ func (w *Worker) handleTransferReq(msg Message) {
 	if !w.transport.SendJobs(msg.Dst, Message{
 		Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: jt,
 	}) {
+		// The transport refused the batch, so it never left this worker.
+		// Roll the sequence back before taking the jobs back: seq is the
+		// highest issued for this destination (assigned just above), so
+		// the next export reuses it and the receiver's contiguity check
+		// keeps passing. Leaving it burned would wedge the (src,dst)
+		// stream forever: every later batch would arrive as a gap and be
+		// dropped.
+		w.exportSeq[msg.Dst] = seq - 1
 		w.reimport(msg.Dst, seq)
 	}
 	w.sendStatus()
@@ -360,13 +376,23 @@ func (w *Worker) resendOverdue() {
 			seqs = append(seqs, seq)
 		}
 		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-		for _, seq := range seqs {
+		for i, seq := range seqs {
 			b := byseq[seq]
 			b.sentAt = now
 			if !w.transport.SendJobs(dst, Message{
 				Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: b.jt,
 			}) {
-				w.reimport(dst, seq)
+				// Keep custody and retry on a later pass (the peer may come
+				// back, or its eviction reimports via handleEvict). A mid-
+				// stream reimport here would wedge the stream: sequences
+				// above this one may be outstanding, and the receiver would
+				// expect the reimported seq forever and drop all of them.
+				// Stamp the rest too so the next attempt waits out
+				// ResendAfter instead of hot-looping on a dead connection.
+				for _, rest := range seqs[i+1:] {
+					byseq[rest].sentAt = now
+				}
+				break
 			}
 		}
 	}
@@ -385,6 +411,20 @@ func (w *Worker) sendStatus() {
 }
 
 func (w *Worker) sendStatusOpt(full bool) {
+	stream, isStream := w.transport.(lbStreamTransport)
+	var gen uint64
+	if isStream {
+		gen = stream.LBGen()
+		if gen != w.lastLBGen {
+			// The LB stream was (re)established since the last status went
+			// out; anything sent on the old stream — including the last full
+			// snapshot whose counters released sender custody — may have been
+			// lost. Re-establish the LB's custody view with a full status.
+			w.fullPending = true
+			w.lastLBGen = gen
+		}
+	}
+	full = full || w.fullPending
 	acks := make([]JobAck, 0, len(w.ackHW))
 	for src, seq := range w.ackHW {
 		acks = append(acks, JobAck{Src: src, Seq: seq})
@@ -416,13 +456,32 @@ func (w *Worker) sendStatusOpt(full bool) {
 	}
 	if full {
 		st.Frontier = BuildJobTree(w.Exp.FrontierPaths())
+	}
+	msg := Message{Kind: MsgStatus, From: w.ID, Epoch: w.Epoch, Status: &st}
+	var ok bool
+	if isStream {
+		// Gate the send on the generation the full/light decision was made
+		// under: if the stream was replaced in between, a light status must
+		// not become the first message accepted on the new stream (it would
+		// advance Last — releasing sender custody via its acks — while
+		// LastFull stays stale).
+		ok = stream.SendToLBAt(msg, gen)
+	} else {
+		ok = w.transport.SendToLB(msg)
+	}
+	switch {
+	case full && ok:
+		w.fullPending = false
 		w.statusesSinceFull = 0
 		w.lastFullSent = w.jobsSent
 		w.lastFullRecv = w.jobsRecv
-	} else {
+	case full:
+		// The snapshot never left this worker: the LB's custody view is
+		// still stale, so the next status must be full again.
+		w.fullPending = true
+	default:
 		w.statusesSinceFull++
 	}
-	w.transport.SendToLB(Message{Kind: MsgStatus, From: w.ID, Epoch: w.Epoch, Status: &st})
 	w.lastStatus = time.Now()
 }
 
@@ -501,4 +560,17 @@ func (w *Worker) waitForMail() {
 // blockingTransport lets a transport provide efficient idle waiting.
 type blockingTransport interface {
 	WaitForMail()
+}
+
+// lbStreamTransport is implemented by transports whose LB control stream
+// can drop in-flight messages (TCP). LBGen returns a counter incremented
+// each time the stream is (re)established; a status sent under an older
+// generation may have been lost even if the send was accepted.
+// SendToLBAt encodes the message only while the stream generation still
+// equals gen — decision and encode are atomic under the stream lock — so
+// the first message a new stream carries is always one built with that
+// stream's generation in hand (for statuses: a full snapshot).
+type lbStreamTransport interface {
+	LBGen() uint64
+	SendToLBAt(m Message, gen uint64) bool
 }
