@@ -479,3 +479,82 @@ func BenchmarkAblation_ReplayFromAncestor(b *testing.B) {
 		b.ReportMetric(float64(dst.Stats.UsefulSteps), "useful-instr")
 	}
 }
+
+// BenchmarkStrategyRemove measures removing one node from a 4096-node
+// frontier (then re-adding it, as job export + import does). The indexed
+// variants are the shipping DFS/BFS Remove (position map + tombstone);
+// the linear variants replicate the pre-index splice-scan they replaced,
+// which made heavy job transfer quadratic in the frontier size. Gated by
+// ci/bench_baseline.json.
+func BenchmarkStrategyRemove(b *testing.B) {
+	const frontier = 4096
+	nodes := make([]*tree.Node, frontier)
+	for i := range nodes {
+		nodes[i] = &tree.Node{Depth: i}
+	}
+	// Fibonacci-hash index sequence: targets land uniformly over the
+	// frontier so the linear variants pay their expected half-scan.
+	pick := func(i int) *tree.Node {
+		return nodes[(uint64(i)*0x9e3779b97f4a7c15)>>52%frontier]
+	}
+	b.Run("dfs-indexed", func(b *testing.B) {
+		d := engine.NewDFS()
+		for _, n := range nodes {
+			d.Add(n)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := pick(i)
+			d.Remove(n)
+			d.Add(n)
+		}
+	})
+	b.Run("dfs-linear", func(b *testing.B) {
+		var stack []*tree.Node
+		stack = append(stack, nodes...)
+		remove := func(n *tree.Node) {
+			for i, c := range stack {
+				if c == n {
+					stack = append(stack[:i], stack[i+1:]...)
+					return
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := pick(i)
+			remove(n)
+			stack = append(stack, n)
+		}
+	})
+	b.Run("bfs-indexed", func(b *testing.B) {
+		q := engine.NewBFS()
+		for _, n := range nodes {
+			q.Add(n)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := pick(i)
+			q.Remove(n)
+			q.Add(n)
+		}
+	})
+	b.Run("bfs-linear", func(b *testing.B) {
+		var queue []*tree.Node
+		queue = append(queue, nodes...)
+		remove := func(n *tree.Node) {
+			for i, c := range queue {
+				if c == n {
+					queue = append(queue[:i], queue[i+1:]...)
+					return
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := pick(i)
+			remove(n)
+			queue = append(queue, n)
+		}
+	})
+}

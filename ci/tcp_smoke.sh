@@ -3,10 +3,15 @@
 # miniature with one worker kill -9'd mid-run must finish with exactly
 # the same path count as a single-node run — the load balancer evicts the
 # silent worker when its lease lapses and re-seats its last-reported
-# frontier onto the survivors.
+# frontier onto the survivors. The cluster runs a *mixed* strategy
+# portfolio (each worker is handed a different searcher at Hello, and
+# the eviction triggers a rebalance), proving heterogeneous policies
+# and mid-run reassignment preserve the custody protocol's exactness.
 #
 # Usage: ci/tcp_smoke.sh [target] [port]
 set -euo pipefail
+
+PORTFOLIO="cupa(site,dfs),random-path,dfs"
 
 # The coreutils `test` miniature explores ~540 paths in ~10s on one
 # node, long enough that the mid-run kill below lands while all three
@@ -29,12 +34,12 @@ if [[ -z "$REF" || "$REF" -eq 0 ]]; then
 fi
 echo "== reference: $REF paths"
 
-echo "== starting LB + 3 workers (will kill -9 one mid-run)"
+echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; will kill -9 one mid-run)"
 # Lease must exceed the worst single solver query (a worker cannot
 # heartbeat mid-step), but stay well under the post-kill run time so the
 # eviction + re-seat actually happens before quiescence.
 "$BIN/c9-lb" -listen "127.0.0.1:$PORT" -target "$TARGET" -min-workers 3 \
-  -lease 2s -max-duration 5m >"$LOGS/lb.txt" 2>&1 &
+  -portfolio "$PORTFOLIO" -lease 2s -max-duration 5m >"$LOGS/lb.txt" 2>&1 &
 LB_PID=$!
 sleep 1
 
@@ -79,4 +84,9 @@ if [[ "${EVICTS:-0}" -lt 1 ]]; then
   echo "smoke: FAIL — the killed worker was never evicted" >&2
   exit 1
 fi
-echo "smoke: OK — crash-tolerant cluster matches single-node exploration ($TOTAL paths)"
+DISTINCT=$(sed -n 's/.*strategy \(.*\))$/\1/p' "$LOGS"/worker*.txt | sort -u | wc -l)
+if [[ "$DISTINCT" -lt 2 ]]; then
+  echo "smoke: FAIL — portfolio not heterogeneous (only $DISTINCT distinct strategies)" >&2
+  exit 1
+fi
+echo "smoke: OK — mixed-portfolio crash-tolerant cluster matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"

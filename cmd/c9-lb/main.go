@@ -20,6 +20,7 @@ import (
 
 	"cloud9/internal/cluster"
 	"cloud9/internal/posix"
+	"cloud9/internal/search"
 	"cloud9/internal/targets"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		minWorkers = flag.Int("min-workers", 2, "workers that must have joined before quiescence can end the run")
 		lease      = flag.Duration("lease", cluster.DefaultLease, "membership lease; silent workers are evicted past this")
 		maxDur     = flag.Duration("max-duration", 10*time.Minute, "run bound")
+		portfolio  = flag.String("portfolio", "", "comma-separated strategy specs assigned to workers at join (e.g. \"dfs,random-path,cupa(site,dfs)\"); empty = engine default everywhere")
 	)
 	// Back-compat alias for the old flag name.
 	flag.IntVar(minWorkers, "workers", *minWorkers, "alias for -min-workers")
@@ -48,6 +50,15 @@ func main() {
 
 	cfg := cluster.DefaultBalancerConfig()
 	cfg.Lease = *lease
+	if *portfolio != "" {
+		specs, err := search.ParsePortfolio(*portfolio)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Portfolio = specs
+		fmt.Printf("c9-lb: portfolio %v\n", specs)
+	}
 	srv, err := cluster.NewLBServer(*listen, cfg, prog.MaxLine, *minWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)

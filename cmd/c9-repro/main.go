@@ -26,7 +26,7 @@ type runner struct {
 
 func main() {
 	var (
-		exps = flag.String("exp", "all", "comma-separated experiment ids (table4,fig7,fig8,fig9,fig10,fig11,fig12,fig13,table5,table6,cases)")
+		exps = flag.String("exp", "all", "comma-separated experiment ids (table4,fig7,fig8,fig9,fig10,fig11,fig12,fig13,table5,table6,cases,portfolio)")
 	)
 	flag.Parse()
 
@@ -42,6 +42,7 @@ func main() {
 		{"table5", func() (*experiments.Table, error) { return experiments.Table5() }},
 		{"table6", func() (*experiments.Table, error) { return experiments.Table6() }},
 		{"cases", func() (*experiments.Table, error) { return experiments.CaseStudies() }},
+		{"portfolio", func() (*experiments.Table, error) { return experiments.PortfolioDiversity(0) }},
 	}
 
 	want := map[string]bool{}

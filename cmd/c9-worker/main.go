@@ -31,6 +31,7 @@ func main() {
 		steps       = flag.Uint64("steps", 2_000_000, "per-path instruction budget")
 		batch       = flag.Int("batch", 16, "exploration steps between mailbox polls")
 		retireAfter = flag.Duration("retire-after", 0, "leave the cluster gracefully after this long (0 = run to completion)")
+		strategy    = flag.String("strategy", "", "search strategy spec override (default: the LB's portfolio assignment, or the engine default)")
 	)
 	flag.Parse()
 
@@ -45,16 +46,30 @@ func main() {
 		os.Exit(1)
 	}
 	defer tr.Close()
-	fmt.Printf("c9-worker: joined as worker %d (epoch %d, seed=%v)\n", ack.ID, ack.Epoch, ack.Seed)
+	spec, pinned := ack.Spec, false
+	if *strategy != "" {
+		// Explicit local override beats the LB's portfolio slot; the pin
+		// travels in every status so the LB excludes this worker from
+		// allocation instead of reassigning it.
+		spec, pinned = *strategy, true
+	}
+	label := spec
+	if label == "" {
+		label = "engine default"
+	}
+	fmt.Printf("c9-worker: joined as worker %d (epoch %d, seed=%v, strategy %s)\n",
+		ack.ID, ack.Epoch, ack.Seed, label)
 
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
-		ID:        ack.ID,
-		Epoch:     ack.Epoch,
-		Seed:      ack.Seed,
-		Batch:     *batch,
-		Engine:    engine.Config{MaxStateSteps: *steps},
-		NewInterp: targets.Factory(tgt),
-		Entry:     "main",
+		ID:             ack.ID,
+		Epoch:          ack.Epoch,
+		Seed:           ack.Seed,
+		Batch:          *batch,
+		Engine:         engine.Config{MaxStateSteps: *steps},
+		NewInterp:      targets.Factory(tgt),
+		Entry:          "main",
+		StrategySpec:   spec,
+		StrategyPinned: pinned,
 	}, tr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)

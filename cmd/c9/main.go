@@ -19,6 +19,7 @@ import (
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
 	"cloud9/internal/posix"
+	"cloud9/internal/search"
 	"cloud9/internal/state"
 	"cloud9/internal/targets"
 	"cloud9/internal/tree"
@@ -28,7 +29,8 @@ func main() {
 	var (
 		targetName = flag.String("target", "", "built-in target name (see -list)")
 		file       = flag.String("file", "", "C-subset source file to test")
-		strategy   = flag.String("strategy", "interleaved", "dfs|bfs|random|random-path|cov-opt|interleaved")
+		strategy   = flag.String("strategy", "interleaved", "search strategy spec: dfs|bfs|random|random-path|cov-opt|fewest-faults|interleaved, or composite like cupa(site,dfs) / interleave(dfs,random)")
+		stratSeed  = flag.Int64("strategy-seed", 1, "seed for randomized strategies")
 		maxPaths   = flag.Int("max-paths", 0, "stop after this many explored paths (0 = exhaustive)")
 		maxSteps   = flag.Uint64("steps", 2_000_000, "per-path instruction budget (hang detection)")
 		listAll    = flag.Bool("list", false, "list built-in targets")
@@ -71,21 +73,18 @@ func main() {
 	}
 
 	cfg := engine.Config{MaxStateSteps: *maxSteps}
-	switch *strategy {
-	case "dfs":
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewDFS() }
-	case "bfs":
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewBFS() }
-	case "random":
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewRandom(1) }
-	case "random-path":
-		cfg.Strategy = func(t *tree.Tree) engine.Strategy { return engine.NewRandomPath(t, 1) }
-	case "cov-opt":
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewCoverageOptimized(1) }
-	case "interleaved":
-		// engine default
-	default:
-		fatalf("unknown strategy %q", *strategy)
+	if *strategy != "interleaved" { // bare "interleaved" is the engine default
+		if err := search.Validate(*strategy); err != nil {
+			fatalf("%v", err)
+		}
+		spec, seed := *strategy, *stratSeed
+		cfg.Strategy = func(t *tree.Tree) engine.Strategy {
+			s, err := search.Build(spec, t, seed)
+			if err != nil {
+				fatalf("%v", err) // unreachable: validated above
+			}
+			return s
+		}
 	}
 
 	e, err := engine.New(in, "main", cfg)

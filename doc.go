@@ -43,6 +43,22 @@
 // fenced off instead of corrupting the accounting. See
 // internal/cluster's package docs for the protocol details.
 //
+// Search strategies live in internal/search: class-uniform path
+// analysis (CUPA) partitions candidates by pluggable classifiers
+// (depth band, branch site, fault count, coverage yield) and draws
+// classes uniformly, layering by nesting (cupa(site,cupa(depth,dfs)));
+// a registry maps serializable spec strings to strategy constructors.
+// Specs being plain data is what enables cluster-coordinated
+// *portfolios*: the load balancer hands each joining worker a spec
+// from a configured portfolio (c9-lb -portfolio), rebalances
+// assignments on membership changes, periodically reweights which
+// specs get handed out by the coverage yield each slot earns in the
+// global overlay, and workers hot-swap strategies mid-run by
+// re-seeding the new searcher from their local tree — without
+// disturbing frontier custody, so crash-recovery exactness holds under
+// reassignment (the CI smoke runs a mixed portfolio and still expects
+// the exact single-node path count).
+//
 // The expression layer (internal/expr) is hash-consed: structural
 // hashing, equality, and free-variable queries on constraints are O(1)
 // field reads, which is what keeps the solver's constraint caches (paper

@@ -3,10 +3,12 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/search"
 )
 
 // FaultEvent schedules a membership event for fault injection: it fires
@@ -206,6 +208,13 @@ func Run(cfg Config) (*Result, error) {
 		if d.Lease > 0 {
 			cfg.Balancer.Lease = d.Lease
 		}
+		cfg.Balancer.Portfolio = d.Portfolio
+		cfg.Balancer.ReweightEvery = d.ReweightEvery
+	}
+	for _, spec := range cfg.Balancer.Portfolio {
+		if err := search.Validate(spec); err != nil {
+			return nil, fmt.Errorf("cluster: portfolio: %w", err)
+		}
 	}
 	f := &fabric{
 		mailboxes: map[int]chan Message{},
@@ -213,11 +222,33 @@ func Run(cfg Config) (*Result, error) {
 		toLB:      make(chan Message, 1<<16),
 	}
 
+	batch := cfg.WorkerBatch
+	if batch <= 0 {
+		batch = 16
+	}
+	// The kill fault's primary trigger runs on the victim's own thread:
+	// once the LB arms it (path threshold reached), the victim crashes at
+	// the first loop boundary where its queue is well clear of empty, so
+	// its final report shows work outstanding and the crash path (lease
+	// eviction + re-seat) is exercised deterministically. The LB-side
+	// status check below is a second chance; checking only there misses
+	// the window on fast runs, where few statuses show a fat queue.
+	var killArmed atomic.Bool
+	crashWhenFor := func(id int) func(int) bool {
+		if cfg.Faults.Kill == nil || cfg.Faults.Kill.Worker != id {
+			return nil
+		}
+		return func(queue int) bool {
+			return killArmed.Load() && queue >= 2*batch
+		}
+	}
+
 	// Bootstrap one interpreter to size the coverage vector before the
 	// LB exists.
 	probe, err := NewWorker(WorkerConfig{
 		ID: 0, Seed: true, Batch: cfg.WorkerBatch, Engine: cfg.Engine,
 		NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+		CrashWhen: crashWhenFor(0),
 	}, endpoint{f, 0})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: worker 0: %w", err)
@@ -250,6 +281,8 @@ func Run(cfg Config) (*Result, error) {
 			ID: m.ID, Epoch: m.Epoch, Seed: seedOK && m.ID == 0,
 			Batch: cfg.WorkerBatch, Engine: cfg.Engine,
 			NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+			StrategySpec: m.Spec,
+			CrashWhen:    crashWhenFor(m.ID),
 		}, endpoint{f, m.ID})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", m.ID, err)
@@ -258,11 +291,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Seed worker reuses the probe (id 0 is the first join by
-	// construction).
+	// construction). The probe's engine predates the join, so its
+	// portfolio slot is applied as a (pre-run) hot-swap.
 	m0, outs0 := lb.Join("", time.Now())
 	f.register(m0.ID)
 	f.dispatch(outs0)
 	probe.Epoch = m0.Epoch
+	if err := probe.ApplyStrategy(m0.Spec); err != nil {
+		return nil, err
+	}
 	start(probe)
 	for i := 1; i < cfg.Workers; i++ {
 		w, err := spawn(false)
@@ -321,24 +358,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil
 	}
-	batch := cfg.WorkerBatch
-	if batch <= 0 {
-		batch = 16
-	}
 	doomed := -2 // worker id a fired kill is about to take down
 
-	// checkKill fires the kill fault once the path threshold is reached
-	// AND the victim's reported queue is well clear of empty: its final
-	// report then shows work outstanding, so the cluster cannot look
-	// quiescent until the lease lapses and the jobs are re-seated — the
-	// crash path is exercised deterministically. Evaluated on every
-	// accepted status, not just balance rounds: on a fast machine the
-	// whole run fits in a handful of rounds and the queue window would
-	// otherwise be missed.
+	// checkKill arms the victim's own-thread crash trigger once the path
+	// threshold is reached, and fires directly when an accepted status
+	// shows the victim's queue well clear of empty (see crashWhenFor for
+	// why both paths exist). Evaluated on every accepted status, not
+	// just balance rounds: on a fast machine the whole run fits in a
+	// handful of rounds and the queue window would otherwise be missed.
 	checkKill := func() {
 		if kill == nil || lb.TotalPaths() < kill.AfterPaths {
 			return
 		}
+		killArmed.Store(true)
 		if m := lb.members[kill.Worker]; m != nil && m.Last.Queue >= 2*batch {
 			if w := workerByID(kill.Worker); w != nil {
 				w.Crash()
@@ -424,7 +456,7 @@ loop:
 				}
 			}
 			if cov, dirty := lb.GlobalCoverage(); dirty {
-				words := append([]uint64(nil), cov.Words()...)
+				words := cov.Words()
 				for _, mb := range f.all() {
 					select {
 					case mb <- Message{Kind: MsgCoverage, CovWords: words}:

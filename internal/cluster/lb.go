@@ -19,7 +19,22 @@ type BalancerConfig struct {
 	// Lease is how long a member may stay silent (no accepted status)
 	// before it is presumed crashed and evicted. 0 means DefaultLease.
 	Lease time.Duration
+	// Portfolio lists the internal/search strategy specs the LB hands
+	// out to workers — one slot per joining member, rebalanced on
+	// membership changes, reweighted by observed coverage yield (see
+	// portfolio.go). Empty: workers run the engine default, as before.
+	// Validate entries with search.ParsePortfolio before starting.
+	Portfolio []string
+	// ReweightEvery is the number of LB ticks between periodic
+	// yield-driven assignment rebalances (0 = DefaultReweightEvery;
+	// negative disables the periodic pass — membership changes still
+	// rebalance).
+	ReweightEvery int
 }
+
+// DefaultReweightEvery is the LB-tick cadence of periodic portfolio
+// reweighting when BalancerConfig.ReweightEvery is zero.
+const DefaultReweightEvery = 32
 
 // DefaultLease is the membership lease used when BalancerConfig.Lease is
 // zero. Generous relative to worker status cadence so that a slow batch
@@ -54,6 +69,15 @@ type Member struct {
 	ID    int
 	Epoch uint64
 	Addr  string // transport hint (TCP peer job-transfer address)
+	// Spec is the strategy spec assigned from the portfolio (SpecIdx its
+	// slot), "" / -1 when no portfolio is configured. Pinned members
+	// chose their strategy locally and are excluded from allocation.
+	// Yield counts the global-overlay lines this member was first to
+	// cover — the signal portfolio reweighting runs on.
+	Spec    string
+	SpecIdx int
+	Pinned  bool
+	Yield   uint64
 	// Reported is set once the first status arrives; unreported members
 	// neither balance nor count toward quiescence.
 	Reported bool
@@ -120,6 +144,11 @@ type LoadBalancer struct {
 	nextID    int
 	nextEpoch uint64
 
+	// Per-portfolio-slot cumulative coverage yield, and the countdown to
+	// the next periodic reweighting pass (see portfolio.go).
+	specYield     []uint64
+	reweightTicks int
+
 	// Custody of re-seated jobs: outstanding (delivered, unacked) batches
 	// by sequence, plus orphans waiting for a survivor to exist.
 	reseats   map[uint64]*custodyBatch
@@ -149,23 +178,29 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 	if cfg.Lease <= 0 {
 		cfg.Lease = DefaultLease
 	}
+	if cfg.ReweightEvery == 0 {
+		cfg.ReweightEvery = DefaultReweightEvery
+	}
 	return &LoadBalancer{
-		cfg:     cfg,
-		members: map[int]*Member{},
-		evicted: map[int]uint64{},
-		reseats: map[uint64]*custodyBatch{},
-		cov:     coverage.New(covLen),
-		Enabled: true,
+		cfg:       cfg,
+		members:   map[int]*Member{},
+		evicted:   map[int]uint64{},
+		reseats:   map[uint64]*custodyBatch{},
+		cov:       coverage.New(covLen),
+		specYield: make([]uint64, len(cfg.Portfolio)),
+		Enabled:   true,
 	}
 }
 
 // Join admits a new member, assigning it a fresh id and epoch. The
 // returned outbounds broadcast the updated membership view.
 func (lb *LoadBalancer) Join(addr string, now time.Time) (*Member, []Outbound) {
+	specIdx, spec := lb.assignSpec()
 	id := lb.nextID
 	lb.nextID++
 	lb.nextEpoch++
-	m := &Member{ID: id, Epoch: lb.nextEpoch, Addr: addr, LastSeen: now}
+	m := &Member{ID: id, Epoch: lb.nextEpoch, Addr: addr, LastSeen: now,
+		Spec: spec, SpecIdx: specIdx}
 	lb.members[id] = m
 	return m, []Outbound{{To: Broadcast, Msg: Message{Kind: MsgMembers, Members: lb.memberView()}}}
 }
@@ -213,8 +248,35 @@ func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bo
 	m.LastSeen = now
 	if len(st.CovWords) > 0 {
 		g := coverage.FromWords(st.CovWords, lb.cov.Len()-1)
-		if lb.cov.Or(g) > 0 {
+		if added := lb.cov.Or(g); added > 0 {
 			lb.covDirty = true
+			// Per-worker yield: lines this member was first to land in
+			// the global overlay — portfolio reweighting's signal. The
+			// slot credited is the spec the status reports running.
+			m.Yield += uint64(added)
+			if idx := lb.yieldSlot(st.Spec, m); idx >= 0 && idx < len(lb.specYield) {
+				lb.specYield[idx] += uint64(added)
+			}
+		}
+	}
+	// Assignment reconciliation: the member record is the intent, the
+	// status the reality. A pinned worker (explicit -strategy) drops out
+	// of allocation permanently; an unpinned worker reporting a spec
+	// other than its assignment missed a MsgStrategy (lost on a dead
+	// conn, or a reconnect raced the rebalance) — re-send it, which is
+	// idempotent worker-side and converges within one status round-trip.
+	if len(lb.cfg.Portfolio) > 0 {
+		switch {
+		case st.SpecPinned:
+			if !m.Pinned {
+				m.Pinned = true
+				m.SpecIdx = -1
+			}
+			m.Spec = st.Spec
+		case st.Spec != m.Spec:
+			outs = append(outs, Outbound{To: st.Worker, Msg: Message{
+				Kind: MsgStrategy, Spec: m.Spec,
+			}})
 		}
 	}
 	// Relay peer-batch acks to their sources — only when the mark
@@ -313,7 +375,10 @@ func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
 	outs := []Outbound{{To: Broadcast, Msg: Message{
 		Kind: MsgEvict, From: id, Epoch: m.Epoch, Members: lb.memberView(),
 	}}}
-	return append(outs, lb.placeOrphans(now)...)
+	outs = append(outs, lb.placeOrphans(now)...)
+	// Membership shrank: restore the portfolio's desired allocation (a
+	// departed member may have been a spec's only runner).
+	return append(outs, lb.rebalanceStrategies()...)
 }
 
 // placeOrphans delivers held custody batches to the least-loaded
@@ -376,6 +441,15 @@ func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
 			outs = append(outs, Outbound{To: b.dst, Msg: Message{
 				Kind: MsgJobs, From: LBFrom, Seq: b.seq, Jobs: b.jt,
 			}})
+		}
+	}
+	// Periodic portfolio reweighting: recompute the yield-weighted
+	// allocation and move workers if it shifted. A no-op between shifts.
+	if len(lb.cfg.Portfolio) > 0 && lb.cfg.ReweightEvery > 0 {
+		lb.reweightTicks++
+		if lb.reweightTicks >= lb.cfg.ReweightEvery {
+			lb.reweightTicks = 0
+			outs = append(outs, lb.rebalanceStrategies()...)
 		}
 	}
 	return outs

@@ -33,6 +33,17 @@
 // batches are de-duplicated by the receiver's per-sender high-water
 // mark.
 //
+// # Strategy portfolios
+//
+// When the balancer is configured with a portfolio (internal/search
+// spec strings), each joining worker is handed a spec (in the TCP
+// HelloAck / the Member record in-process), statuses report the spec a
+// worker currently runs, and the LB rebalances assignments on
+// join/leave/evict and on a periodic reweighting tick driven by the
+// coverage yield each slot earns in the global overlay (MsgStrategy →
+// worker hot-swap). Swaps change only selection order — never the
+// frontier or custody state — so path-count exactness is preserved.
+//
 // # Epochs
 //
 // Messages and statuses are stamped with the sender's epoch. The load
@@ -67,6 +78,7 @@ const (
 	MsgEvict                      // LB → workers: member departed; Members is the new view
 	MsgJobsAck                    // LB → worker: Dst acknowledged job batches up to Seq
 	MsgMembers                    // LB → workers: membership snapshot (id → epoch)
+	MsgStrategy                   // LB → worker: run the strategy spec in Spec from now on
 )
 
 // LBFrom is the From id used for job batches the load balancer re-seats
@@ -97,6 +109,10 @@ type Message struct {
 	Members map[int]uint64
 	// MsgHello (TCP): the worker's peer job-transfer address.
 	Addr string
+	// MsgStrategy: the internal/search strategy spec the worker should
+	// hot-swap to (portfolio rebalancing on membership changes and
+	// periodic yield-driven reweighting).
+	Spec string
 }
 
 // JobAck acknowledges, per source worker, every job batch with sequence
@@ -147,6 +163,14 @@ type Status struct {
 	// processed (a set, not a high-water mark: LB sequences are global
 	// across destinations, so gaps are normal and must not be skipped).
 	ReseatAcks []uint64
+	// Spec is the strategy spec the worker is currently running (its
+	// assigned portfolio slot, or "" for the engine default); the LB
+	// compares it against its assignment record and re-sends a lost
+	// MsgStrategy when they disagree. SpecPinned marks an explicit
+	// local override the LB must leave alone (and exclude from
+	// portfolio allocation).
+	Spec       string
+	SpecPinned bool
 }
 
 // JobTree aggregates path-encoded jobs into a trie so that shared path

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"sort"
+)
+
+// Strategy portfolios (§3.3 heterogeneous per-worker policies): the
+// load balancer owns the assignment of internal/search strategy specs
+// to workers. Each joining worker is handed the most under-represented
+// portfolio slot; on membership changes (join/leave/evict) and on a
+// periodic reweighting tick the assignments are rebalanced against the
+// desired allocation, which weights each slot by the cumulative
+// new-coverage yield the global overlay has attributed to workers
+// running it. Every step is deterministic (sorted iteration, index
+// tie-breaks) so the lock-step simulation reproduces assignments
+// bit-for-bit.
+
+// specWeights returns the hand-out weight of each portfolio slot:
+// 1 + the slot's cumulative coverage yield (lines it was first to
+// cover, per LoadBalancer.Update). The +1 keeps unproven slots in
+// rotation; the diversity floor in desiredAllocation keeps even
+// zero-yield slots from starving entirely.
+func (lb *LoadBalancer) specWeights() []float64 {
+	w := make([]float64, len(lb.cfg.Portfolio))
+	for i := range w {
+		w[i] = 1 + float64(lb.specYield[i])
+	}
+	return w
+}
+
+// desiredAllocation distributes n workers over the portfolio slots:
+// one worker per slot first (diversity floor, in portfolio order),
+// then the remainder by weighted largest-remainder apportionment.
+func (lb *LoadBalancer) desiredAllocation(n int) []int {
+	k := len(lb.cfg.Portfolio)
+	alloc := make([]int, k)
+	if n <= 0 || k == 0 {
+		return alloc
+	}
+	floor := n
+	if floor > k {
+		floor = k
+	}
+	for i := 0; i < floor; i++ {
+		alloc[i] = 1
+	}
+	rem := n - floor
+	if rem == 0 {
+		return alloc
+	}
+	w := lb.specWeights()
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	type frac struct {
+		idx int
+		f   float64
+	}
+	fr := make([]frac, 0, k)
+	given := 0
+	for i := range w {
+		q := float64(rem) * w[i] / sum
+		g := int(q)
+		alloc[i] += g
+		given += g
+		fr = append(fr, frac{i, q - float64(g)})
+	}
+	sort.Slice(fr, func(a, b int) bool {
+		if fr[a].f != fr[b].f {
+			return fr[a].f > fr[b].f
+		}
+		return fr[a].idx < fr[b].idx
+	})
+	for j := 0; j < rem-given; j++ {
+		alloc[fr[j].idx]++
+	}
+	return alloc
+}
+
+// yieldSlot resolves which portfolio slot to credit for a status's
+// coverage yield: the spec the worker *reports* running, not the one
+// the LB last assigned — a hot-swap may still be in flight (or have
+// failed worker-side), and crediting the assignment would attribute
+// the old strategy's results to the new slot. Returns -1 when the
+// reported spec maps to no slot (no portfolio, or a local override).
+func (lb *LoadBalancer) yieldSlot(reported string, m *Member) int {
+	if len(lb.cfg.Portfolio) == 0 {
+		return -1
+	}
+	if reported == m.Spec {
+		return m.SpecIdx
+	}
+	for i, s := range lb.cfg.Portfolio {
+		if s == reported {
+			return i
+		}
+	}
+	return -1
+}
+
+// specCounts tallies current members per portfolio slot (pinned
+// members hold no slot).
+func (lb *LoadBalancer) specCounts() []int {
+	counts := make([]int, len(lb.cfg.Portfolio))
+	for _, m := range lb.members {
+		if !m.Pinned && m.SpecIdx >= 0 && m.SpecIdx < len(counts) {
+			counts[m.SpecIdx]++
+		}
+	}
+	return counts
+}
+
+// unpinned counts the members participating in portfolio allocation.
+func (lb *LoadBalancer) unpinned() int {
+	n := 0
+	for _, m := range lb.members {
+		if !m.Pinned {
+			n++
+		}
+	}
+	return n
+}
+
+// assignSpec picks the portfolio slot for a joining member (called
+// before the member is inserted): the lowest-index slot still below
+// its desired share in the post-join allocation.
+func (lb *LoadBalancer) assignSpec() (int, string) {
+	k := len(lb.cfg.Portfolio)
+	if k == 0 {
+		return -1, ""
+	}
+	desired := lb.desiredAllocation(lb.unpinned() + 1)
+	counts := lb.specCounts()
+	for i := 0; i < k; i++ {
+		if counts[i] < desired[i] {
+			return i, lb.cfg.Portfolio[i]
+		}
+	}
+	i := lb.nextID % k // all slots full (rounding): deterministic fallback
+	return i, lb.cfg.Portfolio[i]
+}
+
+// rebalanceStrategies moves members from over- to under-allocated
+// portfolio slots, emitting a MsgStrategy per reassignment. Newest
+// members move first (highest id) — they have the least accumulated
+// strategy state to throw away. A no-op while allocations match, so
+// stable yields cause no churn.
+func (lb *LoadBalancer) rebalanceStrategies() []Outbound {
+	k := len(lb.cfg.Portfolio)
+	if k == 0 || len(lb.members) == 0 {
+		return nil
+	}
+	desired := lb.desiredAllocation(lb.unpinned())
+	counts := lb.specCounts()
+	ids := make([]int, 0, len(lb.members))
+	for id := range lb.members {
+		ids = append(ids, id)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	var outs []Outbound
+	for _, id := range ids {
+		m := lb.members[id]
+		if m.Pinned {
+			continue
+		}
+		i := m.SpecIdx
+		if i >= 0 && i < k && counts[i] <= desired[i] {
+			continue
+		}
+		j := -1
+		for x := 0; x < k; x++ {
+			if counts[x] < desired[x] {
+				j = x
+				break
+			}
+		}
+		if j < 0 {
+			break
+		}
+		if i >= 0 && i < k {
+			counts[i]--
+		}
+		counts[j]++
+		m.SpecIdx, m.Spec = j, lb.cfg.Portfolio[j]
+		outs = append(outs, Outbound{To: id, Msg: Message{Kind: MsgStrategy, Spec: m.Spec}})
+	}
+	return outs
+}

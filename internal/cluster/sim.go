@@ -7,12 +7,23 @@ import (
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/search"
 )
 
 // SimEvent schedules a membership event at a virtual-time tick.
 type SimEvent struct {
 	Tick   int
 	Worker int // target worker id (ignored for joins)
+}
+
+// SimSwap schedules a strategy hot-swap: at Tick, the worker receives
+// MsgStrategy with the given spec (the same path an LB portfolio
+// rebalance uses), rebuilds its searcher, and re-seeds it from its
+// local tree.
+type SimSwap struct {
+	Tick   int
+	Worker int
+	Spec   string
 }
 
 // SimConfig drives a deterministic lock-step cluster simulation.
@@ -54,6 +65,11 @@ type SimConfig struct {
 	Retires []SimEvent
 	// Joins adds one worker at each listed tick.
 	Joins []int
+	// Swaps injects strategy hot-swaps at the given ticks. Mutually
+	// exclusive with Balancer.Portfolio: injected swaps bypass the LB's
+	// member records, so a portfolio's rebalancer would fight them (and
+	// attribute yield to slots the workers no longer run).
+	Swaps []SimSwap
 	// LeaseTicks is the membership lease in virtual ticks (default: 3
 	// balance periods).
 	LeaseTicks int
@@ -153,7 +169,15 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		cfg.SampleTicks = cfg.BalanceTicks
 	}
 	if cfg.Balancer.Delta == 0 {
+		d := cfg.Balancer
 		cfg.Balancer = DefaultBalancerConfig()
+		cfg.Balancer.Portfolio = d.Portfolio
+		cfg.Balancer.ReweightEvery = d.ReweightEvery
+	}
+	for _, spec := range cfg.Balancer.Portfolio {
+		if err := search.Validate(spec); err != nil {
+			return nil, fmt.Errorf("cluster: sim portfolio: %w", err)
+		}
 	}
 	if cfg.LeaseTicks <= 0 {
 		cfg.LeaseTicks = 3 * cfg.BalanceTicks
@@ -177,6 +201,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		w, err := NewWorker(WorkerConfig{
 			ID: m.ID, Epoch: m.Epoch, Seed: seedOK && m.ID == 0,
 			Engine: cfg.Engine, NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+			StrategySpec: m.Spec,
 		}, simEndpoint{s, m.ID})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: sim worker %d: %w", m.ID, err)
@@ -251,6 +276,16 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	for _, t := range cfg.Joins {
 		joinAt[t]++
 	}
+	if len(cfg.Swaps) > 0 && len(cfg.Balancer.Portfolio) > 0 {
+		return nil, fmt.Errorf("cluster: sim: Swaps and Balancer.Portfolio are mutually exclusive (injected swaps bypass the LB's assignment records)")
+	}
+	swapAt := map[int][]SimSwap{}
+	for _, sw := range cfg.Swaps {
+		if err := search.Validate(sw.Spec); err != nil {
+			return nil, fmt.Errorf("cluster: sim swap: %w", err)
+		}
+		swapAt[sw.Tick] = append(swapAt[sw.Tick], sw)
+	}
 
 	tick := 0
 	for {
@@ -274,6 +309,12 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		for i := 0; i < joinAt[tick]; i++ {
 			if _, err := spawn(false); err != nil {
 				return nil, err
+			}
+		}
+		for _, sw := range swapAt[tick] {
+			if _, ok := alive[sw.Worker]; ok {
+				s.inbox[sw.Worker] = append(s.inbox[sw.Worker],
+					Message{Kind: MsgStrategy, Spec: sw.Spec})
 			}
 		}
 		// Deliver messages produced last tick.
@@ -326,7 +367,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 					Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs})
 			}
 			if cov, dirty := s.lb.GlobalCoverage(); dirty {
-				words := append([]uint64(nil), cov.Words()...)
+				words := cov.Words()
 				for _, id := range aliveIDs {
 					s.inbox[id] = append(s.inbox[id], Message{Kind: MsgCoverage, CovWords: words})
 				}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"cloud9/internal/search"
 )
 
 // ErrJoinRefused is returned when the LB rejects a (re)join — the
@@ -31,13 +33,15 @@ type Hello struct {
 	Epoch uint64
 }
 
-// HelloAck assigns the worker its cluster id, epoch, and seed role.
-// ID < 0 means the join was refused (stale reconnect of an evicted
-// member).
+// HelloAck assigns the worker its cluster id, epoch, seed role, and —
+// when the LB runs a strategy portfolio — the search spec the worker
+// should explore with. ID < 0 means the join was refused (stale
+// reconnect of an evicted member).
 type HelloAck struct {
 	ID    int
 	Epoch uint64
 	Seed  bool
+	Spec  string
 }
 
 // WireMsg is the union envelope exchanged over TCP.
@@ -392,10 +396,18 @@ func NewLBServer(addr string, cfg BalancerConfig, covLen int, minWorkers int) (*
 		return nil, err
 	}
 	if cfg.Delta == 0 {
-		lease := cfg.Lease
+		d := cfg
 		cfg = DefaultBalancerConfig()
-		if lease > 0 {
-			cfg.Lease = lease
+		if d.Lease > 0 {
+			cfg.Lease = d.Lease
+		}
+		cfg.Portfolio = d.Portfolio
+		cfg.ReweightEvery = d.ReweightEvery
+	}
+	for _, spec := range cfg.Portfolio {
+		if err := search.Validate(spec); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("cluster: portfolio: %w", err)
 		}
 	}
 	return &LBServer{
@@ -481,7 +493,7 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 			}
 		}
 		if cov, dirty := s.lb.GlobalCoverage(); dirty {
-			words := append([]uint64(nil), cov.Words()...)
+			words := cov.Words()
 			for _, wc := range s.conns {
 				wc.send(WireMsg{Msg: &Message{Kind: MsgCoverage, CovWords: words}})
 			}
@@ -558,6 +570,7 @@ func (s *LBServer) handle(conn net.Conn) {
 	}
 	var id int
 	var epoch uint64
+	var spec string
 	if h.ID >= 0 {
 		// Resume: accept only if (id, epoch) is still a member.
 		if !s.lb.IsMember(h.ID, h.Epoch) {
@@ -568,10 +581,11 @@ func (s *LBServer) handle(conn net.Conn) {
 			return
 		}
 		id, epoch = h.ID, h.Epoch
+		spec = s.lb.members[id].Spec
 		s.lb.Touch(id, now)
 	} else {
 		m, outs := s.lb.Join(h.Addr, now)
-		id, epoch = m.ID, m.Epoch
+		id, epoch, spec = m.ID, m.Epoch, m.Spec
 		s.dispatchLocked(outs)
 	}
 	wc := &lbWorkerConn{id: id, enc: enc, conn: conn}
@@ -579,7 +593,7 @@ func (s *LBServer) handle(conn net.Conn) {
 	// moment wc is in s.conns, a concurrent Serve tick or another
 	// handler's dispatchLocked may send it a broadcast, and dialHello
 	// requires the HelloAck to be the first WireMsg on the wire.
-	wc.send(WireMsg{Ack: &HelloAck{ID: id, Epoch: epoch, Seed: id == 0}, PeerAddrs: s.addrsLocked()})
+	wc.send(WireMsg{Ack: &HelloAck{ID: id, Epoch: epoch, Seed: id == 0, Spec: spec}, PeerAddrs: s.addrsLocked()})
 	if old := s.conns[id]; old != nil {
 		old.conn.Close()
 	}

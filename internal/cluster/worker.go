@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,8 @@ import (
 	"cloud9/internal/coverage"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/search"
+	"cloud9/internal/tree"
 )
 
 // WorkerConfig configures one cluster worker.
@@ -36,6 +39,17 @@ type WorkerConfig struct {
 	// exploration progress, which crash recovery discards anyway.
 	// Default: 16. Use 1 to ship the frontier with every status.
 	FrontierEvery int
+
+	// StrategySpec is the internal/search strategy spec assigned by the
+	// load balancer (the worker's portfolio slot). Empty: the engine
+	// default (or whatever Engine.Strategy says). The worker hot-swaps
+	// to a new spec when the LB sends MsgStrategy.
+	StrategySpec string
+	// StrategyPinned marks StrategySpec as an explicit local choice
+	// (c9-worker -strategy): MsgStrategy reassignments are ignored, and
+	// statuses carry the pin so the LB drops the worker from portfolio
+	// allocation instead of fighting it.
+	StrategyPinned bool
 
 	Engine engine.Config
 	// NewInterp builds the worker's private interpreter+model stack
@@ -126,6 +140,23 @@ type Worker struct {
 	lastFullRecv      uint64
 	fullPending       bool
 	lastLBGen         uint64
+
+	// spec is the strategy spec currently running ("" = engine
+	// default); swaps counts hot-swaps, salting each rebuild's seed.
+	// specPinned starts as cfg.StrategyPinned (explicit -strategy) and
+	// is also set when an assigned spec fails to build — the pin travels
+	// in statuses, telling the LB to stop re-sending and drop this
+	// worker from allocation instead of looping on a doomed assignment.
+	spec       string
+	swaps      int
+	specPinned bool
+}
+
+// strategySeed derives the deterministic seed for a worker's strategy:
+// distinct per worker (so portfolio peers running the same randomized
+// spec explore differently) and per hot-swap.
+func strategySeed(id, swaps int) int64 {
+	return int64(id+1)*2654435761 + int64(swaps)*7919
 }
 
 // NewWorker builds a worker (its engine fully initialized).
@@ -133,6 +164,19 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 	in, err := cfg.NewInterp()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.StrategySpec != "" {
+		spec, seed := cfg.StrategySpec, strategySeed(cfg.ID, 0)
+		if err := search.Validate(spec); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d strategy: %w", cfg.ID, err)
+		}
+		cfg.Engine.Strategy = func(t *tree.Tree) engine.Strategy {
+			s, err := search.Build(spec, t, seed)
+			if err != nil {
+				panic(err) // validated above; same spec cannot fail here
+			}
+			return s
+		}
 	}
 	exp, err := engine.New(in, cfg.Entry, cfg.Engine)
 	if err != nil {
@@ -164,9 +208,34 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 		ackHW:        map[int]uint64{},
 		reseatSeen:   map[uint64]bool{},
 		evictedPeers: map[int]uint64{},
+		spec:         cfg.StrategySpec,
+		specPinned:   cfg.StrategyPinned,
 		// The first status is always a full snapshot.
 		statusesSinceFull: cfg.FrontierEvery,
 	}, nil
+}
+
+// Spec returns the strategy spec the worker is currently running.
+func (w *Worker) Spec() string { return w.spec }
+
+// ApplyStrategy hot-swaps the worker's search strategy to the given
+// spec: the new strategy is built with a fresh deterministic seed and
+// re-seeded from the local tree's candidate set. The swap changes only
+// selection order — the frontier, custody state, and all counters are
+// untouched, so exploration totals (and crash-recovery exactness) are
+// preserved. A no-op when the spec is already running.
+func (w *Worker) ApplyStrategy(spec string) error {
+	if spec == "" || spec == w.spec {
+		return nil
+	}
+	s, err := search.Build(spec, w.Exp.Tree, strategySeed(w.ID, w.swaps+1))
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d strategy swap: %w", w.ID, err)
+	}
+	w.swaps++
+	w.spec = spec
+	w.Exp.SetStrategy(s)
+	return nil
 }
 
 // Stopped reports whether the worker received MsgStop (or halted on its
@@ -243,9 +312,24 @@ func (w *Worker) drainMailbox() {
 			// MsgEvict alone.
 		case MsgCoverage:
 			// OR the global vector into the local one so the local
-			// strategy makes globally consistent choices (§3.3).
+			// strategy makes globally consistent choices (§3.3), and
+			// forward the delta so coverage-driven strategies can
+			// discount yield the rest of the cluster already banked.
 			g := coverage.FromWords(msg.CovWords, w.Exp.Cov.Len()-1)
-			w.Exp.Cov.Or(g)
+			w.Exp.NotifyGlobalCoverage(w.Exp.Cov.Or(g))
+		case MsgStrategy:
+			// Portfolio rebalancing: swap searchers in place. Pinned
+			// workers (explicit -strategy) refuse reassignment; a bad
+			// spec is dropped (the LB validates portfolios up front;
+			// dying mid-run over a search policy would lose real work)
+			// and pins the current strategy, so the LB's reconciliation
+			// stops re-sending an assignment this binary cannot build
+			// (possible across versions — the registry is extensible).
+			if !w.specPinned {
+				if err := w.ApplyStrategy(msg.Spec); err != nil {
+					w.specPinned = true
+				}
+			}
 		}
 	}
 }
@@ -448,11 +532,13 @@ func (w *Worker) sendStatusOpt(full bool) {
 		Errors:        w.Exp.Stats.Errors,
 		Hangs:         w.Exp.Stats.Hangs,
 		Tests:         len(w.Exp.Tests),
-		CovWords:      append([]uint64(nil), w.Exp.Cov.Words()...),
+		CovWords:      w.Exp.Cov.Words(),
 		CovCount:      w.Exp.Cov.Count(),
 		Done:          w.Exp.Done(),
 		Acks:          acks,
 		ReseatAcks:    reseatAcks,
+		Spec:          w.spec,
+		SpecPinned:    w.specPinned,
 	}
 	if full {
 		st.Frontier = BuildJobTree(w.Exp.FrontierPaths())

@@ -51,15 +51,23 @@ func (v *BitVec) Count() int {
 }
 
 // Or merges other into v, returning the number of newly covered lines.
+// A longer other grows v (words and capacity) rather than being silently
+// truncated — vectors deserialized from peers built against a larger
+// program table must not lose bits.
 func (v *BitVec) Or(other *BitVec) int {
+	if len(other.words) > len(v.words) {
+		grown := make([]uint64, len(other.words))
+		copy(grown, v.words)
+		v.words = grown
+	}
+	if other.n > v.n {
+		v.n = other.n
+	}
 	added := 0
-	for i := range v.words {
-		if i >= len(other.words) {
-			break
-		}
-		neu := other.words[i] &^ v.words[i]
+	for i, w := range other.words {
+		neu := w &^ v.words[i]
 		added += bits.OnesCount64(neu)
-		v.words[i] |= other.words[i]
+		v.words[i] |= w
 	}
 	return added
 }
@@ -70,8 +78,15 @@ func (v *BitVec) Clone() *BitVec {
 	return dup
 }
 
-// Words exposes the raw words for serialization.
-func (v *BitVec) Words() []uint64 { return v.words }
+// Words returns a copy of the backing words for serialization. Callers
+// used to receive the live slice, which aliased every later Set — a
+// serialized snapshot could mutate under a concurrent sender. A fresh
+// slice per call is deliberate: snapshots outlive the call (queued in
+// messages, gob-encoded on other goroutines), so reusing a buffer here
+// would reintroduce exactly that aliasing.
+func (v *BitVec) Words() []uint64 {
+	return append([]uint64(nil), v.words...)
+}
 
 // FromWords reconstructs a vector from serialized words.
 func FromWords(words []uint64, n int) *BitVec {

@@ -78,6 +78,42 @@ func TestWordsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOrGrowsForLongerOther(t *testing.T) {
+	small := New(10)
+	small.Set(3)
+	big := New(500)
+	big.Set(3)
+	big.Set(400)
+	added := small.Or(big)
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 (bit 400 must not be truncated)", added)
+	}
+	if !small.Get(400) || small.Count() != 2 {
+		t.Fatalf("bit 400 lost: count=%d", small.Count())
+	}
+	if small.Len() != big.Len() {
+		t.Fatalf("Len = %d, want %d after growth", small.Len(), big.Len())
+	}
+	// Idempotent after growth.
+	if small.Or(big) != 0 {
+		t.Fatal("second OR should add nothing")
+	}
+}
+
+func TestWordsIsACopy(t *testing.T) {
+	v := New(100)
+	v.Set(1)
+	w := v.Words()
+	v.Set(2)
+	if got := FromWords(w, 100).Count(); got != 1 {
+		t.Fatalf("snapshot mutated under a later Set: count=%d, want 1", got)
+	}
+	w[0] = 0
+	if !v.Get(1) {
+		t.Fatal("writing the returned slice must not reach the vector")
+	}
+}
+
 func TestCoveredOf(t *testing.T) {
 	v := New(50)
 	v.Set(10)

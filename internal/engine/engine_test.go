@@ -275,3 +275,27 @@ func TestHangDetectionProducesTest(t *testing.T) {
 		t.Fatalf("hang inputs = %v, want x=77", hang.Inputs)
 	}
 }
+
+// TestInterleavedForwardsGlobalCoverage: the engine's default strategy
+// (interleaved random-path ⊕ cov-opt) must pass cluster-wide coverage
+// growth through to the coverage-optimized sub-strategy, decaying its
+// accumulated yield weights.
+func TestInterleavedForwardsGlobalCoverage(t *testing.T) {
+	cov := NewCoverageOptimized(1)
+	il := NewInterleaved(NewDFS(), cov)
+	n := &tree.Node{Meta: map[string]float64{"covYield": 8}}
+	cov.Add(n)
+	var s Strategy = il
+	g, ok := s.(GlobalCoverageAware)
+	if !ok {
+		t.Fatal("Interleaved must implement GlobalCoverageAware")
+	}
+	g.NotifyGlobalCoverage(3)
+	if got := n.Meta["covYield"]; got != 4 {
+		t.Fatalf("covYield = %v, want 4 (halved by global decay)", got)
+	}
+	g.NotifyGlobalCoverage(0)
+	if got := n.Meta["covYield"]; got != 4 {
+		t.Fatalf("covYield = %v, want 4 (zero delta must not decay)", got)
+	}
+}

@@ -103,6 +103,28 @@ func New(in *interp.Interp, entry string, cfg Config) (*Explorer, error) {
 // Done reports whether the frontier is exhausted.
 func (e *Explorer) Done() bool { return e.Tree.NumCandidates() == 0 }
 
+// SetStrategy hot-swaps the search strategy mid-run: the new strategy's
+// candidate set is re-seeded from the local tree (every current
+// candidate, in deterministic tree order), then it replaces the old one.
+// Used by the cluster layer when the load balancer reassigns a worker's
+// portfolio slot; the swap changes only future selection order, never
+// the candidate set itself, so exploration totals are unaffected.
+func (e *Explorer) SetStrategy(s Strategy) {
+	for _, c := range e.Tree.CandidatesUnder(e.Tree.Root, e.Tree.NumCandidates()) {
+		s.Add(c)
+	}
+	e.Strat = s
+}
+
+// NotifyGlobalCoverage forwards cluster-wide coverage growth (lines
+// newly ORed into the local vector from the global overlay) to the
+// strategy, if it cares.
+func (e *Explorer) NotifyGlobalCoverage(newLines int) {
+	if g, ok := e.Strat.(GlobalCoverageAware); ok && newLines > 0 {
+		g.NotifyGlobalCoverage(newLines)
+	}
+}
+
 // Step explores one candidate node: selects it, materializes it if
 // virtual, runs it to the next fork or termination, and updates the
 // tree. It returns false when no work remains.
@@ -142,6 +164,16 @@ func (e *Explorer) exploreNode(n *tree.Node) error {
 			return nil
 		}
 		return err
+	}
+	if e.newLines > 0 {
+		// Credit the node's shared coverage-yield meta exactly once,
+		// here — not inside each strategy — so composed strategies (an
+		// interleave of two coverage-aware searchers) can't double-count
+		// the same lines through the shared Meta map.
+		if n.Meta == nil {
+			n.Meta = map[string]float64{}
+		}
+		n.Meta["covYield"] += float64(e.newLines)
 	}
 	e.Strat.NotifyCoverage(n, e.newLines)
 	if kids == nil {

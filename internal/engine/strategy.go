@@ -25,27 +25,43 @@ type Strategy interface {
 	NotifyCoverage(n *tree.Node, newLines int)
 }
 
+// GlobalCoverageAware is implemented by strategies that adapt to
+// cluster-wide coverage growth: the worker forwards the number of lines
+// newly ORed into its local vector from the global overlay (§3.3's
+// global strategy portal), so a coverage-driven policy can discount
+// yield that the rest of the cluster has already banked.
+type GlobalCoverageAware interface {
+	NotifyGlobalCoverage(newLines int)
+}
+
 // ---- DFS ----
 
 // DFS explores deepest-first (a stack). Low memory, poor diversity.
-type DFS struct{ stack []*tree.Node }
+// Remove is O(1): the position index tombstones the slot (set to nil)
+// instead of scanning and splicing — under heavy job transfer every
+// export used to pay a linear scan, quadratic in the frontier size.
+type DFS struct {
+	stack []*tree.Node
+	pos   map[*tree.Node]int
+}
 
 // NewDFS returns a depth-first strategy.
-func NewDFS() *DFS { return &DFS{} }
+func NewDFS() *DFS { return &DFS{pos: map[*tree.Node]int{}} }
 
 // Name implements Strategy.
 func (d *DFS) Name() string { return "dfs" }
 
 // Add implements Strategy.
-func (d *DFS) Add(n *tree.Node) { d.stack = append(d.stack, n) }
+func (d *DFS) Add(n *tree.Node) {
+	d.pos[n] = len(d.stack)
+	d.stack = append(d.stack, n)
+}
 
 // Remove implements Strategy.
 func (d *DFS) Remove(n *tree.Node) {
-	for i, c := range d.stack {
-		if c == n {
-			d.stack = append(d.stack[:i], d.stack[i+1:]...)
-			return
-		}
+	if i, ok := d.pos[n]; ok {
+		d.stack[i] = nil
+		delete(d.pos, n)
 	}
 }
 
@@ -54,6 +70,10 @@ func (d *DFS) Select() *tree.Node {
 	for len(d.stack) > 0 {
 		n := d.stack[len(d.stack)-1]
 		d.stack = d.stack[:len(d.stack)-1]
+		if n == nil {
+			continue // tombstone of a removed node
+		}
+		delete(d.pos, n)
 		if n.IsCandidate() {
 			return n
 		}
@@ -66,37 +86,66 @@ func (d *DFS) NotifyCoverage(*tree.Node, int) {}
 
 // ---- BFS ----
 
-// BFS explores shallowest-first (a queue).
-type BFS struct{ queue []*tree.Node }
+// BFS explores shallowest-first (a queue). Remove tombstones via the
+// position index (same O(1) trick as DFS); the head cursor advances
+// without reslicing so indices stay valid, and the buffer is compacted
+// once the consumed prefix dominates it.
+type BFS struct {
+	queue []*tree.Node
+	head  int
+	pos   map[*tree.Node]int
+}
 
 // NewBFS returns a breadth-first strategy.
-func NewBFS() *BFS { return &BFS{} }
+func NewBFS() *BFS { return &BFS{pos: map[*tree.Node]int{}} }
 
 // Name implements Strategy.
 func (b *BFS) Name() string { return "bfs" }
 
 // Add implements Strategy.
-func (b *BFS) Add(n *tree.Node) { b.queue = append(b.queue, n) }
+func (b *BFS) Add(n *tree.Node) {
+	b.pos[n] = len(b.queue)
+	b.queue = append(b.queue, n)
+}
 
 // Remove implements Strategy.
 func (b *BFS) Remove(n *tree.Node) {
-	for i, c := range b.queue {
-		if c == n {
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
-			return
-		}
+	if i, ok := b.pos[n]; ok {
+		b.queue[i] = nil
+		delete(b.pos, n)
 	}
+}
+
+// compact drops the consumed prefix, shifting indices down (amortized
+// O(1) per operation: it runs only when half the buffer is dead).
+func (b *BFS) compact() {
+	if b.head < 1024 || b.head < len(b.queue)/2 {
+		return
+	}
+	b.queue = append(b.queue[:0], b.queue[b.head:]...)
+	for n, i := range b.pos {
+		b.pos[n] = i - b.head
+	}
+	b.head = 0
 }
 
 // Select implements Strategy.
 func (b *BFS) Select() *tree.Node {
-	for len(b.queue) > 0 {
-		n := b.queue[0]
-		b.queue = b.queue[1:]
+	for b.head < len(b.queue) {
+		n := b.queue[b.head]
+		b.queue[b.head] = nil
+		b.head++
+		if n == nil {
+			continue // tombstone of a removed node
+		}
+		delete(b.pos, n)
 		if n.IsCandidate() {
+			b.compact()
 			return n
 		}
 	}
+	b.queue = b.queue[:0]
+	b.head = 0
 	return nil
 }
 
@@ -239,8 +288,11 @@ func weightOf(n *tree.Node) float64 {
 
 // Add implements Strategy.
 func (c *CoverageOptimized) Add(n *tree.Node) {
-	// Children inherit half their parent's yield, decaying stale signal.
-	if n.Parent != nil && n.Parent.Meta != nil {
+	// Children inherit half their parent's yield, decaying stale signal —
+	// but only when the node has none yet: re-Adds (a SetStrategy
+	// re-seed) must not overwrite yield that global decay has already
+	// discounted.
+	if (n.Meta == nil || n.Meta["covYield"] == 0) && n.Parent != nil && n.Parent.Meta != nil {
 		if n.Meta == nil {
 			n.Meta = map[string]float64{}
 		}
@@ -290,15 +342,24 @@ func (c *CoverageOptimized) Select() *tree.Node {
 	return nil
 }
 
-// NotifyCoverage implements Strategy.
-func (c *CoverageOptimized) NotifyCoverage(n *tree.Node, newLines int) {
+// NotifyCoverage implements Strategy. The covYield meta this strategy
+// weighs by is credited once by the explorer (see exploreNode), not
+// here — updating it per-strategy would double-count under interleave.
+func (c *CoverageOptimized) NotifyCoverage(*tree.Node, int) {}
+
+// NotifyGlobalCoverage implements GlobalCoverageAware: when the rest of
+// the cluster covers new lines, locally accumulated yield is partly
+// stale (those lineages may be chasing lines already covered
+// elsewhere), so every tracked weight decays by half.
+func (c *CoverageOptimized) NotifyGlobalCoverage(newLines int) {
 	if newLines == 0 {
 		return
 	}
-	if n.Meta == nil {
-		n.Meta = map[string]float64{}
+	for _, n := range c.nodes {
+		if n.Meta != nil && n.Meta["covYield"] != 0 {
+			n.Meta["covYield"] /= 2
+		}
 	}
-	n.Meta["covYield"] += float64(newLines)
 }
 
 // ---- Interleaved ----
@@ -353,6 +414,17 @@ func (i *Interleaved) Select() *tree.Node {
 func (i *Interleaved) NotifyCoverage(n *tree.Node, newLines int) {
 	for _, s := range i.subs {
 		s.NotifyCoverage(n, newLines)
+	}
+}
+
+// NotifyGlobalCoverage implements GlobalCoverageAware, forwarding to
+// every sub-strategy that cares (the engine default interleaves
+// cov-opt, whose yield decay would otherwise never fire in a cluster).
+func (i *Interleaved) NotifyGlobalCoverage(newLines int) {
+	for _, s := range i.subs {
+		if g, ok := s.(GlobalCoverageAware); ok {
+			g.NotifyGlobalCoverage(newLines)
+		}
 	}
 }
 

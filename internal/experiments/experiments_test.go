@@ -154,6 +154,32 @@ func TestFig11ClusterImprovesCoverage(t *testing.T) {
 	}
 }
 
+// TestPortfolioDiversityBeatsHomogeneous asserts the tentpole claim:
+// a mixed strategy portfolio (cupa + cov-opt + random-path + dfs)
+// reaches the target's final coverage in fewer virtual-time ticks than
+// a homogeneous 4×DFS cluster on at least one target. The sim is
+// deterministic, so this is a stable regression bar, not a flaky race.
+func TestPortfolioDiversityBeatsHomogeneous(t *testing.T) {
+	tbl, err := PortfolioDiversity(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, row := range tbl.Rows {
+		dfsTicks, _ := strconv.Atoi(row[2])
+		mixTicks, _ := strconv.Atoi(row[3])
+		if dfsTicks <= 0 || mixTicks <= 0 {
+			t.Fatalf("bad row %v", row)
+		}
+		if mixTicks < dfsTicks {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Fatalf("mixed portfolio never beat homogeneous DFS:\n%s", tbl.Format())
+	}
+}
+
 func TestTableFormat(t *testing.T) {
 	tbl := &Table{
 		ID: "X", Title: "demo",

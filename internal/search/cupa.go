@@ -1,0 +1,170 @@
+package search
+
+import (
+	"math/rand"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/tree"
+)
+
+// cupaClass is one equivalence class of candidates: a private inner
+// strategy plus the number of entries filed into it. Empty classes keep
+// their inner strategy so a class that refills reuses its bookkeeping.
+type cupaClass struct {
+	inner engine.Strategy
+	count int
+}
+
+// CUPA is the class-uniform strategy (§3.3's "strategy portfolio
+// interface" instantiated with class-uniform path analysis): candidates
+// are partitioned by a Classifier, Select draws a non-empty class
+// uniformly, then delegates within the class to an inner strategy.
+// All operations are O(1) amortized: classes live in a map, the
+// non-empty class keys in a slice with a position index (the same
+// swap-remove trick Random uses), and each node remembers its class so
+// Remove never re-classifies.
+//
+// Layering nests: an inner constructor may itself build a CUPA, giving
+// e.g. site→depth two-level selection.
+type CUPA struct {
+	cls      Classifier
+	newInner func() engine.Strategy
+	name     string
+	rng      *rand.Rand
+
+	classes map[uint64]*cupaClass
+	keys    []uint64       // keys of non-empty classes
+	keyPos  map[uint64]int // key → index in keys
+	where   map[*tree.Node]uint64
+}
+
+// NewCUPA builds a class-uniform strategy over cls delegating to inner
+// strategies built by newInner (one per class, created on first use).
+func NewCUPA(cls Classifier, newInner func() engine.Strategy, seed int64) *CUPA {
+	return &CUPA{
+		cls:      cls,
+		newInner: newInner,
+		name:     "cupa(" + cls.Name() + ")",
+		rng:      rand.New(rand.NewSource(seed)),
+		classes:  map[uint64]*cupaClass{},
+		keyPos:   map[uint64]int{},
+		where:    map[*tree.Node]uint64{},
+	}
+}
+
+// Name implements engine.Strategy.
+func (c *CUPA) Name() string { return c.name }
+
+// NumClasses returns the number of currently non-empty classes.
+func (c *CUPA) NumClasses() int { return len(c.keys) }
+
+func (c *CUPA) pushKey(k uint64) {
+	if _, ok := c.keyPos[k]; ok {
+		return
+	}
+	c.keyPos[k] = len(c.keys)
+	c.keys = append(c.keys, k)
+}
+
+func (c *CUPA) dropKey(k uint64) {
+	i, ok := c.keyPos[k]
+	if !ok {
+		return
+	}
+	last := len(c.keys) - 1
+	c.keys[i] = c.keys[last]
+	c.keyPos[c.keys[i]] = i
+	c.keys = c.keys[:last]
+	delete(c.keyPos, k)
+}
+
+// Add implements engine.Strategy.
+func (c *CUPA) Add(n *tree.Node) {
+	if _, dup := c.where[n]; dup {
+		return
+	}
+	// Children inherit half their parent's coverage yield (the same
+	// decaying feedback CoverageOptimized maintains), so the yield
+	// classifier and cov-opt inners see the signal whatever the nesting.
+	// Only when the node has no yield yet: a SetStrategy re-seed re-Adds
+	// existing candidates, and overwriting would resurrect yield that
+	// global-coverage decay already discounted.
+	if (n.Meta == nil || n.Meta["covYield"] == 0) &&
+		n.Parent != nil && n.Parent.Meta != nil && n.Parent.Meta["covYield"] != 0 {
+		if n.Meta == nil {
+			n.Meta = map[string]float64{}
+		}
+		n.Meta["covYield"] = n.Parent.Meta["covYield"] / 2
+	}
+	k := c.cls.ClassOf(n)
+	cl := c.classes[k]
+	if cl == nil {
+		cl = &cupaClass{inner: c.newInner()}
+		c.classes[k] = cl
+	}
+	cl.inner.Add(n)
+	cl.count++
+	c.where[n] = k
+	c.pushKey(k)
+}
+
+// Remove implements engine.Strategy. Unknown nodes are a no-op.
+func (c *CUPA) Remove(n *tree.Node) {
+	k, ok := c.where[n]
+	if !ok {
+		return
+	}
+	delete(c.where, n)
+	cl := c.classes[k]
+	cl.inner.Remove(n)
+	cl.count--
+	if cl.count <= 0 {
+		cl.count = 0
+		c.dropKey(k)
+	}
+}
+
+// Select implements engine.Strategy: uniform over non-empty classes,
+// then the class's inner policy.
+func (c *CUPA) Select() *tree.Node {
+	for len(c.keys) > 0 {
+		k := c.keys[c.rng.Intn(len(c.keys))]
+		cl := c.classes[k]
+		n := cl.inner.Select()
+		if n == nil {
+			// The inner consumed its remaining entries as stale; retire
+			// the class until something is filed into it again.
+			cl.count = 0
+			c.dropKey(k)
+			continue
+		}
+		cl.count--
+		if cl.count <= 0 {
+			cl.count = 0
+			c.dropKey(k)
+		}
+		delete(c.where, n)
+		if n.IsCandidate() {
+			return n
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements engine.Strategy. The covYield meta the
+// yield classifier and cov-opt inners read is credited once by the
+// explorer; crediting it here too would double-count whenever two
+// coverage-aware strategies share the node (interleave siblings).
+func (c *CUPA) NotifyCoverage(*tree.Node, int) {}
+
+// NotifyGlobalCoverage implements engine.GlobalCoverageAware: global
+// overlay growth is forwarded to every non-empty class's inner (nested
+// CUPAs and cov-opt inners decay their local yield signal — lines the
+// rest of the cluster just covered are no longer new here).
+func (c *CUPA) NotifyGlobalCoverage(newLines int) {
+	for _, k := range c.keys {
+		if g, ok := c.classes[k].inner.(engine.GlobalCoverageAware); ok {
+			g.NotifyGlobalCoverage(newLines)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package search is the strategy subsystem layered over the engine's
+// §3.3 strategy interface: class-uniform path analysis (CUPA), a
+// registry of named strategy constructors, and serializable strategy
+// specs — the pieces that let a cluster run a *portfolio* of
+// heterogeneous per-worker policies instead of one hard-coded searcher.
+//
+// # CUPA
+//
+// CUPA counters the hot-spot bias of flat candidate selection: a
+// pluggable Classifier partitions the candidate set into classes (depth
+// band, call/branch site, injected-fault count, recent coverage yield),
+// Select draws a class uniformly at random, and delegates within the
+// class to any inner engine.Strategy. A subtree that explodes into
+// thousands of candidates still gets only one class's share of
+// attention, so shallow, rarely-visited program regions keep being
+// scheduled (cf. Singh & Khurshid's test-depth partitioning). Layering
+// is expressed by nesting: cupa(site,cupa(depth,dfs)) first picks a
+// branch site uniformly, then a depth band within it. Add, Remove and
+// Select are O(1) (amortized) via index maps, matching the engine's
+// other strategies.
+//
+// # Specs and the registry
+//
+// A strategy is described by a spec string, parsed by Parse and built
+// by Build:
+//
+//	dfs | bfs | random | random-path | cov-opt | fewest-faults
+//	interleave(SPEC, SPEC, ...)
+//	cupa(CLASSIFIER[, CLASSIFIER...], SPEC)
+//	CLASSIFIER := depth[:bandwidth] | site | faults | yield
+//
+// Specs are plain strings, so the load balancer can assign them at
+// Hello, carry them in membership messages, and hand a worker a new one
+// mid-run (the worker rebuilds the strategy and re-seeds it from its
+// local tree via engine.Explorer.SetStrategy). Randomized strategies
+// derive their seeds deterministically from the seed passed to Build,
+// which is how the lock-step simulation stays bit-for-bit reproducible.
+//
+// New policies plug in without touching this package's core:
+//
+//	search.RegisterStrategy("my-strat", func(b *search.Builder, args []*search.Spec) (engine.Strategy, error) { ... })
+//	search.RegisterClassifier("my-class", func(param int, hasParam bool) (search.Classifier, error) { ... })
+//
+// after which "cupa(my-class,my-strat)" is a valid spec everywhere a
+// spec is accepted (worker flags, LB portfolios, the sim).
+//
+// # Portfolios
+//
+// A portfolio is an ordered list of specs (ParsePortfolio splits a
+// comma-separated flag value, respecting parentheses). The load
+// balancer assigns one spec per worker at join, rebalances assignments
+// on membership changes, and reweights which specs get handed out by
+// the per-worker coverage yield observed through the global coverage
+// overlay — see internal/cluster.
+package search

@@ -1,0 +1,331 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cloud9/internal/engine"
+	"cloud9/internal/tree"
+)
+
+// buildTestTree grows a deterministic tree with nLeaves candidate
+// leaves at mixed depths (interior nodes dead, as after exploration).
+func buildTestTree(nLeaves int, seed int64) (*tree.Tree, []*tree.Node) {
+	t := tree.New(nil, nil)
+	rng := rand.New(rand.NewSource(seed))
+	frontier := []*tree.Node{t.Root}
+	var leaves []*tree.Node
+	for len(leaves)+len(frontier) < nLeaves {
+		// Pop a frontier node, kill it, attach 2-3 children.
+		i := rng.Intn(len(frontier))
+		n := frontier[i]
+		frontier = append(frontier[:i], frontier[i+1:]...)
+		t.MarkDead(n)
+		kids := 2 + rng.Intn(2)
+		for c := 0; c < kids; c++ {
+			child := t.AddChild(n, uint8(c), tree.Materialized, tree.Candidate, nil)
+			// Keep at least one growth point so the frontier never dries
+			// up before reaching the target size.
+			if c > 0 && (rng.Intn(3) == 0 || len(leaves)+len(frontier)+kids-c >= nLeaves) {
+				leaves = append(leaves, child)
+			} else {
+				frontier = append(frontier, child)
+			}
+		}
+	}
+	leaves = append(leaves, frontier...)
+	return t, leaves
+}
+
+// invariantSpecs are the specs the property test sweeps: every
+// registered base strategy plus layered CUPA variants.
+var invariantSpecs = []string{
+	"dfs", "bfs", "random", "cov-opt", "fewest-faults",
+	"interleave(dfs,bfs)", "interleaved",
+	"cupa(depth:4,dfs)", "cupa(site,random)", "cupa(yield,cov-opt)",
+	"cupa(faults,bfs)", "cupa(site,depth:2,dfs)", "cupa(depth,cupa(faults,random))",
+}
+
+// TestStrategyInvariants checks, for every spec: Select only ever
+// yields current candidates that were Added and not Removed; Remove of
+// an unknown node is a no-op; and the strategy drains exactly the
+// surviving candidate set (no losses, no duplicates).
+func TestStrategyInvariants(t *testing.T) {
+	for _, spec := range invariantSpecs {
+		t.Run(spec, func(t *testing.T) {
+			tr, leaves := buildTestTree(120, 7)
+			s, err := Build(spec, tr, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range leaves {
+				s.Add(n)
+			}
+			// Remove of a node the strategy never saw must be a no-op.
+			stranger := &tree.Node{Depth: 3}
+			s.Remove(stranger)
+			// Remove a subset (simulating job export: fenced locally).
+			rng := rand.New(rand.NewSource(99))
+			removed := map[*tree.Node]bool{}
+			for i := 0; i < len(leaves)/4; i++ {
+				n := leaves[rng.Intn(len(leaves))]
+				if removed[n] {
+					continue
+				}
+				removed[n] = true
+				s.Remove(n)
+				tr.MarkFence(n)
+			}
+			// Double-remove must also be a no-op.
+			for n := range removed {
+				s.Remove(n)
+				break
+			}
+			want := map[*tree.Node]bool{}
+			for _, n := range leaves {
+				if !removed[n] {
+					want[n] = true
+				}
+			}
+			got := map[*tree.Node]bool{}
+			for {
+				n := s.Select()
+				if n == nil {
+					break
+				}
+				if !n.IsCandidate() {
+					t.Fatalf("%s: Select yielded a non-candidate (depth %d, life %v)", spec, n.Depth, n.Life)
+				}
+				if !want[n] {
+					t.Fatalf("%s: Select yielded a node that was removed or never added", spec)
+				}
+				if got[n] {
+					t.Fatalf("%s: Select yielded the same node twice", spec)
+				}
+				got[n] = true
+				tr.MarkDead(n) // simulate exploration so random-path progresses
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: drained %d of %d candidates", spec, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestRandomPathInvariants covers the tree-walking strategy separately:
+// it ignores Add/Remove, so its contract is against the tree's
+// candidate set, not the Added set.
+func TestRandomPathInvariants(t *testing.T) {
+	tr, _ := buildTestTree(60, 3)
+	s, err := Build("random-path", tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		n := s.Select()
+		if n == nil {
+			break
+		}
+		if !n.IsCandidate() {
+			t.Fatal("random-path yielded a non-candidate")
+		}
+		tr.MarkDead(n)
+		seen++
+	}
+	if tr.NumCandidates() != 0 {
+		t.Fatalf("random-path left %d candidates unexplored", tr.NumCandidates())
+	}
+	if seen == 0 {
+		t.Fatal("random-path never selected anything")
+	}
+}
+
+// TestInterleavedRoundRobinsFairly: with k sub-strategies, k successive
+// selections come from k distinct sub-strategies (each non-empty).
+func TestInterleavedRoundRobinsFairly(t *testing.T) {
+	tr, _ := buildTestTree(40, 11)
+	// DFS pops the last Add, BFS the first: with nodes added in order,
+	// alternating selections must come from opposite ends by depth
+	// ordering of the add sequence.
+	var nodes []*tree.Node
+	for _, n := range tr.CandidatesUnder(tr.Root, tr.NumCandidates()) {
+		nodes = append(nodes, n)
+	}
+	s := engine.NewInterleaved(engine.NewDFS(), engine.NewBFS())
+	for _, n := range nodes {
+		s.Add(n)
+	}
+	order := map[*tree.Node]int{}
+	for i, n := range nodes {
+		order[n] = i
+	}
+	lo, hi := 0, len(nodes)-1
+	for turn := 0; lo <= hi; turn++ {
+		n := s.Select()
+		if n == nil {
+			t.Fatal("drained early")
+		}
+		tr.MarkDead(n)
+		if turn%2 == 0 {
+			// DFS turn: the not-yet-selected node with the highest add index.
+			if order[n] != hi {
+				t.Fatalf("turn %d: dfs turn selected add-index %d, want %d", turn, order[n], hi)
+			}
+			hi--
+			if order[n] == lo {
+				lo++
+			}
+		} else {
+			if order[n] != lo {
+				t.Fatalf("turn %d: bfs turn selected add-index %d, want %d", turn, order[n], lo)
+			}
+			lo++
+		}
+	}
+	if s.Select() != nil {
+		t.Fatal("interleaved should be drained")
+	}
+}
+
+// TestCUPAClassUniform checks the class-uniform property: with one
+// giant class and one tiny class, selections split roughly evenly by
+// class, not by population.
+func TestCUPAClassUniform(t *testing.T) {
+	tr := tree.New(nil, nil)
+	tr.MarkDead(tr.Root)
+	// Depth 1: a "hub" whose subtree explodes; depth 9+: a lone deep chain.
+	hub := tr.AddChild(tr.Root, 0, tree.Materialized, tree.Dead, nil)
+	var shallow []*tree.Node
+	for c := 0; c < 200; c++ {
+		n := tr.AddChild(hub, uint8(c), tree.Materialized, tree.Candidate, nil)
+		shallow = append(shallow, n)
+	}
+	deepParent := tr.AddChild(tr.Root, 1, tree.Materialized, tree.Dead, nil)
+	for d := 0; d < 8; d++ {
+		deepParent = tr.AddChild(deepParent, 0, tree.Materialized, tree.Dead, nil)
+	}
+	deep := tr.AddChild(deepParent, 0, tree.Materialized, tree.Candidate, nil)
+
+	s, err := Build("cupa(depth:8,dfs)", tr, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range shallow {
+		s.Add(n)
+	}
+	s.Add(deep)
+	// First selections: the deep class (population 1) must surface fast.
+	// Under flat uniform selection it would take ~100 draws in
+	// expectation; class-uniform finds it within a few.
+	found := -1
+	for i := 0; i < 10; i++ {
+		n := s.Select()
+		if n == nil {
+			t.Fatal("drained early")
+		}
+		tr.MarkDead(n)
+		if n == deep {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		t.Fatal("class-uniform selection starved the small class for 10 draws")
+	}
+}
+
+func TestSpecParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"dfs",
+		"cupa(depth:4,dfs)",
+		"cupa(site,cupa(depth:2,random))",
+		"interleave(dfs,bfs,cov-opt)",
+		"cupa(site,depth:2,dfs)",
+	}
+	for _, src := range cases {
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if ast.String() != src {
+			t.Fatalf("round trip: %q -> %q", src, ast.String())
+		}
+	}
+	// Whitespace tolerated, canonicalized away.
+	ast, err := Parse(" cupa( depth:4 , dfs ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.String() != "cupa(depth:4,dfs)" {
+		t.Fatalf("canonical form: %q", ast.String())
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []string{
+		"", "nope", "cupa(dfs)", "cupa(depth)", "cupa(site,random-path)",
+		"cupa(site,interleave(dfs,random-path))", "dfs(bfs)", "cupa(site,dfs",
+		"depth:x", "cupa(site:3,dfs)", "random,dfs",
+		// Bare interleave defaults to random-path ⊕ cov-opt, so it is
+		// just as illegal as a cupa inner as naming random-path outright.
+		"cupa(site,interleave)", "cupa(site,interleaved)",
+		"cupa(site,cupa(depth,interleaved))",
+	}
+	for _, spec := range bad {
+		if err := Validate(spec); err == nil {
+			t.Errorf("Validate(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParsePortfolio(t *testing.T) {
+	specs, err := ParsePortfolio("dfs, cupa(site,dfs) ,random,interleave(dfs,bfs)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dfs", "cupa(site,dfs)", "random", "interleave(dfs,bfs)"}
+	if fmt.Sprint(specs) != fmt.Sprint(want) {
+		t.Fatalf("specs = %v, want %v", specs, want)
+	}
+	if _, err := ParsePortfolio("dfs,cupa(site,dfs"); err == nil {
+		t.Fatal("unbalanced portfolio should fail")
+	}
+	if _, err := ParsePortfolio("dfs,wat"); err == nil {
+		t.Fatal("unknown spec in portfolio should fail")
+	}
+}
+
+// TestBuildDeterminism: same (spec, seed) yields the same selection
+// sequence; different seeds diverge (for randomized strategies).
+func TestBuildDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		tr, leaves := buildTestTree(80, 23)
+		s, err := Build("cupa(depth:4,random)", tr, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := map[*tree.Node]int{}
+		for i, n := range leaves {
+			idx[n] = i
+			s.Add(n)
+		}
+		var order []int
+		for {
+			n := s.Select()
+			if n == nil {
+				return order
+			}
+			tr.MarkDead(n)
+			order = append(order, idx[n])
+		}
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed must reproduce the same selection order")
+	}
+	if c := run(8); fmt.Sprint(a) == fmt.Sprint(c) && len(a) > 10 {
+		t.Fatal("different seeds should diverge")
+	}
+}
