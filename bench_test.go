@@ -346,6 +346,113 @@ func BenchmarkPartitionVars(b *testing.B) {
 	})
 }
 
+// ---- Incremental solver benches ----
+//
+// The solver memoizes per-ConstraintSet solve state (flattened form,
+// unit-propagation fixpoint, independence partition, witness model) and
+// extends it on Append instead of reprocessing the whole set per query.
+// Each bench compares the incremental path against the retained
+// from-scratch reference pipeline on the same workload; both are gated
+// by ci/bench_baseline.json.
+
+// branchBenchChain builds a deep, satisfiable path condition over
+// nvars byte variables: range bounds plus pairwise inequalities that
+// link the variables into two-variable independence groups — the shape
+// real path conditions converge to (many small groups accumulated over
+// many branch sites; a query's cone is one or two groups while the set
+// itself is hundreds deep).
+func branchBenchChain(depth, nvars int) *solver.ConstraintSet {
+	cs := solver.EmptySet
+	for i := 0; i < depth; i++ {
+		id := uint64(i % nvars)
+		switch i % 4 {
+		case 1:
+			cs = cs.Append(expr.Not(expr.Eq(expr.Var(id, "v"), expr.Var(id^1, "v"))))
+		case 3:
+			cs = cs.Append(expr.Ule(expr.Const(uint64(i%3), expr.W8), expr.Var(id, "v")))
+		default:
+			cs = cs.Append(expr.Ult(expr.Var(id, "v"), expr.Const(uint64(100+i%100), expr.W8)))
+		}
+	}
+	return cs
+}
+
+// BenchmarkBranchQuery measures one branch site (both directions of a
+// condition) against a 256-deep path condition: the fused incremental
+// Fork versus the two from-scratch queries every branch used to issue.
+func BenchmarkBranchQuery(b *testing.B) {
+	cs := branchBenchChain(256, 128)
+	cond := func(i int) *expr.Expr {
+		return expr.Eq(expr.Var(uint64(i%128), "v"), expr.Const(uint64(i%90), expr.W8))
+	}
+	b.Run("incremental", func(b *testing.B) {
+		s := solver.New()
+		if ok, err := s.CheckSat(cs); err != nil || !ok {
+			b.Fatal("chain must be sat")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Fork(cs, cond(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		s := solver.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := cond(i)
+			if _, err := s.ReferenceMayBeTrue(cs, q); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.ReferenceMayBeTrue(cs, expr.Not(q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalAppendSolve measures growing a path condition to
+// depth 256 with a feasibility check after every append — the
+// interpreter's access pattern. The incremental path extends the
+// memoized parent state per append (O(new cone)); the from-scratch
+// path re-flattens, re-propagates and re-partitions the whole set
+// (O(depth) per append, O(depth²) per path).
+func BenchmarkIncrementalAppendSolve(b *testing.B) {
+	const depth = 256
+	next := func(cs *solver.ConstraintSet, i int) *solver.ConstraintSet {
+		id := uint64(i % 64)
+		if i%2 == 0 {
+			return cs.Append(expr.Ult(expr.Var(id, "v"), expr.Const(uint64(100+i%100), expr.W8)))
+		}
+		return cs.Append(expr.Not(expr.Eq(expr.Var(id, "v"), expr.Var(id^1, "v"))))
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := solver.New()
+			cs := solver.EmptySet
+			for d := 0; d < depth; d++ {
+				cs = next(cs, d)
+				if ok, err := s.CheckSat(cs); err != nil || !ok {
+					b.Fatal("chain must stay sat")
+				}
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := solver.New()
+			cs := solver.EmptySet
+			for d := 0; d < depth; d++ {
+				cs = next(cs, d)
+				if ok, err := s.ReferenceMayBeTrue(cs, nil); err != nil || !ok {
+					b.Fatal("chain must stay sat")
+				}
+			}
+		}
+	})
+}
+
 // ---- Ablation benches (design decisions from DESIGN.md §4) ----
 
 // BenchmarkAblation_SolverCaches compares a shared solver (caches warm

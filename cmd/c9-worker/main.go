@@ -85,4 +85,15 @@ func main() {
 	fmt.Printf("c9-worker %d: paths=%d errors=%d hangs=%d useful=%d replay=%d tests=%d departed=%v\n",
 		w.ID, w.Exp.Stats.PathsExplored, w.Exp.Stats.Errors, w.Exp.Stats.Hangs,
 		w.Exp.Stats.UsefulSteps, w.Exp.Stats.ReplaySteps, len(w.Exp.Tests), w.Departed())
+	ss := w.Exp.In.Solver.Stats.Snapshot()
+	fmt.Printf("c9-worker %d: solver queries=%d cache=%.0f%% model-reuse=%.0f%% subsume=%d group-hits=%d fork-fast=%.0f%%\n",
+		w.ID, ss.Queries, pct(ss.CacheHits, ss.Queries), pct(ss.ModelReuse, ss.Queries),
+		ss.SubsumeSat+ss.SubsumeUnsat, ss.GroupCacheHits, pct(ss.ForkFastHits, ss.ForkQueries))
+}
+
+func pct(hits, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
 }

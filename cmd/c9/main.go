@@ -7,6 +7,7 @@
 //
 //	c9 -target memcached:udp -max-paths 1000
 //	c9 -file prog.c -strategy dfs -steps 500000
+//	c9 -target printf -stats -cpuprofile cpu.pprof
 //	c9 -list
 package main
 
@@ -14,12 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
 	"cloud9/internal/posix"
 	"cloud9/internal/search"
+	"cloud9/internal/solver"
 	"cloud9/internal/state"
 	"cloud9/internal/targets"
 	"cloud9/internal/tree"
@@ -35,8 +39,36 @@ func main() {
 		maxSteps   = flag.Uint64("steps", 2_000_000, "per-path instruction budget (hang detection)")
 		listAll    = flag.Bool("list", false, "list built-in targets")
 		showTests  = flag.Bool("tests", true, "print generated test cases")
+		showStats  = flag.Bool("stats", false, "print detailed solver cache statistics")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+	}
 
 	if *listAll {
 		for _, n := range targets.Names() {
@@ -111,7 +143,11 @@ func main() {
 	fmt.Printf("instructions:     %d\n", e.Stats.UsefulSteps)
 	fmt.Printf("line coverage:    %d/%d (%.1f%%)\n",
 		e.Cov.Count(), coverable, 100*float64(e.Cov.Count())/float64(max(1, coverable)))
-	fmt.Printf("solver queries:   %d\n", in.Solver.Stats.Snapshot().Queries)
+	ss := in.Solver.Stats.Snapshot()
+	fmt.Printf("solver queries:   %d\n", ss.Queries)
+	if *showStats {
+		printSolverStats(ss)
+	}
 
 	if *showTests && len(e.Tests) > 0 {
 		fmt.Printf("\n%d test case(s):\n", len(e.Tests))
@@ -129,6 +165,29 @@ func main() {
 			}
 		}
 	}
+}
+
+// printSolverStats reports the solver cache layers' hit rates: the
+// result cache, witness-model reuse, the subsumption cache, the group
+// cache, the fused-branch fast path, and the incremental state table.
+func printSolverStats(ss solver.Stats) {
+	pct := func(hits, total uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(total)
+	}
+	fmt.Printf("solver caches:\n")
+	fmt.Printf("  result cache:   %d hits (%.1f%% of queries)\n", ss.CacheHits, pct(ss.CacheHits, ss.Queries))
+	fmt.Printf("  model reuse:    %d hits (%.1f%% of queries)\n", ss.ModelReuse, pct(ss.ModelReuse, ss.Queries))
+	fmt.Printf("  subsumption:    %d sat + %d unsat hits (%.1f%% of queries)\n",
+		ss.SubsumeSat, ss.SubsumeUnsat, pct(ss.SubsumeSat+ss.SubsumeUnsat, ss.Queries))
+	fmt.Printf("  group cache:    %d hits\n", ss.GroupCacheHits)
+	fmt.Printf("  fork fast path: %d of %d branch queries (%.1f%%)\n",
+		ss.ForkFastHits, ss.ForkQueries, pct(ss.ForkFastHits, ss.ForkQueries))
+	fmt.Printf("  state memo:     %d hits, %d extends\n", ss.StateHits, ss.StateExtends)
+	fmt.Printf("  group searches: %d (%d backtracks), %d unit folds\n",
+		ss.SolverRuns, ss.Backtracks, ss.UnitPropFolds)
 }
 
 func printable(b []byte) string {

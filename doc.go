@@ -64,6 +64,18 @@
 // field reads, which is what keeps the solver's constraint caches (paper
 // §6) near-free to key. See internal/expr's package docs for the design.
 //
+// The solver (internal/solver) is incremental: the preprocessed solve
+// state of every path-condition node — flattened form, unit-propagation
+// fixpoint, independence partition, witness model — is memoized and
+// extended per appended constraint instead of recomputed per query, a
+// subsumption cache answers supersets-of-unsat and subsets-of-sat
+// queries by hash-set reasoning, and branch sites issue one fused
+// Solver.Fork query whose parent-model fast path decides one direction
+// by evaluation alone (the §6 constraint-cache design taken to its
+// limit). Solver cache hit rates surface through `c9 -stats` and the
+// worker exit report; CI gates the incremental speedup against the
+// retained from-scratch reference pipeline.
+//
 // See README.md for the architecture overview, DESIGN.md for the
 // system inventory and substitutions, and EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go regenerate

@@ -300,7 +300,34 @@ func Run(cfg Config) (*Result, error) {
 	if err := probe.ApplyStrategy(m0.Spec); err != nil {
 		return nil, err
 	}
-	start(probe)
+	// Startup barrier: the seed worker begins exploring only once every
+	// initial member has reported in (or a grace period elapses). The
+	// TCP path has the same gate via c9-lb -min-workers; without it, on
+	// few-core machines the seed's CPU-bound loop can exhaust a small
+	// tree before the other workers' goroutines ever run, so no
+	// balancing (or fault window) is observable.
+	gate := make(chan struct{})
+	gateOpen := false
+	openGate := func() {
+		if !gateOpen {
+			close(gate)
+			gateOpen = true
+		}
+	}
+	if cfg.Workers <= 1 {
+		openGate()
+	}
+	workersMu.Lock()
+	workers = append(workers, probe)
+	workersMu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-gate
+		if err := probe.RunLoop(); err != nil {
+			errCh <- fmt.Errorf("worker %d: %w", probe.ID, err)
+		}
+	}()
 	for i := 1; i < cfg.Workers; i++ {
 		w, err := spawn(false)
 		if err != nil {
@@ -386,6 +413,9 @@ func Run(cfg Config) (*Result, error) {
 			if m.Status != nil {
 				outs, _ := lb.Update(*m.Status, time.Now())
 				f.dispatch(outs)
+				if !gateOpen && len(lb.Statuses()) >= cfg.Workers-1 {
+					openGate() // initial cluster formed: release the seed
+				}
 				checkKill()
 			}
 		case MsgGoodbye:
@@ -407,6 +437,9 @@ loop:
 		case m := <-f.toLB:
 			handleControl(m)
 		case <-balanceTick.C:
+			if !gateOpen && time.Since(startT) >= 250*time.Millisecond {
+				openGate() // grace: never hold the seed indefinitely
+			}
 			// Drain pending control messages first for fresh decisions.
 			for {
 				select {

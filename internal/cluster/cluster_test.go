@@ -384,14 +384,19 @@ func TestStatesTransferredCountsActualReceipts(t *testing.T) {
 
 func runCluster(t *testing.T, workers int, src string) *Result {
 	t.Helper()
+	// Tight cadence: the incremental solver (PR 4) explores these
+	// miniatures in a few milliseconds, so balance rounds and statuses
+	// must be frequent enough that load balancing demonstrably happens
+	// before the tree is exhausted. Totals are cadence-invariant
+	// (custody exactness), only the activity assertions depend on it.
 	res, err := Run(Config{
 		Workers:      workers,
 		Entry:        "main",
 		NewInterp:    mkInterp(t, src),
 		Engine:       engine.Config{MaxStateSteps: 1_000_000},
 		MaxDuration:  30 * time.Second,
-		BalanceEvery: 2 * time.Millisecond,
-		WorkerBatch:  8,
+		BalanceEvery: 500 * time.Microsecond,
+		WorkerBatch:  4,
 	})
 	if err != nil {
 		t.Fatal(err)

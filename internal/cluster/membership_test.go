@@ -17,14 +17,19 @@ import (
 
 func faultConfig(t *testing.T, workers int, faults FaultPlan) Config {
 	t.Helper()
+	// Tight cadence (see runCluster): fault windows — arming the kill,
+	// catching a fat victim queue — must fit inside runs the
+	// incremental solver finishes in a few milliseconds. WorkerBatch 4
+	// halves the kill trigger's queue threshold (2×batch) and doubles
+	// status frequency.
 	return Config{
 		Workers:      workers,
 		Entry:        "main",
 		NewInterp:    mkInterp(t, bigClusterTarget),
 		Engine:       engine.Config{MaxStateSteps: 1_000_000},
 		MaxDuration:  60 * time.Second,
-		BalanceEvery: 2 * time.Millisecond,
-		WorkerBatch:  8,
+		BalanceEvery: 500 * time.Microsecond,
+		WorkerBatch:  4,
 		Balancer:     BalancerConfig{Lease: 250 * time.Millisecond},
 		Faults:       faults,
 	}

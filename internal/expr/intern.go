@@ -100,6 +100,20 @@ func (s *VarSet) AppendIDs(dst []uint64) []uint64 {
 	return append(dst, s.hi...)
 }
 
+// Union returns the union of the two sets, sharing an input set's
+// pointer whenever it already covers the union (see mergeVarSets). The
+// solver's incremental independence partition unions constraint
+// summaries when groups merge.
+func (s *VarSet) Union(o *VarSet) *VarSet {
+	if s == nil {
+		return o
+	}
+	if o == nil {
+		return s
+	}
+	return mergeVarSets(s, o)
+}
+
 // subsetOf reports a ⊆ b.
 func subsetOf(a, b *VarSet) bool {
 	if a.lo&^b.lo != 0 {

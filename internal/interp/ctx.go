@@ -74,11 +74,7 @@ func (c *Ctx) BranchOn(cond *expr.Expr) (bool, error) {
 		c.S.HasDecision = false
 		return c.S.Decision == 1, nil
 	}
-	mayT, err := c.In.Solver.MayBeTrue(c.S.Constraints, cond)
-	if err != nil {
-		return false, err
-	}
-	mayF, err := c.In.Solver.MayBeTrue(c.S.Constraints, expr.Not(cond))
+	mayT, mayF, err := c.In.Solver.Fork(c.S.Constraints, cond)
 	if err != nil {
 		return false, err
 	}

@@ -239,11 +239,7 @@ func (in *Interp) execDiv(s *state.S, t *state.Thread, f *state.Frame, instr *cv
 	}
 	zero := expr.Const(0, r.Width())
 	isZero := expr.Eq(r, zero)
-	mayZero, err := in.Solver.MayBeTrue(s.Constraints, isZero)
-	if err != nil {
-		return nil, err
-	}
-	mayNonZero, err := in.Solver.MayBeTrue(s.Constraints, expr.Not(isZero))
+	mayZero, mayNonZero, err := in.Solver.Fork(s.Constraints, isZero)
 	if err != nil {
 		return nil, err
 	}
@@ -342,16 +338,12 @@ func (in *Interp) checkSymbolicBounds(s *state.S, t *state.Thread, f *state.Fram
 	inBounds := expr.LAnd(
 		expr.Ule(expr.Const(obj.Base, expr.W64), addrE),
 		expr.Ule(addrE, expr.Const(obj.End()-uint64(size), expr.W64)))
-	mayOOB, err := in.Solver.MayBeTrue(s.Constraints, expr.Not(inBounds))
+	mayIn, mayOOB, err := in.Solver.Fork(s.Constraints, inBounds)
 	if err != nil {
 		return nil, err
 	}
 	if !mayOOB {
 		return nil, nil // fully in bounds; the access proceeds
-	}
-	mayIn, err := in.Solver.MayBeTrue(s.Constraints, inBounds)
-	if err != nil {
-		return nil, err
 	}
 	if !mayIn {
 		s.SetTerminated(state.TermError,
@@ -434,11 +426,7 @@ func (in *Interp) execCondBr(s *state.S, t *state.Thread, f *state.Frame, instr 
 		}
 		return nil, nil
 	}
-	mayT, err := in.Solver.MayBeTrue(s.Constraints, cond)
-	if err != nil {
-		return nil, err
-	}
-	mayF, err := in.Solver.MayBeTrue(s.Constraints, expr.Not(cond))
+	mayT, mayF, err := in.Solver.Fork(s.Constraints, cond)
 	if err != nil {
 		return nil, err
 	}
@@ -508,16 +496,12 @@ func (in *Interp) execAssert(s *state.S, t *state.Thread, f *state.Frame, instr 
 		}
 		return nil, nil
 	}
-	mayFail, err := in.Solver.MayBeTrue(s.Constraints, expr.Not(cond))
+	mayHold, mayFail, err := in.Solver.Fork(s.Constraints, cond)
 	if err != nil {
 		return nil, err
 	}
 	if !mayFail {
 		return nil, nil
-	}
-	mayHold, err := in.Solver.MayBeTrue(s.Constraints, cond)
-	if err != nil {
-		return nil, err
 	}
 	if !mayHold {
 		s.SetTerminated(state.TermError, "assertion failed: "+instr.Sym)

@@ -3,16 +3,40 @@
 //
 // All symbolic variables are bytes (see package expr), so satisfiability
 // reduces to a constraint-satisfaction search over byte domains. The
-// solver layers, from the outside in:
+// solver is *incremental*: path conditions grow one constraint at a
+// time (ConstraintSet is a persistent parent-linked tree), and the
+// solver memoizes the preprocessed solve state — flattened form,
+// unit-propagation fixpoint, independence partition, witness model — of
+// every set node it has seen (incremental.go), deriving a child's state
+// from its parent's in time proportional to the new constraint's cone
+// instead of the whole set. The query layers, from the outside in:
 //
-//  1. a counterexample/model cache keyed on structural hashes (O(1) to
-//     compute: expressions are hash-consed, see package expr),
-//  2. unit propagation of equalities with constants,
-//  3. independence partitioning (KLEE's independent-constraint
-//     optimization): only the constraint group transitively sharing
-//     variables with the query is solved,
-//  4. interval pruning from unary comparisons, and
-//  5. backtracking search with forward checking over 256-value domains.
+//  1. a result cache keyed on structural hashes (O(1) to compute:
+//     expressions are hash-consed, see package expr), with budget
+//     failures stamped by the budget they failed under,
+//  2. witness-model reuse: each set carries a model known to satisfy
+//     it; one evaluation answers a query the model already witnesses
+//     (and decides one direction of every Fork branch query for free),
+//  3. a counterexample/model subsumption cache keyed on sorted
+//     conjunct-hash sets (subsume.go): supersets of known-unsat sets
+//     are unsat, subsets of known-sat sets reuse the stored model —
+//     the paper's §6 "Constraint Caches",
+//  4. incremental unit propagation of equalities with constants,
+//     re-run only over the new constraint's cone,
+//  5. independence partitioning (KLEE's independent-constraint
+//     optimization), maintained by merging the one or two groups a new
+//     constraint touches; only groups sharing variables with the query
+//     are solved, and solved groups are memoized order-insensitively
+//     in a group cache,
+//  6. interval pruning from unary comparisons, and
+//  7. backtracking search with forward checking over 256-value
+//     domains, with per-constraint unbound counts maintained
+//     incrementally on bind/unbind.
+//
+// The pre-incremental from-scratch pipeline survives as the reference
+// implementation (ReferenceMayBeTrue/ReferenceSolve); differential
+// tests check the incremental path agrees with it query-for-query, and
+// the CI benchmarks gate the incremental speedup against it.
 package solver
 
 import (

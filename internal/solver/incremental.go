@@ -1,0 +1,305 @@
+package solver
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"cloud9/internal/expr"
+)
+
+// Incremental solve state. Path conditions are persistent parent-linked
+// trees (ConstraintSet); execution extends them one constraint at a
+// time, and every branch site queries the solver about the current set.
+// Instead of re-flattening, re-unit-propagating and re-partitioning the
+// whole set on each query (O(N) per query, O(N²) along a path), the
+// solver memoizes the *solved form* of each set node in an
+// identity-keyed side table and derives a child's form from its
+// parent's in time proportional to the new constraint's cone:
+//
+//   - unit propagation re-runs only over the constraints transitively
+//     reachable from the new constraint's variables (dissolved groups),
+//   - the independence partition is updated by merging the one or two
+//     groups the new constraint touches, sharing every untouched group
+//     pointer with the parent, and
+//   - a witness model is inherited from the parent (or the branch query
+//     that created the constraint) so later queries can often be
+//     answered by evaluation alone.
+//
+// This is the paper's §6 "Constraint Caches" taken to its limit: the
+// cache key is the set itself, and the cached value is the entire
+// preprocessed solver input.
+
+// setState is the memoized solve state of one ConstraintSet node. It is
+// derived incrementally from the parent node's state and cached in
+// Solver.states. All fields are immutable once the state is published
+// except the lazily stamped model/fullModel/sortedHashes caches.
+type setState struct {
+	// unsat marks sets proven unsatisfiable by propagation alone
+	// (constant-false residual or conflicting unit equalities).
+	unsat bool
+	// units holds the variables fixed by unit propagation
+	// (Eq(const,var) facts and their transitive consequences). Shared
+	// with the parent state when extending added no units.
+	units    expr.Assignment
+	unitVars *expr.VarSet
+	// groups is the independence partition of the residual (non-unit)
+	// constraints, with units substituted away. Untouched groups are
+	// pointer-shared with the parent state.
+	groups []*igroup
+	// model, when non-nil, is an assignment known to witness the
+	// satisfiability of this set: it satisfies units and every solved
+	// group (unsolved groups are independently satisfiable by the
+	// exploration invariant — states only exist on feasible paths).
+	// Used by the Fork/MayBeTrue evaluation fast path; never used for
+	// full-model (concretization) queries, which must stay canonical.
+	model expr.Assignment
+	// sortedHashes is the lazily computed sorted multiset of the set's
+	// flattened conjunct hashes, the subsumption-cache key.
+	sortedHashes []uint64
+}
+
+// igroup is one independent group of the residual partition: residual
+// constraints over a connected set of variables. Immutable once built.
+type igroup struct {
+	cons []*expr.Expr
+	vars *expr.VarSet
+	key  uint64 // order-insensitive hash of cons, the group-cache key
+}
+
+func groupHash(cons []*expr.Expr) uint64 {
+	var h uint64
+	for _, c := range cons {
+		h += c.Hash() * 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+// state returns the memoized solve state for cs, deriving it
+// incrementally from the nearest cached ancestor (or the empty state).
+// Derivation is a pure function of the Append chain, so two solvers
+// that see the same chain — or one solver before and after an eviction
+// — compute identical states; that determinism is what custody-exact
+// replays are built on.
+func (s *Solver) state(cs *ConstraintSet) *setState {
+	if cs == nil {
+		return s.empty
+	}
+	if st, ok := s.states[cs]; ok {
+		atomic.AddUint64(&s.Stats.StateHits, 1)
+		return st
+	}
+	// Walk up to the nearest cached ancestor, then extend back down.
+	chain := s.chainScratch[:0]
+	st := s.empty
+	for n := cs; n != nil; n = n.parent {
+		if c, ok := s.states[n]; ok {
+			st = c
+			break
+		}
+		chain = append(chain, n)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		n := chain[i]
+		parent := st
+		st = s.extend(parent, n.c)
+		s.seedModel(parent, n, st)
+		s.putState(n, st)
+	}
+	s.chainScratch = chain[:0]
+	return st
+}
+
+// seedModel stamps a witness model on a freshly derived state: the
+// parent's witness if it already satisfies the new constraint, else the
+// model cached by the branch query that introduced the constraint
+// (MayBeTrue(parent, c) stores its model under exactly this key).
+func (s *Solver) seedModel(parent *setState, n *ConstraintSet, st *setState) {
+	if st.unsat || st.model != nil {
+		return
+	}
+	if m := parent.model; m != nil {
+		if v, ok := n.c.Eval(m); ok && v != 0 {
+			st.model = m
+			return
+		}
+	}
+	var parentHash uint64
+	if n.parent != nil {
+		parentHash = n.parent.hash
+	}
+	key := parentHash*0x9e3779b97f4a7c15 ^ n.c.Hash()
+	if e, ok := s.cache[key]; ok && e.sat && e.model != nil {
+		st.model = e.model
+	}
+}
+
+func (s *Solver) putState(cs *ConstraintSet, st *setState) {
+	s.stateKeys = evictHalf(s.states, s.stateKeys, s.maxStates)
+	if _, dup := s.states[cs]; !dup {
+		s.stateKeys = append(s.stateKeys, cs)
+	}
+	s.states[cs] = st
+}
+
+// extend derives the solve state of parent ∧ c without touching parent:
+// it substitutes the known units into c, runs unit propagation to
+// fixpoint over the new constraint's cone only (groups sharing
+// variables with newly derived units are dissolved and re-propagated),
+// and merges the residual into the partition by combining just the
+// groups it touches. Untouched groups and, when no units were added,
+// the unit assignment itself are shared with the parent.
+func (s *Solver) extend(parent *setState, c *expr.Expr) *setState {
+	if parent.unsat {
+		return parent
+	}
+	atomic.AddUint64(&s.Stats.StateExtends, 1)
+	st := &setState{
+		units:    parent.units,
+		unitVars: parent.unitVars,
+		groups:   parent.groups,
+	}
+	if len(st.units) > 0 {
+		c = c.SubstConstsWith(st.units, st.unitVars)
+	}
+	pool := flatten(c, s.poolScratch[:0])
+	unitsOwned, groupsOwned := false, false
+
+	for len(pool) > 0 {
+		// Scan the pool: fold constants, harvest unit equalities.
+		var gathered expr.Assignment
+		rest := pool[:0]
+		for _, e := range pool {
+			switch {
+			case e.IsTrue():
+				atomic.AddUint64(&s.Stats.UnitPropFolds, 1)
+			case e.IsFalse():
+				st.unsat = true
+				s.poolScratch = pool[:0]
+				return st
+			case e.Op() == expr.OpEq && e.Kid(0).IsConst() && e.Kid(1).IsVar():
+				id := e.Kid(1).VarID()
+				v := uint8(e.Kid(0).ConstVal())
+				if prev, ok := st.units[id]; ok && prev != v {
+					st.unsat = true
+					s.poolScratch = pool[:0]
+					return st
+				}
+				if prev, ok := gathered[id]; ok && prev != v {
+					st.unsat = true
+					s.poolScratch = pool[:0]
+					return st
+				}
+				if gathered == nil {
+					gathered = expr.Assignment{}
+				}
+				gathered[id] = v
+				atomic.AddUint64(&s.Stats.UnitPropFolds, 1)
+			default:
+				rest = append(rest, e)
+			}
+		}
+		if gathered == nil {
+			pool = rest
+			break
+		}
+		// New units: adopt them (copy-on-write), substitute them into
+		// the surviving pool, and dissolve only the groups in their
+		// cone — everything else is untouched by construction.
+		if !unitsOwned {
+			u := make(expr.Assignment, len(st.units)+len(gathered))
+			for id, v := range st.units {
+				u[id] = v
+			}
+			st.units = u
+			unitsOwned = true
+		}
+		for id, v := range gathered {
+			st.units[id] = v
+		}
+		bound := gathered.VarSet()
+		st.unitVars = st.unitVars.Union(bound)
+		next := s.poolScratch2[:0]
+		for _, e := range rest {
+			next = flatten(e.SubstConstsWith(gathered, bound), next)
+		}
+		if !groupsOwned {
+			st.groups = append(make([]*igroup, 0, len(st.groups)+1), st.groups...)
+			groupsOwned = true
+		}
+		kept := st.groups[:0]
+		for _, g := range st.groups {
+			if g.vars.Intersects(bound) {
+				for _, gc := range g.cons {
+					next = flatten(gc.SubstConstsWith(gathered, bound), next)
+				}
+			} else {
+				kept = append(kept, g)
+			}
+		}
+		st.groups = kept
+		pool, s.poolScratch2 = next, pool[:0]
+	}
+
+	// Fixpoint reached: place the residual constraints, merging the
+	// groups each one touches.
+	for _, e := range pool {
+		ev := e.FreeVars()
+		if ev.Empty() {
+			// Ground non-constant residuals cannot arise (constant
+			// folding collapses them); skip defensively.
+			continue
+		}
+		if !groupsOwned {
+			st.groups = append(make([]*igroup, 0, len(st.groups)+1), st.groups...)
+			groupsOwned = true
+		}
+		merged := &igroup{vars: ev}
+		kept := st.groups[:0]
+		for _, g := range st.groups {
+			if g.vars.Intersects(merged.vars) {
+				merged.cons = append(merged.cons, g.cons...)
+				merged.vars = merged.vars.Union(g.vars)
+			} else {
+				kept = append(kept, g)
+			}
+		}
+		merged.cons = append(merged.cons, e)
+		merged.key = groupHash(merged.cons)
+		st.groups = append(kept, merged)
+	}
+	s.poolScratch = pool[:0]
+	return st
+}
+
+// hashesFor returns the sorted conjunct-hash multiset of cs, the
+// subsumption-cache key, cached on the set's state. ok=false means the
+// set is too deep to key cheaply (the O(N log N) key build would
+// dominate the query).
+func (s *Solver) hashesFor(cs *ConstraintSet, st *setState) ([]uint64, bool) {
+	if cs.Len() == 0 {
+		return nil, true
+	}
+	if cs.Len() > subsumeMaxDepth {
+		return nil, false
+	}
+	if st.sortedHashes != nil {
+		return st.sortedHashes, true
+	}
+	hs := make([]uint64, 0, cs.Len())
+	for n := cs; n != nil; n = n.parent {
+		hs = appendConjunctHashes(n.c, hs)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	st.sortedHashes = hs
+	return hs, true
+}
+
+// appendConjunctHashes appends the hashes of c's top-level conjuncts
+// (the same decomposition flatten performs).
+func appendConjunctHashes(c *expr.Expr, out []uint64) []uint64 {
+	if c.Op() == expr.OpLAnd {
+		out = appendConjunctHashes(c.Kid(0), out)
+		return appendConjunctHashes(c.Kid(1), out)
+	}
+	return append(out, c.Hash())
+}

@@ -16,32 +16,52 @@ var ErrBudget = errors.New("solver: backtrack budget exceeded")
 // Stats counts solver activity. Fields are updated atomically; read them
 // with Snapshot for a consistent view.
 type Stats struct {
-	Queries       uint64 // top-level satisfiability queries
-	CacheHits     uint64 // answered from the result cache
-	ModelReuse    uint64 // answered by re-checking a recent model
-	SolverRuns    uint64 // group searches actually executed
-	Backtracks    uint64 // value choices undone
-	Unsat         uint64 // queries found unsatisfiable
-	UnitPropFolds uint64 // constraints discharged by unit propagation
+	Queries        uint64 // top-level satisfiability queries
+	CacheHits      uint64 // answered from the result cache
+	ModelReuse     uint64 // answered by evaluating a known witness model
+	GroupCacheHits uint64 // independent groups answered from the group cache
+	SubsumeUnsat   uint64 // answered unsat by superset-of-unsat-core reasoning
+	SubsumeSat     uint64 // answered sat by subset-of-known-sat reasoning
+	ForkQueries    uint64 // fused branch queries (Fork)
+	ForkFastHits   uint64 // Fork directions decided by parent-model evaluation
+	StateHits      uint64 // constraint-set states answered from the memo table
+	StateExtends   uint64 // incremental state extensions performed
+	SolverRuns     uint64 // group searches actually executed
+	Backtracks     uint64 // value choices undone
+	Unsat          uint64 // queries found unsatisfiable
+	UnitPropFolds  uint64 // constraints discharged by unit propagation
 }
 
 // Snapshot returns a consistent copy of the counters.
 func (s *Stats) Snapshot() Stats {
 	return Stats{
-		Queries:       atomic.LoadUint64(&s.Queries),
-		CacheHits:     atomic.LoadUint64(&s.CacheHits),
-		ModelReuse:    atomic.LoadUint64(&s.ModelReuse),
-		SolverRuns:    atomic.LoadUint64(&s.SolverRuns),
-		Backtracks:    atomic.LoadUint64(&s.Backtracks),
-		Unsat:         atomic.LoadUint64(&s.Unsat),
-		UnitPropFolds: atomic.LoadUint64(&s.UnitPropFolds),
+		Queries:        atomic.LoadUint64(&s.Queries),
+		CacheHits:      atomic.LoadUint64(&s.CacheHits),
+		ModelReuse:     atomic.LoadUint64(&s.ModelReuse),
+		GroupCacheHits: atomic.LoadUint64(&s.GroupCacheHits),
+		SubsumeUnsat:   atomic.LoadUint64(&s.SubsumeUnsat),
+		SubsumeSat:     atomic.LoadUint64(&s.SubsumeSat),
+		ForkQueries:    atomic.LoadUint64(&s.ForkQueries),
+		ForkFastHits:   atomic.LoadUint64(&s.ForkFastHits),
+		StateHits:      atomic.LoadUint64(&s.StateHits),
+		StateExtends:   atomic.LoadUint64(&s.StateExtends),
+		SolverRuns:     atomic.LoadUint64(&s.SolverRuns),
+		Backtracks:     atomic.LoadUint64(&s.Backtracks),
+		Unsat:          atomic.LoadUint64(&s.Unsat),
+		UnitPropFolds:  atomic.LoadUint64(&s.UnitPropFolds),
 	}
 }
 
 type cacheEntry struct {
-	sat    bool
-	budget bool // query previously exceeded the backtrack budget
-	model  expr.Assignment
+	sat bool
+	// budget marks an ErrBudget outcome; budgetAt records the
+	// MaxBacktracks value the query exceeded. The entry only answers
+	// ErrBudget while the current budget is no larger; raising the
+	// budget invalidates it, so a once-too-hard query is retried
+	// instead of failing forever.
+	budget   bool
+	budgetAt uint64
+	model    expr.Assignment
 }
 
 // Solver answers satisfiability queries over constraint sets. It is not
@@ -54,18 +74,38 @@ type Solver struct {
 	// Stats accumulates counters across queries.
 	Stats Stats
 
-	cache       map[uint64]cacheEntry
-	cacheKeys   []uint64 // FIFO eviction order
-	maxCache    int
-	recent      []expr.Assignment // recent models for the reuse fast path
-	maxRecent   int
-	scratchSeen map[uint64]bool
+	cache     map[uint64]cacheEntry
+	cacheKeys []uint64 // FIFO eviction order
+	maxCache  int
 
 	// groupCache memoizes solveGroup outcomes keyed by an
 	// order-insensitive hash of the group's constraints. Path conditions
 	// grow incrementally, so most groups recur verbatim across queries.
 	groupCache     map[uint64]groupResult
 	groupCacheKeys []uint64
+
+	// states memoizes the per-ConstraintSet solve state (flattened,
+	// unit-propagated, partitioned — see incremental.go), keyed by node
+	// identity. Append extends the parent's state instead of redoing
+	// the whole pipeline.
+	states    map[*ConstraintSet]*setState
+	stateKeys []*ConstraintSet
+	maxStates int
+	empty     *setState // per-solver empty-set state (lazily stamped)
+
+	// subsume is the counterexample/model subsumption cache
+	// (subsume.go), keyed on sorted conjunct-hash sets.
+	subsume subsumeCache
+
+	// Reusable scratch buffers for the hot paths (extend pools,
+	// partition union-find, group var lists, forward-checking domain
+	// snapshots). The solver is single-owner, so sharing is safe.
+	poolScratch  []*expr.Expr
+	poolScratch2 []*expr.Expr
+	chainScratch []*ConstraintSet
+	idScratch    []uint64
+	saveStack    []savedDom
+	part         partitioner
 }
 
 type groupResult struct {
@@ -84,9 +124,10 @@ func New() *Solver {
 		MaxBacktracks: 1 << 16,
 		cache:         make(map[uint64]cacheEntry),
 		maxCache:      1 << 16,
-		maxRecent:     8,
-		scratchSeen:   make(map[uint64]bool),
 		groupCache:    make(map[uint64]groupResult),
+		states:        make(map[*ConstraintSet]*setState),
+		maxStates:     1 << 15,
+		empty:         &setState{},
 	}
 }
 
@@ -121,9 +162,61 @@ func (s *Solver) SolveWith(cs *ConstraintSet, cond *expr.Expr) (expr.Assignment,
 	return model, sat, err
 }
 
-// check is the core query path. When fullModel is false and cond is
-// non-nil, independence partitioning restricts the search to groups
-// sharing variables with cond.
+// Fork is the fused branch query: it decides both directions of a
+// branch on cond in one pass. The parent set's cached witness model is
+// evaluated first — one evaluation decides one direction for free (the
+// model is a satisfiability witness for whichever side it lands on) —
+// and only the residual direction(s) go through the full query path.
+// Branch sites that used to issue two independent full queries
+// (cond, ¬cond) now issue at most one.
+//
+// mayTrue/mayFalse report whether cs ∧ cond / cs ∧ ¬cond are
+// satisfiable; both false means the state itself is infeasible.
+func (s *Solver) Fork(cs *ConstraintSet, cond *expr.Expr) (mayTrue, mayFalse bool, err error) {
+	if cond.IsTrue() {
+		return true, false, nil
+	}
+	if cond.IsFalse() {
+		return false, true, nil
+	}
+	atomic.AddUint64(&s.Stats.ForkQueries, 1)
+	st := s.state(cs)
+	if st.unsat {
+		return false, false, nil
+	}
+	decidedT, decidedF := false, false
+	if m := st.model; m != nil {
+		if v, ok := cond.Eval(m); ok {
+			atomic.AddUint64(&s.Stats.ForkFastHits, 1)
+			if v != 0 {
+				mayTrue, decidedT = true, true
+			} else {
+				mayFalse, decidedF = true, true
+			}
+		}
+	}
+	if !decidedT {
+		mayTrue, err = s.MayBeTrue(cs, cond)
+		if err != nil {
+			return false, false, err
+		}
+	}
+	if !decidedF {
+		mayFalse, err = s.MayBeTrue(cs, expr.Not(cond))
+		if err != nil {
+			return false, false, err
+		}
+	}
+	return mayTrue, mayFalse, nil
+}
+
+// check is the core query path: derive (incrementally) the memoized
+// solve state of cs, extend it with cond, and decide satisfiability,
+// consulting the result, model, subsumption and group caches on the
+// way. When fullModel is false and cond is non-nil, only groups sharing
+// variables with cond are searched (KLEE's independent-constraint
+// optimization — sound because execution states only exist on feasible
+// paths, so the untouched groups are satisfiable on their own).
 func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool, expr.Assignment, error) {
 	atomic.AddUint64(&s.Stats.Queries, 1)
 
@@ -139,48 +232,198 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 		key ^= 0xf00d
 	}
 	if e, ok := s.cache[key]; ok {
-		atomic.AddUint64(&s.Stats.CacheHits, 1)
 		if e.budget {
-			return false, nil, ErrBudget
+			if s.MaxBacktracks <= e.budgetAt {
+				atomic.AddUint64(&s.Stats.CacheHits, 1)
+				return false, nil, ErrBudget
+			}
+			// The budget was raised since this entry was recorded:
+			// fall through and retry the query.
+		} else {
+			atomic.AddUint64(&s.Stats.CacheHits, 1)
+			if !e.sat {
+				atomic.AddUint64(&s.Stats.Unsat, 1)
+			}
+			return e.sat, e.model, nil
 		}
-		if !e.sat {
-			atomic.AddUint64(&s.Stats.Unsat, 1)
-		}
-		return e.sat, e.model, nil
 	}
 
-	// Fast path: try recently produced models. Skipped for full-model
-	// queries: their results feed concretization decisions that must be
-	// deterministic functions of the constraint set alone, or replays
-	// diverge across workers (§6 "Broken Replays").
+	st := s.state(cs)
+	ext := st
+	if cond != nil {
+		ext = s.extend(st, cond)
+	}
+
+	var qk *queryKey // subsumption key of cs ∧ cond (lazy)
+	if ext.unsat {
+		atomic.AddUint64(&s.Stats.Unsat, 1)
+		s.put(key, cacheEntry{sat: false})
+		s.subsume.addUnsat(s.queryKeyFor(cs, st, cond))
+		return false, nil, nil
+	}
+
+	// Fast paths. Skipped for full-model queries: their results feed
+	// concretization decisions that must be deterministic functions of
+	// the constraint set alone, or replays diverge across workers
+	// (§6 "Broken Replays").
 	if !fullModel {
-		for _, m := range s.recent {
-			if condHolds(cond, m) && cs.EvalAll(m) {
-				atomic.AddUint64(&s.Stats.ModelReuse, 1)
+		if m := st.model; m != nil && condHolds(cond, m) {
+			atomic.AddUint64(&s.Stats.ModelReuse, 1)
+			s.put(key, cacheEntry{sat: true, model: m})
+			return true, m, nil
+		}
+		qk = s.queryKeyFor(cs, st, cond)
+		if qk != nil {
+			if s.subsume.hitUnsat(qk) {
+				atomic.AddUint64(&s.Stats.SubsumeUnsat, 1)
+				atomic.AddUint64(&s.Stats.Unsat, 1)
+				s.put(key, cacheEntry{sat: false})
+				return false, nil, nil
+			}
+			if m, ok := s.subsume.hitSat(qk); ok {
+				atomic.AddUint64(&s.Stats.SubsumeSat, 1)
 				s.put(key, cacheEntry{sat: true, model: m})
 				return true, m, nil
 			}
 		}
 	}
 
-	cons := cs.Flattened()
-	if cond != nil {
-		cons = flatten(cond, cons)
+	// Solve: units first, then each (relevant) independent group. For
+	// may-queries only the groups the cond extension rewrote or created
+	// are solved: an inherited group is a group of cs itself, and cs is
+	// satisfiable on feasible paths, so it is satisfiable on its own
+	// (KLEE's independent-constraint optimization). A group dissolved
+	// and re-formed by cond-derived unit bindings is NOT a group of cs
+	// — skipping it on the strength of the invariant would miss
+	// contradictions the new units introduced, so rewritten groups are
+	// always solved even when substitution severed them from cond's
+	// variables.
+	model := make(expr.Assignment, len(ext.units)+8)
+	for id, v := range ext.units {
+		model[id] = v
 	}
-	sat, model, err := s.solveConstraints(cons, cond, fullModel)
-	if err != nil {
-		if errors.Is(err, ErrBudget) {
-			s.put(key, cacheEntry{budget: true})
+	skipInherited := cond != nil && !fullModel
+	inherited := 0 // two-pointer subsequence match against st.groups
+	sat := true
+	for _, g := range ext.groups {
+		if skipInherited {
+			shared := false
+			for inherited < len(st.groups) {
+				match := st.groups[inherited] == g
+				inherited++
+				if match {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				continue // a group of cs itself; satisfiable on its own
+			}
 		}
-		return false, nil, err
+		if res, hit := s.groupCache[g.key]; hit {
+			atomic.AddUint64(&s.Stats.GroupCacheHits, 1)
+			if !res.sat {
+				sat = false
+				break
+			}
+			conflict := false
+			for _, b := range res.model {
+				if prev, bound := model[b.id]; bound && prev != b.v {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				for _, b := range res.model {
+					model[b.id] = b.v
+				}
+				continue
+			}
+			// Cached model conflicts with an outside binding
+			// (defensive; groups are variable-disjoint from units by
+			// construction): fall through to a fresh search.
+		}
+		gids := g.vars.AppendIDs(s.idScratch[:0])
+		allFree := true
+		for _, id := range gids {
+			if _, bound := model[id]; bound {
+				allFree = false
+				break
+			}
+		}
+		ok, err := s.solveGroup(g.cons, gids, model)
+		s.idScratch = gids[:0]
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				s.put(key, cacheEntry{budget: true, budgetAt: s.MaxBacktracks})
+			}
+			return false, nil, err
+		}
+		// Cache only groups whose variables were entirely free (so the
+		// result does not depend on outside bindings).
+		if allFree {
+			res := groupResult{sat: ok}
+			if ok {
+				for _, id := range gids {
+					res.model = append(res.model, groupBinding{id, model[id]})
+				}
+			}
+			s.putGroup(g.key, res)
+		}
+		if !ok {
+			sat = false
+			break
+		}
 	}
-	if sat {
-		s.remember(model)
-	} else {
+	if !sat {
 		atomic.AddUint64(&s.Stats.Unsat, 1)
+		s.put(key, cacheEntry{sat: false})
+		if qk == nil {
+			qk = s.queryKeyFor(cs, st, cond)
+		}
+		s.subsume.addUnsat(qk)
+		return false, nil, nil
 	}
-	s.put(key, cacheEntry{sat: sat, model: model})
-	return sat, model, nil
+	if fullModel {
+		// Bind any variable mentioned anywhere but left unconstrained.
+		for _, g := range ext.groups {
+			gids := g.vars.AppendIDs(s.idScratch[:0])
+			for _, id := range gids {
+				if _, ok := model[id]; !ok {
+					model[id] = 0
+				}
+			}
+			s.idScratch = gids[:0]
+		}
+	} else {
+		if st.model == nil && st != s.empty {
+			// The model witnesses cs's units and every group it
+			// solved (cond only adds constraints): stamp it on the
+			// state so Fork and future queries can evaluate against
+			// it instead of searching.
+			st.model = model
+		}
+		s.subsume.addSat(qk, model)
+	}
+	s.put(key, cacheEntry{sat: true, model: model})
+	return true, model, nil
+}
+
+// queryKeyFor returns the subsumption key of cs ∧ cond — the set's
+// shared sorted-hash slice plus the condition's few sorted hashes — or
+// nil when the set is too deep to key cheaply (see subsumeMaxDepth).
+func (s *Solver) queryKeyFor(cs *ConstraintSet, st *setState, cond *expr.Expr) *queryKey {
+	base, ok := s.hashesFor(cs, st)
+	if !ok {
+		return nil
+	}
+	k := &queryKey{base: base}
+	if cond != nil {
+		ch := appendConjunctHashes(cond, make([]uint64, 0, 4))
+		sort.Slice(ch, func(i, j int) bool { return ch[i] < ch[j] })
+		k.extra = ch
+	}
+	return k
 }
 
 func condHolds(cond *expr.Expr, m expr.Assignment) bool {
@@ -191,32 +434,376 @@ func condHolds(cond *expr.Expr, m expr.Assignment) bool {
 	return ok && v != 0
 }
 
-func (s *Solver) put(key uint64, e cacheEntry) {
-	if len(s.cache) >= s.maxCache {
-		// Evict the oldest half; simple and allocation-friendly.
-		half := len(s.cacheKeys) / 2
-		for _, k := range s.cacheKeys[:half] {
-			delete(s.cache, k)
-		}
-		s.cacheKeys = append(s.cacheKeys[:0], s.cacheKeys[half:]...)
+// evictHalf implements the bounded-map FIFO policy shared by every
+// solver cache: once the map reaches max entries, the oldest half of
+// the insertion order is evicted. Returns the compacted key order.
+// Simple and allocation-friendly.
+func evictHalf[K comparable, V any](m map[K]V, keys []K, max int) []K {
+	if len(m) < max {
+		return keys
 	}
+	half := len(keys) / 2
+	for _, k := range keys[:half] {
+		delete(m, k)
+	}
+	return append(keys[:0], keys[half:]...)
+}
+
+func (s *Solver) put(key uint64, e cacheEntry) {
+	s.cacheKeys = evictHalf(s.cache, s.cacheKeys, s.maxCache)
 	if _, dup := s.cache[key]; !dup {
 		s.cacheKeys = append(s.cacheKeys, key)
 	}
 	s.cache[key] = e
 }
 
-func (s *Solver) remember(m expr.Assignment) {
-	if len(s.recent) >= s.maxRecent {
-		copy(s.recent, s.recent[1:])
-		s.recent = s.recent[:len(s.recent)-1]
+func (s *Solver) putGroup(key uint64, res groupResult) {
+	s.groupCacheKeys = evictHalf(s.groupCache, s.groupCacheKeys, s.maxCache)
+	if _, dup := s.groupCache[key]; !dup {
+		s.groupCacheKeys = append(s.groupCacheKeys, key)
 	}
-	s.recent = append(s.recent, m)
+	s.groupCache[key] = res
 }
 
-// solveConstraints decides a flattened conjunction.
-func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel bool) (bool, expr.Assignment, error) {
+// savedDom is one forward-checking domain snapshot on the shared
+// restore stack (solveGroup).
+type savedDom struct {
+	lv int
+	d  domain
+}
+
+// solveGroup runs backtracking search with forward checking over one
+// independent group (cons over the sorted variable ids), extending
+// model in place on success. The search works over a dense slice-backed
+// assignment (see expr.EvalSlice) — this is the hot path. Per-
+// constraint unbound-variable counts are maintained incrementally on
+// bind/unbind, so variable selection and forward checking read O(1)
+// counts instead of rescanning every constraint's variable list.
+func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignment) (bool, error) {
+	atomic.AddUint64(&s.Stats.SolverRuns, 1)
+
+	maxID := uint64(0)
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := range model {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID >= 1<<22 {
+		return false, ErrBudget // pathological id space; treat as unknown
+	}
+	vals := make([]int16, maxID+1)
+	for i := range vals {
+		vals[i] = -1
+	}
+	for id, v := range model {
+		vals[id] = int16(v)
+	}
+
+	vars := make([]uint64, 0, len(ids))
+	for _, id := range ids {
+		if vals[id] < 0 {
+			vars = append(vars, id)
+		}
+	}
+	if len(vars) == 0 {
+		// Everything bound by units; just verify.
+		for _, c := range cons {
+			v, ok := c.EvalSlice(vals)
+			if !ok || v == 0 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Local dense index over the unbound variables.
+	li := make(map[uint64]int, len(vars))
+	for i, id := range vars {
+		li[id] = i
+	}
+	domains := make([]domain, len(vars))
+	for i := range domains {
+		domains[i] = fullDomain()
+	}
+
+	// Per-constraint bookkeeping: which unbound vars it mentions, and
+	// how many of them are currently unbound (cnt, maintained on
+	// bind/unbind through varCons, the var → constraints index).
+	type conInfo struct {
+		c    *expr.Expr
+		vars []uint64
+		lvs  []int
+	}
+	infos := make([]conInfo, 0, len(cons))
+	cnt := make([]int, 0, len(cons))
+	varCons := make([][]int32, len(vars))
+	for _, c := range cons {
+		ci := conInfo{c: c}
+		for _, id := range c.VarIDs() {
+			if lv, ok := li[id]; ok {
+				ci.vars = append(ci.vars, id)
+				ci.lvs = append(ci.lvs, lv)
+			}
+		}
+		idx := int32(len(infos))
+		infos = append(infos, ci)
+		cnt = append(cnt, len(ci.lvs))
+		for _, lv := range ci.lvs {
+			varCons[lv] = append(varCons[lv], idx)
+		}
+	}
+	bind := func(lv int) {
+		for _, ci := range varCons[lv] {
+			cnt[ci]--
+		}
+	}
+	unbind := func(lv int) {
+		for _, ci := range varCons[lv] {
+			cnt[ci]++
+		}
+	}
+	// firstUnbound returns the one unbound var of a cnt==1 constraint.
+	firstUnbound := func(ci *conInfo) (uint64, int) {
+		for k, id := range ci.vars {
+			if vals[id] < 0 {
+				return id, ci.lvs[k]
+			}
+		}
+		return 0, -1 // unreachable when cnt==1
+	}
+
+	// pruneUnary restricts var id's domain using constraint c, assuming
+	// id is c's only unbound variable. The constraint is first partially
+	// evaluated under the current assignment, collapsing everything but
+	// the scanned variable; the 256-value scan then runs on the (usually
+	// tiny) residual. Returns false if the domain empties.
+	pruneUnary := func(c *expr.Expr, id uint64, lv int) bool {
+		d := &domains[lv]
+		reduced := c.SubstSlice(vals)
+		if reduced.IsConst() {
+			return reduced.ConstVal() != 0
+		}
+		v, ok := d.first()
+		for ok {
+			vals[id] = int16(v)
+			ev, evOK := reduced.EvalSlice(vals)
+			if !evOK || ev == 0 {
+				d.remove(v)
+			}
+			v, ok = d.next(v)
+		}
+		vals[id] = -1
+		return !d.empty()
+	}
+
+	// Initial unary pruning pass.
+	for i := range infos {
+		switch cnt[i] {
+		case 0:
+			v, ok := infos[i].c.EvalSlice(vals)
+			if !ok || v == 0 {
+				return false, nil
+			}
+		case 1:
+			id, lv := firstUnbound(&infos[i])
+			if !pruneUnary(infos[i].c, id, lv) {
+				return false, nil
+			}
+		}
+	}
+
+	var backtracks uint64
+
+	// Count how many constraints mention each var, for ordering.
+	mentions := make([]int, len(vars))
+	for i := range infos {
+		for _, lv := range infos[i].lvs {
+			mentions[lv]++
+		}
+	}
+
+	// nearUnary[lv] = the smallest number of unbound variables among
+	// constraints mentioning lv (refilled per pick from the maintained
+	// counts). Choosing the variable that brings some constraint
+	// closest to unary lets forward checking prune as early as
+	// possible.
+	nearUnary := make([]int, len(vars))
+	pickVar := func() (int, bool) {
+		for i := range nearUnary {
+			nearUnary[i] = 65
+		}
+		for i := range infos {
+			n := cnt[i]
+			if n == 0 {
+				continue
+			}
+			ci := &infos[i]
+			for k, lv := range ci.lvs {
+				if vals[ci.vars[k]] >= 0 {
+					continue
+				}
+				if n < nearUnary[lv] {
+					nearUnary[lv] = n
+				}
+			}
+		}
+		best, bestScore, found := 0, -1, false
+		for lv, id := range vars {
+			if vals[id] >= 0 {
+				continue
+			}
+			near := nearUnary[lv]
+			if near == 65 {
+				near = 64 // mentioned by no active constraint
+			}
+			// Prefer: constraints nearest unary, then small domains,
+			// then high mention counts.
+			score := (64-near)*1_000_000 + (256-domains[lv].count())*1000 + mentions[lv]
+			if score > bestScore {
+				best, bestScore, found = lv, score, true
+			}
+		}
+		return best, found
+	}
+
+	// savedMark deduplicates domain snapshots within one value trial;
+	// the snapshots themselves live on the shared restore stack
+	// (s.saveStack), segmented by recursion level.
+	savedMark := make([]uint64, len(vars))
+	var trial uint64
+	s.saveStack = s.saveStack[:0]
+
+	var solve func() (bool, error)
+	solve = func() (bool, error) {
+		lv, found := pickVar()
+		if !found {
+			// All assigned: final verification.
+			for i := range infos {
+				v, ok := infos[i].c.EvalSlice(vals)
+				if !ok || v == 0 {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		id := vars[lv]
+		d := &domains[lv]
+		bind(lv)
+		v, ok := d.first()
+		for ok {
+			vals[id] = int16(v)
+			trial++
+			base := len(s.saveStack)
+			// Forward checking: constraints that now have exactly one
+			// unbound var prune that var's domain.
+			feasible := true
+			for i := range infos {
+				switch cnt[i] {
+				case 0:
+					ev, evOK := infos[i].c.EvalSlice(vals)
+					if !evOK || ev == 0 {
+						feasible = false
+					}
+				case 1:
+					uid, ulv := firstUnbound(&infos[i])
+					if savedMark[ulv] != trial {
+						savedMark[ulv] = trial
+						s.saveStack = append(s.saveStack, savedDom{ulv, domains[ulv]})
+					}
+					if !pruneUnary(infos[i].c, uid, ulv) {
+						feasible = false
+					}
+				}
+				if !feasible {
+					break
+				}
+			}
+			if feasible {
+				done, err := solve()
+				if err != nil {
+					return false, err
+				}
+				if done {
+					return true, nil
+				}
+			}
+			// Restore and try next value.
+			for i := len(s.saveStack) - 1; i >= base; i-- {
+				sd := s.saveStack[i]
+				domains[sd.lv] = sd.d
+			}
+			s.saveStack = s.saveStack[:base]
+			vals[id] = -1
+			backtracks++
+			if backtracks > s.MaxBacktracks {
+				return false, ErrBudget
+			}
+			v, ok = d.next(v)
+		}
+		unbind(lv)
+		return false, nil
+	}
+
+	sat, err := solve()
+	atomic.AddUint64(&s.Stats.Backtracks, backtracks)
+	if err != nil || !sat {
+		return sat, err
+	}
+	for _, id := range vars {
+		model[id] = uint8(vals[id])
+	}
+	return true, nil
+}
+
+// ---- From-scratch reference pipeline ----
+//
+// The pre-incremental query path — flatten the whole set, unit-
+// propagate to fixpoint, union-find partition, then search — kept as
+// the reference implementation. The differential tests check that the
+// incremental path above agrees with it on every query, and the CI
+// benchmarks measure the incremental speedup against it.
+
+// ReferenceMayBeTrue answers MayBeTrue through the from-scratch
+// pipeline, bypassing the incremental state, result, model and
+// subsumption caches (the group cache is still consulted, as the
+// pre-incremental solver did).
+func (s *Solver) ReferenceMayBeTrue(cs *ConstraintSet, cond *expr.Expr) (bool, error) {
+	if cond != nil && cond.IsFalse() {
+		return false, nil
+	}
+	cons := cs.Flattened()
+	if cond != nil {
+		cons = flatten(cond, cons)
+	}
+	sat, _, err := s.referenceSolve(cons, cond, false)
+	return sat, err
+}
+
+// ReferenceSolve is Solve through the from-scratch pipeline.
+func (s *Solver) ReferenceSolve(cs *ConstraintSet) (expr.Assignment, bool, error) {
+	sat, model, err := s.referenceSolve(cs.Flattened(), nil, true)
+	return model, sat, err
+}
+
+// referenceSolve decides a flattened conjunction from scratch.
+func (s *Solver) referenceSolve(cons []*expr.Expr, cond *expr.Expr, fullModel bool) (bool, expr.Assignment, error) {
 	model := expr.Assignment{}
+
+	// For may-queries, compute the variables transitively connected to
+	// cond over the pre-substitution constraint graph. Unit propagation
+	// can sever a group from cond's variables by substituting them away
+	// — but a group rewritten by cond-derived units is not part of the
+	// (feasible, hence satisfiable) base set, so relevance must be
+	// judged on the original graph, not the residual one.
+	var relevant map[uint64]bool
+	if cond != nil && !fullModel {
+		relevant = relevantVars(cons, cond)
+	}
 
 	// Unit propagation to fixpoint: bind Eq(const, var) facts and
 	// substitute them everywhere.
@@ -226,7 +813,6 @@ func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel 
 		next := cons[:0]
 		for _, c := range cons {
 			if c.IsTrue() {
-				atomic.AddUint64(&s.Stats.UnitPropFolds, 1)
 				continue
 			}
 			if c.IsFalse() {
@@ -250,7 +836,6 @@ func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel 
 				units[id] = v
 				model[id] = v
 				progress = true
-				atomic.AddUint64(&s.Stats.UnitPropFolds, 1)
 				continue
 			}
 			next = append(next, c)
@@ -266,23 +851,18 @@ func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel 
 	}
 
 	// Partition remaining constraints into independent groups.
-	groups := partition(cons)
-
-	var queryVars map[uint64]bool
-	if cond != nil && !fullModel {
-		queryVars = map[uint64]bool{}
-		cond.Vars(queryVars, nil)
-		// A query var may have been bound by unit propagation already;
-		// then its group is trivially consistent with the binding
-		// (substitution has happened). Remaining relevance is via the
-		// substituted cond's vars.
-	}
+	groups := s.part.partition(cons)
 
 	for _, g := range groups {
-		if queryVars != nil && !g.touches(queryVars) {
+		if relevant != nil && !g.touches(relevant) {
 			continue // independent of the query; satisfiable on its own
 		}
-		key := groupKey(g)
+		key := groupHash(g.cons)
+		gids := make([]uint64, 0, len(g.vars))
+		for id := range g.vars {
+			gids = append(gids, id)
+		}
+		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 		if res, hit := s.groupCache[key]; hit {
 			if !res.sat {
 				return false, nil, nil
@@ -300,25 +880,22 @@ func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel 
 				}
 				continue
 			}
-			// Unit bindings conflict with the cached model: fall through
-			// to a fresh search.
 		}
-		before := make(map[uint64]bool, len(g.vars))
-		for id := range g.vars {
+		allFree := true
+		for _, id := range gids {
 			if _, bound := model[id]; bound {
-				before[id] = true
+				allFree = false
+				break
 			}
 		}
-		ok, err := s.solveGroup(g, model)
+		ok, err := s.solveGroup(g.cons, gids, model)
 		if err != nil {
 			return false, nil, err
 		}
-		// Cache only groups whose variables were entirely free (so the
-		// result does not depend on outside unit bindings).
-		if len(before) == 0 {
+		if allFree {
 			res := groupResult{sat: ok}
 			if ok {
-				for id := range g.vars {
+				for _, id := range gids {
 					res.model = append(res.model, groupBinding{id, model[id]})
 				}
 			}
@@ -341,46 +918,11 @@ func (s *Solver) solveConstraints(cons []*expr.Expr, cond *expr.Expr, fullModel 
 	return true, model, nil
 }
 
-// groupKey hashes a group's constraints order-insensitively.
-func groupKey(g *group) uint64 {
-	var h uint64
-	for _, c := range g.cons {
-		h += c.Hash() * 0x9e3779b97f4a7c15
-	}
-	return h
-}
-
-func (s *Solver) putGroup(key uint64, res groupResult) {
-	if len(s.groupCache) >= s.maxCache {
-		half := len(s.groupCacheKeys) / 2
-		for _, k := range s.groupCacheKeys[:half] {
-			delete(s.groupCache, k)
-		}
-		s.groupCacheKeys = append(s.groupCacheKeys[:0], s.groupCacheKeys[half:]...)
-	}
-	if _, dup := s.groupCache[key]; !dup {
-		s.groupCacheKeys = append(s.groupCacheKeys, key)
-	}
-	s.groupCache[key] = res
-}
-
-// group is a set of constraints over a connected set of variables.
-type group struct {
-	cons []*expr.Expr
-	vars map[uint64]bool
-}
-
-func (g *group) touches(vars map[uint64]bool) bool {
-	for id := range vars {
-		if g.vars[id] {
-			return true
-		}
-	}
-	return false
-}
-
-// partition groups constraints by transitive variable sharing (union-find).
-func partition(cons []*expr.Expr) []*group {
+// relevantVars returns the set of variables in the same pre-
+// substitution connected component as cond's variables: every variable
+// reachable from cond through shared-variable links in the original
+// conjuncts.
+func relevantVars(cons []*expr.Expr, cond *expr.Expr) map[uint64]bool {
 	parent := map[uint64]uint64{}
 	var find func(x uint64) uint64
 	find = func(x uint64) uint64 {
@@ -395,9 +937,76 @@ func partition(cons []*expr.Expr) []*group {
 		}
 		return p
 	}
-	union := func(a, b uint64) { parent[find(a)] = find(b) }
+	for _, c := range cons {
+		vl := c.VarIDs()
+		for j := 1; j < len(vl); j++ {
+			parent[find(vl[0])] = find(vl[j])
+		}
+	}
+	roots := map[uint64]bool{}
+	for _, id := range cond.VarIDs() {
+		roots[find(id)] = true
+	}
+	relevant := map[uint64]bool{}
+	for id := range parent {
+		if roots[find(id)] {
+			relevant[id] = true
+		}
+	}
+	return relevant
+}
 
-	varLists := make([][]uint64, len(cons))
+// refGroup is a set of constraints over a connected set of variables
+// (reference partition).
+type refGroup struct {
+	cons []*expr.Expr
+	vars map[uint64]bool
+}
+
+func (g *refGroup) touches(vars map[uint64]bool) bool {
+	for id := range vars {
+		if g.vars[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// partitioner groups constraints by transitive variable sharing
+// (union-find), reusing its maps and buffers across calls instead of
+// allocating fresh ones per query.
+type partitioner struct {
+	parent   map[uint64]uint64
+	byRoot   map[uint64]*refGroup
+	varLists [][]uint64
+}
+
+func (p *partitioner) partition(cons []*expr.Expr) []*refGroup {
+	if p.parent == nil {
+		p.parent = make(map[uint64]uint64)
+		p.byRoot = make(map[uint64]*refGroup)
+	}
+	clear(p.parent)
+	clear(p.byRoot)
+	var find func(x uint64) uint64
+	find = func(x uint64) uint64 {
+		pr, ok := p.parent[x]
+		if !ok {
+			p.parent[x] = x
+			return x
+		}
+		if pr != x {
+			pr = find(pr)
+			p.parent[x] = pr
+		}
+		return pr
+	}
+	union := func(a, b uint64) { p.parent[find(a)] = find(b) }
+
+	if cap(p.varLists) < len(cons) {
+		p.varLists = make([][]uint64, len(cons))
+	}
+	varLists := p.varLists[:len(cons)]
 	for i, c := range cons {
 		vl := c.VarIDs() // cached per-node summary; no DAG walk
 		varLists[i] = vl
@@ -405,17 +1014,16 @@ func partition(cons []*expr.Expr) []*group {
 			union(vl[0], vl[j])
 		}
 	}
-	byRoot := map[uint64]*group{}
-	var order []*group
+	var order []*refGroup
 	for i, c := range cons {
 		if len(varLists[i]) == 0 {
 			continue // constant constraints handled by unit pass
 		}
 		root := find(varLists[i][0])
-		g := byRoot[root]
+		g := p.byRoot[root]
 		if g == nil {
-			g = &group{vars: map[uint64]bool{}}
-			byRoot[root] = g
+			g = &refGroup{vars: map[uint64]bool{}}
+			p.byRoot[root] = g
 			order = append(order, g)
 		}
 		g.cons = append(g.cons, c)
@@ -424,241 +1032,4 @@ func partition(cons []*expr.Expr) []*group {
 		}
 	}
 	return order
-}
-
-// solveGroup runs backtracking search over one independent group,
-// extending model in place on success. The search works over a dense
-// slice-backed assignment (see expr.EvalSlice) — this is the hot path.
-func (s *Solver) solveGroup(g *group, model expr.Assignment) (bool, error) {
-	atomic.AddUint64(&s.Stats.SolverRuns, 1)
-
-	maxID := uint64(0)
-	for id := range g.vars {
-		if id > maxID {
-			maxID = id
-		}
-	}
-	for id := range model {
-		if id > maxID {
-			maxID = id
-		}
-	}
-	if maxID >= 1<<22 {
-		return false, ErrBudget // pathological id space; treat as unknown
-	}
-	vals := make([]int16, maxID+1)
-	for i := range vals {
-		vals[i] = -1
-	}
-	for id, v := range model {
-		vals[id] = int16(v)
-	}
-
-	vars := make([]uint64, 0, len(g.vars))
-	for id := range g.vars {
-		if vals[id] < 0 {
-			vars = append(vars, id)
-		}
-	}
-	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-	if len(vars) == 0 {
-		// Everything bound by units; just verify.
-		for _, c := range g.cons {
-			v, ok := c.EvalSlice(vals)
-			if !ok || v == 0 {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-
-	domains := make(map[uint64]*domain, len(vars))
-	for _, id := range vars {
-		d := fullDomain()
-		domains[id] = &d
-	}
-
-	// Per-constraint bookkeeping: which vars it mentions.
-	type conInfo struct {
-		c    *expr.Expr
-		vars []uint64
-	}
-	infos := make([]conInfo, 0, len(g.cons))
-	for _, c := range g.cons {
-		infos = append(infos, conInfo{c: c, vars: c.VarIDs()})
-	}
-
-	// pruneUnary restricts var id's domain using constraint c, assuming
-	// id is c's only unbound variable. The constraint is first partially
-	// evaluated under the current assignment, collapsing everything but
-	// the scanned variable; the 256-value scan then runs on the (usually
-	// tiny) residual. Returns false if the domain empties.
-	pruneUnary := func(c *expr.Expr, id uint64) bool {
-		d := domains[id]
-		reduced := c.SubstSlice(vals)
-		if reduced.IsConst() {
-			return reduced.ConstVal() != 0
-		}
-		v, ok := d.first()
-		for ok {
-			vals[id] = int16(v)
-			ev, evOK := reduced.EvalSlice(vals)
-			if !evOK || ev == 0 {
-				d.remove(v)
-			}
-			v, ok = d.next(v)
-		}
-		vals[id] = -1
-		return !d.empty()
-	}
-
-	unboundIn := func(ci conInfo) (uint64, int) {
-		var last uint64
-		n := 0
-		for _, id := range ci.vars {
-			if vals[id] < 0 {
-				last = id
-				n++
-			}
-		}
-		return last, n
-	}
-
-	// Initial unary pruning pass.
-	for _, ci := range infos {
-		if id, n := unboundIn(ci); n == 1 {
-			if !pruneUnary(ci.c, id) {
-				return false, nil
-			}
-		} else if n == 0 {
-			v, ok := ci.c.EvalSlice(vals)
-			if !ok || v == 0 {
-				return false, nil
-			}
-		}
-	}
-
-	var backtracks uint64
-
-	// Count how many constraints mention each var, for ordering.
-	mentions := map[uint64]int{}
-	for _, ci := range infos {
-		for _, id := range ci.vars {
-			mentions[id]++
-		}
-	}
-
-	// minUnbound[id] = the smallest number of unbound variables among
-	// constraints mentioning id (computed per pick). Choosing the
-	// variable that brings some constraint closest to unary lets forward
-	// checking prune as early as possible.
-	pickVar := func() (uint64, bool) {
-		nearUnary := map[uint64]int{}
-		for _, ci := range infos {
-			_, n := unboundIn(ci)
-			if n == 0 {
-				continue
-			}
-			for _, id := range ci.vars {
-				if vals[id] >= 0 {
-					continue
-				}
-				if cur, ok := nearUnary[id]; !ok || n < cur {
-					nearUnary[id] = n
-				}
-			}
-		}
-		best := uint64(0)
-		bestScore := -1
-		found := false
-		for _, id := range vars {
-			if vals[id] >= 0 {
-				continue
-			}
-			near := nearUnary[id]
-			if near == 0 {
-				near = 64 // mentioned by no active constraint
-			}
-			// Prefer: constraints nearest unary, then small domains,
-			// then high mention counts.
-			score := (64-near)*1_000_000 + (256-domains[id].count())*1000 + mentions[id]
-			if score > bestScore {
-				best, bestScore, found = id, score, true
-			}
-		}
-		return best, found
-	}
-
-	var solve func() (bool, error)
-	solve = func() (bool, error) {
-		id, found := pickVar()
-		if !found {
-			// All assigned: final verification.
-			for _, ci := range infos {
-				v, ok := ci.c.EvalSlice(vals)
-				if !ok || v == 0 {
-					return false, nil
-				}
-			}
-			return true, nil
-		}
-		d := domains[id]
-		v, ok := d.first()
-		for ok {
-			vals[id] = int16(v)
-			// Forward checking: constraints that now have exactly one
-			// unbound var prune that var's domain.
-			saved := map[uint64]domain{}
-			feasible := true
-			for _, ci := range infos {
-				uid, n := unboundIn(ci)
-				if n == 0 {
-					ev, evOK := ci.c.EvalSlice(vals)
-					if !evOK || ev == 0 {
-						feasible = false
-						break
-					}
-				} else if n == 1 {
-					if _, snap := saved[uid]; !snap {
-						saved[uid] = *domains[uid]
-					}
-					if !pruneUnary(ci.c, uid) {
-						feasible = false
-						break
-					}
-				}
-			}
-			if feasible {
-				done, err := solve()
-				if err != nil {
-					return false, err
-				}
-				if done {
-					return true, nil
-				}
-			}
-			// Restore and try next value.
-			for uid, dom := range saved {
-				restored := dom
-				*domains[uid] = restored
-			}
-			vals[id] = -1
-			backtracks++
-			if backtracks > s.MaxBacktracks {
-				return false, ErrBudget
-			}
-			v, ok = d.next(v)
-		}
-		return false, nil
-	}
-
-	sat, err := solve()
-	atomic.AddUint64(&s.Stats.Backtracks, backtracks)
-	if err != nil || !sat {
-		return sat, err
-	}
-	for _, id := range vars {
-		model[id] = uint8(vals[id])
-	}
-	return true, nil
 }

@@ -1,0 +1,188 @@
+package solver
+
+// Counterexample/model subsumption cache (KLEE-style, the paper's §6
+// "Constraint Caches"). Queries are keyed by the sorted multiset of
+// their conjunct hashes (O(1) per conjunct — expressions are
+// hash-consed), which makes two set-theoretic deductions cheap:
+//
+//   - a query whose conjunct set is a SUPERSET of a known-unsat set is
+//     unsat without solving (adding constraints cannot revive an
+//     unsatisfiable core), and
+//   - a query whose conjunct set is a SUBSET of a known-sat set is sat,
+//     and the stored model witnesses it (dropping constraints cannot
+//     invalidate a model).
+//
+// Keys are kept split as (base, extra): the sorted hashes of the
+// constraint set itself — a slice shared identity-intact across every
+// query against that set — plus the few sorted hashes of the query
+// condition. Entries whose base is the *same slice* as the query's
+// (the dominant case: many branch queries against one path condition)
+// are decided by comparing only the extras, O(|extra| · log N); the
+// full sorted-merge subset walk runs only for cross-set pairs, behind
+// an O(1) bounds pre-filter. Entries are bounded FIFO lists.
+
+import "cloud9/internal/expr"
+
+const (
+	// subsumeMaxEntries bounds each FIFO side of the cache.
+	subsumeMaxEntries = 64
+	// subsumeMaxSet bounds the conjunct count of a stored entry; huge
+	// sets make subset scans expensive and rarely recur.
+	subsumeMaxSet = 512
+	// subsumeMaxDepth bounds the constraint-set depth for which the
+	// sorted hash key is built at all.
+	subsumeMaxDepth = 2048
+)
+
+// queryKey is the subsumption key of one query: sorted conjunct hashes
+// of the constraint set (base) and of the condition (extra). full is
+// the merged union, built lazily when a cross-set comparison needs it.
+type queryKey struct {
+	base  []uint64
+	extra []uint64
+	full  []uint64
+}
+
+func (k *queryKey) size() int { return len(k.base) + len(k.extra) }
+
+// merged returns the sorted union of base and extra, caching it.
+func (k *queryKey) merged() []uint64 {
+	if k.full != nil {
+		return k.full
+	}
+	if len(k.extra) == 0 {
+		k.full = k.base
+		return k.full
+	}
+	out := make([]uint64, 0, len(k.base)+len(k.extra))
+	i, j := 0, 0
+	for i < len(k.base) && j < len(k.extra) {
+		if k.base[i] <= k.extra[j] {
+			out = append(out, k.base[i])
+			i++
+		} else {
+			out = append(out, k.extra[j])
+			j++
+		}
+	}
+	out = append(out, k.base[i:]...)
+	out = append(out, k.extra[j:]...)
+	k.full = out
+	return out
+}
+
+// sameSlice reports whether a and b are the identical backing slice
+// (the shared per-set sorted-hash key).
+func sameSlice(a, b []uint64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// containsSorted reports whether sorted hs contains h (binary search).
+func containsSorted(hs []uint64, h uint64) bool {
+	lo, hi := 0, len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(hs) && hs[lo] == h
+}
+
+// subsetOf reports a ⊆ b for sorted hash multisets (full merge walk;
+// the cross-set slow path).
+func subsetOf(a, b []uint64) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, h := range a {
+		for j < len(b) && b[j] < h {
+			j++
+		}
+		if j >= len(b) || b[j] != h {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// keySubset reports a ⊆ b. When the two keys share their base slice,
+// only a's extras need membership checks in b; otherwise it falls back
+// to the merged-set walk behind cheap size/bounds filters.
+func keySubset(a, b *queryKey) bool {
+	if a.size() > b.size() {
+		return false
+	}
+	if sameSlice(a.base, b.base) {
+		for _, h := range a.extra {
+			if !containsSorted(b.extra, h) && !containsSorted(b.base, h) {
+				return false
+			}
+		}
+		return true
+	}
+	am, bm := a.merged(), b.merged()
+	if len(am) > 0 && (am[0] < bm[0] || am[len(am)-1] > bm[len(bm)-1]) {
+		return false // some element of a is outside b's range
+	}
+	return subsetOf(am, bm)
+}
+
+type subsumeEntry struct {
+	key   queryKey
+	model expr.Assignment
+}
+
+// subsumeCache holds the bounded unsat-core and sat-model entries.
+type subsumeCache struct {
+	unsat []subsumeEntry // stored sets known unsat
+	sat   []subsumeEntry // stored sets known sat, with witness models
+}
+
+// hitUnsat reports whether some stored unsat set is a subset of the
+// query set (⟹ the query is unsat).
+func (c *subsumeCache) hitUnsat(q *queryKey) bool {
+	for i := range c.unsat {
+		if keySubset(&c.unsat[i].key, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// hitSat returns a witness model when the query set is a subset of some
+// stored sat set (⟹ the query is sat, witnessed by that set's model).
+func (c *subsumeCache) hitSat(q *queryKey) (expr.Assignment, bool) {
+	for i := range c.sat {
+		if keySubset(q, &c.sat[i].key) {
+			return c.sat[i].model, true
+		}
+	}
+	return nil, false
+}
+
+func (c *subsumeCache) addUnsat(q *queryKey) {
+	if q == nil || q.size() == 0 || q.size() > subsumeMaxSet {
+		return
+	}
+	c.unsat = addEntry(c.unsat, subsumeEntry{key: *q})
+}
+
+func (c *subsumeCache) addSat(q *queryKey, model expr.Assignment) {
+	if q == nil || q.size() == 0 || q.size() > subsumeMaxSet {
+		return
+	}
+	c.sat = addEntry(c.sat, subsumeEntry{key: *q, model: model})
+}
+
+func addEntry(list []subsumeEntry, e subsumeEntry) []subsumeEntry {
+	if len(list) >= subsumeMaxEntries {
+		copy(list, list[1:])
+		list = list[:len(list)-1]
+	}
+	return append(list, e)
+}
