@@ -7,9 +7,14 @@ package cloud9
 // the full-scale versions.
 
 import (
+	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/cluster"
+	"cloud9/internal/cvm"
 	"cloud9/internal/engine"
 	"cloud9/internal/expr"
 	"cloud9/internal/posix"
@@ -199,7 +204,7 @@ func BenchmarkTable5_Memcached(b *testing.B) {
 		}
 		e, err := engine.New(in, "main", engine.Config{
 			MaxStateSteps: 2_000_000,
-			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+			Strategy:      func(*tree.Tree, *cfg.Distance) engine.Strategy { return engine.NewDFS() },
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -554,7 +559,7 @@ func BenchmarkAblation_ReplayFromAncestor(b *testing.B) {
 		}
 		a, err := engine.New(in, "main", engine.Config{
 			MaxStateSteps: 2_000_000,
-			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewBFS() },
+			Strategy:      func(*tree.Tree, *cfg.Distance) engine.Strategy { return engine.NewBFS() },
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -572,7 +577,7 @@ func BenchmarkAblation_ReplayFromAncestor(b *testing.B) {
 		}
 		dst, err := engine.New(in2, "main", engine.Config{
 			MaxStateSteps: 2_000_000,
-			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewBFS() },
+			Strategy:      func(*tree.Tree, *cfg.Distance) engine.Strategy { return engine.NewBFS() },
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -662,6 +667,112 @@ func BenchmarkStrategyRemove(b *testing.B) {
 			n := pick(i)
 			remove(n)
 			queue = append(queue, n)
+		}
+	})
+}
+
+// distBenchProg builds the synthetic program BenchmarkDistRecompute
+// analyzes: main's basic-block chain calls nLeaves private leaf
+// functions, each a straight chain of depth blocks with one source
+// line per block. A coverage delta inside one leaf dirties exactly
+// that leaf and main — the shape the incremental md2u solver exploits.
+func distBenchProg(nLeaves, depth int) *cvm.Program {
+	p := cvm.NewProgram("distbench")
+	line := 1
+	addLine := func(b *cvm.Block) {
+		b.Instrs = append(b.Instrs, cvm.Instr{Op: cvm.OpConst, W: expr.W8, Line: line})
+		if line > p.MaxLine {
+			p.MaxLine = line
+		}
+		line++
+	}
+	for i := 0; i < nLeaves; i++ {
+		fn := &cvm.Func{Name: fmt.Sprintf("leaf%d", i), NumRegs: 4}
+		for j := 0; j < depth; j++ {
+			b := &cvm.Block{Index: j}
+			addLine(b)
+			if j < depth-1 {
+				b.Instrs = append(b.Instrs, cvm.Instr{Op: cvm.OpBr, Imm: int64(j + 1)})
+			} else {
+				b.Instrs = append(b.Instrs, cvm.Instr{Op: cvm.OpRet, A: -1})
+			}
+			fn.Blocks = append(fn.Blocks, b)
+		}
+		p.Funcs[fn.Name] = fn
+	}
+	main := &cvm.Func{Name: "main", NumRegs: 4}
+	for i := 0; i <= nLeaves; i++ {
+		b := &cvm.Block{Index: i}
+		addLine(b)
+		if i < nLeaves {
+			b.Instrs = append(b.Instrs,
+				cvm.Instr{Op: cvm.OpCall, A: -1, Sym: fmt.Sprintf("leaf%d", i)},
+				cvm.Instr{Op: cvm.OpBr, Imm: int64(i + 1)})
+		} else {
+			b.Instrs = append(b.Instrs, cvm.Instr{Op: cvm.OpRet, A: -1})
+		}
+		main.Blocks = append(main.Blocks, b)
+	}
+	p.Funcs["main"] = main
+	return p
+}
+
+// distBenchLines returns the coverage-delta order both sides of the
+// bench apply: every coverable line, deterministically shuffled so
+// consecutive deltas land in different functions.
+func distBenchLines(g *cfg.Graph) []int {
+	var lines []int
+	for ln := range g.LineOwners {
+		lines = append(lines, ln)
+	}
+	sort.Ints(lines)
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+	return lines
+}
+
+// BenchmarkDistRecompute measures re-deriving minimum-distance-to-
+// uncovered after one coverage delta on a 65-function program: the
+// incremental oracle (re-solves only the dirtied function and its
+// call-graph ancestors, everything else memoized) against the
+// from-scratch whole-program BFS reference (what every delta would cost
+// without memoization). Gated ≥5x by ci/bench_baseline.json.
+func BenchmarkDistRecompute(b *testing.B) {
+	prog := distBenchProg(64, 8)
+	g := cfg.BuildGraph(prog)
+	lines := distBenchLines(g)
+	b.Run("incremental", func(b *testing.B) {
+		d := cfg.NewDistance(g)
+		d.FuncDist("main") // initial full solve paid outside the loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%len(lines) == 0 && i > 0 {
+				// Deltas exhausted: restart from an uncovered program.
+				b.StopTimer()
+				d = cfg.NewDistance(g)
+				d.FuncDist("main")
+				b.StartTimer()
+			}
+			d.CoverLine(lines[i%len(lines)])
+			if d.FuncDist("main") < 0 {
+				b.Fatal("impossible distance")
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		covered := map[int]bool{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%len(lines) == 0 && i > 0 {
+				b.StopTimer()
+				covered = map[int]bool{}
+				b.StartTimer()
+			}
+			covered[lines[i%len(lines)]] = true
+			ref := cfg.ScratchDist(g, func(ln int) bool { return covered[ln] })
+			if ref["main"][0] < 0 {
+				b.Fatal("impossible distance")
+			}
 		}
 	})
 }

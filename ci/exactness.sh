@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Exploration-exactness gate: single-node exhaustive runs of the
+# reference miniatures must reproduce the pinned path counts exactly.
+# Exploration is deterministic — a drift in any count means the engine,
+# solver, search or interpreter layer changed which paths exist (or how
+# termination is classified), which is never acceptable as a silent
+# side effect of a perf or strategy PR.
+#
+# Pinned counts (see ROADMAP.md):
+#   printf 2136 / memcached 312 / lighttpd 64 / test 540
+#
+# Usage: ci/exactness.sh
+set -euo pipefail
+
+declare -A WANT=(
+  [printf]=2136
+  [memcached]=312
+  [lighttpd]=64
+  [test]=540
+)
+
+BIN="$(mktemp -d)"
+echo "== building c9"
+go build -o "$BIN" ./cmd/c9
+
+fail=0
+for tgt in printf memcached lighttpd test; do
+  echo "== $tgt (want ${WANT[$tgt]} paths)"
+  got=$("$BIN/c9" -target "$tgt" -tests=false | awk '/^paths explored:/ {print $3}')
+  if [[ -z "$got" ]]; then
+    echo "exactness: FAIL — $tgt printed no path count" >&2
+    fail=1
+    continue
+  fi
+  if [[ "$got" -ne "${WANT[$tgt]}" ]]; then
+    echo "exactness: FAIL — $tgt explored $got paths, pinned ${WANT[$tgt]}" >&2
+    fail=1
+  else
+    echo "== $tgt OK ($got paths)"
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "exactness: exploration drift detected" >&2
+  exit 1
+fi
+echo "exactness: OK — all pinned path counts reproduced"

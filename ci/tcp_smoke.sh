@@ -7,11 +7,22 @@
 # portfolio (each worker is handed a different searcher at Hello, and
 # the eviction triggers a rebalance), proving heterogeneous policies
 # and mid-run reassignment preserve the custody protocol's exactness.
+# The default portfolio includes the static distance-to-uncovered
+# strategies (dist-opt, cupa(dist,dfs)) so the smoke also proves md2u
+# re-ranking never perturbs the explored path set.
 #
 # Usage: ci/tcp_smoke.sh [target] [port]
+# Env:   PORTFOLIO  overrides the strategy mix (comma-separated specs).
+#        KILL_DELAY seconds between the victim joining and the kill -9
+#                   (default 1; fast targets need a shorter fuse so the
+#                   kill lands before the cluster drains the tree).
+#
+# PR CI runs the fast single-target form (`test`); the nightly gauntlet
+# runs the matrix (`test` + `printf`) through the same script.
 set -euo pipefail
 
-PORTFOLIO="cupa(site,dfs),random-path,dfs"
+PORTFOLIO="${PORTFOLIO:-cupa(dist,dfs),dist-opt,dfs}"
+KILL_DELAY="${KILL_DELAY:-1}"
 
 # The coreutils `test` miniature explores ~540 paths in ~10s on one
 # node, long enough that the mid-run kill below lands while all three
@@ -52,11 +63,11 @@ done
 
 # Kill worker 1 once the run is underway (it has joined and the cluster
 # is exploring), well before the LB can be done.
-for _ in $(seq 1 100); do
+for _ in $(seq 1 200); do
   grep -q "joined as worker" "$LOGS/worker1.txt" 2>/dev/null && break
-  sleep 0.1
+  sleep 0.05
 done
-sleep 1
+sleep "$KILL_DELAY"
 if kill -0 "${WPIDS[1]}" 2>/dev/null; then
   echo "== kill -9 worker pid ${WPIDS[1]}"
   kill -9 "${WPIDS[1]}"

@@ -62,6 +62,31 @@ type Artifact struct {
 	Notes []string               `json:"notes,omitempty"`
 }
 
+// writeSummary appends the gate results as a GitHub-flavored markdown
+// delta table — pointed at $GITHUB_STEP_SUMMARY it renders on the CI
+// run page, so a regression is readable without downloading artifacts.
+func writeSummary(path string, rows []string, pass bool, suiteLen int) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c9-benchgate: summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	verdict := "**PASS**"
+	if !pass {
+		verdict = "**FAIL**"
+	}
+	fmt.Fprintf(f, "## Bench gate: %s\n\n", verdict)
+	if len(rows) > 0 {
+		fmt.Fprintln(f, "| gate | speedup | floor | fast ns/op | slow ns/op | status |")
+		fmt.Fprintln(f, "|---|---|---|---|---|---|")
+		for _, r := range rows {
+			fmt.Fprintln(f, r)
+		}
+	}
+	fmt.Fprintf(f, "\n%d benchmarks in the suite artifact.\n", suiteLen)
+}
+
 // benchLine matches e.g.
 // "BenchmarkExprHash/interned-8   1000000   0.5023 ns/op   12.0 paths"
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.e+]+) ns/op(.*)$`)
@@ -107,6 +132,7 @@ func main() {
 		gateFile = flag.String("gate", "", "stabilized gate-bench output (defaults to -results)")
 		baseline = flag.String("baseline", "", "committed baseline JSON with speedup gates")
 		out      = flag.String("out", "", "write the JSON artifact here")
+		summary  = flag.String("summary", "", "append a markdown delta table here (point it at $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	if *results == "" {
@@ -128,6 +154,7 @@ func main() {
 		art.Gate = gateRes
 	}
 
+	var mdRows []string
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -146,17 +173,27 @@ func main() {
 				art.Pass = false
 				art.Notes = append(art.Notes,
 					fmt.Sprintf("%s: missing bench results (%s/%s)", g.Name, g.Fast, g.Slow))
+				mdRows = append(mdRows, fmt.Sprintf("| %s | — | %.0fx | — | — | ❌ missing |",
+					g.Name, g.MinSpeedup))
 				continue
 			}
 			speedup := slow.NsOp / fast.NsOp
 			note := fmt.Sprintf("%s: speedup %.0fx (floor %.0fx; fast %.4g ns/op, slow %.4g ns/op)",
 				g.Name, speedup, g.MinSpeedup, fast.NsOp, slow.NsOp)
+			status := "✅"
 			if speedup < g.MinSpeedup {
 				art.Pass = false
 				note += " REGRESSION"
+				status = "❌ regression"
 			}
 			art.Notes = append(art.Notes, note)
+			mdRows = append(mdRows, fmt.Sprintf("| %s | %.0fx | %.0fx | %.4g | %.4g | %s |",
+				g.Name, speedup, g.MinSpeedup, fast.NsOp, slow.NsOp, status))
 		}
+	}
+
+	if *summary != "" {
+		writeSummary(*summary, mdRows, art.Pass, len(suite))
 	}
 
 	if *out != "" {

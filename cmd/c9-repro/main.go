@@ -26,7 +26,7 @@ type runner struct {
 
 func main() {
 	var (
-		exps = flag.String("exp", "all", "comma-separated experiment ids (table4,fig7,fig8,fig9,fig10,fig11,fig12,fig13,table5,table6,cases,portfolio)")
+		exps = flag.String("exp", "all", "comma-separated experiment ids (table4,fig7,fig8,fig9,fig10,fig11,fig12,fig13,table5,table6,cases,portfolio,dist); 'scaling' expands to fig7..fig13")
 	)
 	flag.Parse()
 
@@ -43,11 +43,21 @@ func main() {
 		{"table6", func() (*experiments.Table, error) { return experiments.Table6() }},
 		{"cases", func() (*experiments.Table, error) { return experiments.CaseStudies() }},
 		{"portfolio", func() (*experiments.Table, error) { return experiments.PortfolioDiversity(0) }},
+		{"dist", func() (*experiments.Table, error) { return experiments.DistanceDirected(0) }},
 	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(strings.ToLower(id))] = true
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id == "scaling" {
+			// The nightly gauntlet's shorthand for the cluster-scaling
+			// figure suite.
+			for _, fig := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+				want[fig] = true
+			}
+			continue
+		}
+		want[id] = true
 	}
 	ranAny := false
 	for _, r := range all {

@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
 	"cloud9/internal/posix"
@@ -33,7 +34,7 @@ func main() {
 	var (
 		targetName = flag.String("target", "", "built-in target name (see -list)")
 		file       = flag.String("file", "", "C-subset source file to test")
-		strategy   = flag.String("strategy", "interleaved", "search strategy spec: dfs|bfs|random|random-path|cov-opt|fewest-faults|interleaved, or composite like cupa(site,dfs) / interleave(dfs,random)")
+		strategy   = flag.String("strategy", "interleaved", "search strategy spec: dfs|bfs|random|random-path|cov-opt|dist-opt|fewest-faults|interleaved, or composite like cupa(dist,dfs) / interleave(dfs,random)")
 		stratSeed  = flag.Int64("strategy-seed", 1, "seed for randomized strategies")
 		maxPaths   = flag.Int("max-paths", 0, "stop after this many explored paths (0 = exhaustive)")
 		maxSteps   = flag.Uint64("steps", 2_000_000, "per-path instruction budget (hang detection)")
@@ -104,14 +105,14 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	cfg := engine.Config{MaxStateSteps: *maxSteps}
+	ecfg := engine.Config{MaxStateSteps: *maxSteps}
 	if *strategy != "interleaved" { // bare "interleaved" is the engine default
 		if err := search.Validate(*strategy); err != nil {
 			fatalf("%v", err)
 		}
 		spec, seed := *strategy, *stratSeed
-		cfg.Strategy = func(t *tree.Tree) engine.Strategy {
-			s, err := search.Build(spec, t, seed)
+		ecfg.Strategy = func(t *tree.Tree, d *cfg.Distance) engine.Strategy {
+			s, err := search.Build(spec, t, d, seed)
 			if err != nil {
 				fatalf("%v", err) // unreachable: validated above
 			}
@@ -119,7 +120,7 @@ func main() {
 		}
 	}
 
-	e, err := engine.New(in, "main", cfg)
+	e, err := engine.New(in, "main", ecfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -45,8 +45,9 @@
 //
 // Search strategies live in internal/search: class-uniform path
 // analysis (CUPA) partitions candidates by pluggable classifiers
-// (depth band, branch site, fault count, coverage yield) and draws
-// classes uniformly, layering by nesting (cupa(site,cupa(depth,dfs)));
+// (depth band, branch site, fault count, coverage yield, static
+// distance-to-uncovered) and draws classes uniformly, layering by
+// nesting (cupa(site,cupa(depth,dfs)));
 // a registry maps serializable spec strings to strategy constructors.
 // Specs being plain data is what enables cluster-coordinated
 // *portfolios*: the load balancer hands each joining worker a spec
@@ -58,6 +59,16 @@
 // disturbing frontier custody, so crash-recovery exactness holds under
 // reassignment (the CI smoke runs a mixed portfolio and still expects
 // the exact single-node path count).
+//
+// Static analysis lives in internal/cfg: per-function control-flow
+// graphs and an interprocedural call graph built once at target load,
+// carrying the minimum-distance-to-uncovered metric (KLEE's md2u) that
+// the dist-opt strategy and the cupa dist classifier rank states by.
+// The metric is incremental — a coverage delta re-solves only the
+// functions whose uncovered-block set changed plus their call-graph
+// ancestors, everything else stays memoized (CI gates the incremental
+// recompute at ≥5x over the from-scratch BFS reference, and a
+// differential property test pins it to that reference exactly).
 //
 // The expression layer (internal/expr) is hash-consed: structural
 // hashing, equality, and free-variable queries on constraints are O(1)
@@ -80,5 +91,10 @@
 // system inventory and substitutions, and EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go regenerate
 // each experiment at reduced scale; .github/workflows/ci.yml runs them
-// once per PR and gates on the committed baseline in ci/.
+// once per PR and gates on the committed baseline in ci/. The nightly
+// workflow (.github/workflows/nightly.yml) runs the full-cluster
+// gauntlet: the exploration-exactness gate (ci/exactness.sh pins
+// printf 2136 / memcached 312 / lighttpd 64 / test 540 paths), the
+// complete experiment suite with result tables uploaded as artifacts,
+// and the TCP kill -9 smoke matrix under the dist-strategy portfolio.
 package cloud9

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/engine"
 	"cloud9/internal/targets"
 	"cloud9/internal/tree"
@@ -24,7 +25,7 @@ func main() {
 	e, err := engine.New(in, "main", engine.Config{
 		MaxStateSteps:  2_000_000,
 		RecordAllTests: true,
-		Strategy: func(*tree.Tree) engine.Strategy {
+		Strategy: func(*tree.Tree, *cfg.Distance) engine.Strategy {
 			return engine.NewFewestFaults()
 		},
 	})

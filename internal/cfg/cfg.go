@@ -1,0 +1,166 @@
+// Package cfg implements static control-flow analysis over the CVM IR:
+// per-function control-flow graphs, an interprocedural call graph, and
+// the minimum-distance-to-uncovered metric (KLEE's md2u) that
+// coverage-directed search strategies rank states by.
+//
+// The graphs are built once at target-load time; the distance metric is
+// recomputed incrementally as the coverage overlay grows (only the
+// functions whose coverage changed — plus their call-graph ancestors —
+// are re-analyzed, everything else stays memoized; see Distance).
+//
+// Granularity is the basic block: a block is *uncovered* while any
+// source line attached to its instructions is uncovered, and distance
+// counts block-graph edges. Two edge kinds exist:
+//
+//   - b → s for each control-flow successor s of b (calls in CVM are
+//     not terminators, so the successor edge already models execution
+//     continuing after a callee returns), and
+//   - b → entry(g) for each call in b to a defined function g (the
+//     state may dip into the callee and find uncovered code there).
+//
+// md2u(f, b) is the length of the shortest such path from b to any
+// uncovered block, or Unreachable when no uncovered code is reachable.
+package cfg
+
+import (
+	"sort"
+
+	"cloud9/internal/cvm"
+)
+
+// BlockRef names one basic block globally.
+type BlockRef struct {
+	Fn    string
+	Block int
+}
+
+// FuncGraph is the static control-flow view of one function.
+type FuncGraph struct {
+	Fn *cvm.Func
+	// Succs[b] lists the CFG successor block indices of block b.
+	Succs [][]int
+	// Preds[b] lists the predecessor block indices of block b.
+	Preds [][]int
+	// Lines[b] lists the distinct source lines attached to block b's
+	// instructions (sorted; lines ≤ 0 excluded).
+	Lines [][]int
+	// Calls[b] lists the defined functions block b calls (sorted unique;
+	// builtins and unresolved symbols excluded — they contain no
+	// coverable lines).
+	Calls [][]string
+}
+
+// NumBlocks returns the function's block count.
+func (fg *FuncGraph) NumBlocks() int { return len(fg.Succs) }
+
+// Graph is the whole-program static analysis result: one FuncGraph per
+// defined function plus the interprocedural call structure.
+type Graph struct {
+	Prog  *cvm.Program
+	Funcs map[string]*FuncGraph
+	// Callers is the reverse call graph: Callers[g] lists the functions
+	// with at least one call site of g (sorted unique).
+	Callers map[string][]string
+	// LineOwners maps each coverable source line to the blocks whose
+	// instructions carry it (a line may span blocks — e.g. a loop
+	// condition — or even functions).
+	LineOwners map[int][]BlockRef
+	// NumBlocks is the total block count across all functions (the upper
+	// bound on any finite distance).
+	NumBlocks int
+}
+
+// BuildGraph runs the static pass over prog. Cost is linear in the
+// instruction count; run it once per loaded target.
+func BuildGraph(prog *cvm.Program) *Graph {
+	g := &Graph{
+		Prog:       prog,
+		Funcs:      make(map[string]*FuncGraph, len(prog.Funcs)),
+		Callers:    map[string][]string{},
+		LineOwners: map[int][]BlockRef{},
+	}
+	callerSets := map[string]map[string]bool{}
+	for name, fn := range prog.Funcs {
+		fg := &FuncGraph{
+			Fn:    fn,
+			Succs: make([][]int, len(fn.Blocks)),
+			Preds: make([][]int, len(fn.Blocks)),
+			Lines: make([][]int, len(fn.Blocks)),
+			Calls: make([][]string, len(fn.Blocks)),
+		}
+		for bi, b := range fn.Blocks {
+			lineSet := map[int]bool{}
+			callSet := map[string]bool{}
+			for ii := range b.Instrs {
+				instr := &b.Instrs[ii]
+				if instr.Line > 0 {
+					lineSet[instr.Line] = true
+				}
+				if instr.Op == cvm.OpCall {
+					if prog.Funcs[instr.Sym] != nil {
+						callSet[instr.Sym] = true
+					}
+				}
+				if ii == len(b.Instrs)-1 {
+					switch instr.Op {
+					case cvm.OpBr:
+						fg.Succs[bi] = append(fg.Succs[bi], int(instr.Imm))
+					case cvm.OpCondBr:
+						fg.Succs[bi] = append(fg.Succs[bi], int(instr.Imm))
+						if instr.Imm2 != instr.Imm {
+							fg.Succs[bi] = append(fg.Succs[bi], int(instr.Imm2))
+						}
+					}
+					// OpRet / OpError end the path: no successors.
+				}
+			}
+			for ln := range lineSet {
+				fg.Lines[bi] = append(fg.Lines[bi], ln)
+			}
+			sort.Ints(fg.Lines[bi])
+			for callee := range callSet {
+				fg.Calls[bi] = append(fg.Calls[bi], callee)
+				if callerSets[callee] == nil {
+					callerSets[callee] = map[string]bool{}
+				}
+				callerSets[callee][name] = true
+			}
+			sort.Strings(fg.Calls[bi])
+		}
+		for bi, succs := range fg.Succs {
+			for _, s := range succs {
+				if s >= 0 && s < len(fg.Preds) {
+					fg.Preds[s] = append(fg.Preds[s], bi)
+				}
+			}
+		}
+		g.Funcs[name] = fg
+		g.NumBlocks += len(fn.Blocks)
+	}
+	for name, fg := range g.Funcs {
+		for bi := range fg.Lines {
+			for _, ln := range fg.Lines[bi] {
+				g.LineOwners[ln] = append(g.LineOwners[ln], BlockRef{Fn: name, Block: bi})
+			}
+		}
+	}
+	// Deterministic owner order (map iteration above is not).
+	for ln := range g.LineOwners {
+		owners := g.LineOwners[ln]
+		sort.Slice(owners, func(i, j int) bool {
+			if owners[i].Fn != owners[j].Fn {
+				return owners[i].Fn < owners[j].Fn
+			}
+			return owners[i].Block < owners[j].Block
+		})
+	}
+	for callee, set := range callerSets {
+		callers := make([]string, 0, len(set))
+		for c := range set {
+			callers = append(callers, c)
+		}
+		sort.Strings(callers)
+		g.Callers[callee] = callers
+	}
+	return g
+}

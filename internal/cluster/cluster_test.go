@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
 	"cloud9/internal/posix"
@@ -521,7 +522,7 @@ func TestDFSClusterStillComplete(t *testing.T) {
 		NewInterp: mkInterp(t, clusterTarget),
 		Engine: engine.Config{
 			MaxStateSteps: 1_000_000,
-			Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+			Strategy:      func(*tree.Tree, *cfg.Distance) engine.Strategy { return engine.NewDFS() },
 		},
 		MaxDuration:  30 * time.Second,
 		BalanceEvery: 2 * time.Millisecond,

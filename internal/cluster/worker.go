@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	cfg2 "cloud9/internal/cfg"
 	"cloud9/internal/coverage"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
@@ -170,8 +171,8 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 		if err := search.Validate(spec); err != nil {
 			return nil, fmt.Errorf("cluster: worker %d strategy: %w", cfg.ID, err)
 		}
-		cfg.Engine.Strategy = func(t *tree.Tree) engine.Strategy {
-			s, err := search.Build(spec, t, seed)
+		cfg.Engine.Strategy = func(t *tree.Tree, d *cfg2.Distance) engine.Strategy {
+			s, err := search.Build(spec, t, d, seed)
 			if err != nil {
 				panic(err) // validated above; same spec cannot fail here
 			}
@@ -228,7 +229,7 @@ func (w *Worker) ApplyStrategy(spec string) error {
 	if spec == "" || spec == w.spec {
 		return nil
 	}
-	s, err := search.Build(spec, w.Exp.Tree, strategySeed(w.ID, w.swaps+1))
+	s, err := search.Build(spec, w.Exp.Tree, w.Exp.Dist, strategySeed(w.ID, w.swaps+1))
 	if err != nil {
 		return fmt.Errorf("cluster: worker %d strategy swap: %w", w.ID, err)
 	}
@@ -311,12 +312,13 @@ func (w *Worker) drainMailbox() {
 			// layer piggybacks peer addresses on them); workers fence on
 			// MsgEvict alone.
 		case MsgCoverage:
-			// OR the global vector into the local one so the local
-			// strategy makes globally consistent choices (§3.3), and
-			// forward the delta so coverage-driven strategies can
-			// discount yield the rest of the cluster already banked.
+			// Merge the global vector into the local one so the local
+			// strategy makes globally consistent choices (§3.3); the
+			// explorer forwards the delta to coverage-driven strategies
+			// (yield discounting) and to the distance oracle (md2u
+			// re-ranking for dist-opt / cupa(dist,...)).
 			g := coverage.FromWords(msg.CovWords, w.Exp.Cov.Len()-1)
-			w.Exp.NotifyGlobalCoverage(w.Exp.Cov.Or(g))
+			w.Exp.MergeGlobalCoverage(g)
 		case MsgStrategy:
 			// Portfolio rebalancing: swap searchers in place. Pinned
 			// workers (explicit -strategy) refuse reassignment; a bad

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	cfganalysis "cloud9/internal/cfg"
 	"cloud9/internal/cluster"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
@@ -29,6 +30,7 @@ const (
 	StrategyRandom       StrategyName = "random"
 	StrategyRandomPath   StrategyName = "random-path"
 	StrategyCoverage     StrategyName = "cov-opt"
+	StrategyDistance     StrategyName = "dist-opt" // static distance-to-uncovered (md2u)
 	StrategyFewestFaults StrategyName = "fewest-faults"
 )
 
@@ -75,17 +77,21 @@ func (o *Options) engineConfig() engine.Config {
 	seed := o.Seed
 	switch o.Strategy {
 	case StrategyDFS:
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewDFS() }
+		cfg.Strategy = func(*tree.Tree, *cfganalysis.Distance) engine.Strategy { return engine.NewDFS() }
 	case StrategyBFS:
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewBFS() }
+		cfg.Strategy = func(*tree.Tree, *cfganalysis.Distance) engine.Strategy { return engine.NewBFS() }
 	case StrategyRandom:
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewRandom(seed) }
+		cfg.Strategy = func(*tree.Tree, *cfganalysis.Distance) engine.Strategy { return engine.NewRandom(seed) }
 	case StrategyRandomPath:
-		cfg.Strategy = func(t *tree.Tree) engine.Strategy { return engine.NewRandomPath(t, seed) }
+		cfg.Strategy = func(t *tree.Tree, _ *cfganalysis.Distance) engine.Strategy { return engine.NewRandomPath(t, seed) }
 	case StrategyCoverage:
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewCoverageOptimized(seed) }
+		cfg.Strategy = func(*tree.Tree, *cfganalysis.Distance) engine.Strategy { return engine.NewCoverageOptimized(seed) }
+	case StrategyDistance:
+		cfg.Strategy = func(_ *tree.Tree, d *cfganalysis.Distance) engine.Strategy {
+			return engine.NewDistanceOptimized(d, seed)
+		}
 	case StrategyFewestFaults:
-		cfg.Strategy = func(*tree.Tree) engine.Strategy { return engine.NewFewestFaults() }
+		cfg.Strategy = func(*tree.Tree, *cfganalysis.Distance) engine.Strategy { return engine.NewFewestFaults() }
 	case StrategyInterleaved:
 		// engine default
 	}

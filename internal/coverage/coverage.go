@@ -72,6 +72,33 @@ func (v *BitVec) Or(other *BitVec) int {
 	return added
 }
 
+// OrEach merges other into v like Or, additionally invoking fn with
+// the index of every newly covered line. Callers that mirror coverage
+// into a secondary structure (the cfg distance oracle) get the exact
+// delta in O(changed words) instead of re-scanning their whole view
+// per merge.
+func (v *BitVec) OrEach(other *BitVec, fn func(line int)) int {
+	if len(other.words) > len(v.words) {
+		grown := make([]uint64, len(other.words))
+		copy(grown, v.words)
+		v.words = grown
+	}
+	if other.n > v.n {
+		v.n = other.n
+	}
+	added := 0
+	for i, w := range other.words {
+		neu := w &^ v.words[i]
+		v.words[i] |= w
+		added += bits.OnesCount64(neu)
+		for neu != 0 {
+			fn(i*64 + bits.TrailingZeros64(neu))
+			neu &= neu - 1
+		}
+	}
+	return added
+}
+
 // Clone returns a copy of v.
 func (v *BitVec) Clone() *BitVec {
 	dup := &BitVec{words: append([]uint64(nil), v.words...), n: v.n}

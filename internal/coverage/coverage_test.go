@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -144,5 +145,42 @@ func TestQuickOrIsUnion(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestOrEachReportsExactDelta(t *testing.T) {
+	v := New(200)
+	v.Set(3)
+	v.Set(130)
+	other := New(200)
+	for _, ln := range []int{3, 64, 130, 131, 199} {
+		other.Set(ln)
+	}
+	var got []int
+	added := v.OrEach(other, func(ln int) { got = append(got, ln) })
+	if added != 3 {
+		t.Fatalf("added = %d, want 3", added)
+	}
+	if fmt.Sprint(got) != "[64 131 199]" {
+		t.Fatalf("delta lines = %v, want [64 131 199]", got)
+	}
+	for _, ln := range []int{3, 64, 130, 131, 199} {
+		if !v.Get(ln) {
+			t.Fatalf("line %d not set after OrEach", ln)
+		}
+	}
+	// Re-merge: no new lines, callback never fires.
+	if again := v.OrEach(other, func(ln int) { t.Fatalf("callback on re-merge: %d", ln) }); again != 0 {
+		t.Fatalf("re-merge added %d", again)
+	}
+	// A longer operand grows the vector and still reports its bits.
+	long := New(300)
+	long.Set(260)
+	got = nil
+	if added := v.OrEach(long, func(ln int) { got = append(got, ln) }); added != 1 || fmt.Sprint(got) != "[260]" {
+		t.Fatalf("grow merge: added=%d lines=%v", added, got)
+	}
+	if v.Len() != 301 || !v.Get(260) {
+		t.Fatal("vector did not grow to cover the longer operand")
 	}
 }

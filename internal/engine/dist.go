@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"math/rand"
+
+	"cloud9/internal/cfg"
+	"cloud9/internal/tree"
+)
+
+// DistanceOptimized is KLEE's coverage-optimized searcher proper: it
+// weights each candidate by the inverse square of its static minimum
+// distance to uncovered code (md2u over the internal/cfg call-and-flow
+// graph) and samples proportionally, steering workers toward states
+// that are few branches away from lines nobody has covered yet — where
+// CoverageOptimized rewards yield after the fact, this ranks by
+// predicted yield before it.
+//
+// Weights are computed at selection time straight from the shared
+// oracle, so every coverage delta — locally executed lines or a global
+// overlay merge — re-ranks the frontier at the next Select with no
+// bookkeeping here. Virtual nodes (path-only jobs not yet replayed)
+// have no program state to locate and draw a neutral weight, as does
+// every node when no oracle was supplied (a Validate build).
+type DistanceOptimized struct {
+	d     *cfg.Distance
+	nodes []*tree.Node
+	pos   map[*tree.Node]int
+	rng   *rand.Rand
+}
+
+// NewDistanceOptimized returns a distance-to-uncovered weighted
+// strategy reading d (nil degrades to uniform selection).
+func NewDistanceOptimized(d *cfg.Distance, seed int64) *DistanceOptimized {
+	return &DistanceOptimized{
+		d:   d,
+		pos: map[*tree.Node]int{},
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Strategy.
+func (r *DistanceOptimized) Name() string { return "dist-opt" }
+
+// Add implements Strategy.
+func (r *DistanceOptimized) Add(n *tree.Node) {
+	if _, dup := r.pos[n]; dup {
+		return
+	}
+	r.pos[n] = len(r.nodes)
+	r.nodes = append(r.nodes, n)
+}
+
+// Remove implements Strategy.
+func (r *DistanceOptimized) Remove(n *tree.Node) {
+	i, ok := r.pos[n]
+	if !ok {
+		return
+	}
+	last := len(r.nodes) - 1
+	r.nodes[i] = r.nodes[last]
+	r.pos[r.nodes[i]] = i
+	r.nodes = r.nodes[:last]
+	delete(r.pos, n)
+}
+
+// virtualWeight is the rank of a node whose distance is unknown — a
+// virtual (not-yet-replayed) job, or any node when no oracle was
+// supplied. It corresponds to assuming the state sits a few branches
+// from uncovered code (md2u 4): below every genuinely near state, so a
+// flood of imported virtual jobs cannot drown the nearly-there states
+// this strategy exists to prioritize, yet far above the saturated
+// residual, so transferred work still materializes ahead of dead ends.
+const virtualWeight = 1.0 / 25 // 1/(1+4)²
+
+// distWeight ranks a candidate: 1/(1+md2u)², the sharp preference for
+// nearly-there states KLEE's md2u searcher uses. States that cannot
+// reach uncovered code keep a tiny residual weight so a saturated
+// frontier still drains.
+func (r *DistanceOptimized) distWeight(n *tree.Node) float64 {
+	if r.d == nil || n.State == nil {
+		return virtualWeight
+	}
+	dd := r.d.StateDist(n.State)
+	if dd >= cfg.Unreachable {
+		return 1e-9
+	}
+	w := float64(1 + dd)
+	return 1 / (w * w)
+}
+
+// Select implements Strategy: proportional sampling over distance
+// weights (the same loop CoverageOptimized uses over yield weights).
+func (r *DistanceOptimized) Select() *tree.Node {
+	for len(r.nodes) > 0 {
+		total := 0.0
+		weights := make([]float64, len(r.nodes))
+		for i, n := range r.nodes {
+			weights[i] = r.distWeight(n)
+			total += weights[i]
+		}
+		pick := r.rng.Float64() * total
+		var chosen *tree.Node
+		for i, n := range r.nodes {
+			pick -= weights[i]
+			if pick <= 0 {
+				chosen = n
+				break
+			}
+		}
+		if chosen == nil {
+			chosen = r.nodes[len(r.nodes)-1]
+		}
+		r.Remove(chosen)
+		if chosen.IsCandidate() {
+			return chosen
+		}
+	}
+	return nil
+}
+
+// NotifyCoverage implements Strategy. Distances are read fresh from the
+// oracle at Select, so newly covered lines re-rank without bookkeeping.
+func (r *DistanceOptimized) NotifyCoverage(*tree.Node, int) {}

@@ -1,8 +1,12 @@
 package engine
 
 import (
+	"sort"
 	"testing"
 
+	"cloud9/internal/cfg"
+	"cloud9/internal/coverage"
+	"cloud9/internal/cvm"
 	"cloud9/internal/interp"
 	"cloud9/internal/posix"
 	"cloud9/internal/state"
@@ -81,13 +85,14 @@ func TestErrorTestCaseHasTriggeringInputs(t *testing.T) {
 }
 
 func TestStrategiesAllComplete(t *testing.T) {
-	mk := map[string]func(tr *tree.Tree) Strategy{
-		"dfs":     func(*tree.Tree) Strategy { return NewDFS() },
-		"bfs":     func(*tree.Tree) Strategy { return NewBFS() },
-		"random":  func(*tree.Tree) Strategy { return NewRandom(7) },
-		"rp":      func(tr *tree.Tree) Strategy { return NewRandomPath(tr, 7) },
-		"cov":     func(*tree.Tree) Strategy { return NewCoverageOptimized(7) },
-		"ff":      func(*tree.Tree) Strategy { return NewFewestFaults() },
+	mk := map[string]func(tr *tree.Tree, d *cfg.Distance) Strategy{
+		"dfs":     func(*tree.Tree, *cfg.Distance) Strategy { return NewDFS() },
+		"bfs":     func(*tree.Tree, *cfg.Distance) Strategy { return NewBFS() },
+		"random":  func(*tree.Tree, *cfg.Distance) Strategy { return NewRandom(7) },
+		"rp":      func(tr *tree.Tree, _ *cfg.Distance) Strategy { return NewRandomPath(tr, 7) },
+		"cov":     func(*tree.Tree, *cfg.Distance) Strategy { return NewCoverageOptimized(7) },
+		"dist":    func(_ *tree.Tree, d *cfg.Distance) Strategy { return NewDistanceOptimized(d, 7) },
+		"ff":      func(*tree.Tree, *cfg.Distance) Strategy { return NewFewestFaults() },
 		"default": nil,
 	}
 	for name, f := range mk {
@@ -133,7 +138,7 @@ func TestJobTransferRoundTrip(t *testing.T) {
 	// with no duplicated or lost paths.
 	mk := func() *Explorer {
 		return newExplorer(t, branchy, Config{
-			Strategy: func(*tree.Tree) Strategy { return NewBFS() },
+			Strategy: func(*tree.Tree, *cfg.Distance) Strategy { return NewBFS() },
 		})
 	}
 	a, b := mk(), mk()
@@ -205,7 +210,7 @@ func TestReplayDeterminism(t *testing.T) {
 	// Transfer EVERY candidate after a few steps; the receiving worker
 	// must reconstruct identical terminal behavior purely from replays.
 	mkA := newExplorer(t, branchy, Config{
-		Strategy: func(*tree.Tree) Strategy { return NewDFS() },
+		Strategy: func(*tree.Tree, *cfg.Distance) Strategy { return NewDFS() },
 	})
 	for i := 0; i < 4; i++ {
 		if _, err := mkA.Step(); err != nil {
@@ -214,7 +219,7 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 	paths := mkA.ExportCandidates(mkA.Tree.NumCandidates() - 1)
 	b := newExplorer(t, branchy, Config{
-		Strategy: func(*tree.Tree) Strategy { return NewDFS() },
+		Strategy: func(*tree.Tree, *cfg.Distance) Strategy { return NewDFS() },
 	})
 	b.Strat.Remove(b.Tree.Root)
 	b.Tree.MarkFence(b.Tree.Root)
@@ -297,5 +302,159 @@ func TestInterleavedForwardsGlobalCoverage(t *testing.T) {
 	g.NotifyGlobalCoverage(0)
 	if got := n.Meta["covYield"]; got != 4 {
 		t.Fatalf("covYield = %v, want 4 (zero delta must not decay)", got)
+	}
+}
+
+// globalProbe records the global-coverage notifications a strategy
+// receives, delegating everything else to an embedded base strategy.
+type globalProbe struct {
+	Strategy
+	got int
+}
+
+func (p *globalProbe) NotifyGlobalCoverage(n int) { p.got += n }
+
+// TestSetStrategyReplaysGlobalCoverage: a strategy hot-swapped in after
+// global overlay deltas arrived must learn about them at the swap — a
+// fresh cov-opt/dist-opt must not run blind until the next MsgCoverage
+// delta happens to arrive.
+func TestSetStrategyReplaysGlobalCoverage(t *testing.T) {
+	e := newExplorer(t, branchy, Config{})
+	// A synthetic peer overlay covering two lines this worker has not
+	// executed yet.
+	var lines []int
+	for ln := range e.In.Prog.CoverableLineSet() {
+		lines = append(lines, ln)
+	}
+	sort.Ints(lines)
+	if len(lines) < 2 {
+		t.Fatal("target too small")
+	}
+	g := coverage.New(e.In.Prog.MaxLine)
+	g.Set(lines[0])
+	g.Set(lines[1])
+	added := e.MergeGlobalCoverage(g)
+	if added != 2 {
+		t.Fatalf("merged %d lines, want 2", added)
+	}
+	// The merge must also reach the distance oracle.
+	if !e.Dist.Covered(lines[0]) || !e.Dist.Covered(lines[1]) {
+		t.Fatal("MergeGlobalCoverage did not sync the distance oracle")
+	}
+	// A strategy swapped in later still hears about the overlay.
+	probe := &globalProbe{Strategy: NewDFS()}
+	e.SetStrategy(probe)
+	if probe.got != added {
+		t.Fatalf("hot-swapped strategy saw %d global lines, want %d", probe.got, added)
+	}
+	// Merging the same overlay again is a no-op (no double notify).
+	if again := e.MergeGlobalCoverage(g); again != 0 {
+		t.Fatalf("re-merge added %d lines, want 0", again)
+	}
+	if probe.got != added {
+		t.Fatalf("re-merge notified the strategy (%d)", probe.got)
+	}
+}
+
+// distTestHarness builds a synthetic two-function program and oracle:
+// "hot" is a two-block chain whose second block stays uncovered, "cold"
+// is a single fully covered block. States placed in them have md2u 1
+// (hot b0), 0 (hot b1), and Unreachable (cold).
+func distTestHarness(t *testing.T) (*cfg.Distance, func(fn string, block int) *tree.Node) {
+	t.Helper()
+	prog := cvm.NewProgram("distopt")
+	hot := &cvm.Func{Name: "hot", NumRegs: 2, Blocks: []*cvm.Block{
+		{Index: 0, Instrs: []cvm.Instr{{Op: cvm.OpConst, Line: 1}, {Op: cvm.OpBr, Imm: 1}}},
+		{Index: 1, Instrs: []cvm.Instr{{Op: cvm.OpConst, Line: 2}, {Op: cvm.OpRet, A: -1}}},
+	}}
+	cold := &cvm.Func{Name: "cold", NumRegs: 2, Blocks: []*cvm.Block{
+		{Index: 0, Instrs: []cvm.Instr{{Op: cvm.OpConst, Line: 3}, {Op: cvm.OpRet, A: -1}}},
+	}}
+	prog.Funcs["hot"], prog.Funcs["cold"] = hot, cold
+	prog.MaxLine = 3
+	d := cfg.NewDistance(cfg.BuildGraph(prog))
+	d.CoverLine(1)
+	d.CoverLine(3) // only line 2 (hot b1) stays uncovered
+	mk := func(fn string, block int) *tree.Node {
+		th := &state.Thread{Stack: []*state.Frame{{Fn: prog.Funcs[fn], Block: block}}}
+		return &tree.Node{State: &state.S{
+			Threads: map[state.ThreadID]*state.Thread{0: th},
+		}}
+	}
+	return d, mk
+}
+
+// TestDistOptPrefersNearUncovered: racing a candidate near uncovered
+// code against a saturated one (and against a distance-less virtual
+// job), dist-opt must pick the near one almost always — the preference
+// is the whole point of the strategy. Deterministic given the seed
+// sweep.
+func TestDistOptPrefersNearUncovered(t *testing.T) {
+	d, mk := distTestHarness(t)
+	race := func(rival *tree.Node) int {
+		near := 0
+		for seed := int64(0); seed < 50; seed++ {
+			s := NewDistanceOptimized(d, seed)
+			nearNode := mk("hot", 1) // md2u 0
+			s.Add(nearNode)
+			s.Add(rival)
+			if s.Select() == nearNode {
+				near++
+			}
+			s.Remove(rival)
+		}
+		return near
+	}
+	if got := race(mk("cold", 0)); got < 48 {
+		t.Errorf("near-vs-saturated: near picked %d/50, want ≥48", got)
+	}
+	// Virtual jobs (no state) rank as "a few branches away": below a
+	// distance-0 state, so imported work cannot drown the nearly-there
+	// frontier, but they must still win occasionally (no starvation).
+	virtual := race(&tree.Node{})
+	if virtual < 40 || virtual == 50 {
+		t.Errorf("near-vs-virtual: near picked %d/50, want ≥40 but not all", virtual)
+	}
+}
+
+// TestDistOptDrainsSaturatedFrontier: once the overlay covers
+// everything (every candidate Unreachable), residual weights must
+// still drain the frontier to completion.
+func TestDistOptDrainsSaturatedFrontier(t *testing.T) {
+	e := newExplorer(t, branchy, Config{
+		Strategy: func(_ *tree.Tree, d *cfg.Distance) Strategy {
+			return NewDistanceOptimized(d, 3)
+		},
+	})
+	// Explore a few steps to get real forked states on the frontier.
+	for i := 0; i < 3; i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Tree.NumCandidates() == 0 {
+		t.Fatal("no candidates")
+	}
+	// Cover everything: every candidate becomes Unreachable.
+	g := coverage.New(e.In.Prog.MaxLine)
+	for ln := range e.In.Prog.CoverableLineSet() {
+		g.Set(ln)
+	}
+	e.MergeGlobalCoverage(g)
+	cands := e.Tree.CandidatesUnder(e.Tree.Root, e.Tree.NumCandidates())
+	for _, c := range cands {
+		if c.State == nil {
+			continue
+		}
+		if d := e.Dist.StateDist(c.State); d < cfg.Unreachable {
+			t.Fatalf("state still %d from uncovered after full overlay", d)
+		}
+	}
+	// The run must still drain to completion on residual weights.
+	if _, err := e.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Done() {
+		t.Fatal("dist-opt failed to drain a saturated frontier")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/coverage"
 	"cloud9/internal/interp"
 	"cloud9/internal/solver"
@@ -43,6 +44,13 @@ type Explorer struct {
 	Tree  *tree.Tree
 	Strat Strategy
 	Cov   *coverage.BitVec
+	// Dist is the worker's static distance-to-uncovered oracle over the
+	// program's CFG (internal/cfg). It is kept in sync with Cov — local
+	// coverage through the OnCover feed, cluster coverage through
+	// MergeGlobalCoverage — and is handed to every strategy constructor;
+	// distance-blind strategies never query it, so it costs nothing
+	// beyond the one-time static pass.
+	Dist *cfg.Distance
 
 	// RecordAllTests also captures test cases for normally exiting
 	// paths (not just errors/hangs).
@@ -55,17 +63,25 @@ type Explorer struct {
 
 	// coverage scratch for the current Advance call.
 	newLines int
+	// globalNew accumulates lines first learned from the cluster's
+	// global overlay; SetStrategy replays it into GlobalCoverageAware
+	// strategies so a hot-swapped searcher doesn't start blind to
+	// coverage the rest of the cluster already banked.
+	globalNew int
 }
 
 // Config bundles explorer construction options.
 type Config struct {
-	Strategy       func(t *tree.Tree) Strategy
+	// Strategy builds the search strategy over the worker's tree and its
+	// distance-to-uncovered oracle (nil: the engine default, random-path
+	// interleaved with cov-opt). Distance-blind strategies ignore d.
+	Strategy       func(t *tree.Tree, d *cfg.Distance) Strategy
 	MaxStateSteps  uint64 // per-path instruction budget (hang detection)
 	RecordAllTests bool
 }
 
 // New builds an explorer for prog's entry function.
-func New(in *interp.Interp, entry string, cfg Config) (*Explorer, error) {
+func New(in *interp.Interp, entry string, c Config) (*Explorer, error) {
 	root, err := in.InitialState(entry)
 	if err != nil {
 		return nil, err
@@ -74,19 +90,20 @@ func New(in *interp.Interp, entry string, cfg Config) (*Explorer, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MaxStateSteps > 0 {
-		root.MaxSteps = cfg.MaxStateSteps
-		pristine.MaxSteps = cfg.MaxStateSteps
+	if c.MaxStateSteps > 0 {
+		root.MaxSteps = c.MaxStateSteps
+		pristine.MaxSteps = c.MaxStateSteps
 	}
 	t := tree.New(root, pristine)
 	e := &Explorer{
 		In:             in,
 		Tree:           t,
 		Cov:            coverage.New(in.Prog.MaxLine),
-		RecordAllTests: cfg.RecordAllTests,
+		Dist:           cfg.NewDistance(cfg.BuildGraph(in.Prog)),
+		RecordAllTests: c.RecordAllTests,
 	}
-	if cfg.Strategy != nil {
-		e.Strat = cfg.Strategy(t)
+	if c.Strategy != nil {
+		e.Strat = c.Strategy(t, e.Dist)
 	} else {
 		e.Strat = NewInterleaved(NewRandomPath(t, 1), NewCoverageOptimized(2))
 	}
@@ -95,6 +112,9 @@ func New(in *interp.Interp, entry string, cfg Config) (*Explorer, error) {
 		if e.Cov.Set(line) {
 			e.newLines++
 			e.Stats.NewLinesEver++
+			// Keep the distance oracle's view of the overlay current;
+			// recomputation is deferred until a strategy actually asks.
+			e.Dist.CoverLine(line)
 		}
 	}
 	return e, nil
@@ -109,11 +129,17 @@ func (e *Explorer) Done() bool { return e.Tree.NumCandidates() == 0 }
 // Used by the cluster layer when the load balancer reassigns a worker's
 // portfolio slot; the swap changes only future selection order, never
 // the candidate set itself, so exploration totals are unaffected.
+//
+// The current global coverage overlay is replayed into the new
+// strategy: coverage-aware searchers discount yield the cluster already
+// banked, and without the replay a hot-swapped one would run blind
+// until the next MsgCoverage delta happened to arrive.
 func (e *Explorer) SetStrategy(s Strategy) {
 	for _, c := range e.Tree.CandidatesUnder(e.Tree.Root, e.Tree.NumCandidates()) {
 		s.Add(c)
 	}
 	e.Strat = s
+	e.NotifyGlobalCoverage(e.globalNew)
 }
 
 // NotifyGlobalCoverage forwards cluster-wide coverage growth (lines
@@ -123,6 +149,22 @@ func (e *Explorer) NotifyGlobalCoverage(newLines int) {
 	if g, ok := e.Strat.(GlobalCoverageAware); ok && newLines > 0 {
 		g.NotifyGlobalCoverage(newLines)
 	}
+}
+
+// MergeGlobalCoverage ORs the cluster's global coverage overlay into
+// the worker's local vector (§3.3's global strategy portal), returning
+// the number of newly learned lines. The delta flows to everything
+// ranking on coverage: the distance oracle re-derives md2u for the
+// functions the delta touched (so dist-opt and cupa(dist,...) re-rank
+// at their next selection), and GlobalCoverageAware strategies are
+// notified so they can discount stale local yield.
+func (e *Explorer) MergeGlobalCoverage(g *coverage.BitVec) int {
+	added := e.Cov.OrEach(g, e.Dist.CoverLine)
+	if added > 0 {
+		e.globalNew += added
+		e.NotifyGlobalCoverage(added)
+	}
+	return added
 }
 
 // Step explores one candidate node: selects it, materializes it if

@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/cluster"
 	"cloud9/internal/cvm"
 	"cloud9/internal/engine"
@@ -86,7 +87,7 @@ func exploreSingle(tgt targets.Target, stepLimit int, maxStateSteps uint64) (*en
 	}
 	e, err := engine.New(in, "main", engine.Config{
 		MaxStateSteps: maxStateSteps,
-		Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+		Strategy:      func(*tree.Tree, *cfg.Distance) engine.Strategy { return engine.NewDFS() },
 	})
 	if err != nil {
 		return nil, err

@@ -203,3 +203,45 @@ func parsePct(t *testing.T, s string) float64 {
 	}
 	return v
 }
+
+// TestDistDirectedBeatsBaselines asserts the PR-5 acceptance shape: a
+// static-distance strategy (dist-opt or cupa(dist,dfs)) reaches the
+// fixed coverage target on memcached in strictly fewer ticks than both
+// the dfs and cov-opt baselines. The lock-step sim is deterministic, so
+// these tick counts are stable across machines; drift means the search
+// or engine layer changed behavior. printf must show the same shape —
+// its deep forking tree is where distance direction pays off most.
+func TestDistDirectedBeatsBaselines(t *testing.T) {
+	tbl, err := DistanceDirected(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: target, final cov, dfs, cov-opt, dist-opt, cupa(dist,dfs), winner.
+	ticksOf := func(row []string, col int) int {
+		v, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatalf("bad tick cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	checked := 0
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[0], "memcached") && row[0] != "printf" {
+			continue
+		}
+		checked++
+		dfs, cov := ticksOf(row, 2), ticksOf(row, 3)
+		distOpt, cupaDist := ticksOf(row, 4), ticksOf(row, 5)
+		bestDist := distOpt
+		if cupaDist < bestDist {
+			bestDist = cupaDist
+		}
+		if bestDist >= dfs || bestDist >= cov {
+			t.Errorf("%s: best dist strategy %d ticks, dfs %d, cov-opt %d — distance direction must win",
+				row[0], bestDist, dfs, cov)
+		}
+	}
+	if checked != 2 {
+		t.Fatalf("expected memcached and printf rows, found %d", checked)
+	}
+}

@@ -3,9 +3,11 @@ package search
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/tree"
 )
 
@@ -17,9 +19,11 @@ type Classifier interface {
 	ClassOf(n *tree.Node) uint64
 }
 
-// ClassifierCtor builds a classifier from its optional integer
-// parameter ("depth:4" → param=4, hasParam=true).
-type ClassifierCtor func(param int, hasParam bool) (Classifier, error)
+// ClassifierCtor builds a classifier from the enclosing Builder (which
+// carries the worker context some classifiers need, e.g. the distance
+// oracle) and its optional integer parameter ("depth:4" → param=4,
+// hasParam=true).
+type ClassifierCtor func(b *Builder, param int, hasParam bool) (Classifier, error)
 
 var (
 	classifierMu  sync.RWMutex
@@ -35,14 +39,14 @@ func RegisterClassifier(name string, ctor ClassifierCtor) {
 }
 
 // classifierByName resolves a registered classifier.
-func classifierByName(name string, param int, hasParam bool) (Classifier, error) {
+func classifierByName(b *Builder, name string, param int, hasParam bool) (Classifier, error) {
 	classifierMu.RLock()
 	ctor := classifierReg[name]
 	classifierMu.RUnlock()
 	if ctor == nil {
-		return nil, fmt.Errorf("search: unknown classifier %q (have %v)", name, classifierNames())
+		return nil, fmt.Errorf("search: unknown classifier %q (have %v)", name, ClassifierNames())
 	}
-	return ctor(param, hasParam)
+	return ctor(b, param, hasParam)
 }
 
 // isClassifier reports whether name is registered as a classifier.
@@ -53,7 +57,10 @@ func isClassifier(name string) bool {
 	return ok
 }
 
-func classifierNames() []string {
+// ClassifierNames lists the registered classifier names, sorted (the
+// strategy-invariant tests sweep them so new classifiers are covered
+// the moment they register).
+func ClassifierNames() []string {
 	classifierMu.RLock()
 	defer classifierMu.RUnlock()
 	names := make([]string, 0, len(classifierReg))
@@ -140,8 +147,37 @@ func (yield) ClassOf(n *tree.Node) uint64 {
 	return uint64(1 + int(math.Log2(y)))
 }
 
+// distBand buckets nodes by the log2 band of their static minimum
+// distance to uncovered code (internal/cfg md2u): band 0 is "at an
+// uncovered line", each further band doubles the distance, and states
+// that cannot reach uncovered code form their own class. Uniform
+// selection over bands keeps near-frontier states from monopolizing
+// attention while still probing far-away lineages — the class-uniform
+// rendering of KLEE's md2u heuristic. Virtual nodes (no program state
+// to locate) and oracle-less builds (Validate against a throwaway
+// tree) fall back to a depth band in a disjoint key space, the same
+// escape hatch the site classifier uses.
+type distBand struct{ d *cfg.Distance }
+
+func (distBand) Name() string { return "dist" }
+
+// CoverageSensitive marks the classifier for CUPA re-banding: md2u
+// bands move whenever the coverage overlay grows.
+func (distBand) CoverageSensitive() {}
+
+func (c distBand) ClassOf(n *tree.Node) uint64 {
+	if c.d == nil || n.State == nil {
+		return (1 << 63) | uint64(n.Depth/8)<<8 | uint64(n.Choice)
+	}
+	dd := c.d.StateDist(n.State)
+	if dd >= cfg.Unreachable {
+		return 1 << 62
+	}
+	return uint64(bits.Len(uint(dd))) // 0; 1; 2-3; 4-7; ...
+}
+
 func init() {
-	RegisterClassifier("depth", func(param int, hasParam bool) (Classifier, error) {
+	RegisterClassifier("depth", func(_ *Builder, param int, hasParam bool) (Classifier, error) {
 		if !hasParam {
 			param = 8
 		}
@@ -150,22 +186,28 @@ func init() {
 		}
 		return depthBand{width: param}, nil
 	})
-	RegisterClassifier("site", func(param int, hasParam bool) (Classifier, error) {
+	RegisterClassifier("site", func(_ *Builder, param int, hasParam bool) (Classifier, error) {
 		if hasParam {
 			return nil, fmt.Errorf("search: site takes no parameter")
 		}
 		return site{}, nil
 	})
-	RegisterClassifier("faults", func(param int, hasParam bool) (Classifier, error) {
+	RegisterClassifier("faults", func(_ *Builder, param int, hasParam bool) (Classifier, error) {
 		if hasParam {
 			return nil, fmt.Errorf("search: faults takes no parameter")
 		}
 		return faults{}, nil
 	})
-	RegisterClassifier("yield", func(param int, hasParam bool) (Classifier, error) {
+	RegisterClassifier("yield", func(_ *Builder, param int, hasParam bool) (Classifier, error) {
 		if hasParam {
 			return nil, fmt.Errorf("search: yield takes no parameter")
 		}
 		return yield{}, nil
+	})
+	RegisterClassifier("dist", func(b *Builder, param int, hasParam bool) (Classifier, error) {
+		if hasParam {
+			return nil, fmt.Errorf("search: dist takes no parameter")
+		}
+		return distBand{d: b.Dist}, nil
 	})
 }

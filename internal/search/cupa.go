@@ -36,19 +36,40 @@ type CUPA struct {
 	keys    []uint64       // keys of non-empty classes
 	keyPos  map[uint64]int // key → index in keys
 	where   map[*tree.Node]uint64
+
+	// Coverage-sensitive classifiers (dist: md2u bands move as the
+	// overlay grows) have their nodes re-banded on coverage growth; a
+	// deterministic node order (slice + swap-remove index, never a map
+	// walk) keeps the re-banding — and thus every later lazy inner
+	// construction and rng draw — reproducible for the lock-step sim.
+	covSensitive bool
+	needReband   bool
+	order        []*tree.Node
+	orderPos     map[*tree.Node]int
+}
+
+// CoverageSensitive marks classifiers whose ClassOf depends on the
+// coverage overlay: CUPA re-banding (see NotifyGlobalCoverage) runs
+// only for these, so stable classifiers (depth, site) never pay a
+// frontier scan.
+type CoverageSensitive interface {
+	CoverageSensitive()
 }
 
 // NewCUPA builds a class-uniform strategy over cls delegating to inner
 // strategies built by newInner (one per class, created on first use).
 func NewCUPA(cls Classifier, newInner func() engine.Strategy, seed int64) *CUPA {
+	_, covSensitive := cls.(CoverageSensitive)
 	return &CUPA{
-		cls:      cls,
-		newInner: newInner,
-		name:     "cupa(" + cls.Name() + ")",
-		rng:      rand.New(rand.NewSource(seed)),
-		classes:  map[uint64]*cupaClass{},
-		keyPos:   map[uint64]int{},
-		where:    map[*tree.Node]uint64{},
+		cls:          cls,
+		newInner:     newInner,
+		name:         "cupa(" + cls.Name() + ")",
+		rng:          rand.New(rand.NewSource(seed)),
+		classes:      map[uint64]*cupaClass{},
+		keyPos:       map[uint64]int{},
+		where:        map[*tree.Node]uint64{},
+		covSensitive: covSensitive,
+		orderPos:     map[*tree.Node]int{},
 	}
 }
 
@@ -106,6 +127,71 @@ func (c *CUPA) Add(n *tree.Node) {
 	cl.count++
 	c.where[n] = k
 	c.pushKey(k)
+	c.track(n)
+}
+
+// track/untrack maintain the deterministic node order re-banding
+// iterates (swap-remove, O(1)); only coverage-sensitive classifiers
+// pay for it.
+func (c *CUPA) track(n *tree.Node) {
+	if !c.covSensitive {
+		return
+	}
+	c.orderPos[n] = len(c.order)
+	c.order = append(c.order, n)
+}
+
+func (c *CUPA) untrack(n *tree.Node) {
+	if !c.covSensitive {
+		return
+	}
+	i, ok := c.orderPos[n]
+	if !ok {
+		return
+	}
+	last := len(c.order) - 1
+	c.order[i] = c.order[last]
+	c.orderPos[c.order[i]] = i
+	c.order = c.order[:last]
+	delete(c.orderPos, n)
+}
+
+// reband re-files every tracked node whose class key moved — md2u
+// bands shift as coverage grows, and a node banded "next to uncovered
+// code" at Add time must not keep that class's selection share after
+// the region saturates. Coverage notifications only mark the need; the
+// scan runs once at the next Select, so a burst of MsgCoverage deltas
+// drained in one mailbox pass costs one frontier pass, not one per
+// message. Iteration follows the deterministic order slice, so lazy
+// inner construction and seed draws stay reproducible.
+func (c *CUPA) reband() {
+	if !c.needReband {
+		return
+	}
+	c.needReband = false
+	for _, n := range c.order {
+		k := c.where[n]
+		k2 := c.cls.ClassOf(n)
+		if k2 == k {
+			continue
+		}
+		cl := c.classes[k]
+		cl.inner.Remove(n)
+		cl.count--
+		if cl.count <= 0 {
+			cl.count = 0
+			c.dropKey(k)
+		}
+		dst := c.classes[k2]
+		if dst == nil {
+			dst = &cupaClass{inner: c.newInner()}
+			c.classes[k2] = dst
+		}
+		dst.inner.Add(n)
+		dst.count++
+		c.where[n] = k2
+		c.pushKey(k2)
+	}
 }
 
 // Remove implements engine.Strategy. Unknown nodes are a no-op.
@@ -115,6 +201,7 @@ func (c *CUPA) Remove(n *tree.Node) {
 		return
 	}
 	delete(c.where, n)
+	c.untrack(n)
 	cl := c.classes[k]
 	cl.inner.Remove(n)
 	cl.count--
@@ -127,6 +214,7 @@ func (c *CUPA) Remove(n *tree.Node) {
 // Select implements engine.Strategy: uniform over non-empty classes,
 // then the class's inner policy.
 func (c *CUPA) Select() *tree.Node {
+	c.reband()
 	for len(c.keys) > 0 {
 		k := c.keys[c.rng.Intn(len(c.keys))]
 		cl := c.classes[k]
@@ -144,6 +232,7 @@ func (c *CUPA) Select() *tree.Node {
 			c.dropKey(k)
 		}
 		delete(c.where, n)
+		c.untrack(n)
 		if n.IsCandidate() {
 			return n
 		}
@@ -155,13 +244,25 @@ func (c *CUPA) Select() *tree.Node {
 // yield classifier and cov-opt inners read is credited once by the
 // explorer; crediting it here too would double-count whenever two
 // coverage-aware strategies share the node (interleave siblings).
-func (c *CUPA) NotifyCoverage(*tree.Node, int) {}
+// Locally covered lines do move md2u bands, though, so a coverage-
+// sensitive classifier re-bands its frontier.
+func (c *CUPA) NotifyCoverage(_ *tree.Node, newLines int) {
+	if newLines > 0 && c.covSensitive {
+		c.needReband = true
+	}
+}
 
 // NotifyGlobalCoverage implements engine.GlobalCoverageAware: global
 // overlay growth is forwarded to every non-empty class's inner (nested
 // CUPAs and cov-opt inners decay their local yield signal — lines the
-// rest of the cluster just covered are no longer new here).
+// rest of the cluster just covered are no longer new here), and a
+// coverage-sensitive classifier re-bands the frontier (a node filed
+// "next to uncovered code" must lose that class once the cluster
+// saturates the region).
 func (c *CUPA) NotifyGlobalCoverage(newLines int) {
+	if newLines > 0 && c.covSensitive {
+		c.needReband = true
+	}
 	for _, k := range c.keys {
 		if g, ok := c.classes[k].inner.(engine.GlobalCoverageAware); ok {
 			g.NotifyGlobalCoverage(newLines)

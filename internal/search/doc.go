@@ -24,10 +24,10 @@
 // A strategy is described by a spec string, parsed by Parse and built
 // by Build:
 //
-//	dfs | bfs | random | random-path | cov-opt | fewest-faults
+//	dfs | bfs | random | random-path | cov-opt | dist-opt | fewest-faults
 //	interleave(SPEC, SPEC, ...)
 //	cupa(CLASSIFIER[, CLASSIFIER...], SPEC)
-//	CLASSIFIER := depth[:bandwidth] | site | faults | yield
+//	CLASSIFIER := depth[:bandwidth] | site | faults | yield | dist
 //
 // Specs are plain strings, so the load balancer can assign them at
 // Hello, carry them in membership messages, and hand a worker a new one
@@ -36,13 +36,35 @@
 // derive their seeds deterministically from the seed passed to Build,
 // which is how the lock-step simulation stays bit-for-bit reproducible.
 //
+// # Distance-to-uncovered strategies
+//
+// dist-opt and the dist classifier rank states by the static minimum
+// distance to uncovered code (md2u) computed by internal/cfg over the
+// program's control-flow and call graphs: dist-opt samples candidates
+// proportionally to 1/(1+md2u)² (KLEE's coverage-optimized searcher
+// proper, where cov-opt only rewards yield after the fact), and
+// cupa(dist,...) draws uniformly over log2 distance bands. Both read
+// the worker's shared distance oracle (Builder.Dist, supplied by the
+// engine), which re-derives distances incrementally as the local and
+// global coverage overlays grow — so a MsgCoverage delta from the rest
+// of the cluster re-ranks the frontier at the next selection: dist-opt
+// computes weights fresh at Select, and CUPA re-bands the nodes of a
+// CoverageSensitive classifier on every coverage notification (a node
+// filed "next to uncovered code" loses that class's selection share
+// once the region saturates). Builds
+// without an oracle (spec Validate on the LB, which loads no program)
+// degrade to neutral ranking instead of failing, so dist specs are
+// valid portfolio entries everywhere.
+//
 // New policies plug in without touching this package's core:
 //
 //	search.RegisterStrategy("my-strat", func(b *search.Builder, args []*search.Spec) (engine.Strategy, error) { ... })
-//	search.RegisterClassifier("my-class", func(param int, hasParam bool) (search.Classifier, error) { ... })
+//	search.RegisterClassifier("my-class", func(b *search.Builder, param int, hasParam bool) (search.Classifier, error) { ... })
 //
 // after which "cupa(my-class,my-strat)" is a valid spec everywhere a
-// spec is accepted (worker flags, LB portfolios, the sim).
+// spec is accepted (worker flags, LB portfolios, the sim) — and is
+// swept automatically by the strategy-invariant property tests, which
+// assemble their spec list from these registries.
 //
 // # Portfolios
 //

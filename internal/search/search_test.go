@@ -38,13 +38,33 @@ func buildTestTree(nLeaves int, seed int64) (*tree.Tree, []*tree.Node) {
 	return t, leaves
 }
 
-// invariantSpecs are the specs the property test sweeps: every
-// registered base strategy plus layered CUPA variants.
-var invariantSpecs = []string{
-	"dfs", "bfs", "random", "cov-opt", "fewest-faults",
-	"interleave(dfs,bfs)", "interleaved",
-	"cupa(depth:4,dfs)", "cupa(site,random)", "cupa(yield,cov-opt)",
-	"cupa(faults,bfs)", "cupa(site,depth:2,dfs)", "cupa(depth,cupa(faults,random))",
+// invariantSpecs assembles the spec sweep from the live registries —
+// every registered base strategy and a cupa(<classifier>,dfs) per
+// registered classifier, so a new registration (e.g. dist / dist-opt)
+// is property-tested the moment it exists — plus hand-picked layered
+// composites the generated list would miss.
+func invariantSpecs() []string {
+	specs := []string{
+		"interleave(dfs,bfs)", "interleaved",
+		"cupa(depth:4,dfs)", "cupa(site,random)", "cupa(yield,cov-opt)",
+		"cupa(site,depth:2,dfs)", "cupa(depth,cupa(faults,random))",
+		"cupa(depth:4,dist-opt)",
+	}
+	for _, name := range StrategyNames() {
+		switch name {
+		case "random-path":
+			continue // tree-walking contract: TestRandomPathInvariants
+		case "cupa":
+			continue // argument-less form is invalid; classifier sweep below
+		case "interleave", "interleaved":
+			continue // default args build random-path; composites above cover them
+		}
+		specs = append(specs, name)
+	}
+	for _, cls := range ClassifierNames() {
+		specs = append(specs, fmt.Sprintf("cupa(%s,dfs)", cls))
+	}
+	return specs
 }
 
 // TestStrategyInvariants checks, for every spec: Select only ever
@@ -52,10 +72,10 @@ var invariantSpecs = []string{
 // an unknown node is a no-op; and the strategy drains exactly the
 // surviving candidate set (no losses, no duplicates).
 func TestStrategyInvariants(t *testing.T) {
-	for _, spec := range invariantSpecs {
+	for _, spec := range invariantSpecs() {
 		t.Run(spec, func(t *testing.T) {
 			tr, leaves := buildTestTree(120, 7)
-			s, err := Build(spec, tr, 42)
+			s, err := Build(spec, tr, nil, 42)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -118,7 +138,7 @@ func TestStrategyInvariants(t *testing.T) {
 // candidate set, not the Added set.
 func TestRandomPathInvariants(t *testing.T) {
 	tr, _ := buildTestTree(60, 3)
-	s, err := Build("random-path", tr, 5)
+	s, err := Build("random-path", tr, nil, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +228,7 @@ func TestCUPAClassUniform(t *testing.T) {
 	}
 	deep := tr.AddChild(deepParent, 0, tree.Materialized, tree.Candidate, nil)
 
-	s, err := Build("cupa(depth:8,dfs)", tr, 17)
+	s, err := Build("cupa(depth:8,dfs)", tr, nil, 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +322,7 @@ func TestParsePortfolio(t *testing.T) {
 func TestBuildDeterminism(t *testing.T) {
 	run := func(seed int64) []int {
 		tr, leaves := buildTestTree(80, 23)
-		s, err := Build("cupa(depth:4,random)", tr, seed)
+		s, err := Build("cupa(depth:4,random)", tr, nil, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,5 +347,83 @@ func TestBuildDeterminism(t *testing.T) {
 	}
 	if c := run(8); fmt.Sprint(a) == fmt.Sprint(c) && len(a) > 10 {
 		t.Fatal("different seeds should diverge")
+	}
+}
+
+// fakeBander is a coverage-sensitive test classifier whose banding
+// can be flipped mid-run, standing in for dist's moving md2u bands.
+type fakeBander struct{ gen *int }
+
+func (fakeBander) Name() string       { return "fake" }
+func (fakeBander) CoverageSensitive() {}
+func (f fakeBander) ClassOf(n *tree.Node) uint64 {
+	if *f.gen == 0 {
+		return 0 // everything one class
+	}
+	return uint64(n.Depth % 2) // then split by depth parity
+}
+
+// TestCUPARebandsCoverageSensitive: when a coverage-sensitive
+// classifier's bands move (as dist's do whenever the overlay grows),
+// a coverage notification must re-file the frontier under the new
+// classes — batched to one scan at the next Select, however many
+// notifications arrived — and the strategy must still drain exactly
+// the candidate set afterwards.
+func TestCUPARebandsCoverageSensitive(t *testing.T) {
+	tr, leaves := buildTestTree(60, 31)
+	gen := 0
+	s := NewCUPA(fakeBander{gen: &gen}, func() engine.Strategy { return engine.NewDFS() }, 9)
+	for _, n := range leaves {
+		s.Add(n)
+	}
+	if s.NumClasses() != 1 {
+		t.Fatalf("pre-reband classes = %d, want 1", s.NumClasses())
+	}
+	// Bands move; a zero delta must NOT trigger re-banding, a positive
+	// one must — observed after the next Select (re-banding is deferred
+	// so a burst of deltas costs one frontier scan).
+	gen = 1
+	s.NotifyGlobalCoverage(0)
+	tr.MarkDead(s.Select())
+	if s.NumClasses() != 1 {
+		t.Fatalf("zero delta re-banded (%d classes)", s.NumClasses())
+	}
+	s.NotifyGlobalCoverage(3)
+	s.NotifyGlobalCoverage(2) // coalesces with the previous delta
+	tr.MarkDead(s.Select())
+	if s.NumClasses() != 2 {
+		t.Fatalf("post-reband classes = %d, want 2", s.NumClasses())
+	}
+	// The re-filed frontier still drains exactly once each.
+	seen := 2 // the two nodes consumed above
+	picked := map[*tree.Node]bool{}
+	for {
+		n := s.Select()
+		if n == nil {
+			break
+		}
+		if picked[n] {
+			t.Fatal("node selected twice after re-banding")
+		}
+		picked[n] = true
+		seen++
+		tr.MarkDead(n)
+	}
+	if seen != len(leaves) {
+		t.Fatalf("drained %d of %d after re-banding", seen, len(leaves))
+	}
+	// Local coverage notifications re-band too (md2u moves on locally
+	// covered lines, not only on MsgCoverage).
+	gen = 0
+	s2 := NewCUPA(fakeBander{gen: &gen}, func() engine.Strategy { return engine.NewDFS() }, 9)
+	tr2, leaves2 := buildTestTree(40, 5) // tr2 consumed by the MarkDead below
+	for _, n := range leaves2 {
+		s2.Add(n)
+	}
+	gen = 1
+	s2.NotifyCoverage(leaves2[0], 2)
+	tr2.MarkDead(s2.Select())
+	if s2.NumClasses() != 2 {
+		t.Fatalf("local-coverage reband classes = %d, want 2", s2.NumClasses())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/engine"
 	"cloud9/internal/tree"
 )
@@ -176,11 +177,14 @@ func StrategyNames() []string {
 }
 
 // Builder carries the context a strategy constructor needs: the worker's
-// execution tree and a deterministic seed stream (every randomized
-// sub-strategy pulls a distinct, reproducible seed — the lock-step sim
-// depends on it).
+// execution tree, its distance-to-uncovered oracle (nil when the build
+// has no program attached — e.g. Validate — in which case distance
+// strategies degrade gracefully rather than fail), and a deterministic
+// seed stream (every randomized sub-strategy pulls a distinct,
+// reproducible seed — the lock-step sim depends on it).
 type Builder struct {
 	Tree *tree.Tree
+	Dist *cfg.Distance
 	seed int64
 }
 
@@ -209,23 +213,27 @@ func (b *Builder) Build(s *Spec) (engine.Strategy, error) {
 	return ctor(b, s.Args)
 }
 
-// Build parses spec and constructs the strategy over t. seed drives
-// every randomized component deterministically: the same (spec, seed)
-// always yields the same selection sequence.
-func Build(spec string, t *tree.Tree, seed int64) (engine.Strategy, error) {
+// Build parses spec and constructs the strategy over t. d is the
+// worker's distance oracle (nil allowed: distance strategies fall back
+// to neutral ranking). seed drives every randomized component
+// deterministically: the same (spec, seed) always yields the same
+// selection sequence.
+func Build(spec string, t *tree.Tree, d *cfg.Distance, seed int64) (engine.Strategy, error) {
 	ast, err := Parse(spec)
 	if err != nil {
 		return nil, err
 	}
-	b := &Builder{Tree: t, seed: seed}
+	b := &Builder{Tree: t, Dist: d, seed: seed}
 	return b.Build(ast)
 }
 
 // Validate checks that spec parses and builds (against a throwaway
-// tree). Use it to reject bad portfolio entries at configuration time,
-// before a worker ever joins.
+// tree, with no distance oracle). Use it to reject bad portfolio
+// entries at configuration time, before a worker ever joins — notably
+// the load balancer validates portfolios without loading any program,
+// which is why distance strategies must build with a nil oracle.
 func Validate(spec string) error {
-	_, err := Build(spec, tree.New(nil, nil), 1)
+	_, err := Build(spec, tree.New(nil, nil), nil, 1)
 	return err
 }
 
@@ -290,6 +298,9 @@ func init() {
 	RegisterStrategy("cov-opt", func(b *Builder, args []*Spec) (engine.Strategy, error) {
 		return engine.NewCoverageOptimized(b.DeriveSeed()), noArgs("cov-opt", args)
 	})
+	RegisterStrategy("dist-opt", func(b *Builder, args []*Spec) (engine.Strategy, error) {
+		return engine.NewDistanceOptimized(b.Dist, b.DeriveSeed()), noArgs("dist-opt", args)
+	})
 	RegisterStrategy("fewest-faults", func(b *Builder, args []*Spec) (engine.Strategy, error) {
 		return engine.NewFewestFaults(), noArgs("fewest-faults", args)
 	})
@@ -329,7 +340,7 @@ func init() {
 			if len(a.Args) > 0 {
 				return nil, fmt.Errorf("search: classifier %q cannot take spec arguments", a.Name)
 			}
-			cls, err := classifierByName(a.Name, a.Param, a.HasParam)
+			cls, err := classifierByName(b, a.Name, a.Param, a.HasParam)
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"cloud9/internal/cfg"
 	"cloud9/internal/engine"
 	"cloud9/internal/state"
 	"cloud9/internal/tree"
@@ -17,7 +18,7 @@ func explorerFor(t *testing.T, tgt Target, maxSteps uint64) *engine.Explorer {
 	}
 	e, err := engine.New(in, "main", engine.Config{
 		MaxStateSteps: maxSteps,
-		Strategy:      func(*tree.Tree) engine.Strategy { return engine.NewDFS() },
+		Strategy:      func(*tree.Tree, *cfg.Distance) engine.Strategy { return engine.NewDFS() },
 	})
 	if err != nil {
 		t.Fatal(err)
