@@ -417,6 +417,50 @@ func BenchmarkBranchQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkIntervalBranch measures a branch site whose condition is
+// decidable from the incrementally maintained variable bounds alone: a
+// 256-deep chain of range constraints pins every byte below 50, and the
+// queried conditions compare those bytes against constants far outside
+// that range. The interval tier answers both Fork directions from the
+// memoized bounds with zero search; the reference path runs the full
+// from-scratch pipeline twice per site. Gated by ci/bench_baseline.json.
+func BenchmarkIntervalBranch(b *testing.B) {
+	cs := solver.EmptySet
+	for i := 0; i < 256; i++ {
+		cs = cs.Append(expr.Ult(expr.Var(uint64(i%64), "v"), expr.Const(50, expr.W8)))
+	}
+	cond := func(i int) *expr.Expr {
+		// v < 200+i%50 — true for every v in [0,49], decided by bounds.
+		return expr.Ult(expr.Var(uint64(i%64), "v"), expr.Const(uint64(200+i%50), expr.W8))
+	}
+	b.Run("interval", func(b *testing.B) {
+		s := solver.New()
+		if ok, err := s.CheckSat(cs); err != nil || !ok {
+			b.Fatal("chain must be sat")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, fl, err := s.Fork(cs, cond(i))
+			if err != nil || !tr || fl {
+				b.Fatalf("bounds must decide the branch: %v %v %v", tr, fl, err)
+			}
+		}
+	})
+	b.Run("full-search", func(b *testing.B) {
+		s := solver.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := cond(i)
+			if _, err := s.ReferenceMayBeTrue(cs, q); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.ReferenceMayBeTrue(cs, expr.Not(q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkIncrementalAppendSolve measures growing a path condition to
 // depth 256 with a feasibility check after every append — the
 // interpreter's access pattern. The incremental path extends the

@@ -7,7 +7,15 @@
 # side effect of a perf or strategy PR.
 #
 # Pinned counts (see ROADMAP.md):
-#   printf 2136 / memcached 312 / lighttpd 64 / test 540
+#   printf 2136 / memcached 312 / lighttpd 64 / test 552
+#
+# test was re-pinned 540 -> 552 when the solver's interval tier landed:
+# the seed solver budget-killed 6 states on this target (ErrBudget, the
+# SMT-timeout analog — `c9 -target test` reported "solver killed: 6"),
+# silently dropping their subtrees. Interval bounds decide those queries
+# without search, so the kills went to zero and the 12 rescued paths are
+# real. Every interval verdict was cross-checked against the reference
+# pipeline on this workload before re-pinning.
 #
 # Usage: ci/exactness.sh
 set -euo pipefail
@@ -16,7 +24,7 @@ declare -A WANT=(
   [printf]=2136
   [memcached]=312
   [lighttpd]=64
-  [test]=540
+  [test]=552
 )
 
 BIN="$(mktemp -d)"
@@ -26,7 +34,9 @@ go build -o "$BIN" ./cmd/c9
 fail=0
 for tgt in printf memcached lighttpd test; do
   echo "== $tgt (want ${WANT[$tgt]} paths)"
-  got=$("$BIN/c9" -target "$tgt" -tests=false | awk '/^paths explored:/ {print $3}')
+  out=$("$BIN/c9" -target "$tgt" -tests=false)
+  got=$(awk '/^paths explored:/ {print $3}' <<<"$out")
+  queries=$(awk '/^solver queries:/ {print $3}' <<<"$out")
   if [[ -z "$got" ]]; then
     echo "exactness: FAIL — $tgt printed no path count" >&2
     fail=1
@@ -36,7 +46,9 @@ for tgt in printf memcached lighttpd test; do
     echo "exactness: FAIL — $tgt explored $got paths, pinned ${WANT[$tgt]}" >&2
     fail=1
   else
-    echo "== $tgt OK ($got paths)"
+    # Query counts are informational (tracked for the solver-tier perf
+    # trajectory); only path counts are pinned.
+    echo "== $tgt OK ($got paths, ${queries:-?} solver queries)"
   fi
 done
 

@@ -14,19 +14,22 @@
 # Usage: ci/tcp_smoke.sh [target] [port]
 # Env:   PORTFOLIO  overrides the strategy mix (comma-separated specs).
 #        KILL_DELAY seconds between the victim joining and the kill -9
-#                   (default 1; fast targets need a shorter fuse so the
-#                   kill lands before the cluster drains the tree).
+#                   (default 0: since the solver's interval tier landed,
+#                   every miniature drains in under a second, so the
+#                   kill must fire the moment the victim joins — any
+#                   later and it races the run's natural completion.
+#                   Quiescence cannot be declared around a silent
+#                   member, so the eviction and re-seat still always
+#                   happen before the LB can finish).
 #
 # PR CI runs the fast single-target form (`test`); the nightly gauntlet
 # runs the matrix (`test` + `printf`) through the same script.
 set -euo pipefail
 
 PORTFOLIO="${PORTFOLIO:-cupa(dist,dfs),dist-opt,dfs}"
-KILL_DELAY="${KILL_DELAY:-1}"
+KILL_DELAY="${KILL_DELAY:-0}"
 
-# The coreutils `test` miniature explores ~540 paths in ~10s on one
-# node, long enough that the mid-run kill below lands while all three
-# workers still hold jobs.
+# The coreutils `test` miniature explores ~552 paths.
 TARGET="${1:-test}"
 PORT="${2:-7911}"
 BIN="$(mktemp -d)"
@@ -47,10 +50,12 @@ echo "== reference: $REF paths"
 
 echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; will kill -9 one mid-run)"
 # Lease must exceed the worst single solver query (a worker cannot
-# heartbeat mid-step), but stay well under the post-kill run time so the
-# eviction + re-seat actually happens before quiescence.
+# heartbeat mid-step — microseconds now that the interval tier answers
+# most branch queries), but stay well under the post-kill run time so
+# the eviction + re-seat actually happens before quiescence. The
+# interval tier shrank these runs to a second or two, hence 500ms.
 "$BIN/c9-lb" -listen "127.0.0.1:$PORT" -target "$TARGET" -min-workers 3 \
-  -portfolio "$PORTFOLIO" -lease 2s -max-duration 5m >"$LOGS/lb.txt" 2>&1 &
+  -portfolio "$PORTFOLIO" -lease 500ms -max-duration 5m >"$LOGS/lb.txt" 2>&1 &
 LB_PID=$!
 sleep 1
 
@@ -61,10 +66,15 @@ for i in 0 1 2; do
   WPIDS+=($!)
 done
 
-# Kill worker 1 once the run is underway (it has joined and the cluster
-# is exploring), well before the LB can be done.
+# Kill worker 1 once the run is underway: every worker has joined (the
+# LB's min-workers barrier lifts and dispatch begins), so the victim is
+# a full member the survivors must be re-seated around.
 for _ in $(seq 1 200); do
-  grep -q "joined as worker" "$LOGS/worker1.txt" 2>/dev/null && break
+  n=0
+  for i in 0 1 2; do
+    grep -q "joined as worker" "$LOGS/worker$i.txt" 2>/dev/null && n=$((n + 1))
+  done
+  [[ "$n" -eq 3 ]] && break
   sleep 0.05
 done
 sleep "$KILL_DELAY"

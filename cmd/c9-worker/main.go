@@ -86,8 +86,9 @@ func main() {
 		w.ID, w.Exp.Stats.PathsExplored, w.Exp.Stats.Errors, w.Exp.Stats.Hangs,
 		w.Exp.Stats.UsefulSteps, w.Exp.Stats.ReplaySteps, len(w.Exp.Tests), w.Departed())
 	ss := w.Exp.In.Solver.Stats.Snapshot()
-	fmt.Printf("c9-worker %d: solver queries=%d cache=%.0f%% model-reuse=%.0f%% subsume=%d group-hits=%d fork-fast=%.0f%%\n",
+	fmt.Printf("c9-worker %d: solver queries=%d cache=%.0f%% model-reuse=%.0f%% interval=%d fork-interval=%.0f%% subsume=%d group-hits=%d fork-fast=%.0f%%\n",
 		w.ID, ss.Queries, pct(ss.CacheHits, ss.Queries), pct(ss.ModelReuse, ss.Queries),
+		ss.IntervalSat+ss.IntervalUnsat, pct(ss.ForkIntervalHits, ss.ForkQueries),
 		ss.SubsumeSat+ss.SubsumeUnsat, ss.GroupCacheHits, pct(ss.ForkFastHits, ss.ForkQueries))
 }
 

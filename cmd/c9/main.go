@@ -146,6 +146,7 @@ func main() {
 		e.Cov.Count(), coverable, 100*float64(e.Cov.Count())/float64(max(1, coverable)))
 	ss := in.Solver.Stats.Snapshot()
 	fmt.Printf("solver queries:   %d\n", ss.Queries)
+	fmt.Printf("solver killed:    %d\n", e.Stats.SolverKilled)
 	if *showStats {
 		printSolverStats(ss)
 	}
@@ -168,9 +169,10 @@ func main() {
 	}
 }
 
-// printSolverStats reports the solver cache layers' hit rates: the
-// result cache, witness-model reuse, the subsumption cache, the group
-// cache, the fused-branch fast path, and the incremental state table.
+// printSolverStats reports the solver query-pipeline hit rates: the
+// result cache, witness-model reuse, the interval tier, the subsumption
+// cache, the group cache, the fused-branch fast path, and the
+// incremental state table.
 func printSolverStats(ss solver.Stats) {
 	pct := func(hits, total uint64) float64 {
 		if total == 0 {
@@ -181,11 +183,15 @@ func printSolverStats(ss solver.Stats) {
 	fmt.Printf("solver caches:\n")
 	fmt.Printf("  result cache:   %d hits (%.1f%% of queries)\n", ss.CacheHits, pct(ss.CacheHits, ss.Queries))
 	fmt.Printf("  model reuse:    %d hits (%.1f%% of queries)\n", ss.ModelReuse, pct(ss.ModelReuse, ss.Queries))
+	fmt.Printf("  interval tier:  %d sat + %d unsat decided (%.1f%% of queries), %d empty sets, %d seeded searches\n",
+		ss.IntervalSat, ss.IntervalUnsat, pct(ss.IntervalSat+ss.IntervalUnsat, ss.Queries),
+		ss.IntervalEmpty, ss.IntervalSeeds)
 	fmt.Printf("  subsumption:    %d sat + %d unsat hits (%.1f%% of queries)\n",
 		ss.SubsumeSat, ss.SubsumeUnsat, pct(ss.SubsumeSat+ss.SubsumeUnsat, ss.Queries))
 	fmt.Printf("  group cache:    %d hits\n", ss.GroupCacheHits)
-	fmt.Printf("  fork fast path: %d of %d branch queries (%.1f%%)\n",
-		ss.ForkFastHits, ss.ForkQueries, pct(ss.ForkFastHits, ss.ForkQueries))
+	fmt.Printf("  fork fast path: %d fused + %d interval of %d branch queries (%.1f%%)\n",
+		ss.ForkFastHits, ss.ForkIntervalHits, ss.ForkQueries,
+		pct(ss.ForkFastHits+ss.ForkIntervalHits, ss.ForkQueries))
 	fmt.Printf("  state memo:     %d hits, %d extends\n", ss.StateHits, ss.StateExtends)
 	fmt.Printf("  group searches: %d (%d backtracks), %d unit folds\n",
 		ss.SolverRuns, ss.Backtracks, ss.UnitPropFolds)

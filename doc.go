@@ -94,7 +94,7 @@
 // once per PR and gates on the committed baseline in ci/. The nightly
 // workflow (.github/workflows/nightly.yml) runs the full-cluster
 // gauntlet: the exploration-exactness gate (ci/exactness.sh pins
-// printf 2136 / memcached 312 / lighttpd 64 / test 540 paths), the
+// printf 2136 / memcached 312 / lighttpd 64 / test 552 paths), the
 // complete experiment suite with result tables uploaded as artifacts,
 // and the TCP kill -9 smoke matrix under the dist-strategy portfolio.
 package cloud9

@@ -9,29 +9,48 @@
 // unit-propagation fixpoint, independence partition, witness model — of
 // every set node it has seen (incremental.go), deriving a child's state
 // from its parent's in time proportional to the new constraint's cone
-// instead of the whole set. The query layers, from the outside in:
+// instead of the whole set.
 //
-//  1. a result cache keyed on structural hashes (O(1) to compute:
+// A query runs through a three-tier pipeline, each tier strictly
+// cheaper than the next and consulted first:
+//
+// Tier 1 — interval abstraction (interval.go). Every memoized set state
+// carries per-variable [lo,hi] bounds, a sound over-approximation of
+// the set's solutions refined incrementally on Append (unit adoption
+// plus a capped backward-narrowing fixpoint over the fresh groups, COW-
+// shared with the parent when nothing narrowed). Branch conditions
+// whose abstract value collapses to [1,1] or [0,0] are answered with
+// zero search — a Fork settles BOTH directions from one evaluation —
+// and a set whose bounds go empty is proved unsat before any group
+// assembly. Interval-true implies sat only because the engine queries
+// conditions against feasible path conditions (the same invariant the
+// fused Fork fast path relies on), so the tier is bypassed for
+// model-producing queries.
+//
+// Tier 2 — exact caches over query structure:
+//
+//   - a result cache keyed on structural hashes (O(1) to compute:
 //     expressions are hash-consed, see package expr), with budget
 //     failures stamped by the budget they failed under,
-//  2. witness-model reuse: each set carries a model known to satisfy
-//     it; one evaluation answers a query the model already witnesses
-//     (and decides one direction of every Fork branch query for free),
-//  3. a counterexample/model subsumption cache keyed on sorted
-//     conjunct-hash sets (subsume.go): supersets of known-unsat sets
-//     are unsat, subsets of known-sat sets reuse the stored model —
-//     the paper's §6 "Constraint Caches",
-//  4. incremental unit propagation of equalities with constants,
-//     re-run only over the new constraint's cone,
-//  5. independence partitioning (KLEE's independent-constraint
-//     optimization), maintained by merging the one or two groups a new
-//     constraint touches; only groups sharing variables with the query
-//     are solved, and solved groups are memoized order-insensitively
-//     in a group cache,
-//  6. interval pruning from unary comparisons, and
-//  7. backtracking search with forward checking over 256-value
-//     domains, with per-constraint unbound counts maintained
-//     incrementally on bind/unbind.
+//   - witness-model reuse: each set carries a model known to satisfy
+//     it; one evaluation answers a query the model already witnesses,
+//   - a counterexample/model subsumption cache keyed on sorted
+//     conjunct-hash sets (subsume.go), indexed past a small linear
+//     threshold by per-base buckets plus a UBTree set-trie on the
+//     unsat side: supersets of known-unsat sets are unsat, subsets of
+//     known-sat sets reuse the stored model — the paper's §6
+//     "Constraint Caches".
+//
+// Tier 3 — the search itself: incremental unit propagation of
+// equalities with constants (re-run only over the new constraint's
+// cone), independence partitioning (KLEE's independent-constraint
+// optimization; only groups sharing variables with the query are
+// solved, solved groups memoized order-insensitively in a group cache),
+// and backtracking search with forward checking over 256-value word-
+// mask domains. Searches that do run start from interval-narrowed
+// domains — except model-producing ones, which stay unseeded so the
+// group cache holds only canonical models (§6: cached inputs must
+// replay identically everywhere).
 //
 // The pre-incremental from-scratch pipeline survives as the reference
 // implementation (ReferenceMayBeTrue/ReferenceSolve); differential

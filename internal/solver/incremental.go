@@ -46,6 +46,12 @@ type setState struct {
 	// constraints, with units substituted away. Untouched groups are
 	// pointer-shared with the parent state.
 	groups []*igroup
+	// bounds is the per-variable interval abstraction of this set: a
+	// sound over-approximation of its solutions, derived incrementally
+	// alongside units/groups and shared with the parent state when the
+	// extension narrowed nothing (see interval.go). Queries consult it
+	// as their first tier, before any cache or search.
+	bounds boundsMap
 	// model, when non-nil, is an assignment known to witness the
 	// satisfiability of this set: it satisfies units and every solved
 	// group (unsolved groups are independently satisfiable by the
@@ -157,12 +163,14 @@ func (s *Solver) extend(parent *setState, c *expr.Expr) *setState {
 		units:    parent.units,
 		unitVars: parent.unitVars,
 		groups:   parent.groups,
+		bounds:   parent.bounds,
 	}
 	if len(st.units) > 0 {
 		c = c.SubstConstsWith(st.units, st.unitVars)
 	}
 	pool := flatten(c, s.poolScratch[:0])
 	unitsOwned, groupsOwned := false, false
+	ref := boundsRefiner{b: parent.bounds}
 
 	for len(pool) > 0 {
 		// Scan the pool: fold constants, harvest unit equalities.
@@ -215,6 +223,18 @@ func (s *Solver) extend(parent *setState, c *expr.Expr) *setState {
 		}
 		for id, v := range gathered {
 			st.units[id] = v
+			// A unit pins the variable's interval to a point. The
+			// narrowings commute (interval intersection), so map order
+			// does not affect the result.
+			ref.narrowVar(id, ival{uint64(v), uint64(v)})
+		}
+		if ref.conflict {
+			// The unit lands outside bounds an earlier constraint
+			// established: the extended set has an empty interval.
+			atomic.AddUint64(&s.Stats.IntervalEmpty, 1)
+			st.unsat = true
+			s.poolScratch = pool[:0]
+			return st
 		}
 		bound := gathered.VarSet()
 		st.unitVars = st.unitVars.Union(bound)
@@ -268,6 +288,34 @@ func (s *Solver) extend(parent *setState, c *expr.Expr) *setState {
 		st.groups = append(kept, merged)
 	}
 	s.poolScratch = pool[:0]
+
+	// Refine the bounds from the groups this extension created or
+	// rewrote (the ones not pointer-shared with the parent; surviving
+	// parent groups keep their relative order, so a two-pointer
+	// subsequence match identifies them). Parent-shared groups were
+	// already propagated when their own extension built them.
+	fresh := s.groupScratch[:0]
+	inh := 0
+	for _, g := range st.groups {
+		shared := false
+		for inh < len(parent.groups) {
+			match := parent.groups[inh] == g
+			inh++
+			if match {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			fresh = append(fresh, g)
+		}
+	}
+	if len(fresh) > 0 && !refineBounds(&ref, fresh) {
+		atomic.AddUint64(&s.Stats.IntervalEmpty, 1)
+		st.unsat = true
+	}
+	s.groupScratch = fresh[:0]
+	st.bounds = ref.b
 	return st
 }
 

@@ -189,11 +189,14 @@ func TestBudgetRaiseRetriesQuery(t *testing.T) {
 }
 
 // A superset of a known-unsat constraint set is answered unsat by
-// subsumption, without a group search.
+// subsumption, without a group search. The contradiction lives in
+// two-variable sum constraints the interval tier cannot see through
+// (Add over two unbounded bytes abstracts to the full range), so the
+// query genuinely reaches the subsumption cache.
 func TestSubsumptionSupersetUnsat(t *testing.T) {
 	s := New()
-	cs := EmptySet.Append(expr.Ult(v(0), c8(5)))
-	cond := expr.Ult(c8(9), v(0)) // v0 < 5 ∧ v0 > 9: unsat via search
+	cs := EmptySet.Append(expr.Eq(c8(10), expr.Add(v(0), v(1))))
+	cond := expr.Eq(c8(20), expr.Add(v(0), v(1))) // sum ≡ 10 ∧ sum ≡ 20: unsat via search
 	sat, err := s.MayBeTrue(cs, cond)
 	if err != nil || sat {
 		t.Fatalf("seed query should be unsat: %v %v", sat, err)

@@ -30,6 +30,13 @@ type Stats struct {
 	Backtracks     uint64 // value choices undone
 	Unsat          uint64 // queries found unsatisfiable
 	UnitPropFolds  uint64 // constraints discharged by unit propagation
+
+	// Interval-abstraction tier (interval.go).
+	IntervalSat      uint64 // queries answered sat: cond true on the whole interval box
+	IntervalUnsat    uint64 // queries answered unsat: cond false on the whole interval box
+	IntervalEmpty    uint64 // extensions proven unsat by an empty interval
+	ForkIntervalHits uint64 // Forks with both directions decided by intervals
+	IntervalSeeds    uint64 // group searches started from interval-narrowed domains
 }
 
 // Snapshot returns a consistent copy of the counters.
@@ -49,6 +56,12 @@ func (s *Stats) Snapshot() Stats {
 		Backtracks:     atomic.LoadUint64(&s.Backtracks),
 		Unsat:          atomic.LoadUint64(&s.Unsat),
 		UnitPropFolds:  atomic.LoadUint64(&s.UnitPropFolds),
+
+		IntervalSat:      atomic.LoadUint64(&s.IntervalSat),
+		IntervalUnsat:    atomic.LoadUint64(&s.IntervalUnsat),
+		IntervalEmpty:    atomic.LoadUint64(&s.IntervalEmpty),
+		ForkIntervalHits: atomic.LoadUint64(&s.ForkIntervalHits),
+		IntervalSeeds:    atomic.LoadUint64(&s.IntervalSeeds),
 	}
 }
 
@@ -103,14 +116,22 @@ type Solver struct {
 	poolScratch  []*expr.Expr
 	poolScratch2 []*expr.Expr
 	chainScratch []*ConstraintSet
+	groupScratch []*igroup
 	idScratch    []uint64
 	saveStack    []savedDom
 	part         partitioner
 }
 
 type groupResult struct {
-	sat   bool
-	model []groupBinding
+	sat bool
+	// narrowed marks a result found by an interval-seeded search. The
+	// verdict is exact either way (the seed bounds are implied by the
+	// group's own constraints, so no group solution is excluded), but
+	// the model may differ from the canonical unseeded one — full-model
+	// queries must not adopt it (§6 broken replays). An unseeded search
+	// later overwrites the entry with the canonical result.
+	narrowed bool
+	model    []groupBinding
 }
 
 type groupBinding struct {
@@ -184,6 +205,17 @@ func (s *Solver) Fork(cs *ConstraintSet, cond *expr.Expr) (mayTrue, mayFalse boo
 	if st.unsat {
 		return false, false, nil
 	}
+	// Interval tier: a condition decided by the set's bounds settles BOTH
+	// directions in one evaluation. cond true on the whole interval box
+	// (which over-approximates cs's solutions) means cs ∧ ¬cond is unsat,
+	// and cs ∧ cond is sat by the exploration invariant (cs is
+	// satisfiable on feasible paths); symmetrically for false. No cache,
+	// no extension, no search — not even the residual-direction query the
+	// model fast path below still issues.
+	if decided, truth := condDecided(cond, st.bounds); decided {
+		atomic.AddUint64(&s.Stats.ForkIntervalHits, 1)
+		return truth, !truth, nil
+	}
 	decidedT, decidedF := false, false
 	if m := st.model; m != nil {
 		if v, ok := cond.Eval(m); ok {
@@ -249,6 +281,28 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 	}
 
 	st := s.state(cs)
+
+	// Tier 1 — interval abstraction: a condition decided by the set's
+	// per-variable bounds is answered with zero search, before the
+	// condition is even folded into an extension. Unsat is unconditional
+	// (the bounds over-approximate cs's solutions); sat additionally
+	// relies on the exploration invariant (cs itself is satisfiable on
+	// feasible paths), so like the other fast paths it is reserved for
+	// may-queries — full-model answers must stay canonical.
+	if cond != nil && !fullModel && !st.unsat {
+		if decided, truth := condDecided(cond, st.bounds); decided {
+			if truth {
+				atomic.AddUint64(&s.Stats.IntervalSat, 1)
+				s.put(key, cacheEntry{sat: true})
+				return true, nil, nil
+			}
+			atomic.AddUint64(&s.Stats.IntervalUnsat, 1)
+			atomic.AddUint64(&s.Stats.Unsat, 1)
+			s.put(key, cacheEntry{sat: false})
+			return false, nil, nil
+		}
+	}
+
 	ext := st
 	if cond != nil {
 		ext = s.extend(st, cond)
@@ -302,6 +356,14 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 	for id, v := range ext.units {
 		model[id] = v
 	}
+	// Tier 3 seeding: may-query searches start from interval-narrowed
+	// domains instead of full 256-value ones. Full-model queries search
+	// unseeded — their models feed concretization and must stay a
+	// deterministic function of the constraint set alone.
+	var seedB boundsMap
+	if !fullModel {
+		seedB = ext.bounds
+	}
 	skipInherited := cond != nil && !fullModel
 	inherited := 0 // two-pointer subsequence match against st.groups
 	sat := true
@@ -320,7 +382,11 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 				continue // a group of cs itself; satisfiable on its own
 			}
 		}
-		if res, hit := s.groupCache[g.key]; hit {
+		// Narrowed entries carry exact verdicts but non-canonical
+		// models: full-model queries may take their unsat answer, never
+		// their model (they fall through to an unseeded search, which
+		// overwrites the entry with the canonical result).
+		if res, hit := s.groupCache[g.key]; hit && !(fullModel && res.narrowed && res.sat) {
 			atomic.AddUint64(&s.Stats.GroupCacheHits, 1)
 			if !res.sat {
 				sat = false
@@ -351,7 +417,7 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 				break
 			}
 		}
-		ok, err := s.solveGroup(g.cons, gids, model)
+		ok, narrowed, err := s.solveGroup(g.cons, gids, model, seedB)
 		s.idScratch = gids[:0]
 		if err != nil {
 			if errors.Is(err, ErrBudget) {
@@ -359,10 +425,15 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 			}
 			return false, nil, err
 		}
-		// Cache only groups whose variables were entirely free (so the
-		// result does not depend on outside bindings).
+		if narrowed {
+			atomic.AddUint64(&s.Stats.IntervalSeeds, 1)
+		}
+		// Cache only groups whose variables were entirely free, so the
+		// result does not depend on outside bindings. Seeded results are
+		// stored flagged (see groupResult.narrowed); canonical unseeded
+		// results overwrite them.
 		if allFree {
-			res := groupResult{sat: ok}
+			res := groupResult{sat: ok, narrowed: narrowed}
 			if ok {
 				for _, id := range gids {
 					res.model = append(res.model, groupBinding{id, model[id]})
@@ -394,6 +465,23 @@ func (s *Solver) check(cs *ConstraintSet, cond *expr.Expr, fullModel bool) (bool
 				}
 			}
 			s.idScratch = gids[:0]
+		}
+		// A constraint can fold away entirely under unit substitution
+		// (e.g. a disjunction discharged by one arm), dropping its
+		// remaining variables from every group. The fold holds for any
+		// value of those variables, so bind them too — concretization
+		// needs every referenced byte.
+		for _, id := range cs.Vars() {
+			if _, ok := model[id]; !ok {
+				model[id] = 0
+			}
+		}
+		if cond != nil {
+			for _, id := range cond.VarIDs() {
+				if _, ok := model[id]; !ok {
+					model[id] = 0
+				}
+			}
 		}
 	} else {
 		if st.model == nil && st != s.empty {
@@ -479,7 +567,14 @@ type savedDom struct {
 // constraint unbound-variable counts are maintained incrementally on
 // bind/unbind, so variable selection and forward checking read O(1)
 // counts instead of rescanning every constraint's variable list.
-func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignment) (bool, error) {
+//
+// bnds, when non-nil, seeds the unbound variables' domains from the
+// interval abstraction (values outside a variable's bounds cannot be
+// part of any solution, so dropping them preserves satisfiability and
+// every surviving model). narrowed reports whether seeding actually
+// removed values — callers must not publish narrowed results to the
+// canonical group cache.
+func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignment, bnds boundsMap) (sat, narrowed bool, err error) {
 	atomic.AddUint64(&s.Stats.SolverRuns, 1)
 
 	maxID := uint64(0)
@@ -494,7 +589,7 @@ func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignme
 		}
 	}
 	if maxID >= 1<<22 {
-		return false, ErrBudget // pathological id space; treat as unknown
+		return false, false, ErrBudget // pathological id space; treat as unknown
 	}
 	vals := make([]int16, maxID+1)
 	for i := range vals {
@@ -515,10 +610,10 @@ func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignme
 		for _, c := range cons {
 			v, ok := c.EvalSlice(vals)
 			if !ok || v == 0 {
-				return false, nil
+				return false, false, nil
 			}
 		}
-		return true, nil
+		return true, false, nil
 	}
 
 	// Local dense index over the unbound variables.
@@ -529,6 +624,17 @@ func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignme
 	domains := make([]domain, len(vars))
 	for i := range domains {
 		domains[i] = fullDomain()
+	}
+	// Interval seeding: restrict each domain to the variable's bounds.
+	// The bounds are non-empty by construction (an empty interval marks
+	// the state unsat before any search), so no domain empties here.
+	if bnds != nil {
+		for i, id := range vars {
+			if iv, ok := bnds[id]; ok && (iv.lo > 0 || iv.hi < 255) {
+				domains[i].removeOutside(iv.lo, iv.hi)
+				narrowed = true
+			}
+		}
 	}
 
 	// Per-constraint bookkeeping: which unbound vars it mentions, and
@@ -607,12 +713,12 @@ func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignme
 		case 0:
 			v, ok := infos[i].c.EvalSlice(vals)
 			if !ok || v == 0 {
-				return false, nil
+				return false, narrowed, nil
 			}
 		case 1:
 			id, lv := firstUnbound(&infos[i])
 			if !pruneUnary(infos[i].c, id, lv) {
-				return false, nil
+				return false, narrowed, nil
 			}
 		}
 	}
@@ -749,15 +855,15 @@ func (s *Solver) solveGroup(cons []*expr.Expr, ids []uint64, model expr.Assignme
 		return false, nil
 	}
 
-	sat, err := solve()
+	sat, err = solve()
 	atomic.AddUint64(&s.Stats.Backtracks, backtracks)
 	if err != nil || !sat {
-		return sat, err
+		return sat, narrowed, err
 	}
 	for _, id := range vars {
 		model[id] = uint8(vals[id])
 	}
-	return true, nil
+	return true, narrowed, nil
 }
 
 // ---- From-scratch reference pipeline ----
@@ -787,6 +893,15 @@ func (s *Solver) ReferenceMayBeTrue(cs *ConstraintSet, cond *expr.Expr) (bool, e
 // ReferenceSolve is Solve through the from-scratch pipeline.
 func (s *Solver) ReferenceSolve(cs *ConstraintSet) (expr.Assignment, bool, error) {
 	sat, model, err := s.referenceSolve(cs.Flattened(), nil, true)
+	if sat && err == nil {
+		// Bind variables whose constraints folded away under unit
+		// substitution (see the full-model completion in check).
+		for _, id := range cs.Vars() {
+			if _, ok := model[id]; !ok {
+				model[id] = 0
+			}
+		}
+	}
 	return model, sat, err
 }
 
@@ -888,7 +1003,7 @@ func (s *Solver) referenceSolve(cons []*expr.Expr, cond *expr.Expr, fullModel bo
 				break
 			}
 		}
-		ok, err := s.solveGroup(g.cons, gids, model)
+		ok, _, err := s.solveGroup(g.cons, gids, model, nil)
 		if err != nil {
 			return false, nil, err
 		}

@@ -20,18 +20,43 @@ package solver
 // are decided by comparing only the extras, O(|extra| · log N); the
 // full sorted-merge subset walk runs only for cross-set pairs, behind
 // an O(1) bounds pre-filter. Entries are bounded FIFO lists.
+//
+// Two indexes answer lookups without scanning the lists: a per-base
+// bucket (entries sharing one base slice, keyed by their out-of-base
+// extra hashes) serving the dominant same-base pattern in O(|extra|),
+// and — on the unsat side — a UBTree set-trie over merged keys for
+// cross-set containment (a core learned on a shallow set subsumes
+// queries on every descendant set; the anySubset walk descends only on
+// exact label matches, so even misses are cheap). The sat side is
+// bucket-only: its trie direction (find a stored superset) must
+// speculatively descend every label not past the query's next element,
+// which degenerates to the full visit budget per miss when stored keys
+// share long prefixes — exactly the same-base pattern — and a
+// cross-base sat superset would have to restate the entire base under
+// a different state, a case too rare to pay that walk (or the trie's
+// per-entry insertion cost) for.
 
 import "cloud9/internal/expr"
 
 const (
-	// subsumeMaxEntries bounds each FIFO side of the cache.
-	subsumeMaxEntries = 64
+	// subsumeMaxEntries bounds each FIFO side of the cache. Large now
+	// that lookups are indexed (see ubNode) instead of linear.
+	subsumeMaxEntries = 1024
 	// subsumeMaxSet bounds the conjunct count of a stored entry; huge
 	// sets make subset scans expensive and rarely recur.
 	subsumeMaxSet = 512
 	// subsumeMaxDepth bounds the constraint-set depth for which the
 	// sorted hash key is built at all.
 	subsumeMaxDepth = 2048
+	// subsumeLinearMax: at or below this many entries, lookups scan the
+	// list directly — the shared-base-slice fast path in keySubset makes
+	// small scans cheaper than walking the trie and merging the query
+	// key (the scan was nearly half the branch-query profile before the
+	// split keys landed; the fast path must survive for small caches).
+	subsumeLinearMax = 16
+	// ubVisitBudget caps trie nodes visited per indexed lookup; an
+	// exhausted budget is a cache miss, never a wrong answer.
+	ubVisitBudget = 4096
 )
 
 // queryKey is the subsumption key of one query: sorted conjunct hashes
@@ -137,29 +162,326 @@ type subsumeEntry struct {
 	model expr.Assignment
 }
 
-// subsumeCache holds the bounded unsat-core and sat-model entries.
-type subsumeCache struct {
-	unsat []subsumeEntry // stored sets known unsat
-	sat   []subsumeEntry // stored sets known sat, with witness models
+// baseID identifies a base slice by identity. Per-state sorted-hash
+// slices are built once and shared by every query against that state,
+// so identity equality is exactly "same constraint set".
+type baseID struct {
+	p *uint64
+	n int
 }
 
-// hitUnsat reports whether some stored unsat set is a subset of the
-// query set (⟹ the query is unsat).
-func (c *subsumeCache) hitUnsat(q *queryKey) bool {
-	for i := range c.unsat {
-		if keySubset(&c.unsat[i].key, q) {
-			return true
+func baseIDOf(b []uint64) baseID {
+	if len(b) == 0 {
+		return baseID{}
+	}
+	return baseID{&b[0], len(b)}
+}
+
+// baseBucket indexes one base slice's entries. inBase lists entries
+// whose every extra folds into the base (their key set is ⊆ base);
+// byExtra lists entries under each extra hash outside the base.
+type baseBucket struct {
+	all     []int
+	inBase  []int
+	byExtra map[uint64][]int
+}
+
+func removeSlot(s []int, slot int) []int {
+	for i, v := range s {
+		if v == slot {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// ubNode is one node of a UBTree (Hoffmann & Koehler's unlimited-branching
+// set-trie): stored keys — sorted hash multisets — are trie paths whose
+// elements are nondecreasing along the path, so both set-containment
+// directions become pruned trie walks instead of per-entry scans.
+// ends lists the ring slots of entries whose key terminates at this
+// node; size counts terminators in the whole subtree (empty subtrees are
+// pruned on removal, so every live node has size > 0).
+type ubNode struct {
+	h    uint64
+	kids []*ubNode // sorted by h
+	ends []int
+	size int
+}
+
+// findKid locates the child labeled h (binary search over the sorted
+// kid list), returning its index or the insertion point.
+func (n *ubNode) findKid(h uint64) (int, bool) {
+	lo, hi := 0, len(n.kids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.kids[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.kids) && n.kids[lo].h == h
+}
+
+func (n *ubNode) insert(key []uint64, id int) {
+	n.size++
+	if len(key) == 0 {
+		n.ends = append(n.ends, id)
+		return
+	}
+	i, ok := n.findKid(key[0])
+	if !ok {
+		n.kids = append(n.kids, nil)
+		copy(n.kids[i+1:], n.kids[i:])
+		n.kids[i] = &ubNode{h: key[0]}
+	}
+	n.kids[i].insert(key[1:], id)
+}
+
+func (n *ubNode) remove(key []uint64, id int) {
+	n.size--
+	if len(key) == 0 {
+		for i, e := range n.ends {
+			if e == id {
+				n.ends = append(n.ends[:i], n.ends[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	i, ok := n.findKid(key[0])
+	if !ok {
+		return // defensive: removals mirror prior insertions
+	}
+	kid := n.kids[i]
+	kid.remove(key[1:], id)
+	if kid.size == 0 {
+		n.kids = append(n.kids[:i], n.kids[i+1:]...)
+	}
+}
+
+// anySubset reports whether some stored key is a subset of q (sorted
+// multiset containment). Visited nodes are charged against budget; an
+// exhausted budget reports a miss.
+func (n *ubNode) anySubset(q []uint64, budget *int) bool {
+	*budget--
+	if *budget < 0 || n.size == 0 {
+		return false
+	}
+	if len(n.ends) > 0 {
+		return true // a whole stored key matched along this path
+	}
+	// Two-pointer join of the sorted kid labels and the sorted query.
+	// Matching the earliest query occurrence of a label is maximal (it
+	// leaves the longest query tail for the subtree), so each kid is
+	// tried at most once.
+	ki, qi := 0, 0
+	for ki < len(n.kids) && qi < len(q) {
+		switch {
+		case n.kids[ki].h < q[qi]:
+			ki++
+		case n.kids[ki].h > q[qi]:
+			qi++
+		default:
+			if n.kids[ki].anySubset(q[qi+1:], budget) {
+				return true
+			}
+			ki++
 		}
 	}
 	return false
 }
 
+// subsumeSide is one direction of the cache: a fixed-capacity ring of
+// entries (FIFO eviction, stable slot ids) plus two indexes over them —
+// per-base buckets, and (unsat side only) the UBTree over merged keys.
+type subsumeSide struct {
+	slots  []subsumeEntry
+	next   int // oldest slot once the ring is full
+	tree   ubNode
+	byBase map[baseID]*baseBucket
+}
+
+// add stores e, evicting the oldest entry once the ring is full.
+// indexTree maintains the UBTree alongside the buckets; the sat side
+// passes false (see the package comment).
+func (sd *subsumeSide) add(e subsumeEntry, indexTree bool) {
+	var slot int
+	if len(sd.slots) < subsumeMaxEntries {
+		slot = len(sd.slots)
+		sd.slots = append(sd.slots, e)
+	} else {
+		slot = sd.next
+		if indexTree {
+			sd.tree.remove(sd.slots[slot].key.merged(), slot)
+		}
+		sd.unbucket(slot)
+		sd.slots[slot] = e
+		sd.next = (sd.next + 1) % subsumeMaxEntries
+	}
+	if indexTree {
+		sd.tree.insert(sd.slots[slot].key.merged(), slot)
+	}
+	sd.bucket(slot)
+}
+
+func (sd *subsumeSide) bucket(slot int) {
+	k := &sd.slots[slot].key
+	if sd.byBase == nil {
+		sd.byBase = make(map[baseID]*baseBucket)
+	}
+	id := baseIDOf(k.base)
+	b := sd.byBase[id]
+	if b == nil {
+		b = &baseBucket{}
+		sd.byBase[id] = b
+	}
+	b.all = append(b.all, slot)
+	folded := true
+	for _, h := range k.extra {
+		if !containsSorted(k.base, h) {
+			if b.byExtra == nil {
+				b.byExtra = make(map[uint64][]int)
+			}
+			b.byExtra[h] = append(b.byExtra[h], slot)
+			folded = false
+		}
+	}
+	if folded {
+		b.inBase = append(b.inBase, slot)
+	}
+}
+
+func (sd *subsumeSide) unbucket(slot int) {
+	k := &sd.slots[slot].key
+	id := baseIDOf(k.base)
+	b := sd.byBase[id]
+	if b == nil {
+		return // defensive: every live slot was bucketed on add
+	}
+	b.all = removeSlot(b.all, slot)
+	b.inBase = removeSlot(b.inBase, slot)
+	for _, h := range k.extra {
+		if !containsSorted(k.base, h) {
+			if rest := removeSlot(b.byExtra[h], slot); len(rest) > 0 {
+				b.byExtra[h] = rest
+			} else {
+				delete(b.byExtra, h)
+			}
+		}
+	}
+	if len(b.all) == 0 {
+		delete(sd.byBase, id)
+	}
+}
+
+// satHitSameBase returns a slot in b whose key contains q (q's base is
+// b's base), or -1. q ⊆ stored iff every extra of q outside the shared
+// base appears among the stored entry's extras.
+func (sd *subsumeSide) satHitSameBase(b *baseBucket, q *queryKey) int {
+	first, hasFirst := uint64(0), false
+	for _, h := range q.extra {
+		if !containsSorted(q.base, h) {
+			first, hasFirst = h, true
+			break
+		}
+	}
+	if !hasFirst {
+		// q folds into the base entirely; any entry over this base
+		// contains it.
+		if len(b.all) > 0 {
+			return b.all[0]
+		}
+		return -1
+	}
+outer:
+	for _, slot := range b.byExtra[first] {
+		se := sd.slots[slot].key.extra
+		for _, h := range q.extra {
+			if h == first || containsSorted(q.base, h) {
+				continue
+			}
+			if !containsSorted(se, h) {
+				continue outer
+			}
+		}
+		return slot
+	}
+	return -1
+}
+
+// unsatHitSameBase reports whether some entry in b is contained in q
+// (same base): stored ⊆ q iff every stored extra folds into the base
+// or appears among q's extras.
+func (sd *subsumeSide) unsatHitSameBase(b *baseBucket, q *queryKey) bool {
+	if len(b.inBase) > 0 {
+		return true // stored ⊆ base ⊆ q
+	}
+	for _, h := range q.extra {
+		for _, slot := range b.byExtra[h] {
+			k := &sd.slots[slot].key
+			ok := true
+			for _, se := range k.extra {
+				if !containsSorted(k.base, se) && !containsSorted(q.extra, se) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// subsumeCache holds the bounded unsat-core and sat-model entries.
+type subsumeCache struct {
+	unsat subsumeSide // stored sets known unsat
+	sat   subsumeSide // stored sets known sat, with witness models
+}
+
+// hitUnsat reports whether some stored unsat set is a subset of the
+// query set (⟹ the query is unsat). Small caches scan linearly to keep
+// the shared-base fast path; larger ones try the query base's bucket,
+// then the trie (anySubset only descends on label matches, so a
+// cross-base miss stays cheap).
+func (c *subsumeCache) hitUnsat(q *queryKey) bool {
+	sd := &c.unsat
+	if len(sd.slots) <= subsumeLinearMax {
+		for i := range sd.slots {
+			if keySubset(&sd.slots[i].key, q) {
+				return true
+			}
+		}
+		return false
+	}
+	if b := sd.byBase[baseIDOf(q.base)]; b != nil && sd.unsatHitSameBase(b, q) {
+		return true
+	}
+	budget := ubVisitBudget
+	return sd.tree.anySubset(q.merged(), &budget)
+}
+
 // hitSat returns a witness model when the query set is a subset of some
 // stored sat set (⟹ the query is sat, witnessed by that set's model).
+// Past the linear threshold the query base's bucket decides same-base
+// containment in O(|extra|); cross-base sat subsumption is not indexed
+// (see the package comment).
 func (c *subsumeCache) hitSat(q *queryKey) (expr.Assignment, bool) {
-	for i := range c.sat {
-		if keySubset(q, &c.sat[i].key) {
-			return c.sat[i].model, true
+	sd := &c.sat
+	if len(sd.slots) <= subsumeLinearMax {
+		for i := range sd.slots {
+			if keySubset(q, &sd.slots[i].key) {
+				return sd.slots[i].model, true
+			}
+		}
+		return nil, false
+	}
+	if b := sd.byBase[baseIDOf(q.base)]; b != nil {
+		if slot := sd.satHitSameBase(b, q); slot >= 0 {
+			return sd.slots[slot].model, true
 		}
 	}
 	return nil, false
@@ -169,20 +491,12 @@ func (c *subsumeCache) addUnsat(q *queryKey) {
 	if q == nil || q.size() == 0 || q.size() > subsumeMaxSet {
 		return
 	}
-	c.unsat = addEntry(c.unsat, subsumeEntry{key: *q})
+	c.unsat.add(subsumeEntry{key: *q}, true)
 }
 
 func (c *subsumeCache) addSat(q *queryKey, model expr.Assignment) {
 	if q == nil || q.size() == 0 || q.size() > subsumeMaxSet {
 		return
 	}
-	c.sat = addEntry(c.sat, subsumeEntry{key: *q, model: model})
-}
-
-func addEntry(list []subsumeEntry, e subsumeEntry) []subsumeEntry {
-	if len(list) >= subsumeMaxEntries {
-		copy(list, list[1:])
-		list = list[:len(list)-1]
-	}
-	return append(list, e)
+	c.sat.add(subsumeEntry{key: *q, model: model}, false)
 }

@@ -1,0 +1,207 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloud9/internal/expr"
+)
+
+// randomSortedKey draws a sorted hash multiset from a small alphabet so
+// subset/superset relations actually occur.
+func randomSortedKey(rng *rand.Rand, alphabet []uint64) []uint64 {
+	n := 1 + rng.Intn(6)
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, alphabet[rng.Intn(len(alphabet))])
+	}
+	// insertion sort; keys are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// bruteSubsetOf is the multiset-containment oracle for the trie tests.
+func bruteSubsetOf(a, b []uint64) bool { return subsetOf(a, b) }
+
+// The UBTree lookups must agree with a brute-force scan over the live
+// ring slots on every query — including after evictions have removed
+// and re-inserted slots.
+func TestUBTreeDifferentialVsLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := make([]uint64, 12)
+	for i := range alphabet {
+		alphabet[i] = rng.Uint64()
+	}
+
+	var sd subsumeSide
+	// 3x capacity inserts: the last 2x exercise eviction (trie removal +
+	// slot reuse).
+	for i := 0; i < 3*subsumeMaxEntries; i++ {
+		key := randomSortedKey(rng, alphabet)
+		sd.add(subsumeEntry{key: queryKey{base: key}}, true)
+
+		if i%37 != 0 {
+			continue
+		}
+		q := randomSortedKey(rng, alphabet)
+
+		// anySubset: some stored ⊆ q?
+		budget := ubVisitBudget
+		got := sd.tree.anySubset(q, &budget)
+		want := false
+		for s := range sd.slots {
+			if bruteSubsetOf(sd.slots[s].key.merged(), q) {
+				want = true
+				break
+			}
+		}
+		if got != want && budget >= 0 {
+			t.Fatalf("anySubset(%v) = %v, brute force = %v (insert %d)", q, got, want, i)
+		}
+	}
+	if sd.tree.size != subsumeMaxEntries {
+		t.Fatalf("trie size %d after churn, want ring capacity %d", sd.tree.size, subsumeMaxEntries)
+	}
+	if len(sd.slots) != subsumeMaxEntries {
+		t.Fatalf("ring holds %d slots, want %d", len(sd.slots), subsumeMaxEntries)
+	}
+}
+
+// The per-base bucket index must agree with a brute-force keySubset
+// scan in both directions — same-base hits found, everything else
+// (different base slice, missing extras) left to the other tiers —
+// including across evictions that remove bucketed slots.
+func TestSubsumeBucketDifferentialVsLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// A handful of distinct base slices standing in for per-state
+	// sorted-hash keys, plus a small extra alphabet so extras collide.
+	bases := make([][]uint64, 5)
+	for i := range bases {
+		bases[i] = randomSortedKey(rng, []uint64{3, 7, 12, 25, 31, 44, 59})
+	}
+	extras := []uint64{2, 7, 13, 25, 40, 61}
+
+	randKey := func() queryKey {
+		k := queryKey{base: bases[rng.Intn(len(bases))]}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			k.extra = append(k.extra, extras[rng.Intn(len(extras))])
+		}
+		for i := 1; i < len(k.extra); i++ {
+			for j := i; j > 0 && k.extra[j] < k.extra[j-1]; j-- {
+				k.extra[j], k.extra[j-1] = k.extra[j-1], k.extra[j]
+			}
+		}
+		return k
+	}
+
+	var sd subsumeSide
+	for i := 0; i < 3*subsumeMaxEntries; i++ {
+		sd.add(subsumeEntry{key: randKey()}, false)
+		if i%23 != 0 {
+			continue
+		}
+		q := randKey()
+		b := sd.byBase[baseIDOf(q.base)]
+
+		// Brute-force oracle for same-base set containment: a ⊆ b iff
+		// every extra of a folds into the shared base or appears among
+		// b's extras (conjunct sets — duplicates are idempotent).
+		contained := func(a, bk *queryKey) bool {
+			for _, h := range a.extra {
+				if !containsSorted(a.base, h) && !containsSorted(bk.extra, h) {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Sat direction: q ⊆ stored, same base only.
+		got := -1
+		if b != nil {
+			got = sd.satHitSameBase(b, &q)
+		}
+		want := false
+		for s := range sd.slots {
+			if sameSlice(sd.slots[s].key.base, q.base) && contained(&q, &sd.slots[s].key) {
+				want = true
+				break
+			}
+		}
+		if (got >= 0) != want {
+			t.Fatalf("satHitSameBase = %d, brute force = %v (insert %d, q=%+v)", got, want, i, q)
+		}
+		if got >= 0 && !contained(&q, &sd.slots[got].key) {
+			t.Fatalf("satHitSameBase returned slot %d whose key does not contain q", got)
+		}
+
+		// Unsat direction: stored ⊆ q, same base only.
+		gotU := b != nil && sd.unsatHitSameBase(b, &q)
+		wantU := false
+		for s := range sd.slots {
+			if sameSlice(sd.slots[s].key.base, q.base) && contained(&sd.slots[s].key, &q) {
+				wantU = true
+				break
+			}
+		}
+		if gotU != wantU {
+			t.Fatalf("unsatHitSameBase = %v, brute force = %v (insert %d, q=%+v)", gotU, wantU, i, q)
+		}
+	}
+	// Every live slot is reachable through its bucket; counts reconcile.
+	total := 0
+	for _, b := range sd.byBase {
+		total += len(b.all)
+	}
+	if total != len(sd.slots) {
+		t.Fatalf("buckets index %d slots, ring holds %d", total, len(sd.slots))
+	}
+}
+
+// End-to-end: once the cache has grown past the linear threshold, a
+// subsumption hit must still be found — i.e. hitUnsat really consults
+// the trie and finds the stored core.
+func TestSubsumptionHitsThroughTrieIndex(t *testing.T) {
+	s := New()
+	// Seed an interval-opaque unsat core: sum ≡ 10 ∧ sum ≡ 20.
+	cs := EmptySet.Append(expr.Eq(c8(10), expr.Add(v(0), v(1))))
+	cond := expr.Eq(c8(20), expr.Add(v(0), v(1)))
+	if sat, err := s.MayBeTrue(cs, cond); err != nil || sat {
+		t.Fatalf("seed query should be unsat: %v %v", sat, err)
+	}
+	// Push the unsat side well past subsumeLinearMax with unrelated
+	// cores (distinct variable pairs, same shape).
+	for i := uint64(0); i < 3*subsumeLinearMax; i++ {
+		a, b := v(100+2*i), v(101+2*i)
+		csi := EmptySet.Append(expr.Eq(c8(10), expr.Add(a, b)))
+		condi := expr.Eq(c8(20), expr.Add(a, b))
+		if sat, err := s.MayBeTrue(csi, condi); err != nil || sat {
+			t.Fatalf("filler query %d should be unsat: %v %v", i, sat, err)
+		}
+	}
+	if got := len(s.subsume.unsat.slots); got <= subsumeLinearMax {
+		t.Fatalf("unsat side holds %d entries, want > %d to exercise the trie", got, subsumeLinearMax)
+	}
+	// A superset of the first core, on a fresh chain (different result-
+	// cache key, different base slice — only subsumption can answer it
+	// without a search).
+	cs2 := EmptySet.
+		Append(expr.Eq(c8(10), expr.Add(v(0), v(1)))).
+		Append(expr.Ult(c8(200), v(9)))
+	before := s.Stats.Snapshot()
+	sat, err := s.MayBeTrue(cs2, cond)
+	if err != nil || sat {
+		t.Fatalf("superset query should be unsat: %v %v", sat, err)
+	}
+	after := s.Stats.Snapshot()
+	if after.SubsumeUnsat != before.SubsumeUnsat+1 {
+		t.Errorf("expected a trie-indexed subsumption hit: %+v -> %+v", before, after)
+	}
+	if after.SolverRuns != before.SolverRuns {
+		t.Errorf("subsumption hit should not run a group search: %+v -> %+v", before, after)
+	}
+}
