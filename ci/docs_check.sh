@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Documentation gate, two checks:
+#
+#  1. Package comments: every Go package (commands and examples
+#     included) must carry a doc comment — a comment block ending on
+#     the line directly above some file's package clause. The
+#     architecture docs cross-link into package docs, so an
+#     undocumented package is a broken end of that chain.
+#
+#  2. Markdown links: every relative link in *.md (repo root and
+#     docs/) must point at a file or directory that exists. External
+#     http(s) links are not fetched — CI must not flake on someone
+#     else's server.
+#
+# Usage: ci/docs_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== package comment audit"
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  ok=0
+  for f in "$dir"/*.go; do
+    [[ "$f" == *_test.go ]] && continue
+    # A package doc comment = the line right above the package clause
+    # is a // line or the tail of a /* */ block.
+    if awk '
+      /^package [A-Za-z_]/ { if (prev ~ /^\/\// || prev ~ /\*\/[[:space:]]*$/) found = 1; exit }
+      { prev = $0 }
+      END { exit found ? 0 : 1 }
+    ' "$f"; then
+      ok=1
+      break
+    fi
+  done
+  if [[ "$ok" -ne 1 ]]; then
+    echo "docs: FAIL — package in ${dir#"$PWD"/} has no package doc comment" >&2
+    fail=1
+  fi
+done
+[[ "$fail" -eq 0 ]] && echo "   all packages documented"
+
+echo "== markdown link check"
+mdfiles=$(ls ./*.md 2>/dev/null; find docs -name '*.md' 2>/dev/null)
+for md in $mdfiles; do
+  # Inline links only: [text](target). Reference-style links are rare
+  # enough here that inline coverage is the useful 99%.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"         # drop the anchor
+    [[ -z "$path" ]] && continue # pure-anchor link: same-file heading
+    if [[ ! -e "$(dirname "$md")/$path" ]]; then
+      echo "docs: FAIL — $md links to missing $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+[[ "$fail" -eq 0 ]] && echo "   all markdown links resolve"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "docs: documentation gate failed" >&2
+  exit 1
+fi
+echo "docs: OK"

@@ -32,6 +32,11 @@ func main() {
 		lease      = flag.Duration("lease", cluster.DefaultLease, "membership lease; silent workers are evicted past this")
 		maxDur     = flag.Duration("max-duration", 10*time.Minute, "run bound")
 		portfolio  = flag.String("portfolio", "", "comma-separated strategy specs assigned to workers at join (e.g. \"dfs,random-path,cupa(site,dfs)\"); empty = engine default everywhere")
+		reweight   = flag.String("reweight", cluster.ReweightBandit, "portfolio reweighting mode: bandit (UCB1 over per-window coverage yield) or proportional (legacy 1+cumulative-yield)")
+		banditC    = flag.Float64("bandit-c", cluster.DefaultBanditC, "UCB1 exploration constant for -reweight bandit")
+		learn      = flag.Bool("learn", false, "run the online learner: perturb dist-opt weight vectors and race challengers in spare portfolio slots (needs ≥2 dist-opt slots in -portfolio)")
+		learnEvery = flag.Int("learn-every", cluster.DefaultLearnEvery, "learner adopt/keep decision cadence, in reweight passes")
+		learnSeed  = flag.Int64("learn-seed", 1, "seed for the learner's deterministic perturbation stream")
 	)
 	// Back-compat alias for the old flag name.
 	flag.IntVar(minWorkers, "workers", *minWorkers, "alias for -min-workers")
@@ -48,8 +53,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *reweight != cluster.ReweightBandit && *reweight != cluster.ReweightProportional {
+		fmt.Fprintf(os.Stderr, "c9-lb: -reweight must be %q or %q, got %q\n",
+			cluster.ReweightBandit, cluster.ReweightProportional, *reweight)
+		os.Exit(1)
+	}
 	cfg := cluster.DefaultBalancerConfig()
 	cfg.Lease = *lease
+	cfg.Reweight = *reweight
+	cfg.BanditC = *banditC
+	cfg.Learn = *learn
+	cfg.LearnEvery = *learnEvery
+	cfg.LearnSeed = *learnSeed
 	if *portfolio != "" {
 		specs, err := search.ParsePortfolio(*portfolio)
 		if err != nil {
@@ -57,7 +72,10 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Portfolio = specs
-		fmt.Printf("c9-lb: portfolio %v\n", specs)
+		fmt.Printf("c9-lb: portfolio %v (reweight=%s)\n", specs, *reweight)
+	} else if *learn {
+		fmt.Fprintf(os.Stderr, "c9-lb: -learn needs a -portfolio with at least two dist-opt slots\n")
+		os.Exit(1)
 	}
 	srv, err := cluster.NewLBServer(*listen, cfg, prog.MaxLine, *minWorkers)
 	if err != nil {
@@ -81,6 +99,9 @@ func main() {
 		replay += st.ReplaySteps
 		fmt.Printf("  worker %d (epoch %d): paths=%d errors=%d useful=%d replay=%d cov=%d\n",
 			st.Worker, st.Epoch, st.Paths, st.Errors, st.UsefulSteps, st.ReplaySteps, st.CovCount)
+	}
+	if spec := srv.LearnedSpec(); spec != "" {
+		fmt.Printf("learner: incumbent=%s adoptions=%d\n", spec, srv.Adoptions())
 	}
 	evictions, leaves, transfers, transferred := srv.Stats()
 	fmt.Printf("membership: evictions=%d leaves=%d transfers=%d states-transferred=%d\n",

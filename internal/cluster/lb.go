@@ -30,7 +30,44 @@ type BalancerConfig struct {
 	// negative disables the periodic pass — membership changes still
 	// rebalance).
 	ReweightEvery int
+	// Reweight selects how slot allocation weights are derived from the
+	// per-slot yield attribution: ReweightBandit (the default) scores
+	// slots with a deterministic UCB1 bandit; ReweightProportional keeps
+	// PR 3's 1+Σyield largest-remainder scheme.
+	Reweight string
+	// BanditC is the UCB1 exploration constant (0 = DefaultBanditC).
+	BanditC float64
+	// Learn enables the online sample-evaluate-refine loop over the
+	// dist-opt weight family: the LB perturbs the incumbent weight
+	// vector, races challengers in the portfolio's other dist-opt slots,
+	// and adopts winners (see learn.go). Requires at least two dist-opt
+	// slots in Portfolio.
+	Learn bool
+	// LearnEvery is the number of reweight passes between learner
+	// decisions (0 = DefaultLearnEvery).
+	LearnEvery int
+	// LearnSeed seeds the learner's deterministic perturbation stream.
+	LearnSeed int64
 }
+
+// Reweight modes for BalancerConfig.Reweight.
+const (
+	// ReweightBandit (the default) draws slot allocation weights from a
+	// deterministic UCB1 bandit over per-slot normalized coverage yield.
+	ReweightBandit = "bandit"
+	// ReweightProportional is the legacy 1+Σyield proportional scheme.
+	ReweightProportional = "proportional"
+)
+
+// DefaultBanditC is the UCB1 exploration constant when
+// BalancerConfig.BanditC is zero. Rewards live in [0,1); ½ keeps the
+// exploration bonus comparable to a mid-range mean without letting it
+// drown the signal.
+const DefaultBanditC = 0.5
+
+// DefaultLearnEvery is the number of reweight passes between learner
+// decisions when BalancerConfig.LearnEvery is zero.
+const DefaultLearnEvery = 4
 
 // DefaultReweightEvery is the LB-tick cadence of periodic portfolio
 // reweighting when BalancerConfig.ReweightEvery is zero.
@@ -148,6 +185,17 @@ type LoadBalancer struct {
 	// the next periodic reweighting pass (see portfolio.go).
 	specYield     []uint64
 	reweightTicks int
+	// bandit scores the slots under ReweightBandit (nil under
+	// proportional mode or without a portfolio); windowYield accumulates
+	// per-slot new-coverage lines between reweight passes — one bandit
+	// pull per slot per window, so a slot's reward is its coverage rate
+	// per quantum, not per status (per-status rewards punish multi-worker
+	// slots: the second worker's status re-reports lines the first
+	// already merged and pays zero). learner runs the sample-evaluate-
+	// refine loop when cfg.Learn is set.
+	bandit      *slotBandit
+	windowYield []uint64
+	learner     *specLearner
 
 	// Custody of re-seated jobs: outstanding (delivered, unacked) batches
 	// by sequence, plus orphans waiting for a survivor to exist.
@@ -181,7 +229,16 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 	if cfg.ReweightEvery == 0 {
 		cfg.ReweightEvery = DefaultReweightEvery
 	}
-	return &LoadBalancer{
+	if cfg.Reweight == "" {
+		cfg.Reweight = ReweightBandit
+	}
+	if cfg.BanditC == 0 {
+		cfg.BanditC = DefaultBanditC
+	}
+	if cfg.LearnEvery == 0 {
+		cfg.LearnEvery = DefaultLearnEvery
+	}
+	lb := &LoadBalancer{
 		cfg:       cfg,
 		members:   map[int]*Member{},
 		evicted:   map[int]uint64{},
@@ -190,6 +247,14 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 		specYield: make([]uint64, len(cfg.Portfolio)),
 		Enabled:   true,
 	}
+	if len(cfg.Portfolio) > 0 && cfg.Reweight == ReweightBandit {
+		lb.bandit = newSlotBandit(len(cfg.Portfolio))
+		lb.windowYield = make([]uint64, len(cfg.Portfolio))
+	}
+	if cfg.Learn {
+		lb.learner = newSpecLearner(lb)
+	}
+	return lb
 }
 
 // Join admits a new member, assigning it a fresh id and epoch. The
@@ -246,16 +311,22 @@ func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bo
 	}
 	m.Reported = true
 	m.LastSeen = now
+	var added int
 	if len(st.CovWords) > 0 {
 		g := coverage.FromWords(st.CovWords, lb.cov.Len()-1)
-		if added := lb.cov.Or(g); added > 0 {
+		if added = lb.cov.Or(g); added > 0 {
 			lb.covDirty = true
 			// Per-worker yield: lines this member was first to land in
 			// the global overlay — portfolio reweighting's signal. The
 			// slot credited is the spec the status reports running.
 			m.Yield += uint64(added)
-			if idx := lb.yieldSlot(st.Spec, m); idx >= 0 && idx < len(lb.specYield) {
-				lb.specYield[idx] += uint64(added)
+		}
+	}
+	if added > 0 {
+		if idx := lb.yieldSlot(st.Spec, m); idx >= 0 && idx < len(lb.specYield) {
+			lb.specYield[idx] += uint64(added)
+			if lb.windowYield != nil {
+				lb.windowYield[idx] += uint64(added)
 			}
 		}
 	}
@@ -445,10 +516,29 @@ func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
 	}
 	// Periodic portfolio reweighting: recompute the yield-weighted
 	// allocation and move workers if it shifted. A no-op between shifts.
+	// The learner (when enabled) piggybacks on the same cadence: every
+	// LearnEvery-th reweight pass it compares incumbent and challenger
+	// dist-opt slots on the bandit's record and may rewrite slot specs
+	// before the rebalance runs.
 	if len(lb.cfg.Portfolio) > 0 && lb.cfg.ReweightEvery > 0 {
 		lb.reweightTicks++
 		if lb.reweightTicks >= lb.cfg.ReweightEvery {
 			lb.reweightTicks = 0
+			// Close the bandit's observation window: one pull per manned
+			// slot, rewarded with the window's accumulated yield. Unmanned
+			// slots produce no evidence and are not pulled.
+			if lb.bandit != nil {
+				counts := lb.specCounts()
+				for i := range lb.windowYield {
+					if counts[i] > 0 {
+						lb.bandit.observe(i, lb.windowYield[i])
+					}
+					lb.windowYield[i] = 0
+				}
+			}
+			if lb.learner != nil {
+				outs = append(outs, lb.learner.step()...)
+			}
 			outs = append(outs, lb.rebalanceStrategies()...)
 		}
 	}

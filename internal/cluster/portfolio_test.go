@@ -80,6 +80,9 @@ func TestPortfolioReweightShiftsAllocation(t *testing.T) {
 	cfg := DefaultBalancerConfig()
 	cfg.Portfolio = []string{"dfs", "random"}
 	cfg.ReweightEvery = 1
+	// The legacy proportional mode weights slots by 1+Σyield directly;
+	// the bandit default is covered by TestBanditReweightShiftsAllocation.
+	cfg.Reweight = ReweightProportional
 	lb := NewLoadBalancer(cfg, 100)
 	ms := joinN(t, lb, 4)
 	for _, m := range ms {

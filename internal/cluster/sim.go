@@ -169,10 +169,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		cfg.SampleTicks = cfg.BalanceTicks
 	}
 	if cfg.Balancer.Delta == 0 {
-		d := cfg.Balancer
-		cfg.Balancer = DefaultBalancerConfig()
-		cfg.Balancer.Portfolio = d.Portfolio
-		cfg.Balancer.ReweightEvery = d.ReweightEvery
+		// Default only the balancing knobs in place — every other field
+		// (portfolio, reweight mode, learner config) is caller state.
+		def := DefaultBalancerConfig()
+		cfg.Balancer.Delta = def.Delta
+		if cfg.Balancer.MinTransfer == 0 {
+			cfg.Balancer.MinTransfer = def.MinTransfer
+		}
 	}
 	for _, spec := range cfg.Balancer.Portfolio {
 		if err := search.Validate(spec); err != nil {

@@ -538,6 +538,23 @@ func (s *LBServer) Stats() (evictions, leaves, transfersIssued, statesTransferre
 	return s.lb.Evictions, s.lb.Leaves, s.lb.TransfersIssued, s.lb.StatesTransferred()
 }
 
+// LearnedSpec returns the learner's current incumbent spec ("" when the
+// learner is off or inert); Adoptions counts its incumbent swaps. Both
+// are safe after — or concurrently with — Serve.
+func (s *LBServer) LearnedSpec() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.LearnedSpec()
+}
+
+// Adoptions returns how many times the learner replaced the incumbent
+// dist-opt weight vector.
+func (s *LBServer) Adoptions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.Adoptions()
+}
+
 func (s *LBServer) acceptLoop() {
 	for {
 		conn, err := s.listener.Accept()

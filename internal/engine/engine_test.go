@@ -417,6 +417,86 @@ func TestDistOptPrefersNearUncovered(t *testing.T) {
 	}
 }
 
+func TestDistWeightsParseRoundTrip(t *testing.T) {
+	for _, src := range []string{"1:0:0:0", "0.5:1:0:0.25", "0:0:0:0", "2:0.001:1:8"} {
+		w, err := ParseDistWeights(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		back, err := ParseDistWeights(w.String())
+		if err != nil || back != w {
+			t.Fatalf("round trip %q -> %q -> %+v (%v)", src, w.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"", "1:2:3", "1:2:3:4:5", "1:x:0:0", "-1:0:0:0", "+Inf:0:0:0", "NaN:0:0:0"} {
+		if _, err := ParseDistWeights(bad); err == nil {
+			t.Errorf("ParseDistWeights(%q) should fail", bad)
+		}
+	}
+	if DefaultDistWeights() != (DistWeights{MD2U: 1}) {
+		t.Fatalf("default vector = %+v", DefaultDistWeights())
+	}
+}
+
+// TestDistOptWeightedDefaultMatchesClassic: the w=1:0:0:0 member of the
+// parameterized family must rank exactly like bare dist-opt — same
+// oracle, same seed, same selection sequence — so learner output that
+// converges back to the default is indistinguishable from it.
+func TestDistOptWeightedDefaultMatchesClassic(t *testing.T) {
+	d, mk := distTestHarness(t)
+	for seed := int64(0); seed < 20; seed++ {
+		a := NewDistanceOptimized(d, seed)
+		b := NewDistanceOptimizedWeighted(d, seed, DefaultDistWeights())
+		var an, bn []*tree.Node
+		for i := 0; i < 6; i++ {
+			n := mk([]string{"hot", "cold"}[i%2], 0)
+			an = append(an, n)
+			bn = append(bn, n)
+			a.Add(n)
+			b.Add(n)
+		}
+		for {
+			x, y := a.Select(), b.Select()
+			if x != y {
+				t.Fatalf("seed %d: weighted default diverged from classic", seed)
+			}
+			if x == nil {
+				break
+			}
+		}
+	}
+}
+
+// TestDistOptWeightedFeatures: each non-md2u feature steers selection
+// the way its weight says — depth weight prefers shallow candidates,
+// fault weight prefers unfaulted ones. No oracle: the md2u feature is
+// flat, isolating the feature under test.
+func TestDistOptWeightedFeatures(t *testing.T) {
+	race := func(w DistWeights, favored, rival *tree.Node) int {
+		wins := 0
+		for seed := int64(0); seed < 50; seed++ {
+			s := NewDistanceOptimizedWeighted(nil, seed, w)
+			s.Add(favored)
+			s.Add(rival)
+			if s.Select() == favored {
+				wins++
+			}
+			s.Remove(favored)
+			s.Remove(rival)
+		}
+		return wins
+	}
+	shallow, deep := &tree.Node{Depth: 1}, &tree.Node{Depth: 64}
+	if got := race(DistWeights{Depth: 1}, shallow, deep); got < 40 {
+		t.Errorf("depth feature: shallow picked %d/50, want ≥40", got)
+	}
+	clean := &tree.Node{}
+	faulty := &tree.Node{Meta: map[string]float64{"faults": 7}}
+	if got := race(DistWeights{Faults: 1}, clean, faulty); got < 40 {
+		t.Errorf("faults feature: clean picked %d/50, want ≥40", got)
+	}
+}
+
 // TestDistOptDrainsSaturatedFrontier: once the overlay covers
 // everything (every candidate Unreachable), residual weights must
 // still drain the frontier to completion.

@@ -245,3 +245,46 @@ func TestDistDirectedBeatsBaselines(t *testing.T) {
 		t.Fatalf("expected memcached and printf rows, found %d", checked)
 	}
 }
+
+// TestLearnedPortfolioBeatsProportional asserts the PR-7 acceptance
+// shape: (a) the bandit-reweighted portfolio reaches final coverage on
+// memcached within the PR 5 dist-opt baseline of 16 ticks, and (b)
+// bandit reweighting (plain or with the learner) strictly beats static
+// proportional reweighting on at least one target row. The lock-step
+// sim is deterministic, so these strict comparisons are stable
+// regression bars, not flaky races.
+func TestLearnedPortfolioBeatsProportional(t *testing.T) {
+	tbl, err := LearnedPortfolio(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: target, portfolio, final cov, proportional, bandit,
+	// bandit+learn, adoptions, winner.
+	ticksOf := func(row []string, col int) int {
+		v, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatalf("bad tick cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	strictWins, memcachedRows := 0, 0
+	for _, row := range tbl.Rows {
+		prop, bandit, learn := ticksOf(row, 3), ticksOf(row, 4), ticksOf(row, 5)
+		if strings.HasPrefix(row[0], "memcached") {
+			memcachedRows++
+			if bandit > 16 {
+				t.Errorf("%s/%s: bandit took %d ticks, above the 16-tick dist-opt baseline",
+					row[0], row[1], bandit)
+			}
+		}
+		if bandit < prop || learn < prop {
+			strictWins++
+		}
+	}
+	if memcachedRows == 0 {
+		t.Fatal("no memcached rows")
+	}
+	if strictWins == 0 {
+		t.Fatalf("bandit reweighting never strictly beat proportional:\n%s", tbl.Format())
+	}
+}

@@ -22,12 +22,37 @@
 // # Specs and the registry
 //
 // A strategy is described by a spec string, parsed by Parse and built
-// by Build:
+// by Build. The full grammar:
+//
+//	SPEC       := NAME | NAME "(" ARG ("," ARG)* ")"
+//	ARG        := SPEC | CLASSIFIER | KV
+//	KV         := NAME "=" VALUE          (VALUE is opaque to the grammar;
+//	                                       the strategy interprets it)
+//	NAME       := dfs | bfs | random | random-path | cov-opt | dist-opt
+//	            | fewest-faults | interleave | cupa
+//	CLASSIFIER := depth[:bandwidth] | site | faults | yield | dist
+//
+// which in practice means:
 //
 //	dfs | bfs | random | random-path | cov-opt | dist-opt | fewest-faults
+//	dist-opt(w=MD2U:DEPTH:FAULTS:YIELD)
 //	interleave(SPEC, SPEC, ...)
 //	cupa(CLASSIFIER[, CLASSIFIER...], SPEC)
-//	CLASSIFIER := depth[:bandwidth] | site | faults | yield | dist
+//
+// Key=value arguments are positional-argument siblings: tryParseKV
+// recognizes NAME=VALUE inside an argument list, Spec.KV looks one up
+// by key, and noKVs makes every strategy reject keys it does not
+// consume — "dfs(w=1:1:1:1)" is a parse-time error, not a silent
+// ignore. Round-tripping through Spec.String preserves KV arguments,
+// so parameterized specs survive the LB→worker wire format unchanged.
+//
+// Runnable examples (any place a spec is accepted — c9 -strategy,
+// c9-worker -strategy, c9-lb -portfolio, the sim):
+//
+//	c9 -target printf -strategy 'dist-opt'                   # default md2u weights
+//	c9 -target printf -strategy 'dist-opt(w=1:0.5:0:0.25)'   # custom feature weights
+//	c9 -target test   -strategy 'cupa(site,dist-opt(w=0:1:1:0))'
+//	c9-lb -portfolio 'dist-opt,dist-opt,dfs' -learn          # learner races dist-opt slots
 //
 // Specs are plain strings, so the load balancer can assign them at
 // Hello, carry them in membership messages, and hand a worker a new one
@@ -43,7 +68,20 @@
 // program's control-flow and call graphs: dist-opt samples candidates
 // proportionally to 1/(1+md2u)² (KLEE's coverage-optimized searcher
 // proper, where cov-opt only rewards yield after the fact), and
-// cupa(dist,...) draws uniformly over log2 distance bands. Both read
+// cupa(dist,...) draws uniformly over log2 distance bands.
+//
+// dist-opt generalizes to a *parameterized family* via the w= argument:
+// dist-opt(w=a:b:c:d) scores candidates by a linear combination of four
+// normalized features — a·1/(1+md2u)² (distance to uncovered code),
+// b·1/(1+depth/8) (shallow-first), c·1/(1+faults) (fewest injected
+// faults), d·y/(1+y) (recent coverage yield) — with engine.DistWeights
+// carrying the vector ("1:0:0:0" is classic dist-opt; the bare spec
+// without w= keeps the exact legacy code path bit-for-bit). This family
+// is what the load balancer's online learner searches over: it perturbs
+// the incumbent vector into challenger portfolio slots and adopts
+// winners by bandit mean (see internal/cluster's learner).
+//
+// Both dist-opt forms and the dist classifier read
 // the worker's shared distance oracle (Builder.Dist, supplied by the
 // engine), which re-derives distances incrementally as the local and
 // global coverage overlays grow — so a MsgCoverage delta from the rest
@@ -58,8 +96,13 @@
 //
 // New policies plug in without touching this package's core:
 //
-//	search.RegisterStrategy("my-strat", func(b *search.Builder, args []*search.Spec) (engine.Strategy, error) { ... })
+//	search.RegisterStrategy("my-strat", func(b *search.Builder, s *search.Spec) (engine.Strategy, error) { ... })
 //	search.RegisterClassifier("my-class", func(b *search.Builder, param int, hasParam bool) (search.Classifier, error) { ... })
+//
+// A constructor receives the full *Spec: positional sub-specs in
+// s.Args (build them with b.Build), key=value arguments via s.KV, and
+// it must reject unconsumed keys with noKVs (exported strategies all
+// do).
 //
 // after which "cupa(my-class,my-strat)" is a valid spec everywhere a
 // spec is accepted (worker flags, LB portfolios, the sim) — and is
@@ -72,6 +115,8 @@
 // comma-separated flag value, respecting parentheses). The load
 // balancer assigns one spec per worker at join, rebalances assignments
 // on membership changes, and reweights which specs get handed out by
-// the per-worker coverage yield observed through the global coverage
-// overlay — see internal/cluster.
+// the coverage yield each slot earns in the global overlay — by default
+// a UCB1 bandit over per-window yield rates, optionally with an online
+// learner racing perturbed dist-opt(w=...) vectors across slots — see
+// internal/cluster (bandit.go, learn.go) and ARCHITECTURE.md.
 package search

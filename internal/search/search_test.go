@@ -49,6 +49,7 @@ func invariantSpecs() []string {
 		"cupa(depth:4,dfs)", "cupa(site,random)", "cupa(yield,cov-opt)",
 		"cupa(site,depth:2,dfs)", "cupa(depth,cupa(faults,random))",
 		"cupa(depth:4,dist-opt)",
+		"dist-opt(w=1:0.5:0:0.25)", "cupa(site,dist-opt(w=0:1:1:0))",
 	}
 	for _, name := range StrategyNames() {
 		switch name {
@@ -263,6 +264,8 @@ func TestSpecParseRoundTrip(t *testing.T) {
 		"cupa(site,cupa(depth:2,random))",
 		"interleave(dfs,bfs,cov-opt)",
 		"cupa(site,depth:2,dfs)",
+		"dist-opt(w=1:0:0:0.5)",
+		"cupa(site,dist-opt(w=0.5:1:0:0))",
 	}
 	for _, src := range cases {
 		ast, err := Parse(src)
@@ -292,6 +295,12 @@ func TestSpecErrors(t *testing.T) {
 		// just as illegal as a cupa inner as naming random-path outright.
 		"cupa(site,interleave)", "cupa(site,interleaved)",
 		"cupa(site,cupa(depth,interleaved))",
+		// Key-value arguments: only declared keys, only valid vectors,
+		// never on strategies that take none.
+		"dist-opt(w=)", "dist-opt(w=1:2)", "dist-opt(w=1:2:3:4:5)",
+		"dist-opt(w=a:b:c:d)", "dist-opt(w=-1:0:0:0)", "dist-opt(q=1:1:1:1)",
+		"dist-opt(dfs)", "dfs(w=1:1:1:1)", "cupa(site,dfs,w=1)",
+		"interleave(dfs,bfs,w=1)",
 	}
 	for _, spec := range bad {
 		if err := Validate(spec); err == nil {

@@ -13,30 +13,60 @@ import (
 )
 
 // Spec is a parsed strategy (or classifier) term: a name, an optional
-// ":N" integer parameter, and parenthesized arguments. Specs serialize
-// back to strings with String, so a strategy assignment is plain data
-// the cluster can put on the wire.
+// ":N" integer parameter, parenthesized arguments, and key=value
+// arguments (the parameterized-strategy hook, e.g. the weight vector
+// in "dist-opt(w=1:0:0:0.5)"). Specs serialize back to strings with
+// String, so a strategy assignment is plain data the cluster can put
+// on the wire.
 type Spec struct {
 	Name     string
 	Param    int
 	HasParam bool
 	Args     []*Spec
+	KVs      []SpecKV
 }
 
-// String renders the spec in its canonical parseable form.
+// SpecKV is one key=value argument. Values are opaque at the grammar
+// level (numeric lists use ':' separators, e.g. "1:0.5:0:0"); the
+// strategy constructor that accepts the key interprets them.
+type SpecKV struct {
+	Key, Val string
+}
+
+// KV returns the value of a key=value argument and whether it was
+// present.
+func (s *Spec) KV(key string) (string, bool) {
+	for _, kv := range s.KVs {
+		if kv.Key == key {
+			return kv.Val, true
+		}
+	}
+	return "", false
+}
+
+// String renders the spec in its canonical parseable form (positional
+// arguments first, then key=value arguments, both in parse order).
 func (s *Spec) String() string {
 	var b strings.Builder
 	b.WriteString(s.Name)
 	if s.HasParam {
 		fmt.Fprintf(&b, ":%d", s.Param)
 	}
-	if len(s.Args) > 0 {
+	if len(s.Args) > 0 || len(s.KVs) > 0 {
 		b.WriteByte('(')
 		for i, a := range s.Args {
 			if i > 0 {
 				b.WriteByte(',')
 			}
 			b.WriteString(a.String())
+		}
+		for i, kv := range s.KVs {
+			if len(s.Args) > 0 || i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(kv.Key)
+			b.WriteByte('=')
+			b.WriteString(kv.Val)
 		}
 		b.WriteByte(')')
 	}
@@ -64,8 +94,13 @@ func (s *Spec) containsRandomPath() bool {
 
 // Parse parses a spec string. Grammar:
 //
-//	SPEC  := NAME [":" INT] ["(" SPEC {"," SPEC} ")"]
+//	SPEC  := NAME [":" INT] ["(" ARG {"," ARG} ")"]
+//	ARG   := SPEC | NAME "=" VALUE
 //	NAME  := [a-zA-Z0-9_-]+
+//	VALUE := [a-zA-Z0-9_.:+-]+
+//
+// A VALUE is opaque to the grammar; the accepting strategy interprets
+// it (dist-opt reads "w" as a ':'-separated float vector).
 func Parse(spec string) (*Spec, error) {
 	p := &parser{src: spec}
 	s, err := p.parseSpec()
@@ -95,6 +130,36 @@ func nameChar(c byte) bool {
 		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 }
 
+func valueChar(c byte) bool {
+	return nameChar(c) || c == '.' || c == ':' || c == '+'
+}
+
+// tryParseKV attempts to parse a NAME "=" VALUE argument at the current
+// position; on a non-match (no '=' after the name) the position is
+// restored and the caller falls back to parseSpec.
+func (p *parser) tryParseKV() (SpecKV, bool, error) {
+	save := p.pos
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && nameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start || p.pos >= len(p.src) || p.src[p.pos] != '=' {
+		p.pos = save
+		return SpecKV{}, false, nil
+	}
+	key := p.src[start:p.pos]
+	p.pos++ // '='
+	vStart := p.pos
+	for p.pos < len(p.src) && valueChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == vStart {
+		return SpecKV{}, false, fmt.Errorf("search: empty value for %q at %d in %q", key, p.pos, p.src)
+	}
+	return SpecKV{Key: key, Val: p.src[vStart:p.pos]}, true, nil
+}
+
 func (p *parser) parseSpec() (*Spec, error) {
 	p.skipSpace()
 	start := p.pos
@@ -121,11 +186,17 @@ func (p *parser) parseSpec() (*Spec, error) {
 	if p.pos < len(p.src) && p.src[p.pos] == '(' {
 		p.pos++
 		for {
-			arg, err := p.parseSpec()
-			if err != nil {
+			if kv, ok, err := p.tryParseKV(); err != nil {
 				return nil, err
+			} else if ok {
+				s.KVs = append(s.KVs, kv)
+			} else {
+				arg, err := p.parseSpec()
+				if err != nil {
+					return nil, err
+				}
+				s.Args = append(s.Args, arg)
 			}
-			s.Args = append(s.Args, arg)
 			p.skipSpace()
 			if p.pos >= len(p.src) {
 				return nil, fmt.Errorf("search: unclosed '(' in %q", p.src)
@@ -146,10 +217,13 @@ func (p *parser) parseSpec() (*Spec, error) {
 
 // ---- Strategy registry ----
 
-// StrategyCtor builds a strategy for a registered name. args are the
-// spec's parenthesized arguments; build nested strategies with
-// b.Build(arg) and fresh deterministic seeds with b.DeriveSeed().
-type StrategyCtor func(b *Builder, args []*Spec) (engine.Strategy, error)
+// StrategyCtor builds a strategy for a registered name. s is the full
+// parsed spec (positional arguments in s.Args, key=value arguments via
+// s.KV); build nested strategies with b.Build(arg) and fresh
+// deterministic seeds with b.DeriveSeed(). Constructors must reject
+// arguments they do not understand — a silently ignored parameter
+// would make two visibly different specs behave identically.
+type StrategyCtor func(b *Builder, s *Spec) (engine.Strategy, error)
 
 var (
 	strategyMu  sync.RWMutex
@@ -210,7 +284,7 @@ func (b *Builder) Build(s *Spec) (engine.Strategy, error) {
 	if ctor == nil {
 		return nil, fmt.Errorf("search: unknown strategy %q (have %v)", s.Name, StrategyNames())
 	}
-	return ctor(b, s.Args)
+	return ctor(b, s)
 }
 
 // Build parses spec and constructs the strategy over t. d is the
@@ -275,38 +349,77 @@ func ParsePortfolio(flag string) ([]string, error) {
 
 // ---- Built-in strategies ----
 
-func noArgs(name string, args []*Spec) error {
-	if len(args) != 0 {
+func noArgs(name string, s *Spec) error {
+	if len(s.Args) != 0 {
 		return fmt.Errorf("search: %s takes no arguments", name)
+	}
+	return noKVs(name, s)
+}
+
+// noKVs rejects every key=value argument the strategy did not consume.
+func noKVs(name string, s *Spec, allowed ...string) error {
+	for _, kv := range s.KVs {
+		ok := false
+		for _, a := range allowed {
+			if kv.Key == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("search: %s does not accept %s=", name, kv.Key)
+		}
 	}
 	return nil
 }
 
 func init() {
-	RegisterStrategy("dfs", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewDFS(), noArgs("dfs", args)
+	RegisterStrategy("dfs", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		return engine.NewDFS(), noArgs("dfs", s)
 	})
-	RegisterStrategy("bfs", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewBFS(), noArgs("bfs", args)
+	RegisterStrategy("bfs", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		return engine.NewBFS(), noArgs("bfs", s)
 	})
-	RegisterStrategy("random", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewRandom(b.DeriveSeed()), noArgs("random", args)
+	RegisterStrategy("random", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		return engine.NewRandom(b.DeriveSeed()), noArgs("random", s)
 	})
-	RegisterStrategy("random-path", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewRandomPath(b.Tree, b.DeriveSeed()), noArgs("random-path", args)
+	RegisterStrategy("random-path", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		return engine.NewRandomPath(b.Tree, b.DeriveSeed()), noArgs("random-path", s)
 	})
-	RegisterStrategy("cov-opt", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewCoverageOptimized(b.DeriveSeed()), noArgs("cov-opt", args)
+	RegisterStrategy("cov-opt", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		return engine.NewCoverageOptimized(b.DeriveSeed()), noArgs("cov-opt", s)
 	})
-	RegisterStrategy("dist-opt", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewDistanceOptimized(b.Dist, b.DeriveSeed()), noArgs("dist-opt", args)
+	// dist-opt ranks by static distance to uncovered code; the optional
+	// weight vector (w=md2u:depth:faults:yield) generalizes the fixed
+	// 1/(1+md2u)² ranking into the parameterized family the LB's online
+	// learner searches over. Bare dist-opt keeps the exact legacy
+	// scoring path, bit-for-bit.
+	RegisterStrategy("dist-opt", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		if len(s.Args) != 0 {
+			return nil, fmt.Errorf("search: dist-opt takes no positional arguments")
+		}
+		if err := noKVs("dist-opt", s, "w"); err != nil {
+			return nil, err
+		}
+		if v, ok := s.KV("w"); ok {
+			w, err := engine.ParseDistWeights(v)
+			if err != nil {
+				return nil, fmt.Errorf("search: dist-opt: %w", err)
+			}
+			return engine.NewDistanceOptimizedWeighted(b.Dist, b.DeriveSeed(), w), nil
+		}
+		return engine.NewDistanceOptimized(b.Dist, b.DeriveSeed()), nil
 	})
-	RegisterStrategy("fewest-faults", func(b *Builder, args []*Spec) (engine.Strategy, error) {
-		return engine.NewFewestFaults(), noArgs("fewest-faults", args)
+	RegisterStrategy("fewest-faults", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		return engine.NewFewestFaults(), noArgs("fewest-faults", s)
 	})
 	// interleave(a,b,...) round-robins sub-strategies; bare "interleaved"
 	// is the paper's evaluation default (random-path ⊕ cov-opt, §7).
-	interleave := func(b *Builder, args []*Spec) (engine.Strategy, error) {
+	interleave := func(b *Builder, s *Spec) (engine.Strategy, error) {
+		if err := noKVs(s.Name, s); err != nil {
+			return nil, err
+		}
+		args := s.Args
 		if len(args) == 0 {
 			args = []*Spec{{Name: "random-path"}, {Name: "cov-opt"}}
 		}
@@ -324,7 +437,11 @@ func init() {
 	RegisterStrategy("interleaved", interleave)
 	// cupa(class[,class...],inner): one CUPA level per classifier,
 	// innermost delegating to the final strategy spec.
-	RegisterStrategy("cupa", func(b *Builder, args []*Spec) (engine.Strategy, error) {
+	RegisterStrategy("cupa", func(b *Builder, s *Spec) (engine.Strategy, error) {
+		if err := noKVs("cupa", s); err != nil {
+			return nil, err
+		}
+		args := s.Args
 		if len(args) < 2 {
 			return nil, fmt.Errorf("search: cupa needs at least (classifier, inner-strategy)")
 		}
@@ -337,7 +454,7 @@ func init() {
 		}
 		classifiers := make([]Classifier, len(args)-1)
 		for i, a := range args[:len(args)-1] {
-			if len(a.Args) > 0 {
+			if len(a.Args) > 0 || len(a.KVs) > 0 {
 				return nil, fmt.Errorf("search: classifier %q cannot take spec arguments", a.Name)
 			}
 			cls, err := classifierByName(b, a.Name, a.Param, a.HasParam)
