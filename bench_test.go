@@ -17,6 +17,7 @@ import (
 	"cloud9/internal/cvm"
 	"cloud9/internal/engine"
 	"cloud9/internal/expr"
+	"cloud9/internal/obs"
 	"cloud9/internal/posix"
 	"cloud9/internal/solver"
 	"cloud9/internal/targets"
@@ -817,6 +818,33 @@ func BenchmarkDistRecompute(b *testing.B) {
 			if ref["main"][0] < 0 {
 				b.Fatal("impossible distance")
 			}
+		}
+	})
+}
+
+// BenchmarkObsCounter measures the metrics hot path: the held-handle
+// atomic increment every instrumented site uses (counters are resolved
+// once at construction — see internal/cluster.NewWorker) against
+// resolving the counter through the registry's name map on every
+// increment. The gate in ci/bench_baseline.json pins the held-handle
+// discipline: if instrumentation ever regresses to per-event lookups,
+// the ratio collapses and CI fails — this is what keeps the solver-tier
+// gates (BranchQuery, IncrementalAppendSolve) at their ≥5x floors after
+// the observability plane landed on those paths.
+func BenchmarkObsCounter(b *testing.B) {
+	b.Run("held", func(b *testing.B) {
+		r := obs.NewRegistry()
+		c := r.Counter(obs.MClusterJobsSent)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		r := obs.NewRegistry()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Counter(obs.MClusterJobsSent).Inc()
 		}
 	})
 }

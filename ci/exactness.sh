@@ -18,6 +18,11 @@
 # pipeline on this workload before re-pinning.
 #
 # Usage: ci/exactness.sh
+# Env:   OBS_DIR  when set, each run also writes its metrics snapshot +
+#                 run journal there (<target>.json via c9 -obs-dump) and
+#                 the dump's c9_engine_paths_total is cross-checked
+#                 against the pin — the metrics plane must agree with
+#                 stdout to the path. Nightly archives these dumps.
 set -euo pipefail
 
 declare -A WANT=(
@@ -34,7 +39,12 @@ go build -o "$BIN" ./cmd/c9
 fail=0
 for tgt in printf memcached lighttpd test; do
   echo "== $tgt (want ${WANT[$tgt]} paths)"
-  out=$("$BIN/c9" -target "$tgt" -tests=false)
+  dumpargs=()
+  if [[ -n "${OBS_DIR:-}" ]]; then
+    mkdir -p "$OBS_DIR"
+    dumpargs=(-obs-dump "$OBS_DIR/$tgt.json")
+  fi
+  out=$("$BIN/c9" -target "$tgt" -tests=false "${dumpargs[@]}")
   got=$(awk '/^paths explored:/ {print $3}' <<<"$out")
   queries=$(awk '/^solver queries:/ {print $3}' <<<"$out")
   if [[ -z "$got" ]]; then
@@ -49,6 +59,13 @@ for tgt in printf memcached lighttpd test; do
     # Query counts are informational (tracked for the solver-tier perf
     # trajectory); only path counts are pinned.
     echo "== $tgt OK ($got paths, ${queries:-?} solver queries)"
+  fi
+  if [[ -n "${OBS_DIR:-}" ]]; then
+    obs_paths=$(sed -n 's/.*"c9_engine_paths_total": \([0-9]*\).*/\1/p' "$OBS_DIR/$tgt.json" | head -1)
+    if [[ "${obs_paths:-}" != "${WANT[$tgt]}" ]]; then
+      echo "exactness: FAIL — $tgt metrics dump says ${obs_paths:-?} paths, pinned ${WANT[$tgt]}" >&2
+      fail=1
+    fi
   fi
 done
 

@@ -13,6 +13,10 @@
 #
 # Usage: ci/tcp_smoke.sh [target] [port]
 # Env:   PORTFOLIO  overrides the strategy mix (comma-separated specs).
+#        SMOKE_LOGS directory for logs + obs artifacts (metrics scrapes,
+#                   the LB's final metrics/journal dump obs.json);
+#                   default a fresh mktemp dir. Nightly sets it to
+#                   archive the observability artifacts.
 #        KILL_DELAY seconds between the victim joining and the kill -9
 #                   (default 0: since the solver's interval tier landed,
 #                   every miniature drains in under a second, so the
@@ -33,7 +37,8 @@ KILL_DELAY="${KILL_DELAY:-0}"
 TARGET="${1:-test}"
 PORT="${2:-7911}"
 BIN="$(mktemp -d)"
-LOGS="$(mktemp -d)"
+LOGS="${SMOKE_LOGS:-$(mktemp -d)}"
+mkdir -p "$LOGS"
 trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
 
 echo "== building binaries"
@@ -54,10 +59,23 @@ echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; will kill -9 one 
 # most branch queries), but stay well under the post-kill run time so
 # the eviction + re-seat actually happens before quiescence. The
 # interval tier shrank these runs to a second or two, hence 500ms.
+OBS_PORT=$((PORT + 1))
 "$BIN/c9-lb" -listen "127.0.0.1:$PORT" -target "$TARGET" -min-workers 3 \
-  -portfolio "$PORTFOLIO" -lease 500ms -max-duration 5m >"$LOGS/lb.txt" 2>&1 &
+  -portfolio "$PORTFOLIO" -lease 500ms -max-duration 5m \
+  -obs-addr "127.0.0.1:$OBS_PORT" -obs-dump "$LOGS/obs.json" >"$LOGS/lb.txt" 2>&1 &
 LB_PID=$!
 sleep 1
+
+# Live exposition check: the LB is parked behind its min-workers barrier
+# (no worker has dialed in yet), so /metrics must answer right now.
+if ! curl -sf "http://127.0.0.1:$OBS_PORT/metrics" >"$LOGS/metrics-early.txt"; then
+  echo "smoke: FAIL — LB /metrics not answering before the run" >&2
+  exit 1
+fi
+grep -q '^c9_lb_members ' "$LOGS/metrics-early.txt" || {
+  echo "smoke: FAIL — /metrics missing c9_lb_members gauge" >&2
+  exit 1
+}
 
 WPIDS=()
 for i in 0 1 2; do
@@ -86,6 +104,11 @@ else
   exit 1
 fi
 
+# Best-effort mid-recovery scrape: the post-kill run lasts until the
+# lease lapses plus re-exploration, usually enough to catch /metrics
+# with live worker deltas folded in. Non-fatal if the run outraces us.
+curl -sf "http://127.0.0.1:$OBS_PORT/metrics" >"$LOGS/metrics-mid.txt" 2>/dev/null || true
+
 wait "$LB_PID"
 cat "$LOGS/lb.txt"
 
@@ -110,4 +133,24 @@ if [[ "$DISTINCT" -lt 2 ]]; then
   echo "smoke: FAIL — portfolio not heterogeneous (only $DISTINCT distinct strategies)" >&2
   exit 1
 fi
+
+# The final obs dump must agree with the stdout accounting to the path:
+# the fleet metric fold and the member-record sum are the same cut
+# (metrics-at-LastFull), so c9_engine_paths_total == cluster total == REF.
+if [[ ! -s "$LOGS/obs.json" ]]; then
+  echo "smoke: FAIL — LB never wrote the obs dump" >&2
+  exit 1
+fi
+OBS_PATHS=$(sed -n 's/.*"c9_engine_paths_total": \([0-9]*\).*/\1/p' "$LOGS/obs.json" | head -1)
+if [[ "${OBS_PATHS:-}" != "$REF" ]]; then
+  echo "smoke: FAIL — metrics path count ${OBS_PATHS:-?} != reference $REF" >&2
+  exit 1
+fi
+for ev in worker-evict custody-reseat reseat-replayed; do
+  grep -q "\"type\": \"$ev\"" "$LOGS/obs.json" || {
+    echo "smoke: FAIL — journal missing $ev event" >&2
+    exit 1
+  }
+done
+echo "== obs: metrics path count $OBS_PATHS matches, recovery journaled"
 echo "smoke: OK — mixed-portfolio crash-tolerant cluster matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"

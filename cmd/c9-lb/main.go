@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cloud9/internal/cluster"
+	"cloud9/internal/obs"
 	"cloud9/internal/posix"
 	"cloud9/internal/search"
 	"cloud9/internal/targets"
@@ -37,6 +38,8 @@ func main() {
 		learn      = flag.Bool("learn", false, "run the online learner: perturb dist-opt weight vectors and race challengers in spare portfolio slots (needs ≥2 dist-opt slots in -portfolio)")
 		learnEvery = flag.Int("learn-every", cluster.DefaultLearnEvery, "learner adopt/keep decision cadence, in reweight passes")
 		learnSeed  = flag.Int64("learn-seed", 1, "seed for the learner's deterministic perturbation stream")
+		obsAddr    = flag.String("obs-addr", "", "serve the live fleet observability HTTP on this address (/metrics, /snapshot, /journal, /debug/pprof)")
+		obsDump    = flag.String("obs-dump", "", "write the final fleet metrics snapshot + run journal as JSON to this file")
 	)
 	// Back-compat alias for the old flag name.
 	flag.IntVar(minWorkers, "workers", *minWorkers, "alias for -min-workers")
@@ -84,6 +87,15 @@ func main() {
 	}
 	fmt.Printf("c9-lb: listening on %s (elastic membership, quiescence after ≥%d workers)\n",
 		srv.Addr(), *minWorkers)
+	if *obsAddr != "" {
+		osrv, serr := obs.Serve(*obsAddr, srv.ObsSnapshot, srv.Journal())
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "c9-lb: obs: %v\n", serr)
+			os.Exit(1)
+		}
+		defer osrv.Close()
+		fmt.Fprintf(os.Stderr, "c9-lb: observability on http://%s/metrics\n", osrv.Addr())
+	}
 	statuses, err := srv.Serve(*maxDur)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
@@ -108,4 +120,12 @@ func main() {
 		evictions, leaves, transfers, transferred)
 	fmt.Printf("cluster total: paths=%d errors=%d hangs=%d useful=%d replay=%d\n",
 		paths, errors, hangs, useful, replay)
+	fleet := srv.ObsSnapshot()
+	fmt.Print(obs.Render(fleet))
+	if *obsDump != "" {
+		if err := obs.WriteDump(*obsDump, fleet, srv.Journal().All()); err != nil {
+			fmt.Fprintf(os.Stderr, "c9-lb: obs dump: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

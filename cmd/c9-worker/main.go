@@ -21,6 +21,7 @@ import (
 
 	"cloud9/internal/cluster"
 	"cloud9/internal/engine"
+	"cloud9/internal/obs"
 	"cloud9/internal/targets"
 )
 
@@ -32,6 +33,8 @@ func main() {
 		batch       = flag.Int("batch", 16, "exploration steps between mailbox polls")
 		retireAfter = flag.Duration("retire-after", 0, "leave the cluster gracefully after this long (0 = run to completion)")
 		strategy    = flag.String("strategy", "", "search strategy spec override (default: the LB's portfolio assignment, or the engine default)")
+		obsAddr     = flag.String("obs-addr", "", "serve live observability HTTP on this address (/metrics, /snapshot, /journal, /debug/pprof)")
+		obsDump     = flag.String("obs-dump", "", "write the final metrics snapshot + journal as JSON to this file")
 	)
 	flag.Parse()
 
@@ -75,6 +78,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
 		os.Exit(1)
 	}
+	if *obsAddr != "" {
+		srv, serr := obs.Serve(*obsAddr, w.Exp.Obs.Snapshot, w.Exp.Journal)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "c9-worker: obs: %v\n", serr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "c9-worker: observability on http://%s/metrics\n", srv.Addr())
+	}
 	if *retireAfter > 0 {
 		time.AfterFunc(*retireAfter, w.Retire)
 	}
@@ -85,16 +97,12 @@ func main() {
 	fmt.Printf("c9-worker %d: paths=%d errors=%d hangs=%d useful=%d replay=%d tests=%d departed=%v\n",
 		w.ID, w.Exp.Stats.PathsExplored, w.Exp.Stats.Errors, w.Exp.Stats.Hangs,
 		w.Exp.Stats.UsefulSteps, w.Exp.Stats.ReplaySteps, len(w.Exp.Tests), w.Departed())
-	ss := w.Exp.In.Solver.Stats.Snapshot()
-	fmt.Printf("c9-worker %d: solver queries=%d cache=%.0f%% model-reuse=%.0f%% interval=%d fork-interval=%.0f%% subsume=%d group-hits=%d fork-fast=%.0f%%\n",
-		w.ID, ss.Queries, pct(ss.CacheHits, ss.Queries), pct(ss.ModelReuse, ss.Queries),
-		ss.IntervalSat+ss.IntervalUnsat, pct(ss.ForkIntervalHits, ss.ForkQueries),
-		ss.SubsumeSat+ss.SubsumeUnsat, ss.GroupCacheHits, pct(ss.ForkFastHits, ss.ForkQueries))
-}
-
-func pct(hits, total uint64) float64 {
-	if total == 0 {
-		return 0
+	final := w.Exp.Obs.Snapshot()
+	fmt.Print(obs.Render(final))
+	if *obsDump != "" {
+		if err := obs.WriteDump(*obsDump, final, w.Exp.Journal.All()); err != nil {
+			fmt.Fprintf(os.Stderr, "c9-worker: obs dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	return 100 * float64(hits) / float64(total)
 }

@@ -22,9 +22,9 @@ import (
 	"cloud9/internal/cfg"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/obs"
 	"cloud9/internal/posix"
 	"cloud9/internal/search"
-	"cloud9/internal/solver"
 	"cloud9/internal/state"
 	"cloud9/internal/targets"
 	"cloud9/internal/tree"
@@ -40,9 +40,11 @@ func main() {
 		maxSteps   = flag.Uint64("steps", 2_000_000, "per-path instruction budget (hang detection)")
 		listAll    = flag.Bool("list", false, "list built-in targets")
 		showTests  = flag.Bool("tests", true, "print generated test cases")
-		showStats  = flag.Bool("stats", false, "print detailed solver cache statistics")
+		showStats  = flag.Bool("stats", false, "print detailed metrics (engine, solver tiers, derived hit rates)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		obsAddr    = flag.String("obs-addr", "", "serve live observability HTTP on this address (/metrics, /snapshot, /journal, /debug/pprof)")
+		obsDump    = flag.String("obs-dump", "", "write the final metrics snapshot + journal as JSON to this file")
 	)
 	flag.Parse()
 
@@ -124,6 +126,14 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *obsAddr != "" {
+		srv, serr := obs.Serve(*obsAddr, e.Obs.Snapshot, e.Journal)
+		if serr != nil {
+			fatalf("obs: %v", serr)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "c9: observability on http://%s/metrics\n", srv.Addr())
+	}
 	for {
 		more, err := e.Step()
 		if err != nil {
@@ -147,8 +157,14 @@ func main() {
 	ss := in.Solver.Stats.Snapshot()
 	fmt.Printf("solver queries:   %d\n", ss.Queries)
 	fmt.Printf("solver killed:    %d\n", e.Stats.SolverKilled)
+	final := e.Obs.Snapshot()
 	if *showStats {
-		printSolverStats(ss)
+		fmt.Print(obs.Render(final))
+	}
+	if *obsDump != "" {
+		if err := obs.WriteDump(*obsDump, final, e.Journal.All()); err != nil {
+			fatalf("obs dump: %v", err)
+		}
 	}
 
 	if *showTests && len(e.Tests) > 0 {
@@ -167,34 +183,6 @@ func main() {
 			}
 		}
 	}
-}
-
-// printSolverStats reports the solver query-pipeline hit rates: the
-// result cache, witness-model reuse, the interval tier, the subsumption
-// cache, the group cache, the fused-branch fast path, and the
-// incremental state table.
-func printSolverStats(ss solver.Stats) {
-	pct := func(hits, total uint64) float64 {
-		if total == 0 {
-			return 0
-		}
-		return 100 * float64(hits) / float64(total)
-	}
-	fmt.Printf("solver caches:\n")
-	fmt.Printf("  result cache:   %d hits (%.1f%% of queries)\n", ss.CacheHits, pct(ss.CacheHits, ss.Queries))
-	fmt.Printf("  model reuse:    %d hits (%.1f%% of queries)\n", ss.ModelReuse, pct(ss.ModelReuse, ss.Queries))
-	fmt.Printf("  interval tier:  %d sat + %d unsat decided (%.1f%% of queries), %d empty sets, %d seeded searches\n",
-		ss.IntervalSat, ss.IntervalUnsat, pct(ss.IntervalSat+ss.IntervalUnsat, ss.Queries),
-		ss.IntervalEmpty, ss.IntervalSeeds)
-	fmt.Printf("  subsumption:    %d sat + %d unsat hits (%.1f%% of queries)\n",
-		ss.SubsumeSat, ss.SubsumeUnsat, pct(ss.SubsumeSat+ss.SubsumeUnsat, ss.Queries))
-	fmt.Printf("  group cache:    %d hits\n", ss.GroupCacheHits)
-	fmt.Printf("  fork fast path: %d fused + %d interval of %d branch queries (%.1f%%)\n",
-		ss.ForkFastHits, ss.ForkIntervalHits, ss.ForkQueries,
-		pct(ss.ForkFastHits+ss.ForkIntervalHits, ss.ForkQueries))
-	fmt.Printf("  state memo:     %d hits, %d extends\n", ss.StateHits, ss.StateExtends)
-	fmt.Printf("  group searches: %d (%d backtracks), %d unit folds\n",
-		ss.SolverRuns, ss.Backtracks, ss.UnitPropFolds)
 }
 
 func printable(b []byte) string {

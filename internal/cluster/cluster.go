@@ -8,6 +8,7 @@ import (
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/obs"
 	"cloud9/internal/search"
 )
 
@@ -77,6 +78,13 @@ type Result struct {
 	Workers   []*Worker
 	Evictions int
 	Leaves    int
+	// Obs is the fleet-wide metrics fold: live workers' registries,
+	// departed members' accounted snapshots, and the LB's own counters.
+	// Final's counter fields are rendered from it.
+	Obs obs.Snapshot
+	// Journal is the LB's run-event journal (membership, custody and
+	// portfolio events, in order).
+	Journal []obs.Event
 }
 
 // fabric is the in-process transport: one mailbox per worker plus an
@@ -536,49 +544,47 @@ loop:
 		}
 		break
 	}
-	// Final accounting (post-join: no races). Live workers contribute
-	// their in-memory stats; departed workers (crashed, retired, or
-	// evicted) contribute the LB's final record for them — everything
-	// they did after that snapshot was re-explored by survivors. A
-	// departed worker whose departure the LB never processed (crash with
-	// an unexpired lease at shutdown) is still a member: fold in its
-	// member record so its contribution isn't dropped.
+	// Final accounting (post-join: no races), folded through the obs
+	// plane: live workers contribute their full registry snapshots;
+	// departed workers (crashed, retired, or evicted) contribute the
+	// LB's accounted snapshot for them — everything they did after that
+	// snapshot was re-explored by survivors. A departed worker whose
+	// departure the LB never processed (crash with an unexpired lease at
+	// shutdown) is still a member: fold in its member snapshot so its
+	// contribution isn't dropped. The legacy Snapshot fields are
+	// rendered from the merged fold, so they stay exactly equal to the
+	// old field-by-field sums.
 	final := Snapshot{Elapsed: time.Since(startT)}
+	fleet := obs.Snapshot{}
 	workersMu.Lock()
 	res.Workers = append(res.Workers, workers...)
 	workersMu.Unlock()
 	for _, w := range res.Workers {
 		if w.Departed() {
-			if rec, ok := lb.MemberRecord(w.ID); ok {
-				final.UsefulSteps += rec.UsefulSteps
-				final.ReplaySteps += rec.ReplaySteps
-				final.Paths += rec.Paths
-				final.Errors += rec.Errors
-				final.Hangs += rec.Hangs
+			if o, ok := lb.MemberObs(w.ID); ok {
+				fleet.Merge(o)
 			}
 			continue
 		}
-		final.UsefulSteps += w.Exp.Stats.UsefulSteps
-		final.ReplaySteps += w.Exp.Stats.ReplaySteps
-		final.Paths += w.Exp.Stats.PathsExplored
-		final.Errors += w.Exp.Stats.Errors
-		final.Hangs += w.Exp.Stats.Hangs
+		fleet.Merge(w.Exp.Obs.Snapshot())
 		final.Queues = append(final.Queues, w.Exp.Tree.NumCandidates())
 		cov, _ := lb.GlobalCoverage()
 		cov.Or(w.Exp.Cov)
 	}
-	for _, st := range lb.GoneStatuses() {
-		final.UsefulSteps += st.UsefulSteps
-		final.ReplaySteps += st.ReplaySteps
-		final.Paths += st.Paths
-		final.Errors += st.Errors
-		final.Hangs += st.Hangs
-	}
+	fleet.Merge(lb.GoneObs())
+	lb.PutLBMetrics(&fleet)
+	final.UsefulSteps = fleet.Counter(obs.MEngineUsefulSteps)
+	final.ReplaySteps = fleet.Counter(obs.MEngineReplaySteps)
+	final.Paths = fleet.Counter(obs.MEnginePaths)
+	final.Errors = fleet.Counter(obs.MEngineErrors)
+	final.Hangs = fleet.Counter(obs.MEngineHangs)
 	cov, _ := lb.GlobalCoverage()
 	final.Coverage = cov.Count()
 	final.StatesTransferred = lb.StatesTransferred()
 	final.TransfersIssued = lb.TransfersIssued
 	res.Final = final
+	res.Obs = fleet
+	res.Journal = lb.Journal().All()
 	res.Wall = time.Since(startT)
 	res.Evictions = lb.Evictions
 	res.Leaves = lb.Leaves

@@ -3,9 +3,11 @@ package cluster
 import (
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"cloud9/internal/coverage"
+	"cloud9/internal/obs"
 )
 
 // BalancerConfig tunes the load balancing algorithm of §3.3 and the
@@ -128,6 +130,12 @@ type Member struct {
 	// discardable exploration progress can sit between LastFull and Last.
 	Last     Status
 	LastFull Status
+	// Obs is the member's metrics as of LastFull, reassembled from the
+	// obs deltas full statuses carry (cumulative resyncs replace it, see
+	// Status.ObsBase). Deliberately parallels LastFull: if the member
+	// departs, these are its accounted metrics — same cut as its
+	// frontier and counters.
+	Obs obs.Snapshot
 	// LastSeen is the lease renewal time.
 	LastSeen time.Time
 	// ackRelayed tracks, per source, the highest batch ack already
@@ -205,10 +213,26 @@ type LoadBalancer struct {
 
 	// Quiescence reconciliation state for departed members: their final
 	// counters, plus jobs the LB itself delivered while re-seating.
+	// goneObs is the Merge-fold of departed members' accounted metrics.
 	gone       []Status
+	goneObs    obs.Snapshot
 	goneSent   uint64
 	goneRecv   uint64
 	reseatSent uint64
+
+	// journal records fleet membership and custody events; lastNow
+	// caches the most recent clock value threaded into an LB entry point,
+	// for sites without a time parameter (rebalance/adoption paths).
+	journal *obs.Journal
+	lastNow time.Time
+
+	// Fleet-view counters surfaced in FleetObs (joins and custody
+	// re-seats have no legacy public field; reweights/rebalances count
+	// portfolio maintenance passes that moved something).
+	joins         int
+	reseatsIssued int
+	reweights     int
+	rebalances    int
 
 	// Enabled gates balancing (Fig. 13 disables it mid-run).
 	Enabled bool
@@ -245,8 +269,10 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 		reseats:   map[uint64]*custodyBatch{},
 		cov:       coverage.New(covLen),
 		specYield: make([]uint64, len(cfg.Portfolio)),
+		journal:   obs.NewJournal(0),
 		Enabled:   true,
 	}
+	lb.journal.Worker = LBFrom
 	if len(cfg.Portfolio) > 0 && cfg.Reweight == ReweightBandit {
 		lb.bandit = newSlotBandit(len(cfg.Portfolio))
 		lb.windowYield = make([]uint64, len(cfg.Portfolio))
@@ -260,6 +286,7 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 // Join admits a new member, assigning it a fresh id and epoch. The
 // returned outbounds broadcast the updated membership view.
 func (lb *LoadBalancer) Join(addr string, now time.Time) (*Member, []Outbound) {
+	lb.lastNow = now
 	specIdx, spec := lb.assignSpec()
 	id := lb.nextID
 	lb.nextID++
@@ -267,6 +294,10 @@ func (lb *LoadBalancer) Join(addr string, now time.Time) (*Member, []Outbound) {
 	m := &Member{ID: id, Epoch: lb.nextEpoch, Addr: addr, LastSeen: now,
 		Spec: spec, SpecIdx: specIdx}
 	lb.members[id] = m
+	lb.joins++
+	lb.journal.AppendAt(now, obs.EvWorkerJoin, id, map[string]string{
+		"epoch": strconv.FormatUint(m.Epoch, 10), "spec": spec,
+	})
 	return m, []Outbound{{To: Broadcast, Msg: Message{Kind: MsgMembers, Members: lb.memberView()}}}
 }
 
@@ -305,9 +336,20 @@ func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bo
 	if m == nil || m.Epoch != st.Epoch {
 		return nil, false
 	}
+	lb.lastNow = now
 	m.Last = st
 	if st.Frontier != nil {
 		m.LastFull = st
+	}
+	if st.Obs != nil {
+		// Cumulative resync (the worker could not prove this record still
+		// holds its baseline) replaces; an ordinary delta applies. Both
+		// keep the invariant Obs ≡ metrics-at-LastFull.
+		if st.ObsBase {
+			m.Obs = st.Obs.Clone()
+		} else {
+			m.Obs.Apply(*st.Obs)
+		}
 	}
 	m.Reported = true
 	m.LastSeen = now
@@ -373,10 +415,19 @@ func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bo
 		for _, seq := range st.ReseatAcks {
 			acked[seq] = true
 		}
+		var done []uint64
 		for seq, b := range lb.reseats {
 			if b.dst == st.Worker && acked[seq] {
-				delete(lb.reseats, seq)
+				done = append(done, seq)
 			}
+		}
+		// Sorted so the journal sequence is deterministic (map order isn't).
+		sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+		for _, seq := range done {
+			lb.journal.AppendAt(now, obs.EvReseatReplayed, st.Worker, map[string]string{
+				"seq": strconv.FormatUint(seq, 10), "jobs": strconv.Itoa(lb.reseats[seq].n),
+			})
+			delete(lb.reseats, seq)
 		}
 	}
 	return outs, true
@@ -389,13 +440,16 @@ func (lb *LoadBalancer) Goodbye(id int, now time.Time) []Outbound {
 	if lb.members[id] == nil {
 		return nil
 	}
+	lb.lastNow = now
 	lb.Leaves++
+	lb.journal.AppendAt(now, obs.EvWorkerGoodbye, id, nil)
 	return lb.depart(id, now)
 }
 
 // ExpireLeases evicts every member whose lease has lapsed and returns
 // the resulting eviction notices and re-seat deliveries.
 func (lb *LoadBalancer) ExpireLeases(now time.Time) []Outbound {
+	lb.lastNow = now
 	var expired []int
 	for id, m := range lb.members {
 		if now.Sub(m.LastSeen) > lb.cfg.Lease {
@@ -406,6 +460,9 @@ func (lb *LoadBalancer) ExpireLeases(now time.Time) []Outbound {
 	var outs []Outbound
 	for _, id := range expired {
 		lb.Evictions++
+		lb.journal.AppendAt(now, obs.EvWorkerEvict, id, map[string]string{
+			"epoch": strconv.FormatUint(lb.members[id].Epoch, 10),
+		})
 		outs = append(outs, lb.depart(id, now)...)
 	}
 	return outs
@@ -426,6 +483,7 @@ func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
 		// frontier — counted exactly once either way.
 		rec := m.Record()
 		lb.gone = append(lb.gone, rec)
+		lb.goneObs.Merge(m.Obs)
 		lb.goneSent += rec.JobsSent
 		lb.goneRecv += rec.JobsRecv
 		if n := rec.Frontier.Count(); n > 0 {
@@ -474,6 +532,10 @@ func (lb *LoadBalancer) placeOrphans(now time.Time) []Outbound {
 			b.counted = true
 		}
 		lb.reseats[b.seq] = b
+		lb.reseatsIssued++
+		lb.journal.AppendAt(now, obs.EvCustodyReseat, dst, map[string]string{
+			"seq": strconv.FormatUint(b.seq, 10), "jobs": strconv.Itoa(b.n),
+		})
 		outs = append(outs, Outbound{To: dst, Msg: Message{
 			Kind: MsgJobs, From: LBFrom, Seq: b.seq, Jobs: b.jt,
 		}})
@@ -502,6 +564,7 @@ func (lb *LoadBalancer) leastLoaded() (int, bool) {
 // custody batches whose acknowledgment is overdue (receivers suppress
 // duplicates via the sequence high-water mark).
 func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
+	lb.lastNow = now
 	outs := lb.placeOrphans(now)
 	for _, b := range lb.reseats {
 		if lb.members[b.dst] == nil {
@@ -524,6 +587,10 @@ func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
 		lb.reweightTicks++
 		if lb.reweightTicks >= lb.cfg.ReweightEvery {
 			lb.reweightTicks = 0
+			lb.reweights++
+			lb.journal.AppendAt(now, obs.EvReweight, LBFrom, map[string]string{
+				"pass": strconv.Itoa(lb.reweights),
+			})
 			// Close the bandit's observation window: one pull per manned
 			// slot, rewarded with the window's accumulated yield. Unmanned
 			// slots produce no evidence and are not pulled.
@@ -619,6 +686,64 @@ func (lb *LoadBalancer) StatesTransferred() int {
 		n += int(st.TransferredIn)
 	}
 	return n
+}
+
+// Journal returns the LB's run-event journal (membership, custody and
+// portfolio events).
+func (lb *LoadBalancer) Journal() *obs.Journal { return lb.journal }
+
+// FleetObs folds the fleet-wide metrics view: every live member's
+// accounted metrics (as of its last full status), the merged metrics of
+// departed members, and the LB's own membership, custody and portfolio
+// counters under the c9_lb_* names. Merge is associative and
+// commutative, so the fold order does not affect the result.
+func (lb *LoadBalancer) FleetObs() obs.Snapshot {
+	s := obs.Snapshot{}
+	for _, m := range lb.members {
+		s.Merge(m.Obs)
+	}
+	s.Merge(lb.goneObs)
+	lb.PutLBMetrics(&s)
+	return s
+}
+
+// MemberObs returns a current member's accounted metrics (as of its
+// last full status), if id is a reported member.
+func (lb *LoadBalancer) MemberObs(id int) (obs.Snapshot, bool) {
+	m := lb.members[id]
+	if m == nil || !m.Reported {
+		return obs.Snapshot{}, false
+	}
+	return m.Obs, true
+}
+
+// GoneObs returns the merged accounted metrics of departed members.
+func (lb *LoadBalancer) GoneObs() obs.Snapshot { return lb.goneObs }
+
+// PutLBMetrics writes the LB's own membership, custody and portfolio
+// metrics into a snapshot — shared by FleetObs and by cluster.Run's
+// final fold, which has fresher per-worker data than the LB's records.
+func (lb *LoadBalancer) PutLBMetrics(s *obs.Snapshot) {
+	s.PutGauge(obs.MLBMembers, int64(len(lb.members)))
+	s.PutCounter(obs.MLBJoins, uint64(lb.joins))
+	s.PutCounter(obs.MLBEvictions, uint64(lb.Evictions))
+	s.PutCounter(obs.MLBLeaves, uint64(lb.Leaves))
+	s.PutCounter(obs.MLBTransfersIssued, uint64(lb.TransfersIssued))
+	s.PutCounter(obs.MLBStatesTransferred, uint64(lb.StatesTransferred()))
+	s.PutCounter(obs.MLBReseats, uint64(lb.reseatsIssued))
+	s.PutCounter(obs.MLBReseatJobs, lb.reseatSent)
+	s.PutCounter(obs.MLBReweights, uint64(lb.reweights))
+	s.PutCounter(obs.MLBRebalances, uint64(lb.rebalances))
+	s.PutCounter(obs.MLBAdoptions, uint64(lb.Adoptions()))
+	s.PutGauge(obs.MLBCoverageLines, int64(lb.cov.Count()))
+	for i, y := range lb.specYield {
+		s.PutCounter(obs.MLBSlotYield(i), y)
+	}
+	if len(lb.cfg.Portfolio) > 0 {
+		for i, c := range lb.specCounts() {
+			s.PutGauge(obs.MLBSlotWorkers(i), int64(c))
+		}
+	}
 }
 
 // Quiescent reports global completion: at least one member, every

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cloud9/internal/engine"
+	"cloud9/internal/obs"
 	"cloud9/internal/search"
 )
 
@@ -228,6 +229,9 @@ func (l *specLearner) step() []Outbound {
 	// of it. The incumbent's arm resets too — it is now a new spec.
 	l.Adoptions++
 	l.vecs[inc] = l.vecs[best]
+	l.lb.journal.AppendAt(l.lb.lastNow, obs.EvAdoption, LBFrom, map[string]string{
+		"spec": "dist-opt(w=" + l.vecs[best].String() + ")",
+	})
 	outs := l.setSlot(inc, "dist-opt(w="+l.vecs[best].String()+")")
 	return append(outs, l.dealChallengers()...)
 }

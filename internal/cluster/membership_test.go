@@ -231,8 +231,8 @@ func TestStaleSenderJobsDropped(t *testing.T) {
 	jobs := BuildJobTree([][]uint8{{0}, {1}})
 	f.mailboxes[0] <- Message{Kind: MsgJobs, From: 1, Epoch: 2, Seq: 1, Jobs: jobs}
 	w.drainMailbox()
-	if w.jobsRecv != 0 || w.transfersIn != 0 {
-		t.Fatalf("stale batch counted: recv=%d in=%d", w.jobsRecv, w.transfersIn)
+	if w.jobsRecv.Load() != 0 || w.transfersIn.Load() != 0 {
+		t.Fatalf("stale batch counted: recv=%d in=%d", w.jobsRecv.Load(), w.transfersIn.Load())
 	}
 	if w.Exp.Tree.NumCandidates() != 0 {
 		t.Fatalf("stale batch imported: %d candidates", w.Exp.Tree.NumCandidates())
@@ -241,14 +241,14 @@ func TestStaleSenderJobsDropped(t *testing.T) {
 	// accepted.
 	f.mailboxes[0] <- Message{Kind: MsgJobs, From: 1, Epoch: 3, Seq: 1, Jobs: jobs}
 	w.drainMailbox()
-	if w.jobsRecv != 2 || w.Exp.Tree.NumCandidates() != 2 {
-		t.Fatalf("live batch not imported: recv=%d cands=%d", w.jobsRecv, w.Exp.Tree.NumCandidates())
+	if w.jobsRecv.Load() != 2 || w.Exp.Tree.NumCandidates() != 2 {
+		t.Fatalf("live batch not imported: recv=%d cands=%d", w.jobsRecv.Load(), w.Exp.Tree.NumCandidates())
 	}
 	// A duplicate resend of the same sequence is suppressed exactly once.
 	f.mailboxes[0] <- Message{Kind: MsgJobs, From: 1, Epoch: 3, Seq: 1, Jobs: jobs}
 	w.drainMailbox()
-	if w.jobsRecv != 2 {
-		t.Fatalf("duplicate resend double counted: recv=%d", w.jobsRecv)
+	if w.jobsRecv.Load() != 2 {
+		t.Fatalf("duplicate resend double counted: recv=%d", w.jobsRecv.Load())
 	}
 }
 
@@ -274,15 +274,15 @@ func TestGapBatchesDroppedUntilResent(t *testing.T) {
 	// Batch 2 arrives first (batch 1 was lost on a dead connection).
 	f.mailboxes[0] <- Message{Kind: MsgJobs, From: 1, Epoch: 2, Seq: 2, Jobs: b2}
 	w.drainMailbox()
-	if w.jobsRecv != 0 || w.ackHW[1] != 0 {
-		t.Fatalf("gap batch processed: recv=%d hw=%d", w.jobsRecv, w.ackHW[1])
+	if w.jobsRecv.Load() != 0 || w.ackHW[1] != 0 {
+		t.Fatalf("gap batch processed: recv=%d hw=%d", w.jobsRecv.Load(), w.ackHW[1])
 	}
 	// The sender re-sends in order: 1 then 2. Both must now land.
 	f.mailboxes[0] <- Message{Kind: MsgJobs, From: 1, Epoch: 2, Seq: 1, Jobs: b1}
 	f.mailboxes[0] <- Message{Kind: MsgJobs, From: 1, Epoch: 2, Seq: 2, Jobs: b2}
 	w.drainMailbox()
-	if w.jobsRecv != 2 || w.ackHW[1] != 2 {
-		t.Fatalf("in-order resends not processed: recv=%d hw=%d", w.jobsRecv, w.ackHW[1])
+	if w.jobsRecv.Load() != 2 || w.ackHW[1] != 2 {
+		t.Fatalf("in-order resends not processed: recv=%d hw=%d", w.jobsRecv.Load(), w.ackHW[1])
 	}
 	if w.Exp.Tree.NumCandidates() != 2 {
 		t.Fatalf("candidates = %d, want 2", w.Exp.Tree.NumCandidates())
@@ -316,7 +316,7 @@ func TestReimportOnDestinationEviction(t *testing.T) {
 	}
 	f.mailboxes[0] <- Message{Kind: MsgTransferReq, Dst: 1, NJobs: 1}
 	w.drainMailbox()
-	if w.jobsSent == 0 {
+	if w.jobsSent.Load() == 0 {
 		t.Fatal("export did not happen")
 	}
 	if got := w.Exp.Tree.NumCandidates(); got != before-1 {
@@ -328,8 +328,8 @@ func TestReimportOnDestinationEviction(t *testing.T) {
 	if got := w.Exp.Tree.NumCandidates(); got != before {
 		t.Fatalf("candidates after re-import = %d, want %d", got, before)
 	}
-	if w.jobsRecv != 1 {
-		t.Fatalf("re-import must balance the sent counter: recv=%d", w.jobsRecv)
+	if w.jobsRecv.Load() != 1 {
+		t.Fatalf("re-import must balance the sent counter: recv=%d", w.jobsRecv.Load())
 	}
 	if len(w.unacked[1]) != 0 {
 		t.Fatal("custody not released after re-import")

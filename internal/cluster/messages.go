@@ -61,6 +61,8 @@ package cluster
 
 import (
 	"sort"
+
+	"cloud9/internal/obs"
 )
 
 // MsgKind tags worker mailbox messages.
@@ -171,6 +173,16 @@ type Status struct {
 	// portfolio allocation).
 	Spec       string
 	SpecPinned bool
+	// Obs carries the worker's metrics, delta-encoded against the last
+	// full status the LB accepted (nil on light statuses — metrics ride
+	// the FrontierEvery cadence, same as the frontier). When ObsBase is
+	// set the snapshot is cumulative instead: the worker could not prove
+	// the LB still holds its previous baseline (failed send or stream
+	// reconnect), so the LB replaces its record rather than applying a
+	// delta. Replacing a cumulative snapshot is idempotent, which makes
+	// the resync safe under arbitrary loss.
+	Obs     *obs.Snapshot
+	ObsBase bool
 }
 
 // JobTree aggregates path-encoded jobs into a trie so that shared path

@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"sort"
+	"strconv"
+
+	"cloud9/internal/obs"
 )
 
 // Strategy portfolios (§3.3 heterogeneous per-worker policies): the
@@ -194,6 +197,12 @@ func (lb *LoadBalancer) rebalanceStrategies() []Outbound {
 		counts[j]++
 		m.SpecIdx, m.Spec = j, lb.cfg.Portfolio[j]
 		outs = append(outs, Outbound{To: id, Msg: Message{Kind: MsgStrategy, Spec: m.Spec}})
+	}
+	if len(outs) > 0 {
+		lb.rebalances++
+		lb.journal.AppendAt(lb.lastNow, obs.EvRebalance, LBFrom, map[string]string{
+			"moved": strconv.Itoa(len(outs)),
+		})
 	}
 	return outs
 }

@@ -7,6 +7,7 @@ import (
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/obs"
 	"cloud9/internal/search"
 )
 
@@ -84,6 +85,12 @@ type SimResult struct {
 	Workers   []*Worker
 	LB        *LoadBalancer
 	Evictions int
+	// Obs is the fleet-wide metrics fold (same accounting cut as Final);
+	// Journal is the LB's run-event journal. Both are bit-for-bit
+	// reproducible across identically-seeded runs: every timestamp
+	// derives from the virtual tick clock.
+	Obs     obs.Snapshot
+	Journal []obs.Event
 }
 
 // simEndpoint is a synchronous transport: messages land in slices the
@@ -209,6 +216,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: sim worker %d: %w", m.ID, err)
 		}
+		// The worker's journal runs on the virtual tick clock, so journals
+		// from identically-seeded runs are byte-identical.
+		w.Exp.Journal.Now = func() time.Time { return s.now }
 		workers = append(workers, w)
 		alive[m.ID] = w
 		w.sendStatus()
@@ -298,6 +308,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		// does nothing at T or later; its inbox freezes.
 		for _, id := range crashAt[tick] {
 			if w := alive[id]; w != nil {
+				// The sim never enters RunLoop, so the crash journal entry
+				// (normally RunLoop's) is appended here.
+				w.journal.Append(obs.EvCrash, nil)
 				w.Crash()
 				crashed[id] = true
 				delete(alive, id)
@@ -432,5 +445,24 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	res.Workers = workers
 	res.Final = snapshot()
 	res.Evictions = s.lb.Evictions
+	// Fleet metrics fold on the same accounting cut as snapshot(): live
+	// workers' registries, crashed-but-unevicted members' accounted
+	// snapshots, departed members' merged records, LB counters.
+	fleet := obs.Snapshot{}
+	for _, w := range workers {
+		if w.Departed() || crashed[w.ID] {
+			continue
+		}
+		fleet.Merge(w.Exp.Obs.Snapshot())
+	}
+	for id := range crashed {
+		if o, ok := s.lb.MemberObs(id); ok {
+			fleet.Merge(o)
+		}
+	}
+	fleet.Merge(s.lb.GoneObs())
+	s.lb.PutLBMetrics(&fleet)
+	res.Obs = fleet
+	res.Journal = s.lb.Journal().All()
 	return res, nil
 }

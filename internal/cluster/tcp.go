@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"cloud9/internal/obs"
 	"cloud9/internal/search"
 )
 
@@ -553,6 +554,22 @@ func (s *LBServer) Adoptions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lb.Adoptions()
+}
+
+// ObsSnapshot returns the fleet-wide metrics view (safe concurrently
+// with Serve — this is what -obs-addr scrapes mid-run).
+func (s *LBServer) ObsSnapshot() obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.FleetObs()
+}
+
+// Journal returns the balancer's run-event journal. The journal has its
+// own lock, so tailing it is safe concurrently with Serve.
+func (s *LBServer) Journal() *obs.Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.Journal()
 }
 
 func (s *LBServer) acceptLoop() {

@@ -268,7 +268,7 @@ func TestTCPLateJoin(t *testing.T) {
 	// The joiner must have been shipped jobs (it may still be mid-replay
 	// when the cluster quiesces, so received jobs — not useful steps — is
 	// the right signal).
-	if w := workers[2]; w == nil || w.jobsRecv == 0 {
+	if w := workers[2]; w == nil || w.jobsRecv.Load() == 0 {
 		t.Fatal("late joiner never received work")
 	}
 }

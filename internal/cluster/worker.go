@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"cloud9/internal/coverage"
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/obs"
 	"cloud9/internal/search"
 	"cloud9/internal/tree"
 )
@@ -99,9 +101,22 @@ type Worker struct {
 	cfg       WorkerConfig
 	transport Transport
 
-	jobsSent    uint64
-	jobsRecv    uint64
-	transfersIn uint64 // jobs actually received from peers (Fig. 12)
+	// Cluster-protocol counters live in the engine's obs registry as
+	// atomic counters (held pointers; a -obs-addr scrape goroutine may
+	// snapshot them concurrently with this thread). The protocol itself
+	// reads them back with Load on the worker thread.
+	jobsSent    *obs.Counter
+	jobsRecv    *obs.Counter
+	transfersIn *obs.Counter // jobs actually received from peers (Fig. 12)
+
+	gapsCtr          *obs.Counter
+	resendsCtr       *obs.Counter
+	reimportsCtr     *obs.Counter
+	reseatImportsCtr *obs.Counter
+	swapsCtr         *obs.Counter
+	queueGauge       *obs.Gauge
+	batchHist        *obs.Histogram
+	journal          *obs.Journal
 
 	// Sender-side custody: per-destination unacked exported batches,
 	// keyed by a per-destination sequence number — so each (src, dst)
@@ -141,6 +156,14 @@ type Worker struct {
 	lastFullRecv      uint64
 	fullPending       bool
 	lastLBGen         uint64
+
+	// lastObs is the metrics snapshot shipped with the last accepted
+	// full status — the baseline the LB holds, against which the next
+	// full status's obs delta is computed. While fullPending is set the
+	// baseline is unprovable (the snapshot may have died with the old
+	// stream), so the next full status carries the cumulative snapshot
+	// (Status.ObsBase) and the LB replaces instead of applies.
+	lastObs obs.Snapshot
 
 	// spec is the strategy spec currently running ("" = engine
 	// default); swaps counts hot-swaps, salting each rebuild's seed.
@@ -198,7 +221,7 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 	if cfg.FrontierEvery <= 0 {
 		cfg.FrontierEvery = 16
 	}
-	return &Worker{
+	w := &Worker{
 		ID:           cfg.ID,
 		Epoch:        cfg.Epoch,
 		Exp:          exp,
@@ -213,7 +236,23 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 		specPinned:   cfg.StrategyPinned,
 		// The first status is always a full snapshot.
 		statusesSinceFull: cfg.FrontierEvery,
-	}, nil
+	}
+	// Cluster-protocol metrics join the engine's registry so one snapshot
+	// covers every layer this worker runs; the journal is shared too,
+	// stamped with this worker's cluster id.
+	exp.Journal.Worker = cfg.ID
+	w.journal = exp.Journal
+	w.jobsSent = exp.Obs.Counter(obs.MClusterJobsSent)
+	w.jobsRecv = exp.Obs.Counter(obs.MClusterJobsRecv)
+	w.transfersIn = exp.Obs.Counter(obs.MClusterTransfersIn)
+	w.gapsCtr = exp.Obs.Counter(obs.MClusterBatchGaps)
+	w.resendsCtr = exp.Obs.Counter(obs.MClusterBatchResends)
+	w.reimportsCtr = exp.Obs.Counter(obs.MClusterReimports)
+	w.reseatImportsCtr = exp.Obs.Counter(obs.MClusterReseatImports)
+	w.swapsCtr = exp.Obs.Counter(obs.MClusterStrategySwaps)
+	w.queueGauge = exp.Obs.Gauge(obs.MClusterQueueJobs)
+	w.batchHist = exp.Obs.Histogram(obs.MClusterBatchImportJobs, obs.ExpBuckets(1, 2, 12))
+	return w, nil
 }
 
 // Spec returns the strategy spec the worker is currently running.
@@ -236,6 +275,10 @@ func (w *Worker) ApplyStrategy(spec string) error {
 	w.swaps++
 	w.spec = spec
 	w.Exp.SetStrategy(s)
+	w.swapsCtr.Inc()
+	w.journal.Append(obs.EvStrategySwap, map[string]string{
+		"spec": spec, "swap": strconv.Itoa(w.swaps),
+	})
 	return nil
 }
 
@@ -265,7 +308,8 @@ func (w *Worker) Retire() { w.retire.Store(true) }
 // re-import after a destination's eviction.
 func (w *Worker) importPaths(paths [][]uint8) {
 	w.Exp.ImportJobs(paths)
-	w.jobsRecv += uint64(len(paths))
+	w.jobsRecv.Add(uint64(len(paths)))
+	w.batchHist.Observe(uint64(len(paths)))
 }
 
 // reimport takes back custody of a batch whose destination is gone.
@@ -276,6 +320,12 @@ func (w *Worker) reimport(dst int, seq uint64) {
 		return
 	}
 	delete(byseq, seq)
+	w.reimportsCtr.Inc()
+	w.journal.Append(obs.EvBatchReimport, map[string]string{
+		"dst":  strconv.Itoa(dst),
+		"seq":  strconv.FormatUint(seq, 10),
+		"jobs": strconv.Itoa(b.n),
+	})
 	w.importPaths(b.jt.Paths())
 }
 
@@ -330,6 +380,9 @@ func (w *Worker) drainMailbox() {
 			if !w.specPinned {
 				if err := w.ApplyStrategy(msg.Spec); err != nil {
 					w.specPinned = true
+					w.journal.Append(obs.EvSpecPin, map[string]string{
+						"spec": msg.Spec, "kept": w.spec,
+					})
 				}
 			}
 		}
@@ -349,7 +402,13 @@ func (w *Worker) handleJobs(msg Message) {
 			return // duplicate re-delivery
 		}
 		w.reseatSeen[msg.Seq] = true
-		w.importPaths(msg.Jobs.Paths())
+		paths := msg.Jobs.Paths()
+		w.reseatImportsCtr.Inc()
+		w.journal.Append(obs.EvReseatImport, map[string]string{
+			"seq":  strconv.FormatUint(msg.Seq, 10),
+			"jobs": strconv.Itoa(len(paths)),
+		})
+		w.importPaths(paths)
 		w.sendStatus()
 		return
 	}
@@ -368,11 +427,17 @@ func (w *Worker) handleJobs(msg Message) {
 		// without counting — the sender still holds custody of both and
 		// re-sends them in order, so processing out of order here would
 		// let the cumulative ack wrongly release the lost batch.
+		w.gapsCtr.Inc()
+		w.journal.Append(obs.EvBatchGap, map[string]string{
+			"from": strconv.Itoa(msg.From),
+			"seq":  strconv.FormatUint(msg.Seq, 10),
+			"want": strconv.FormatUint(w.ackHW[msg.From]+1, 10),
+		})
 		return
 	}
 	w.ackHW[msg.From] = msg.Seq
 	paths := msg.Jobs.Paths()
-	w.transfersIn += uint64(len(paths))
+	w.transfersIn.Add(uint64(len(paths)))
 	w.importPaths(paths)
 	w.sendStatus()
 }
@@ -390,7 +455,7 @@ func (w *Worker) handleTransferReq(msg Message) {
 	jt := BuildJobTree(paths)
 	w.exportSeq[msg.Dst]++
 	seq := w.exportSeq[msg.Dst]
-	w.jobsSent += uint64(len(paths))
+	w.jobsSent.Add(uint64(len(paths)))
 	if w.unacked[msg.Dst] == nil {
 		w.unacked[msg.Dst] = map[uint64]*unackedBatch{}
 	}
@@ -465,9 +530,15 @@ func (w *Worker) resendOverdue() {
 		for i, seq := range seqs {
 			b := byseq[seq]
 			b.sentAt = now
-			if !w.transport.SendJobs(dst, Message{
+			if w.transport.SendJobs(dst, Message{
 				Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: b.jt,
 			}) {
+				w.resendsCtr.Inc()
+				w.journal.Append(obs.EvBatchResend, map[string]string{
+					"dst": strconv.Itoa(dst),
+					"seq": strconv.FormatUint(seq, 10),
+				})
+			} else {
 				// Keep custody and retry on a later pass (the peer may come
 				// back, or its eviction reimports via handleEvict). A mid-
 				// stream reimport here would wedge the stream: sequences
@@ -491,7 +562,7 @@ func (w *Worker) resendOverdue() {
 // custody snapshot exact) and every FrontierEvery-th status otherwise;
 // the cadence is count-based so the lock-step sim stays deterministic.
 func (w *Worker) sendStatus() {
-	full := w.jobsSent != w.lastFullSent || w.jobsRecv != w.lastFullRecv ||
+	full := w.jobsSent.Load() != w.lastFullSent || w.jobsRecv.Load() != w.lastFullRecv ||
 		w.statusesSinceFull >= w.cfg.FrontierEvery || w.Exp.Done()
 	w.sendStatusOpt(full)
 }
@@ -521,13 +592,14 @@ func (w *Worker) sendStatusOpt(full bool) {
 		reseatAcks = append(reseatAcks, seq)
 	}
 	sort.Slice(reseatAcks, func(i, j int) bool { return reseatAcks[i] < reseatAcks[j] })
+	w.queueGauge.Set(int64(w.Exp.Tree.NumCandidates()))
 	st := Status{
 		Worker:        w.ID,
 		Epoch:         w.Epoch,
 		Queue:         w.Exp.Tree.NumCandidates(),
-		JobsSent:      w.jobsSent,
-		JobsRecv:      w.jobsRecv,
-		TransferredIn: w.transfersIn,
+		JobsSent:      w.jobsSent.Load(),
+		JobsRecv:      w.jobsRecv.Load(),
+		TransferredIn: w.transfersIn.Load(),
 		UsefulSteps:   w.Exp.Stats.UsefulSteps,
 		ReplaySteps:   w.Exp.Stats.ReplaySteps,
 		Paths:         w.Exp.Stats.PathsExplored,
@@ -542,8 +614,23 @@ func (w *Worker) sendStatusOpt(full bool) {
 		Spec:          w.spec,
 		SpecPinned:    w.specPinned,
 	}
+	var obsSnap obs.Snapshot
 	if full {
 		st.Frontier = BuildJobTree(w.Exp.FrontierPaths())
+		// Metrics ride the full-status cadence, delta-encoded against the
+		// baseline of the last accepted full status. Under fullPending the
+		// LB's baseline is unprovable, so ship the cumulative snapshot
+		// instead and let the LB replace its record (idempotent under
+		// arbitrary loss — the same discipline the frontier follows).
+		obsSnap = w.Exp.Obs.Snapshot()
+		if w.fullPending {
+			base := obsSnap.Clone()
+			st.Obs = &base
+			st.ObsBase = true
+		} else {
+			d := obsSnap.Diff(w.lastObs)
+			st.Obs = &d
+		}
 	}
 	msg := Message{Kind: MsgStatus, From: w.ID, Epoch: w.Epoch, Status: &st}
 	var ok bool
@@ -561,8 +648,9 @@ func (w *Worker) sendStatusOpt(full bool) {
 	case full && ok:
 		w.fullPending = false
 		w.statusesSinceFull = 0
-		w.lastFullSent = w.jobsSent
-		w.lastFullRecv = w.jobsRecv
+		w.lastFullSent = w.jobsSent.Load()
+		w.lastFullRecv = w.jobsRecv.Load()
+		w.lastObs = obsSnap
 	case full:
 		// The snapshot never left this worker: the LB's custody view is
 		// still stale, so the next status must be full again.
@@ -576,6 +664,7 @@ func (w *Worker) sendStatusOpt(full bool) {
 // sendGoodbye announces a graceful leave. The preceding status carries
 // the whole frontier, so the LB re-seats it immediately.
 func (w *Worker) sendGoodbye() {
+	w.journal.Append(obs.EvRetire, nil)
 	w.sendStatusOpt(true)
 	w.transport.SendToLB(Message{Kind: MsgGoodbye, From: w.ID, Epoch: w.Epoch})
 	w.departed = true
@@ -594,6 +683,7 @@ func (w *Worker) RunLoop() error {
 			w.crash.Store(true)
 		}
 		if w.crash.Load() {
+			w.journal.Append(obs.EvCrash, nil)
 			w.departed = true
 			return nil
 		}

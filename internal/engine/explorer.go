@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync/atomic"
 
 	"cloud9/internal/cfg"
 	"cloud9/internal/coverage"
 	"cloud9/internal/interp"
+	"cloud9/internal/obs"
 	"cloud9/internal/solver"
 	"cloud9/internal/state"
 	"cloud9/internal/tree"
@@ -25,7 +28,10 @@ type TestCase struct {
 	Faults int
 }
 
-// Stats aggregates exploration accounting for one explorer.
+// Stats aggregates exploration accounting for one explorer. The uint64
+// fields are written with atomic adds on the worker thread so the obs
+// registry can snapshot them from a scrape goroutine mid-run; same-thread
+// (or post-join) plain reads remain valid.
 type Stats struct {
 	PathsExplored uint64 // terminated paths
 	Errors        uint64
@@ -35,7 +41,7 @@ type Stats struct {
 	Materialized  uint64 // virtual nodes replayed
 	BrokenReplays uint64
 	SolverKilled  uint64 // states killed by solver budget exhaustion
-	NewLinesEver  int    // lines newly covered by this explorer
+	NewLinesEver  int    // lines newly covered by this explorer (worker-thread only)
 }
 
 // Explorer drives symbolic exploration of one program on one worker.
@@ -60,6 +66,19 @@ type Explorer struct {
 
 	Tests []TestCase
 	Stats Stats
+
+	// Obs is the per-worker metrics registry: engine and solver counters
+	// fold in as collect-time sources; the cluster layer registers its
+	// protocol counters on the same registry so one snapshot covers the
+	// whole worker. Journal is the worker's run-event journal (the
+	// cluster layer stamps its worker id and, under the sim, a virtual
+	// clock onto it).
+	Obs     *obs.Registry
+	Journal *obs.Journal
+
+	covLines  *obs.Gauge
+	depthHist *obs.Histogram
+	testsCtr  *obs.Counter
 
 	// coverage scratch for the current Advance call.
 	newLines int
@@ -108,10 +127,12 @@ func New(in *interp.Interp, entry string, c Config) (*Explorer, error) {
 		e.Strat = NewInterleaved(NewRandomPath(t, 1), NewCoverageOptimized(2))
 	}
 	e.Strat.Add(t.Root)
+	e.initObs()
 	in.OnCover = func(line int) {
 		if e.Cov.Set(line) {
 			e.newLines++
 			e.Stats.NewLinesEver++
+			e.covLines.Add(1)
 			// Keep the distance oracle's view of the overlay current;
 			// recomputation is deferred until a strategy actually asks.
 			e.Dist.CoverLine(line)
@@ -162,6 +183,7 @@ func (e *Explorer) MergeGlobalCoverage(g *coverage.BitVec) int {
 	added := e.Cov.OrEach(g, e.Dist.CoverLine)
 	if added > 0 {
 		e.globalNew += added
+		e.covLines.Add(int64(added))
 		e.NotifyGlobalCoverage(added)
 	}
 	return added
@@ -180,7 +202,7 @@ func (e *Explorer) Step() (bool, error) {
 	}
 	if n.Status == tree.Virtual {
 		if err := e.materialize(n); err != nil {
-			e.Stats.BrokenReplays++
+			atomic.AddUint64(&e.Stats.BrokenReplays, 1)
 			e.Tree.MarkDead(n)
 			return true, nil
 		}
@@ -195,13 +217,16 @@ func (e *Explorer) exploreNode(n *tree.Node) error {
 	before := e.In.Stats.Instructions
 	e.newLines = 0
 	kids, err := e.In.Advance(s)
-	e.Stats.UsefulSteps += e.In.Stats.Instructions - before
+	atomic.AddUint64(&e.Stats.UsefulSteps, e.In.Stats.Instructions-before)
 	if err != nil {
 		e.Tree.MarkDead(n)
 		if errors.Is(err, solver.ErrBudget) {
 			// Solver gave up on this path (the analog of an SMT
 			// timeout): kill the state, keep exploring others.
-			e.Stats.SolverKilled++
+			atomic.AddUint64(&e.Stats.SolverKilled, 1)
+			e.Journal.Append(obs.EvBudgetKill, map[string]string{
+				"depth": strconv.Itoa(n.Depth),
+			})
 			s.Release()
 			return nil
 		}
@@ -221,12 +246,13 @@ func (e *Explorer) exploreNode(n *tree.Node) error {
 	if kids == nil {
 		// Terminated.
 		e.recordTest(s)
-		e.Stats.PathsExplored++
+		atomic.AddUint64(&e.Stats.PathsExplored, 1)
+		e.depthHist.Observe(uint64(n.Depth))
 		switch s.Term {
 		case state.TermError:
-			e.Stats.Errors++
+			atomic.AddUint64(&e.Stats.Errors, 1)
 		case state.TermHang:
-			e.Stats.Hangs++
+			atomic.AddUint64(&e.Stats.Hangs, 1)
 		}
 		s.Release()
 		e.Tree.MarkDead(n)
@@ -246,7 +272,7 @@ func (e *Explorer) exploreNode(n *tree.Node) error {
 // materialized candidate. Off-path siblings created during replay become
 // fence nodes (they are owned by other workers).
 func (e *Explorer) materialize(n *tree.Node) error {
-	e.Stats.Materialized++
+	atomic.AddUint64(&e.Stats.Materialized, 1)
 	anc := e.Tree.NearestMaterializedAncestor(n)
 	var s *state.S
 	var from *tree.Node
@@ -269,7 +295,7 @@ func (e *Explorer) materialize(n *tree.Node) error {
 	for _, choice := range choices {
 		before := e.In.Stats.Instructions
 		kids, err := e.In.Advance(s)
-		e.Stats.ReplaySteps += e.In.Stats.Instructions - before
+		atomic.AddUint64(&e.Stats.ReplaySteps, e.In.Stats.Instructions-before)
 		if err != nil {
 			return err
 		}
@@ -334,6 +360,7 @@ func (e *Explorer) recordTest(s *state.S) {
 		}
 	}
 	e.Tests = append(e.Tests, tc)
+	e.testsCtr.Inc()
 }
 
 // ExportCandidates removes up to n candidate nodes from the frontier for

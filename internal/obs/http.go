@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+)
+
+// Handler serves the observability endpoints:
+//
+//	/metrics   Prometheus text exposition
+//	/snapshot  JSON Snapshot
+//	/journal   JSONL event tail (?n= limits, default 256)
+//	/debug/pprof/...  net/http/pprof profiles
+//
+// snap is called per request; journal may be nil.
+func Handler(snap func() Snapshot, journal *Journal) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WritePrometheus(w, snap())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap())
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if journal == nil {
+			return
+		}
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		WriteJSONL(w, journal.Tail(n))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live exposition endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the observability endpoint on addr. The server runs on a
+// background goroutine until Close; serve errors after shutdown are
+// ignored.
+func Serve(addr string, snap func() Snapshot, journal *Journal) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(snap, journal)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Dump is the on-disk form written by the binaries' -obs-dump flag: the
+// final metrics snapshot plus the retained journal.
+type Dump struct {
+	Metrics Snapshot `json:"metrics"`
+	Journal []Event  `json:"journal,omitempty"`
+}
+
+// WriteDump writes a Dump as indented JSON to path.
+func WriteDump(path string, s Snapshot, evs []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Dump{Metrics: s, Journal: evs}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,81 @@
+package obs
+
+import "fmt"
+
+// Exported metric names. Every name any layer registers lives here so
+// aggregation sites (cluster.Run, the LB fleet view, CI cross-checks)
+// and docs/operations.md reference one vocabulary. Convention:
+// c9_<layer>_<metric>[_total]; per-slot series carry a literal
+// {slot="N"} label.
+const (
+	// Engine exploration counters (internal/engine).
+	MEnginePaths         = "c9_engine_paths_total"
+	MEngineErrors        = "c9_engine_errors_total"
+	MEngineHangs         = "c9_engine_hangs_total"
+	MEngineUsefulSteps   = "c9_engine_useful_steps_total"
+	MEngineReplaySteps   = "c9_engine_replay_steps_total"
+	MEngineMaterialized  = "c9_engine_materialized_total"
+	MEngineBrokenReplays = "c9_engine_broken_replays_total"
+	MEngineBudgetKills   = "c9_engine_budget_kills_total"
+	MEngineTests         = "c9_engine_tests_total"
+	MEngineCoverageLines = "c9_engine_coverage_lines" // gauge
+	MEnginePathDepth     = "c9_engine_path_depth"     // histogram
+
+	// Solver tiers and caches (internal/solver, folded from solver.Stats).
+	MSolverQueries          = "c9_solver_queries_total"
+	MSolverCacheHits        = "c9_solver_cache_hits_total"
+	MSolverModelReuse       = "c9_solver_model_reuse_total"
+	MSolverGroupCacheHits   = "c9_solver_group_cache_hits_total"
+	MSolverSubsumeSat       = "c9_solver_subsume_sat_total"
+	MSolverSubsumeUnsat     = "c9_solver_subsume_unsat_total"
+	MSolverForkQueries      = "c9_solver_fork_queries_total"
+	MSolverForkFastHits     = "c9_solver_fork_fast_hits_total"
+	MSolverForkIntervalHits = "c9_solver_fork_interval_hits_total"
+	MSolverIntervalSat      = "c9_solver_interval_sat_total"
+	MSolverIntervalUnsat    = "c9_solver_interval_unsat_total"
+	MSolverIntervalEmpty    = "c9_solver_interval_empty_total"
+	MSolverIntervalSeeds    = "c9_solver_interval_seeds_total"
+	MSolverStateHits        = "c9_solver_state_hits_total"
+	MSolverStateExtends     = "c9_solver_state_extends_total"
+	MSolverRuns             = "c9_solver_runs_total"
+	MSolverBacktracks       = "c9_solver_backtracks_total"
+	MSolverUnsat            = "c9_solver_unsat_total"
+	MSolverUnitPropFolds    = "c9_solver_unit_prop_folds_total"
+
+	// Cluster protocol, worker side (internal/cluster).
+	MClusterJobsSent        = "c9_cluster_jobs_sent_total"
+	MClusterJobsRecv        = "c9_cluster_jobs_recv_total"
+	MClusterTransfersIn     = "c9_cluster_transfers_in_total"
+	MClusterBatchGaps       = "c9_cluster_batch_gaps_total"
+	MClusterBatchResends    = "c9_cluster_batch_resends_total"
+	MClusterReimports       = "c9_cluster_reimports_total"
+	MClusterReseatImports   = "c9_cluster_reseat_imports_total"
+	MClusterStrategySwaps   = "c9_cluster_strategy_swaps_total"
+	MClusterQueueJobs       = "c9_cluster_queue_jobs"        // gauge
+	MClusterBatchImportJobs = "c9_cluster_batch_import_jobs" // histogram
+
+	// Load balancer / fleet (internal/cluster LB side).
+	MLBMembers           = "c9_lb_members" // gauge
+	MLBJoins             = "c9_lb_joins_total"
+	MLBEvictions         = "c9_lb_evictions_total"
+	MLBLeaves            = "c9_lb_leaves_total"
+	MLBTransfersIssued   = "c9_lb_transfers_issued_total"
+	MLBStatesTransferred = "c9_lb_states_transferred_total"
+	MLBReseats           = "c9_lb_reseats_total"
+	MLBReseatJobs        = "c9_lb_reseat_jobs_total"
+	MLBReweights         = "c9_lb_reweights_total"
+	MLBRebalances        = "c9_lb_rebalances_total"
+	MLBAdoptions         = "c9_lb_adoptions_total"
+	MLBCoverageLines     = "c9_lb_coverage_lines" // gauge
+)
+
+// MLBSlotYield is the cumulative coverage yield credited to portfolio
+// slot i (search/portfolio selection shares).
+func MLBSlotYield(i int) string {
+	return fmt.Sprintf("c9_lb_slot_yield_total{slot=%q}", fmt.Sprint(i))
+}
+
+// MLBSlotWorkers is the gauge of workers currently assigned to slot i.
+func MLBSlotWorkers(i int) string {
+	return fmt.Sprintf("c9_lb_slot_workers{slot=%q}", fmt.Sprint(i))
+}
