@@ -11,12 +11,22 @@
 # strategies (dist-opt, cupa(dist,dfs)) so the smoke also proves md2u
 # re-ranking never perturbs the explored path set.
 #
+# With KILL_TARGET=lb the victim is the coordination plane itself: the
+# primary load balancer is kill -9'd mid-run with a warm standby tailing
+# its replication log. The standby must promote itself after its grace,
+# the workers (dialed with both addresses) must rotate onto it, and the
+# finished run must still match the single-node path count exactly, with
+# the promotion protocol (primary-lost → standby-promoted → epoch-bump →
+# resync) journaled and zero false evictions.
+#
 # Usage: ci/tcp_smoke.sh [target] [port]
 # Env:   PORTFOLIO  overrides the strategy mix (comma-separated specs).
 #        SMOKE_LOGS directory for logs + obs artifacts (metrics scrapes,
 #                   the LB's final metrics/journal dump obs.json);
 #                   default a fresh mktemp dir. Nightly sets it to
 #                   archive the observability artifacts.
+#        KILL_TARGET worker (default) kill -9's one worker; lb kill -9's
+#                   the primary load balancer (standby takes over).
 #        KILL_DELAY seconds between the victim joining and the kill -9
 #                   (default 0: since the solver's interval tier landed,
 #                   every miniature drains in under a second, so the
@@ -24,14 +34,18 @@
 #                   later and it races the run's natural completion.
 #                   Quiescence cannot be declared around a silent
 #                   member, so the eviction and re-seat still always
-#                   happen before the LB can finish).
+#                   happen before the LB can finish. In lb mode the
+#                   promoted standby likewise cannot finish before its
+#                   resync window closes).
 #
 # PR CI runs the fast single-target form (`test`); the nightly gauntlet
-# runs the matrix (`test` + `printf`) through the same script.
+# runs the matrix (`test` + `printf`, each in worker and lb kill modes)
+# through the same script.
 set -euo pipefail
 
 PORTFOLIO="${PORTFOLIO:-cupa(dist,dfs),dist-opt,dfs}"
 KILL_DELAY="${KILL_DELAY:-0}"
+KILL_TARGET="${KILL_TARGET:-worker}"
 
 # The coreutils `test` miniature explores ~552 paths.
 TARGET="${1:-test}"
@@ -53,18 +67,37 @@ if [[ -z "$REF" || "$REF" -eq 0 ]]; then
 fi
 echo "== reference: $REF paths"
 
-echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; will kill -9 one mid-run)"
+echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; will kill -9 one $KILL_TARGET mid-run)"
 # Lease must exceed the worst single solver query (a worker cannot
 # heartbeat mid-step — microseconds now that the interval tier answers
 # most branch queries), but stay well under the post-kill run time so
 # the eviction + re-seat actually happens before quiescence. The
 # interval tier shrank these runs to a second or two, hence 500ms.
 OBS_PORT=$((PORT + 1))
+SB_PORT=$((PORT + 2))
+SB_OBS_PORT=$((PORT + 3))
+LB_DUMP="$LOGS/obs.json"
+WORKER_LB="127.0.0.1:$PORT"
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  # The primary dies mid-run, so the artifact-grade dump must come from
+  # the survivor: the promoted standby writes obs.json.
+  LB_DUMP="$LOGS/obs-primary.json"
+  WORKER_LB="127.0.0.1:$PORT,127.0.0.1:$SB_PORT"
+fi
 "$BIN/c9-lb" -listen "127.0.0.1:$PORT" -target "$TARGET" -min-workers 3 \
   -portfolio "$PORTFOLIO" -lease 500ms -max-duration 5m \
-  -obs-addr "127.0.0.1:$OBS_PORT" -obs-dump "$LOGS/obs.json" >"$LOGS/lb.txt" 2>&1 &
+  -obs-addr "127.0.0.1:$OBS_PORT" -obs-dump "$LB_DUMP" >"$LOGS/lb.txt" 2>&1 &
 LB_PID=$!
 sleep 1
+SB_PID=
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  "$BIN/c9-lb" -listen "127.0.0.1:$SB_PORT" -standby -peer "127.0.0.1:$PORT" \
+    -promote-grace 1s -target "$TARGET" -min-workers 3 -lease 500ms \
+    -max-duration 5m -obs-addr "127.0.0.1:$SB_OBS_PORT" \
+    -obs-dump "$LOGS/obs.json" >"$LOGS/standby.txt" 2>&1 &
+  SB_PID=$!
+  sleep 1
+fi
 
 # Live exposition check: the LB is parked behind its min-workers barrier
 # (no worker has dialed in yet), so /metrics must answer right now.
@@ -79,14 +112,15 @@ grep -q '^c9_lb_members ' "$LOGS/metrics-early.txt" || {
 
 WPIDS=()
 for i in 0 1 2; do
-  "$BIN/c9-worker" -lb "127.0.0.1:$PORT" -target "$TARGET" -batch 8 \
+  "$BIN/c9-worker" -lb "$WORKER_LB" -target "$TARGET" -batch 8 \
     >"$LOGS/worker$i.txt" 2>&1 &
   WPIDS+=($!)
 done
 
-# Kill worker 1 once the run is underway: every worker has joined (the
-# LB's min-workers barrier lifts and dispatch begins), so the victim is
-# a full member the survivors must be re-seated around.
+# Kill once the run is underway: every worker has joined (the LB's
+# min-workers barrier lifts and dispatch begins), so in worker mode the
+# victim is a full member the survivors must be re-seated around, and in
+# lb mode the replication log already carries the full membership.
 for _ in $(seq 1 200); do
   n=0
   for i in 0 1 2; do
@@ -96,24 +130,48 @@ for _ in $(seq 1 200); do
   sleep 0.05
 done
 sleep "$KILL_DELAY"
-if kill -0 "${WPIDS[1]}" 2>/dev/null; then
-  echo "== kill -9 worker pid ${WPIDS[1]}"
-  kill -9 "${WPIDS[1]}"
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  if kill -0 "$LB_PID" 2>/dev/null; then
+    echo "== kill -9 primary LB pid $LB_PID"
+    kill -9 "$LB_PID"
+  else
+    echo "smoke: primary LB exited before the kill — run too short for a mid-run crash" >&2
+    exit 1
+  fi
 else
-  echo "smoke: worker 1 exited before the kill — run too short for a mid-run crash" >&2
-  exit 1
+  if kill -0 "${WPIDS[1]}" 2>/dev/null; then
+    echo "== kill -9 worker pid ${WPIDS[1]}"
+    kill -9 "${WPIDS[1]}"
+  else
+    echo "smoke: worker 1 exited before the kill — run too short for a mid-run crash" >&2
+    exit 1
+  fi
 fi
 
 # Best-effort mid-recovery scrape: the post-kill run lasts until the
-# lease lapses plus re-exploration, usually enough to catch /metrics
-# with live worker deltas folded in. Non-fatal if the run outraces us.
-curl -sf "http://127.0.0.1:$OBS_PORT/metrics" >"$LOGS/metrics-mid.txt" 2>/dev/null || true
+# lease (or promote grace) lapses plus re-exploration, usually enough to
+# catch /metrics with live deltas folded in. Non-fatal if the run
+# outraces us. In lb mode the primary's exporter died with it, so the
+# scrape targets the standby (which answers once promoted).
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  curl -sf "http://127.0.0.1:$SB_OBS_PORT/metrics" >"$LOGS/metrics-mid.txt" 2>/dev/null || true
+else
+  curl -sf "http://127.0.0.1:$OBS_PORT/metrics" >"$LOGS/metrics-mid.txt" 2>/dev/null || true
+fi
 
-wait "$LB_PID"
-cat "$LOGS/lb.txt"
+# The survivor that prints the final report: the LB in worker mode, the
+# promoted standby in lb mode.
+REPORT_LOG="$LOGS/lb.txt"
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  REPORT_LOG="$LOGS/standby.txt"
+  wait "$SB_PID"
+else
+  wait "$LB_PID"
+fi
+cat "$REPORT_LOG"
 
-TOTAL=$(awk -F'paths=' '/^cluster total:/ {split($2,a," "); print a[1]}' "$LOGS/lb.txt")
-EVICTS=$(awk -F'evictions=' '/^membership:/ {split($2,a," "); print a[1]}' "$LOGS/lb.txt")
+TOTAL=$(awk -F'paths=' '/^cluster total:/ {split($2,a," "); print a[1]}' "$REPORT_LOG")
+EVICTS=$(awk -F'evictions=' '/^membership:/ {split($2,a," "); print a[1]}' "$REPORT_LOG")
 echo "== cluster total: ${TOTAL:-?} paths (reference $REF), evictions: ${EVICTS:-?}"
 
 if [[ -z "${TOTAL:-}" ]]; then
@@ -124,7 +182,20 @@ if [[ "$TOTAL" -ne "$REF" ]]; then
   echo "smoke: FAIL — cluster explored $TOTAL paths, single node explored $REF" >&2
   exit 1
 fi
-if [[ "${EVICTS:-0}" -lt 1 ]]; then
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  # No worker died: a single false eviction means the promoted standby
+  # acted on stale replicated state instead of waiting out its resync
+  # window.
+  if [[ "${EVICTS:-0}" -ne 0 ]]; then
+    echo "smoke: FAIL — promoted standby falsely evicted $EVICTS worker(s)" >&2
+    exit 1
+  fi
+  if ! grep -q '^replication: term=2 promotions=1$' "$REPORT_LOG"; then
+    echo "smoke: FAIL — promoted standby did not report term=2 promotions=1" >&2
+    grep '^replication:' "$REPORT_LOG" >&2 || true
+    exit 1
+  fi
+elif [[ "${EVICTS:-0}" -lt 1 ]]; then
   echo "smoke: FAIL — the killed worker was never evicted" >&2
   exit 1
 fi
@@ -146,11 +217,17 @@ if [[ "${OBS_PATHS:-}" != "$REF" ]]; then
   echo "smoke: FAIL — metrics path count ${OBS_PATHS:-?} != reference $REF" >&2
   exit 1
 fi
-for ev in worker-evict custody-reseat reseat-replayed; do
+if [[ "$KILL_TARGET" == "lb" ]]; then
+  # The promoted standby's journal must tell the takeover story.
+  EVENTS="primary-lost standby-promoted epoch-bump resync"
+else
+  EVENTS="worker-evict custody-reseat reseat-replayed"
+fi
+for ev in $EVENTS; do
   grep -q "\"type\": \"$ev\"" "$LOGS/obs.json" || {
     echo "smoke: FAIL — journal missing $ev event" >&2
     exit 1
   }
 done
 echo "== obs: metrics path count $OBS_PATHS matches, recovery journaled"
-echo "smoke: OK — mixed-portfolio crash-tolerant cluster matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"
+echo "smoke: OK — mixed-portfolio crash-tolerant cluster ($KILL_TARGET killed) matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"

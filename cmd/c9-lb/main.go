@@ -7,15 +7,27 @@
 // survivors. The LB exits when the cluster is quiescent and prints the
 // aggregate results, including departed workers' final contributions.
 //
+// The LB is no longer a single point of failure: a second c9-lb started
+// with -standby -peer=<primary> tails the primary's replication log and,
+// if the primary dies without a clean shutdown, promotes itself after
+// -promote-grace and finishes the run from the exact replicated state.
+// Workers given both addresses (c9-worker -lb primary,standby) ride the
+// failover out. SIGTERM shuts either role down gracefully: the primary
+// stamps the log so standbys exit instead of taking over.
+//
 // Usage:
 //
 //	c9-lb -listen 127.0.0.1:7747 -target memcached -min-workers 4
+//	c9-lb -listen 127.0.0.1:7748 -standby -peer 127.0.0.1:7747 -target memcached
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cloud9/internal/cluster"
@@ -40,6 +52,9 @@ func main() {
 		learnSeed  = flag.Int64("learn-seed", 1, "seed for the learner's deterministic perturbation stream")
 		obsAddr    = flag.String("obs-addr", "", "serve the live fleet observability HTTP on this address (/metrics, /snapshot, /journal, /debug/pprof)")
 		obsDump    = flag.String("obs-dump", "", "write the final fleet metrics snapshot + run journal as JSON to this file")
+		standby    = flag.Bool("standby", false, "run as a warm standby: tail the primary at -peer and promote on its loss")
+		peer       = flag.String("peer", "", "primary LB address to replicate from (required with -standby)")
+		grace      = flag.Duration("promote-grace", 2*time.Second, "how long the primary may stay unreachable before the standby promotes itself")
 	)
 	// Back-compat alias for the old flag name.
 	flag.IntVar(minWorkers, "workers", *minWorkers, "alias for -min-workers")
@@ -80,13 +95,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c9-lb: -learn needs a -portfolio with at least two dist-opt slots\n")
 		os.Exit(1)
 	}
-	srv, err := cluster.NewLBServer(*listen, cfg, prog.MaxLine, *minWorkers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
-		os.Exit(1)
+	// SIGTERM (and Ctrl-C) shut down gracefully: the primary stamps the
+	// replication log so attached standbys exit instead of promoting,
+	// workers get MsgStop, and the final report + obs dump still happen.
+	var srvP atomic.Pointer[cluster.LBServer]
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sigc
+		if s := srvP.Load(); s != nil {
+			fmt.Fprintln(os.Stderr, "c9-lb: signal received; shutting down gracefully")
+			s.Shutdown()
+			return
+		}
+		fmt.Fprintln(os.Stderr, "c9-lb: signal received; standby exiting (no takeover)")
+		os.Exit(0)
+	}()
+
+	var srv *cluster.LBServer
+	if *standby {
+		if *peer == "" {
+			fmt.Fprintln(os.Stderr, "c9-lb: -standby requires -peer")
+			os.Exit(1)
+		}
+		sb, err := cluster.NewStandby(*listen, *peer, *grace, *minWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("c9-lb: standby on %s replicating from %s (promote-grace %s)\n",
+			sb.Addr(), *peer, *grace)
+		promoted, err := sb.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+			os.Exit(1)
+		}
+		if promoted == nil {
+			fmt.Println("c9-lb: primary shut down cleanly; standby exiting")
+			return
+		}
+		srv = promoted
+		fmt.Printf("c9-lb: primary lost — promoted to primary (term %d) on %s\n",
+			srv.Term(), srv.Addr())
+	} else {
+		srv, err = cluster.NewLBServer(*listen, cfg, prog.MaxLine, *minWorkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c9-lb: %v\n", err)
+			os.Exit(1)
+		}
+		// Always accept standby subscriptions: replication costs one
+		// retained entry per input on these miniature runs.
+		srv.EnableReplication()
+		fmt.Printf("c9-lb: listening on %s (elastic membership, quiescence after ≥%d workers)\n",
+			srv.Addr(), *minWorkers)
 	}
-	fmt.Printf("c9-lb: listening on %s (elastic membership, quiescence after ≥%d workers)\n",
-		srv.Addr(), *minWorkers)
+	srvP.Store(srv)
 	if *obsAddr != "" {
 		osrv, serr := obs.Serve(*obsAddr, srv.ObsSnapshot, srv.Journal())
 		if serr != nil {
@@ -118,6 +181,7 @@ func main() {
 	evictions, leaves, transfers, transferred := srv.Stats()
 	fmt.Printf("membership: evictions=%d leaves=%d transfers=%d states-transferred=%d\n",
 		evictions, leaves, transfers, transferred)
+	fmt.Printf("replication: term=%d promotions=%d\n", srv.Term(), srv.Promotions())
 	fmt.Printf("cluster total: paths=%d errors=%d hangs=%d useful=%d replay=%d\n",
 		paths, errors, hangs, useful, replay)
 	fleet := srv.ObsSnapshot()

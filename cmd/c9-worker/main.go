@@ -17,6 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"cloud9/internal/cluster"
@@ -27,7 +30,7 @@ import (
 
 func main() {
 	var (
-		lbAddr      = flag.String("lb", "127.0.0.1:7747", "load balancer address")
+		lbAddr      = flag.String("lb", "127.0.0.1:7747", "load balancer address(es), comma-separated primary,standby — the worker rotates on reconnect, so it survives an LB failover")
 		targetName  = flag.String("target", "memcached", "target to explore")
 		steps       = flag.Uint64("steps", 2_000_000, "per-path instruction budget")
 		batch       = flag.Int("batch", 16, "exploration steps between mailbox polls")
@@ -43,7 +46,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c9-worker: unknown target %q\n", *targetName)
 		os.Exit(1)
 	}
-	tr, ack, err := cluster.DialLB(*lbAddr)
+	addrs := strings.Split(*lbAddr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	tr, ack, err := cluster.DialLB(addrs[0], addrs[1:]...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
 		os.Exit(1)
@@ -90,6 +97,16 @@ func main() {
 	if *retireAfter > 0 {
 		time.AfterFunc(*retireAfter, w.Retire)
 	}
+	// SIGTERM (and Ctrl-C) retire the worker gracefully: final full
+	// status, goodbye, then the normal exit path below — report and obs
+	// dump included — so the cluster's accounting stays exact.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "c9-worker: signal received; retiring gracefully")
+		w.Retire()
+	}()
 	if err := w.RunLoop(); err != nil {
 		fmt.Fprintf(os.Stderr, "c9-worker: %v\n", err)
 		os.Exit(1)

@@ -28,6 +28,13 @@ type FaultPlan struct {
 	Retire *FaultEvent
 	// Join spawns one additional worker mid-run.
 	Join *FaultEvent
+	// CrashLB kills the load balancer itself (Worker is ignored): a
+	// standby replica that has been tailing the primary's input log —
+	// minus the entries still in flight, which die with the process —
+	// promotes itself two balance periods later. Workers ride out the
+	// outage on failed sends and re-handshake with full statuses when the
+	// stream generation bumps.
+	CrashLB *FaultEvent
 }
 
 // Config describes an in-process cluster run.
@@ -78,6 +85,9 @@ type Result struct {
 	Workers   []*Worker
 	Evictions int
 	Leaves    int
+	// Promotions counts LB failovers folded into this run's history (0
+	// when the original primary survived).
+	Promotions int
 	// Obs is the fleet-wide metrics fold: live workers' registries,
 	// departed members' accounted snapshots, and the LB's own counters.
 	// Final's counter fields are rendered from it.
@@ -99,6 +109,13 @@ type fabric struct {
 	// depend on — is preserved.
 	peeked map[int][]Message
 	toLB   chan Message
+	// lbGen is the LB stream generation (starts at 1; promotion bumps
+	// it, forcing every worker's next status to be a full snapshot with
+	// a cumulative metrics baseline). lbDown is set between an LB crash
+	// and the standby's promotion: worker→LB sends fail outright, the
+	// same as a dead TCP control connection.
+	lbGen  atomic.Uint64
+	lbDown atomic.Bool
 }
 
 func (f *fabric) register(id int) chan Message {
@@ -148,8 +165,23 @@ type endpoint struct {
 }
 
 func (e endpoint) SendToLB(m Message) bool {
+	if e.f.lbDown.Load() {
+		return false
+	}
 	e.f.toLB <- m
 	return true
+}
+
+// LBGen / SendToLBAt make the fabric an lbStreamTransport, so an LB
+// failover forces the same full-status re-handshake a TCP stream
+// reconnect does.
+func (e endpoint) LBGen() uint64 { return e.f.lbGen.Load() }
+
+func (e endpoint) SendToLBAt(m Message, gen uint64) bool {
+	if gen != e.f.lbGen.Load() {
+		return false
+	}
+	return e.SendToLB(m)
 }
 
 func (e endpoint) SendJobs(dst int, m Message) bool {
@@ -209,7 +241,7 @@ func Run(cfg Config) (*Result, error) {
 	// the whole Run — so lease eviction only serves fault injection.
 	// Arming it unconditionally would let a single multi-second solver
 	// step falsely evict a live worker mid-run.
-	leaseExpiry := cfg.Faults.Kill != nil || cfg.Balancer.Lease > 0
+	leaseExpiry := cfg.Faults.Kill != nil || cfg.Faults.CrashLB != nil || cfg.Balancer.Lease > 0
 	if cfg.Balancer.Delta == 0 {
 		d := cfg.Balancer
 		cfg.Balancer = DefaultBalancerConfig()
@@ -229,6 +261,7 @@ func Run(cfg Config) (*Result, error) {
 		peeked:    map[int][]Message{},
 		toLB:      make(chan Message, 1<<16),
 	}
+	f.lbGen.Store(1)
 
 	batch := cfg.WorkerBatch
 	if batch <= 0 {
@@ -263,6 +296,26 @@ func Run(cfg Config) (*Result, error) {
 	}
 	covLen := probe.Exp.Cov.Len() - 1
 	lb := NewLoadBalancer(cfg.Balancer, covLen)
+
+	// LB failover: the standby tails the primary's input log. All LB
+	// mutations happen on this goroutine, so onRep appends to a plain
+	// slice; entries are applied to the standby at the next balance tick,
+	// leaving the latest window in flight — lost if the crash fires.
+	var standby *Replica
+	var repQ []RepEntry
+	if cfg.Faults.CrashLB != nil {
+		standby = NewReplica(lb.Config(), covLen)
+		lb.StartReplication(func(e RepEntry) { repQ = append(repQ, e) })
+	}
+	drainRep := func() error {
+		for _, e := range repQ {
+			if err := standby.Apply(e); err != nil {
+				return fmt.Errorf("cluster: standby: %w", err)
+			}
+		}
+		repQ = repQ[:0]
+		return nil
+	}
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, cfg.Workers+8)
@@ -383,6 +436,8 @@ func Run(cfg Config) (*Result, error) {
 	kill := cfg.Faults.Kill
 	retire := cfg.Faults.Retire
 	join := cfg.Faults.Join
+	crashLB := cfg.Faults.CrashLB
+	downTicks := 0
 	workerByID := func(id int) *Worker {
 		workersMu.Lock()
 		defer workersMu.Unlock()
@@ -448,6 +503,16 @@ loop:
 			if !gateOpen && time.Since(startT) >= 250*time.Millisecond {
 				openGate() // grace: never hold the seed indefinitely
 			}
+			// Standby replication: entries queued before this tick have
+			// "arrived"; whatever this tick's drain produces stays in
+			// flight until the next one (and dies with a crashed primary).
+			if standby != nil && !f.lbDown.Load() {
+				if err := drainRep(); err != nil {
+					runErr = err
+					stop()
+					break loop
+				}
+			}
 			// Drain pending control messages first for fresh decisions.
 			for {
 				select {
@@ -457,6 +522,30 @@ loop:
 				default:
 				}
 				break
+			}
+			// LB failover: kill the primary once the path threshold is
+			// reached; the standby promotes itself two balance ticks
+			// later, bumping the stream generation so every worker
+			// re-handshakes with a full status.
+			if crashLB != nil && lb.TotalPaths() >= crashLB.AfterPaths {
+				crashLB = nil
+				repQ = repQ[:0] // in-flight entries die with the primary
+				f.lbDown.Store(true)
+				downTicks = 0
+			}
+			if f.lbDown.Load() {
+				downTicks++
+				if downTicks >= 2 {
+					lb = standby.Promote(time.Now())
+					standby = nil
+					f.lbDown.Store(false)
+					f.lbGen.Add(1)
+				}
+				if cfg.MaxDuration > 0 && time.Since(startT) >= cfg.MaxDuration {
+					stop()
+					break loop
+				}
+				continue
 			}
 			now := time.Now()
 			if leaseExpiry {
@@ -505,11 +594,11 @@ loop:
 					}
 				}
 			}
-			if lb.Quiescent() {
+			if lb.ResyncDone() && lb.Quiescent() {
 				// Pending fault events whose path thresholds were never
 				// reached can no longer change the outcome; drop them so
 				// the run can terminate.
-				kill, retire, join = nil, nil, nil
+				kill, retire, join, crashLB = nil, nil, nil, nil
 				quietRounds++
 				if quietRounds >= 3 {
 					res.Exhausted = true
@@ -588,6 +677,7 @@ loop:
 	res.Wall = time.Since(startT)
 	res.Evictions = lb.Evictions
 	res.Leaves = lb.Leaves
+	res.Promotions = lb.Promotions()
 	select {
 	case err := <-errCh:
 		if runErr == nil {

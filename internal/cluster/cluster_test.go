@@ -323,7 +323,7 @@ func TestQuiescenceSurvivesEviction(t *testing.T) {
 	// Survivor ingests the re-seated tree (recv 4+4) and drains it.
 	if _, ok := lb2.Update(Status{
 		Worker: ms[0].ID, Epoch: ms[0].Epoch,
-		Queue: 0, JobsSent: 4, JobsRecv: 4, ReseatAcks: []uint64{reseatSeq},
+		Queue: 0, JobsSent: 4, JobsRecv: 4, ReseatAcks: []ReseatAck{{ID: reseatSeq, Jobs: 4}},
 	}, late.Add(2*time.Second)); !ok {
 		t.Fatal("survivor status rejected")
 	}

@@ -138,6 +138,10 @@ type Member struct {
 	Obs obs.Snapshot
 	// LastSeen is the lease renewal time.
 	LastSeen time.Time
+	// resynced marks that this member has re-reported a full frontier
+	// snapshot inside the current post-promotion resync window (see
+	// LoadBalancer.promote); meaningless outside one.
+	resynced bool
 	// ackRelayed tracks, per source, the highest batch ack already
 	// relayed on this member's behalf, so the cumulative acks workers
 	// repeat in every status don't turn into repeated MsgJobsAck relays.
@@ -160,12 +164,22 @@ func (m *Member) Record() Status {
 type custodyBatch struct {
 	jt *JobTree
 	n  int
+	// id is the batch's stable custody id: the departed member's epoch.
+	// Epochs are globally unique — across the run and across LB
+	// incarnations — so a promoted standby re-delivering a batch the lost
+	// primary already placed reuses the same id and the receivers'
+	// permanent dedup set still applies.
+	id uint64
+	// rec is the departed member's accounting record (counters and
+	// accounted metrics, no frontier), shipped with every delivery and
+	// echoed back in ReseatAcks — the repair channel for an LB that
+	// missed the departure.
+	rec *Status
 	// counted is set once the batch's job count has been added to the
 	// send side of the quiescence reconciliation (exactly once, however
 	// many times the batch is re-delivered).
 	counted bool
 	dst     int
-	seq     uint64
 	sentAt  time.Time
 }
 
@@ -206,10 +220,13 @@ type LoadBalancer struct {
 	learner     *specLearner
 
 	// Custody of re-seated jobs: outstanding (delivered, unacked) batches
-	// by sequence, plus orphans waiting for a survivor to exist.
-	reseats   map[uint64]*custodyBatch
-	orphans   []*custodyBatch
-	reseatSeq uint64
+	// by stable custody id (the departed member's epoch), plus orphans
+	// waiting for a survivor to exist. reseatAcked remembers, per custody
+	// id, the ReseatAck a survivor echoed — proof the batch was imported,
+	// with the departed member's true accounting record attached.
+	reseats     map[uint64]*custodyBatch
+	orphans     []*custodyBatch
+	reseatAcked map[uint64]ReseatAck
 
 	// Quiescence reconciliation state for departed members: their final
 	// counters, plus jobs the LB itself delivered while re-seating.
@@ -233,6 +250,33 @@ type LoadBalancer struct {
 	reseatsIssued int
 	reweights     int
 	rebalances    int
+
+	// Control-plane replication (replica.go). term is the primary
+	// incarnation (1 at birth, +1 per promotion); repSeq/repLog the
+	// input log; repEnabled gates logging; replaying suppresses re-
+	// logging while a replica applies entries; onRep streams appended
+	// entries to attached standbys. baseCfg is the effective (defaulted)
+	// config before the learner's in-place portfolio rewrites — what a
+	// standby must be constructed with to replay identically.
+	term       uint64
+	repSeq     uint64
+	repLog     []RepEntry
+	repEnabled bool
+	replaying  bool
+	onRep      func(RepEntry)
+	baseCfg    BalancerConfig
+
+	// Post-promotion state: the resync window (evictions and orphan
+	// placement suspended until members re-report or the deadline
+	// passes) and the epoch range in which unknown members are
+	// readmitted (joins the lost primary accepted during the
+	// replication gap). promotions/readmits feed the failover metrics.
+	resyncPending bool
+	resyncUntil   time.Time
+	readmitLo     uint64
+	readmitHi     uint64
+	promotions    int
+	readmits      int
 
 	// Enabled gates balancing (Fig. 13 disables it mid-run).
 	Enabled bool
@@ -263,15 +307,19 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 		cfg.LearnEvery = DefaultLearnEvery
 	}
 	lb := &LoadBalancer{
-		cfg:       cfg,
-		members:   map[int]*Member{},
-		evicted:   map[int]uint64{},
-		reseats:   map[uint64]*custodyBatch{},
-		cov:       coverage.New(covLen),
-		specYield: make([]uint64, len(cfg.Portfolio)),
-		journal:   obs.NewJournal(0),
-		Enabled:   true,
+		cfg:         cfg,
+		baseCfg:     cfg,
+		members:     map[int]*Member{},
+		evicted:     map[int]uint64{},
+		reseats:     map[uint64]*custodyBatch{},
+		reseatAcked: map[uint64]ReseatAck{},
+		cov:         coverage.New(covLen),
+		specYield:   make([]uint64, len(cfg.Portfolio)),
+		journal:     obs.NewJournal(0),
+		term:        1,
+		Enabled:     true,
 	}
+	lb.baseCfg.Portfolio = append([]string(nil), cfg.Portfolio...)
 	lb.journal.Worker = LBFrom
 	if len(cfg.Portfolio) > 0 && cfg.Reweight == ReweightBandit {
 		lb.bandit = newSlotBandit(len(cfg.Portfolio))
@@ -286,6 +334,7 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 // Join admits a new member, assigning it a fresh id and epoch. The
 // returned outbounds broadcast the updated membership view.
 func (lb *LoadBalancer) Join(addr string, now time.Time) (*Member, []Outbound) {
+	lb.logRep(RepEntry{Kind: RepJoin, Addr: addr, T: now.UnixNano()})
 	lb.lastNow = now
 	specIdx, spec := lb.assignSpec()
 	id := lb.nextID
@@ -313,9 +362,16 @@ func (lb *LoadBalancer) NumMembers() int { return len(lb.members) }
 // Touch renews a member's lease without a status (TCP reconnects).
 func (lb *LoadBalancer) Touch(id int, now time.Time) {
 	if m := lb.members[id]; m != nil {
+		lb.logRep(RepEntry{Kind: RepTouch, From: id, T: now.UnixNano()})
 		m.LastSeen = now
 	}
 }
+
+// Config returns the balancer's effective configuration — defaults
+// resolved, portfolio as originally configured (before any learner
+// rewrites). A standby constructed from it replays the primary's input
+// log into identical state, learner perturbation stream included.
+func (lb *LoadBalancer) Config() BalancerConfig { return lb.baseCfg }
 
 // memberView snapshots the membership table as id → epoch.
 func (lb *LoadBalancer) memberView() map[int]uint64 {
@@ -333,13 +389,26 @@ func (lb *LoadBalancer) memberView() map[int]uint64 {
 // status's job-batch acknowledgments to their sources.
 func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bool) {
 	m := lb.members[st.Worker]
-	if m == nil || m.Epoch != st.Epoch {
-		return nil, false
+	if m == nil && st.Frontier != nil && lb.canReadmit(st.Worker, st.Epoch) {
+		// Post-promotion: a worker the lost primary admitted during the
+		// replication gap re-reports. Its epoch falls in the stride window
+		// no other incarnation can issue, and the full snapshot it opens
+		// with establishes its accounting record from scratch.
+		rm, routs := lb.Readmit(st.Worker, st.Epoch, "", now)
+		m = rm
+		outs = append(outs, routs...)
 	}
+	if m == nil || m.Epoch != st.Epoch {
+		return outs, false
+	}
+	lb.logRep(RepEntry{Kind: RepStatus, Status: &st, T: now.UnixNano()})
 	lb.lastNow = now
 	m.Last = st
 	if st.Frontier != nil {
 		m.LastFull = st
+		if lb.resyncPending {
+			m.resynced = true
+		}
 	}
 	if st.Obs != nil {
 		// Cumulative resync (the worker could not prove this record still
@@ -410,24 +479,23 @@ func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bo
 			}})
 		}
 	}
-	if len(st.ReseatAcks) > 0 {
-		acked := make(map[uint64]bool, len(st.ReseatAcks))
-		for _, seq := range st.ReseatAcks {
-			acked[seq] = true
+	// Custody acks clear outstanding re-seat batches — from any echoer,
+	// not just the recorded destination: before a failover only the
+	// actual importer echoes a batch's id, and after one the recorded
+	// destination may be stale (the lost primary re-homed the batch
+	// without this incarnation seeing it). Every ack is remembered with
+	// its accounting record so departures processed later can recover
+	// the true cut (see depart). Workers sort their acks, keeping the
+	// journal deterministic.
+	for _, ack := range st.ReseatAcks {
+		if _, seen := lb.reseatAcked[ack.ID]; !seen {
+			lb.reseatAcked[ack.ID] = ack
 		}
-		var done []uint64
-		for seq, b := range lb.reseats {
-			if b.dst == st.Worker && acked[seq] {
-				done = append(done, seq)
-			}
-		}
-		// Sorted so the journal sequence is deterministic (map order isn't).
-		sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
-		for _, seq := range done {
+		if b := lb.reseats[ack.ID]; b != nil {
 			lb.journal.AppendAt(now, obs.EvReseatReplayed, st.Worker, map[string]string{
-				"seq": strconv.FormatUint(seq, 10), "jobs": strconv.Itoa(lb.reseats[seq].n),
+				"id": strconv.FormatUint(ack.ID, 10), "jobs": strconv.Itoa(b.n),
 			})
-			delete(lb.reseats, seq)
+			delete(lb.reseats, ack.ID)
 		}
 	}
 	return outs, true
@@ -440,6 +508,7 @@ func (lb *LoadBalancer) Goodbye(id int, now time.Time) []Outbound {
 	if lb.members[id] == nil {
 		return nil
 	}
+	lb.logRep(RepEntry{Kind: RepGoodbye, From: id, T: now.UnixNano()})
 	lb.lastNow = now
 	lb.Leaves++
 	lb.journal.AppendAt(now, obs.EvWorkerGoodbye, id, nil)
@@ -449,7 +518,15 @@ func (lb *LoadBalancer) Goodbye(id int, now time.Time) []Outbound {
 // ExpireLeases evicts every member whose lease has lapsed and returns
 // the resulting eviction notices and re-seat deliveries.
 func (lb *LoadBalancer) ExpireLeases(now time.Time) []Outbound {
+	lb.logRep(RepEntry{Kind: RepExpire, T: now.UnixNano()})
 	lb.lastNow = now
+	if lb.resyncPending && !lb.resyncTick(now) {
+		// Evictions are suspended until the post-promotion resync window
+		// closes: leases were restarted at promotion, and acting on
+		// replicated state before members re-report would re-seat stale
+		// cuts whose repairs (ReseatAcks) are still in flight.
+		return nil
+	}
 	var expired []int
 	for id, m := range lb.members {
 		if now.Sub(m.LastSeen) > lb.cfg.Lease {
@@ -476,7 +553,26 @@ func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
 	m := lb.members[id]
 	delete(lb.members, id)
 	lb.evicted[id] = m.Epoch
-	if m.Reported {
+	if acked, acknowledged := lb.reseatAcked[m.Epoch]; acknowledged {
+		// A previous LB incarnation already departed this member — at an
+		// accounting cut this (promoted) balancer never saw — and a
+		// survivor imported its re-seated frontier: the record echoed
+		// with the ack is the member's true cut. Substitute it and skip
+		// re-seating; acting on the stale replicated record instead would
+		// re-explore work the survivor already did (double count), and
+		// skipping without the substitution would drop the progress
+		// between the replicated cut and the true one (undercount).
+		rec := acked.Rec
+		lb.gone = append(lb.gone, rec)
+		if rec.Obs != nil {
+			lb.goneObs.Merge(*rec.Obs)
+		} else {
+			lb.goneObs.Merge(m.Obs)
+		}
+		lb.goneSent += rec.JobsSent
+		lb.goneRecv += rec.JobsRecv
+		lb.reseatSent += uint64(acked.Jobs)
+	} else if m.Reported {
 		// The accounting record's counters match the latest status
 		// (workers send a full status on every transfer), and everything
 		// explored after it is re-explored by whoever inherits the
@@ -487,19 +583,21 @@ func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
 		lb.goneSent += rec.JobsSent
 		lb.goneRecv += rec.JobsRecv
 		if n := rec.Frontier.Count(); n > 0 {
-			lb.orphans = append(lb.orphans, &custodyBatch{jt: rec.Frontier, n: n})
+			lb.orphans = append(lb.orphans, &custodyBatch{
+				jt: rec.Frontier, n: n, id: m.Epoch, rec: custodyRecord(m),
+			})
 		}
 	}
 	var rehome []uint64
-	for seq, b := range lb.reseats {
+	for bid, b := range lb.reseats {
 		if b.dst == id {
-			rehome = append(rehome, seq)
+			rehome = append(rehome, bid)
 		}
 	}
 	sort.Slice(rehome, func(i, j int) bool { return rehome[i] < rehome[j] })
-	for _, seq := range rehome {
-		lb.orphans = append(lb.orphans, lb.reseats[seq])
-		delete(lb.reseats, seq)
+	for _, bid := range rehome {
+		lb.orphans = append(lb.orphans, lb.reseats[bid])
+		delete(lb.reseats, bid)
 	}
 	outs := []Outbound{{To: Broadcast, Msg: Message{
 		Kind: MsgEvict, From: id, Epoch: m.Epoch, Members: lb.memberView(),
@@ -510,11 +608,31 @@ func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
 	return append(outs, lb.rebalanceStrategies()...)
 }
 
+// custodyRecord builds the accounting record shipped with a departed
+// member's custody batch: its counters at the accounting cut plus its
+// accounted metrics as a cumulative snapshot, bulk fields stripped.
+func custodyRecord(m *Member) *Status {
+	rec := m.Record()
+	rec.Frontier = nil
+	rec.CovWords = nil
+	rec.Acks = nil
+	rec.ReseatAcks = nil
+	o := m.Obs.Clone()
+	rec.Obs = &o
+	rec.ObsBase = true
+	return &rec
+}
+
 // placeOrphans delivers held custody batches to the least-loaded
 // reported member. Each batch's job count enters the quiescence send
 // side exactly once, no matter how often the batch is re-delivered.
 func (lb *LoadBalancer) placeOrphans(now time.Time) []Outbound {
-	if len(lb.orphans) == 0 {
+	if len(lb.orphans) == 0 || lb.resyncPending {
+		// During a post-promotion resync window placement waits: members
+		// are still re-reporting, and their ReseatAcks may prove a
+		// pending orphan was already imported under the lost primary —
+		// placing it first could deliver the same work to a second
+		// destination.
 		return nil
 	}
 	dst, ok := lb.leastLoaded()
@@ -523,21 +641,33 @@ func (lb *LoadBalancer) placeOrphans(now time.Time) []Outbound {
 	}
 	var outs []Outbound
 	for _, b := range lb.orphans {
-		lb.reseatSeq++
-		b.seq = lb.reseatSeq
+		if acked, acknowledged := lb.reseatAcked[b.id]; acknowledged {
+			// The lost primary placed this batch after the replication
+			// cut and a survivor imported it: drop the duplicate, counting
+			// the delivery once on the quiescence send side (the
+			// survivor's JobsRecv already counts the receive side).
+			if !b.counted {
+				lb.reseatSent += uint64(acked.Jobs)
+				b.counted = true
+			}
+			lb.journal.AppendAt(now, obs.EvReseatReplayed, LBFrom, map[string]string{
+				"id": strconv.FormatUint(b.id, 10), "jobs": strconv.Itoa(acked.Jobs),
+			})
+			continue
+		}
 		b.dst = dst
 		b.sentAt = now
 		if !b.counted {
 			lb.reseatSent += uint64(b.n)
 			b.counted = true
 		}
-		lb.reseats[b.seq] = b
+		lb.reseats[b.id] = b
 		lb.reseatsIssued++
 		lb.journal.AppendAt(now, obs.EvCustodyReseat, dst, map[string]string{
-			"seq": strconv.FormatUint(b.seq, 10), "jobs": strconv.Itoa(b.n),
+			"id": strconv.FormatUint(b.id, 10), "jobs": strconv.Itoa(b.n),
 		})
 		outs = append(outs, Outbound{To: dst, Msg: Message{
-			Kind: MsgJobs, From: LBFrom, Seq: b.seq, Jobs: b.jt,
+			Kind: MsgJobs, From: LBFrom, Seq: b.id, Jobs: b.jt, Status: b.rec,
 		}})
 	}
 	lb.orphans = nil
@@ -564,16 +694,26 @@ func (lb *LoadBalancer) leastLoaded() (int, bool) {
 // custody batches whose acknowledgment is overdue (receivers suppress
 // duplicates via the sequence high-water mark).
 func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
+	lb.logRep(RepEntry{Kind: RepTick, T: now.UnixNano()})
 	lb.lastNow = now
 	outs := lb.placeOrphans(now)
-	for _, b := range lb.reseats {
+	// Sorted so re-delivery order (and thus the downstream message
+	// sequence) is identical across identically-seeded runs and between
+	// a primary and its replica.
+	ids := make([]uint64, 0, len(lb.reseats))
+	for bid := range lb.reseats {
+		ids = append(ids, bid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, bid := range ids {
+		b := lb.reseats[bid]
 		if lb.members[b.dst] == nil {
 			continue // re-homed on that member's departure
 		}
 		if !b.sentAt.IsZero() && now.Sub(b.sentAt) > lb.cfg.Lease {
 			b.sentAt = now
 			outs = append(outs, Outbound{To: b.dst, Msg: Message{
-				Kind: MsgJobs, From: LBFrom, Seq: b.seq, Jobs: b.jt,
+				Kind: MsgJobs, From: LBFrom, Seq: b.id, Jobs: b.jt, Status: b.rec,
 			}})
 		}
 	}
@@ -736,6 +876,12 @@ func (lb *LoadBalancer) PutLBMetrics(s *obs.Snapshot) {
 	s.PutCounter(obs.MLBRebalances, uint64(lb.rebalances))
 	s.PutCounter(obs.MLBAdoptions, uint64(lb.Adoptions()))
 	s.PutGauge(obs.MLBCoverageLines, int64(lb.cov.Count()))
+	s.PutGauge(obs.MLBTerm, int64(lb.term))
+	s.PutCounter(obs.MLBPromotions, uint64(lb.promotions))
+	s.PutCounter(obs.MLBReadmits, uint64(lb.readmits))
+	if lb.repEnabled {
+		s.PutCounter(obs.MLBRepEntries, lb.repSeq)
+	}
 	for i, y := range lb.specYield {
 		s.PutCounter(obs.MLBSlotYield(i), y)
 	}
@@ -774,21 +920,33 @@ func (lb *LoadBalancer) Balance() []TransferOrder {
 	if !lb.Enabled {
 		return nil
 	}
+	lb.logRep(RepEntry{Kind: RepBalance, T: lb.lastNow.UnixNano()})
 	type wl struct {
 		id int
 		l  int
 	}
 	var ws []wl
-	var sum float64
 	for id, m := range lb.members {
 		if !m.Reported {
 			continue
 		}
 		ws = append(ws, wl{id, m.Last.Queue})
-		sum += float64(m.Last.Queue)
 	}
 	if len(ws) < 2 {
 		return nil
+	}
+	// Sort before any arithmetic: float accumulation is not associative,
+	// so σ's partial sums must be taken in one canonical order for a
+	// replica replaying this entry to classify identically.
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].l != ws[j].l {
+			return ws[i].l < ws[j].l
+		}
+		return ws[i].id < ws[j].id
+	})
+	var sum float64
+	for _, w := range ws {
+		sum += float64(w.l)
 	}
 	n := float64(len(ws))
 	mean := sum / n
@@ -801,13 +959,6 @@ func (lb *LoadBalancer) Balance() []TransferOrder {
 
 	under := func(l int) bool { return float64(l) < math.Max(mean-lb.cfg.Delta*sigma, 0) }
 	over := func(l int) bool { return float64(l) > mean+lb.cfg.Delta*sigma }
-
-	sort.Slice(ws, func(i, j int) bool {
-		if ws[i].l != ws[j].l {
-			return ws[i].l < ws[j].l
-		}
-		return ws[i].id < ws[j].id
-	})
 	var orders []TransferOrder
 	lo, hi := 0, len(ws)-1
 	for lo < hi {
@@ -834,4 +985,140 @@ func (lb *LoadBalancer) Balance() []TransferOrder {
 		lo++
 	}
 	return orders
+}
+
+// Promotion: the strides the id and epoch counters take when a standby
+// becomes primary. They must exceed anything the lost primary could
+// plausibly have handed out after the replication cut, so that (a) the
+// new primary never re-issues an id/epoch the old one gave a worker the
+// standby missed, and (b) such workers are recognizable: an unknown
+// member whose epoch falls inside the stride window can only have been
+// admitted by the lost primary.
+const (
+	promoteIDStride    = 1 << 10
+	promoteEpochStride = 1 << 20
+)
+
+// promote turns this balancer into the primary of the next term. Called
+// by Replica.Promote on a live standby, and replayed (via RepPromote)
+// by any standby chained behind it. The journal records the full
+// promotion sequence — primary-lost, standby-promoted, epoch-bump — and
+// a resync window opens during which evictions and orphan placement are
+// suspended (see ExpireLeases, placeOrphans) until every member has
+// re-reported a full frontier snapshot or 2×Lease has passed; its close
+// is journaled as resync.
+func (lb *LoadBalancer) promote(now time.Time) {
+	lb.lastNow = now
+	lb.journal.AppendAt(now, obs.EvPrimaryLost, LBFrom, map[string]string{
+		"term": strconv.FormatUint(lb.term, 10),
+	})
+	lb.term++
+	lb.promotions++
+	lb.journal.AppendAt(now, obs.EvStandbyPromote, LBFrom, map[string]string{
+		"term":    strconv.FormatUint(lb.term, 10),
+		"members": strconv.Itoa(len(lb.members)),
+		"applied": strconv.FormatUint(lb.repSeq, 10),
+	})
+	lb.readmitLo = lb.nextEpoch
+	lb.nextEpoch += promoteEpochStride
+	lb.readmitHi = lb.nextEpoch
+	lb.nextID += promoteIDStride
+	lb.journal.AppendAt(now, obs.EvEpochBump, LBFrom, map[string]string{
+		"next_epoch": strconv.FormatUint(lb.nextEpoch, 10),
+		"next_id":    strconv.Itoa(lb.nextID),
+	})
+	// Restart every lease and custody-redelivery clock: the replicated
+	// LastSeen/sentAt values are cuts of the old primary's timeline, and
+	// nobody could renew while there was no primary to hear them.
+	for _, m := range lb.members {
+		m.LastSeen = now
+		m.resynced = false
+	}
+	for _, b := range lb.reseats {
+		if !b.sentAt.IsZero() {
+			b.sentAt = now
+		}
+	}
+	lb.resyncPending = len(lb.members) > 0
+	lb.resyncUntil = now.Add(2 * lb.cfg.Lease)
+	// Workers may have merged coverage the replication cut missed; force
+	// a broadcast of the (replicated) overlay so re-handshaking members
+	// reconverge on it.
+	lb.covDirty = true
+	lb.logRep(RepEntry{Kind: RepPromote, T: now.UnixNano()})
+}
+
+// resyncTick decides whether the post-promotion resync window may
+// close: every member has re-reported a full snapshot, or the deadline
+// (2×Lease after promotion) has passed. Returns true once closed,
+// journaling the resync event with how many members were still stale.
+func (lb *LoadBalancer) resyncTick(now time.Time) bool {
+	stale := 0
+	for _, m := range lb.members {
+		if !m.resynced {
+			stale++
+		}
+	}
+	if stale > 0 && now.Before(lb.resyncUntil) {
+		return false
+	}
+	lb.resyncPending = false
+	lb.journal.AppendAt(now, obs.EvResync, LBFrom, map[string]string{
+		"members": strconv.Itoa(len(lb.members)),
+		"stale":   strconv.Itoa(stale),
+	})
+	return true
+}
+
+// ResyncDone reports that no post-promotion resync window is open (true
+// on a balancer that never promoted).
+func (lb *LoadBalancer) ResyncDone() bool { return !lb.resyncPending }
+
+// Promotions returns how many standby promotions this balancer's
+// history includes (0 for an undisturbed primary).
+func (lb *LoadBalancer) Promotions() int { return lb.promotions }
+
+// canReadmit reports whether an unknown (id, epoch) pair is a member the
+// lost primary admitted during the replication gap: the epoch falls in
+// the stride window only that primary could have issued from, and this
+// incarnation neither knows nor evicted the worker.
+func (lb *LoadBalancer) canReadmit(id int, epoch uint64) bool {
+	if lb.members[id] != nil {
+		return false
+	}
+	if e, gone := lb.evicted[id]; gone && e >= epoch {
+		return false
+	}
+	return epoch > lb.readmitLo && epoch <= lb.readmitHi
+}
+
+// Readmit re-admits a worker the lost primary joined after the
+// replication cut, keeping the id and epoch that worker already runs
+// under. Returns nil when (id, epoch) is not readmittable.
+func (lb *LoadBalancer) Readmit(id int, epoch uint64, addr string, now time.Time) (*Member, []Outbound) {
+	if !lb.canReadmit(id, epoch) {
+		return nil, nil
+	}
+	lb.logRep(RepEntry{Kind: RepReadmit, From: id, Epoch: epoch, Addr: addr, T: now.UnixNano()})
+	lb.lastNow = now
+	specIdx, spec := lb.assignSpec()
+	m := &Member{ID: id, Epoch: epoch, Addr: addr, LastSeen: now,
+		Spec: spec, SpecIdx: specIdx}
+	lb.members[id] = m
+	lb.joins++
+	lb.readmits++
+	if id >= lb.nextID {
+		lb.nextID = id + 1
+	}
+	lb.journal.AppendAt(now, obs.EvWorkerJoin, id, map[string]string{
+		"epoch": strconv.FormatUint(epoch, 10), "spec": spec, "readmit": "1",
+	})
+	return m, []Outbound{{To: Broadcast, Msg: Message{Kind: MsgMembers, Members: lb.memberView()}}}
+}
+
+// ShutdownMarker appends the terminal replication entry: the primary is
+// exiting cleanly, so attached standbys must not treat the stream's end
+// as a crash and promote.
+func (lb *LoadBalancer) ShutdownMarker(now time.Time) {
+	lb.logRep(RepEntry{Kind: RepShutdown, T: now.UnixNano()})
 }

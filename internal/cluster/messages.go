@@ -105,7 +105,11 @@ type Message struct {
 	NJobs int
 	// MsgCoverage
 	CovWords []uint64
-	// MsgStatus
+	// MsgStatus: the worker's report. For LB-origin MsgJobs (custody
+	// re-seats) this instead carries the departed member's accounting
+	// record — counters plus accounted metrics, no frontier — which the
+	// importer stores and echoes back in its ReseatAcks, so a promoted
+	// standby that missed the departure can recover the true cut.
 	Status *Status
 	// MsgEvict / MsgMembers: current membership view (id → epoch).
 	Members map[int]uint64
@@ -125,6 +129,17 @@ type Message struct {
 type JobAck struct {
 	Src int
 	Seq uint64
+}
+
+// ReseatAck acknowledges one LB custody batch (a re-seated frontier).
+// ID is the batch's stable custody id — the departed member's epoch, so
+// it survives load-balancer failover — Jobs the number of jobs imported,
+// and Rec the departed member's accounting record as shipped with the
+// batch (counters and accounted metrics at the re-seat cut).
+type ReseatAck struct {
+	ID   uint64
+	Jobs int
+	Rec  Status
 }
 
 // Status is a worker's periodic report to the load balancer (§3.3):
@@ -161,10 +176,15 @@ type Status struct {
 	// Acks acknowledge received peer job batches (relayed by the LB to
 	// each source as MsgJobsAck).
 	Acks []JobAck
-	// ReseatAcks lists every LB-origin job batch sequence this worker has
-	// processed (a set, not a high-water mark: LB sequences are global
-	// across destinations, so gaps are normal and must not be skipped).
-	ReseatAcks []uint64
+	// ReseatAcks lists every LB-origin custody batch this worker has
+	// imported (a set, not a high-water mark: batch ids are global across
+	// destinations, so gaps are normal and must not be skipped). Each ack
+	// repeats in every status forever and carries the departed member's
+	// accounting record, so an LB incarnation that missed the original
+	// departure — a standby promoted across a replication gap — learns
+	// both that the batch is already imported and the exact accounting
+	// cut it was re-seated at.
+	ReseatAcks []ReseatAck
 	// Spec is the strategy spec the worker is currently running (its
 	// assigned portfolio slot, or "" for the engine default); the LB
 	// compares it against its assignment record and re-sends a lost

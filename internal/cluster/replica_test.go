@@ -1,0 +1,244 @@
+package cluster
+
+// Replication-property tests: the LoadBalancer is a deterministic state
+// machine over its input log, so replaying the log through a fresh
+// standby must reproduce the primary's state byte for byte
+// (StateFingerprint is the oracle), and promotion is a pure control
+// transition — it must not touch the bandit's reward accounting even
+// when it lands in the middle of an observation window.
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// replayAll replays the primary's full retained log through a fresh
+// replica built from the primary's own (base) config.
+func replayAll(t *testing.T, lb *LoadBalancer, covLen int) *Replica {
+	t.Helper()
+	rep := NewReplica(lb.Config(), covLen)
+	for _, e := range lb.RepLogFrom(0) {
+		if err := rep.Apply(e); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	return rep
+}
+
+// TestReplicaReplayFingerprint drives a primary through a scripted mix
+// of every replicated entry point — joins, covered and plain statuses,
+// custody ticks, bandit reweights, balance rounds, a goodbye with a
+// live frontier, lease expiry — and requires a standby replaying the
+// log to land on a byte-identical state fingerprint.
+func TestReplicaReplayFingerprint(t *testing.T) {
+	cfg := DefaultBalancerConfig()
+	cfg.Portfolio = []string{"dfs", "random"}
+	cfg.ReweightEvery = 1
+	const covLen = 4095
+	lb := NewLoadBalancer(cfg, covLen)
+	lb.StartReplication(nil)
+
+	now := time.Unix(10, 0)
+	var ms []*Member
+	for i := 0; i < 4; i++ {
+		m, _ := lb.Join("", now)
+		ms = append(ms, m)
+	}
+	for r := 0; r < 6; r++ {
+		now = now.Add(300 * time.Millisecond)
+		for i, m := range ms {
+			if lb.members[m.ID] == nil {
+				continue
+			}
+			st := Status{
+				Worker: m.ID, Epoch: m.Epoch, Spec: m.Spec,
+				Queue: 3 + (i+r)%5, Paths: uint64(10*r + i),
+				UsefulSteps: uint64(100 * r),
+				Frontier:    BuildJobTree([][]uint8{{uint8(i % 2), uint8(r % 2)}, {1}}),
+			}
+			if m.SpecIdx == 1 {
+				st.CovWords = covStatus(r*200+i*40, 40)
+			}
+			if _, ok := lb.Update(st, now); !ok {
+				t.Fatalf("status for member %d rejected", m.ID)
+			}
+		}
+		lb.Tick(now)
+		lb.Balance()
+		if r == 3 {
+			lb.Goodbye(ms[1].ID, now) // live frontier → custody re-seat
+		}
+	}
+	// Let one lease lapse so ExpireLeases does real work on replay too.
+	now = now.Add(lb.cfg.Lease + time.Second)
+	lb.ExpireLeases(now)
+
+	rep := replayAll(t, lb, covLen)
+	want, got := lb.StateFingerprint(), rep.LB().StateFingerprint()
+	if want != got {
+		t.Fatalf("replayed standby diverges from primary:\n--- primary ---\n%s\n--- standby ---\n%s", want, got)
+	}
+	if rep.LastSeq() != lb.RepSeq() {
+		t.Fatalf("standby applied %d entries, primary logged %d", rep.LastSeq(), lb.RepSeq())
+	}
+}
+
+// TestQuickReplicaReplayFingerprint is the randomized version: an
+// arbitrary byte string is interpreted as an op sequence over the
+// balancer's replicated entry points; for every such sequence the
+// replayed standby must fingerprint identically to the primary.
+func TestQuickReplicaReplayFingerprint(t *testing.T) {
+	const covLen = 4095
+	f := func(ops []byte) bool {
+		cfg := DefaultBalancerConfig()
+		cfg.Portfolio = []string{"dfs", "random"}
+		cfg.ReweightEvery = 1
+		lb := NewLoadBalancer(cfg, covLen)
+		lb.StartReplication(nil)
+		now := time.Unix(10, 0)
+		var ms []*Member
+		for i, op := range ops {
+			now = now.Add(time.Duration(op%5+1) * 97 * time.Millisecond)
+			switch op % 7 {
+			case 0:
+				m, _ := lb.Join("", now)
+				ms = append(ms, m)
+			case 1, 2: // status weighted heavier: it is the rich entry point
+				if len(ms) == 0 {
+					continue
+				}
+				m := ms[int(op/7)%len(ms)]
+				if lb.members[m.ID] == nil {
+					continue
+				}
+				st := Status{
+					Worker: m.ID, Epoch: m.Epoch, Spec: m.Spec,
+					Queue: int(op) % 9, Paths: uint64(i),
+					Frontier: BuildJobTree([][]uint8{{op % 2}, {1, op % 3}}),
+					CovWords: covStatus(int(op)*13%3800, int(op)%60+1),
+				}
+				lb.Update(st, now)
+			case 3:
+				lb.Tick(now)
+			case 4:
+				lb.Balance()
+			case 5:
+				lb.ExpireLeases(now)
+			case 6:
+				if len(ms) == 0 {
+					continue
+				}
+				m := ms[int(op/7)%len(ms)]
+				if lb.members[m.ID] != nil {
+					lb.Goodbye(m.ID, now)
+				}
+			}
+		}
+		rep := NewReplica(lb.Config(), covLen)
+		for _, e := range lb.RepLogFrom(0) {
+			if err := rep.Apply(e); err != nil {
+				t.Logf("replay: %v", err)
+				return false
+			}
+		}
+		return rep.LB().StateFingerprint() == lb.StateFingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fpLines extracts the fingerprint lines with the given prefix — used to
+// compare one subsystem's state (e.g. the bandit's arms) in isolation.
+func fpLines(fp, prefix string) []string {
+	var out []string
+	for _, l := range strings.Split(fp, "\n") {
+		if strings.HasPrefix(l, prefix) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestPromoteMidWindowBanditUntouched opens a bandit observation window
+// (fresh coverage reported, no reweight tick yet) and promotes the
+// replicated standby mid-window: the promotion must not credit or reset
+// any arm — pulls, rewards, and both yield ledgers stay exactly as
+// replicated, so the arm is credited once, by the next genuine reweight
+// tick, never by the failover itself.
+func TestPromoteMidWindowBanditUntouched(t *testing.T) {
+	cfg := DefaultBalancerConfig()
+	cfg.Portfolio = []string{"dfs", "random"}
+	cfg.ReweightEvery = 1
+	const covLen = 4095
+	lb := NewLoadBalancer(cfg, covLen)
+	lb.StartReplication(nil)
+
+	now := time.Unix(10, 0)
+	ms := joinN(t, lb, 4)
+	// Two full windows close normally, crediting the arms...
+	for r := 0; r < 2; r++ {
+		now = now.Add(300 * time.Millisecond)
+		for i, m := range ms {
+			st := Status{Worker: m.ID, Epoch: m.Epoch, Spec: m.Spec, Queue: 2,
+				Frontier: BuildJobTree(nil)}
+			if m.SpecIdx == 1 {
+				st.CovWords = covStatus(r*300+i*70, 70)
+			}
+			if _, ok := lb.Update(st, now); !ok {
+				t.Fatalf("status for member %d rejected", m.ID)
+			}
+		}
+		lb.Tick(now)
+	}
+	// ...then a third window opens: fresh coverage lands but no tick —
+	// the crash interrupts here, mid-window.
+	now = now.Add(300 * time.Millisecond)
+	for i, m := range ms {
+		st := Status{Worker: m.ID, Epoch: m.Epoch, Spec: m.Spec, Queue: 2,
+			Frontier: BuildJobTree(nil)}
+		if m.SpecIdx == 1 {
+			st.CovWords = covStatus(900+i*70, 70)
+		}
+		if _, ok := lb.Update(st, now); !ok {
+			t.Fatalf("status for member %d rejected", m.ID)
+		}
+	}
+	if lb.bandit == nil {
+		t.Fatal("bandit reweighting must be on")
+	}
+
+	rep := replayAll(t, lb, covLen)
+	before := rep.LB().StateFingerprint()
+	if got := rep.LB().StateFingerprint(); got != lb.StateFingerprint() {
+		t.Fatalf("standby diverged before promotion:\n%s", got)
+	}
+
+	promoted := rep.Promote(now.Add(time.Second))
+	after := promoted.StateFingerprint()
+	for _, prefix := range []string{"arm ", "yield ", "portfolio "} {
+		b, a := fpLines(before, prefix), fpLines(after, prefix)
+		if strings.Join(b, "\n") != strings.Join(a, "\n") {
+			t.Fatalf("promotion touched %q state:\nbefore %v\nafter  %v", prefix, b, a)
+		}
+	}
+	if promoted.Term() != 2 || promoted.Promotions() != 1 {
+		t.Fatalf("term=%d promotions=%d, want 2/1", promoted.Term(), promoted.Promotions())
+	}
+	if promoted.ResyncDone() {
+		t.Fatal("promotion with live members must open a resync window")
+	}
+
+	// The interrupted window closes on the promoted primary's next
+	// reweight tick and credits each arm exactly once more.
+	pulls := append([]uint64(nil), promoted.bandit.pulls...)
+	promoted.Tick(now.Add(2 * time.Second))
+	for i := range pulls {
+		if promoted.bandit.pulls[i] != pulls[i]+1 {
+			t.Fatalf("arm %d pulled %d times after one post-promotion tick, want %d",
+				i, promoted.bandit.pulls[i], pulls[i]+1)
+		}
+	}
+}

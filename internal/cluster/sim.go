@@ -27,6 +27,19 @@ type SimSwap struct {
 	Spec   string
 }
 
+// SimCrashLB schedules a load-balancer kill -9 at a virtual tick. A
+// standby replica tails the primary's replication log with a one-tick
+// delivery lag (entries logged during tick T reach the standby at the
+// start of tick T+2), so the crash loses the most recent window of
+// inputs — exactly the gap the promotion protocol must repair. The
+// standby promotes itself PromoteTicks after the crash (default 2);
+// until then every worker→LB send fails and workers mark their next
+// status full, the same resync the TCP stream-generation bump forces.
+type SimCrashLB struct {
+	Tick         int
+	PromoteTicks int
+}
+
 // SimConfig drives a deterministic lock-step cluster simulation.
 //
 // The paper evaluates on a 48-node commodity cluster; this reproduction
@@ -71,6 +84,10 @@ type SimConfig struct {
 	// member records, so a portfolio's rebalancer would fight them (and
 	// attribute yield to slots the workers no longer run).
 	Swaps []SimSwap
+	// CrashLB kills the load balancer mid-run; a lag-one standby replica
+	// promotes itself and the run must still finish with the undisturbed
+	// path count.
+	CrashLB *SimCrashLB
 	// LeaseTicks is the membership lease in virtual ticks (default: 3
 	// balance periods).
 	LeaseTicks int
@@ -101,6 +118,9 @@ type simEndpoint struct {
 }
 
 func (e simEndpoint) SendToLB(m Message) bool {
+	if e.sim.down {
+		return false
+	}
 	switch m.Kind {
 	case MsgStatus:
 		if m.Status != nil {
@@ -111,6 +131,19 @@ func (e simEndpoint) SendToLB(m Message) bool {
 		e.sim.dispatch(e.sim.lb.Goodbye(m.From, e.sim.now))
 	}
 	return true
+}
+
+// LBGen / SendToLBAt make the sim an lbStreamTransport: the promotion
+// bumps the generation exactly as a TCP stream reconnect does, forcing
+// every worker's next status to be a full frontier snapshot with a
+// cumulative metrics baseline.
+func (e simEndpoint) LBGen() uint64 { return e.sim.gen }
+
+func (e simEndpoint) SendToLBAt(m Message, gen uint64) bool {
+	if gen != e.sim.gen {
+		return false
+	}
+	return e.SendToLB(m)
 }
 
 func (e simEndpoint) SendJobs(dst int, m Message) bool {
@@ -128,11 +161,27 @@ func (e simEndpoint) Recv() (Message, bool) {
 	return m, true
 }
 
+// repInFlight is a replication entry in transit to the standby, stamped
+// with the tick it was logged so the sim can model delivery lag: an
+// entry logged during tick T is applied at the start of tick T+2. A
+// CrashLB kill discards the queue — those entries die with the primary.
+type repInFlight struct {
+	tick int
+	e    RepEntry
+}
+
 type sim struct {
 	lb      *LoadBalancer
 	now     time.Time // virtual clock: one second per tick
+	tick    int
 	inbox   map[int][]Message
 	pending map[int][]Message // delivered at the next tick boundary
+
+	// LB failover state (SimCrashLB).
+	gen     uint64 // LB stream generation; promotion bumps it
+	down    bool   // primary dead, standby not yet promoted
+	standby *Replica
+	repQ    []repInFlight
 }
 
 // dispatch queues LB outbounds for delivery at the next tick boundary.
@@ -196,6 +245,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 
 	s := &sim{
 		now:     simTick(0),
+		gen:     1,
 		inbox:   map[int][]Message{},
 		pending: map[int][]Message{},
 	}
@@ -231,6 +281,24 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		return nil, fmt.Errorf("cluster: sim: %w", err)
 	}
 	s.lb = NewLoadBalancer(cfg.Balancer, probeIn.Prog.MaxLine)
+	promoteAt := -1
+	if cl := cfg.CrashLB; cl != nil {
+		if cl.Tick <= 0 {
+			return nil, fmt.Errorf("cluster: sim: CrashLB.Tick must be positive")
+		}
+		pt := cl.PromoteTicks
+		if pt <= 0 {
+			pt = 2
+		}
+		promoteAt = cl.Tick + pt
+		// The standby is built from the primary's effective (pre-learner)
+		// config and tails its input log. Entries are queued here and
+		// applied with a one-tick delivery lag at each tick boundary.
+		s.standby = NewReplica(s.lb.Config(), probeIn.Prog.MaxLine)
+		s.lb.StartReplication(func(e RepEntry) {
+			s.repQ = append(s.repQ, repInFlight{tick: s.tick, e: e})
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		if _, err := spawn(true); err != nil {
 			return nil, err
@@ -303,7 +371,31 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	tick := 0
 	for {
 		tick++
+		s.tick = tick
 		s.now = simTick(tick)
+		// Standby replication: entries logged during tick T arrive at the
+		// start of tick T+2 (one-tick delivery lag, same as worker mail).
+		if s.standby != nil && !s.down {
+			for len(s.repQ) > 0 && s.repQ[0].tick < tick-1 {
+				if err := s.standby.Apply(s.repQ[0].e); err != nil {
+					return nil, fmt.Errorf("cluster: sim standby: %w", err)
+				}
+				s.repQ = s.repQ[1:]
+			}
+		}
+		// LB failover events. The kill discards the in-flight replication
+		// queue — the standby must recover across that gap.
+		if cl := cfg.CrashLB; cl != nil && tick == cl.Tick {
+			s.repQ = nil
+			s.down = true
+		}
+		if s.down && tick == promoteAt {
+			s.lb = s.standby.Promote(s.now)
+			s.standby = nil
+			s.down = false
+			s.gen++ // every worker re-handshakes with a full status
+			res.LB = s.lb
+		}
 		// Membership events first: a crash at tick T means the worker
 		// does nothing at T or later; its inbox freezes.
 		for _, id := range crashAt[tick] {
@@ -323,6 +415,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			}
 		}
 		for i := 0; i < joinAt[tick]; i++ {
+			if s.down {
+				return nil, fmt.Errorf("cluster: sim: join scheduled at tick %d while the LB is down", tick)
+			}
 			if _, err := spawn(false); err != nil {
 				return nil, err
 			}
@@ -366,26 +461,35 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 				}
 			}
 		}
-		// Balancing round.
+		// Balancing round. While the LB is down the workers still try to
+		// report — the failed sends mark their next status full, exactly
+		// the resync the promoted standby needs — but no LB machinery runs.
 		if tick%cfg.BalanceTicks == 0 {
 			if cfg.DisableLBAtTick > 0 && tick >= cfg.DisableLBAtTick {
 				s.lb.Enabled = false
+				if s.standby != nil {
+					// Balance is input-logged only while enabled, so the flag
+					// itself is not replicated; mirror it by hand.
+					s.standby.LB().Enabled = false
+				}
 			}
 			for _, id := range aliveIDs {
 				if w := alive[id]; w != nil {
 					w.sendStatus()
 				}
 			}
-			s.dispatch(s.lb.ExpireLeases(s.now))
-			s.dispatch(s.lb.Tick(s.now))
-			for _, ord := range s.lb.Balance() {
-				s.inbox[ord.Src] = append(s.inbox[ord.Src],
-					Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs})
-			}
-			if cov, dirty := s.lb.GlobalCoverage(); dirty {
-				words := cov.Words()
-				for _, id := range aliveIDs {
-					s.inbox[id] = append(s.inbox[id], Message{Kind: MsgCoverage, CovWords: words})
+			if !s.down {
+				s.dispatch(s.lb.ExpireLeases(s.now))
+				s.dispatch(s.lb.Tick(s.now))
+				for _, ord := range s.lb.Balance() {
+					s.inbox[ord.Src] = append(s.inbox[ord.Src],
+						Message{Kind: MsgTransferReq, Dst: ord.Dst, NJobs: ord.NJobs})
+				}
+				if cov, dirty := s.lb.GlobalCoverage(); dirty {
+					words := cov.Words()
+					for _, id := range aliveIDs {
+						s.inbox[id] = append(s.inbox[id], Message{Kind: MsgCoverage, CovWords: words})
+					}
 				}
 			}
 		}
@@ -393,9 +497,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			res.Samples = append(res.Samples, snapshot())
 		}
 		// Termination: every live worker idle, nothing in flight, no
-		// orphaned custody, and every crashed worker already evicted (so
-		// its re-seated jobs are accounted for).
+		// orphaned custody, every crashed worker already evicted (so its
+		// re-seated jobs are accounted for), and — under CrashLB — the
+		// promoted standby in charge with its resync window closed.
 		done := true
+		if s.down || tick < promoteAt || !s.lb.ResyncDone() {
+			done = false
+		}
 		for _, w := range alive {
 			if !w.Exp.Done() {
 				done = false

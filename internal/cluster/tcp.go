@@ -16,6 +16,17 @@ import (
 // worker's membership was evicted and its work re-seated elsewhere.
 var ErrJoinRefused = errors.New("cluster: join refused (evicted)")
 
+// ErrNotPrimary is returned when the dialed address is a standby that
+// has not (yet) been promoted. Retryable: the worker rotates to the
+// next address and backs off.
+var ErrNotPrimary = errors.New("cluster: not primary (standby)")
+
+// HelloAck.ID sentinels for refused handshakes.
+const (
+	helloRefused    = -1 // membership evicted; do not retry
+	helloNotPrimary = -2 // standby, not primary; retry elsewhere/later
+)
+
 // The TCP fabric runs the same worker/LB protocol across real processes:
 // workers register with the load balancer at any time (no fixed cluster
 // size), stream status updates to it, and ship job trees directly to
@@ -32,6 +43,11 @@ type Hello struct {
 	Addr  string
 	ID    int
 	Epoch uint64
+	// Standby subscribes to the primary's replication log instead of
+	// joining as a worker; LastSeq is the last entry already applied, so
+	// a re-attaching standby only receives the missing suffix.
+	Standby bool
+	LastSeq uint64
 }
 
 // HelloAck assigns the worker its cluster id, epoch, seed role, and —
@@ -43,6 +59,11 @@ type HelloAck struct {
 	Epoch uint64
 	Seed  bool
 	Spec  string
+	// Standby handshake only: the primary's effective balancer config
+	// and coverage vector length, so the subscriber constructs a replica
+	// that replays to byte-identical state.
+	Cfg    *BalancerConfig
+	CovLen int
 }
 
 // WireMsg is the union envelope exchanged over TCP.
@@ -53,6 +74,8 @@ type WireMsg struct {
 	// PeerAddrs maps worker ids to their job-transfer addresses
 	// (piggybacked on LB messages so sources can dial destinations).
 	PeerAddrs map[int]string
+	// Rep is one replication-log entry (primary → standby stream).
+	Rep *RepEntry
 }
 
 // TCPWorkerTransport implements Transport over the TCP fabric.
@@ -60,11 +83,11 @@ type TCPWorkerTransport struct {
 	ID    int
 	Epoch uint64
 
-	lbAddr string
-	lbConn net.Conn
-	lbEnc  *gob.Encoder
-	lbGen  uint64 // bumped each time the LB stream is (re)established
-	encMu  sync.Mutex
+	lbAddrs []string // control-plane addresses, tried in rotation
+	lbConn  net.Conn
+	lbEnc   *gob.Encoder
+	lbGen   uint64 // bumped each time the LB stream is (re)established
+	encMu   sync.Mutex
 
 	listener net.Listener
 
@@ -83,23 +106,49 @@ type peerConn struct {
 }
 
 // DialLB connects to the load balancer, registers, and starts the
-// worker's peer listener and reconnect-aware LB pump.
-func DialLB(lbAddr string) (*TCPWorkerTransport, *HelloAck, error) {
+// worker's peer listener and reconnect-aware LB pump. Extra addresses
+// are standby LBs: the worker rotates through all of them, so a join
+// that lands on an unpromoted standby (ErrNotPrimary) retries against
+// the next address with backoff until the deadline.
+func DialLB(lbAddr string, standbyAddrs ...string) (*TCPWorkerTransport, *HelloAck, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
 	}
 	t := &TCPWorkerTransport{
-		lbAddr:    lbAddr,
+		lbAddrs:   append([]string{lbAddr}, standbyAddrs...),
 		listener:  ln,
 		peerAddrs: map[int]string{},
 		peerConns: map[string]*peerConn{},
 	}
 	t.mailCond = sync.NewCond(&t.mu)
-	ack, dec, err := t.dialHello(-1, 0)
-	if err != nil {
-		ln.Close()
-		return nil, nil, err
+	// Initial join: rotate through the addresses with the same capped
+	// backoff as reconnect (an LB failover may be in progress when the
+	// worker starts).
+	var ack *HelloAck
+	var dec *gob.Decoder
+	seedID := 0 // no cluster id yet; seed the jitter off the listener port
+	if p, ok := ln.Addr().(*net.TCPAddr); ok {
+		seedID = p.Port
+	}
+	jitter := reconnectSeed(seedID)
+	deadline := time.Now().Add(reconnectDeadline)
+	backoff := reconnectBase
+	for attempt := 0; ; attempt++ {
+		ack, dec, err = t.dialHello(t.lbAddrs[attempt%len(t.lbAddrs)], -1, 0)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrJoinRefused) || time.Now().After(deadline) {
+			ln.Close()
+			return nil, nil, err
+		}
+		if errors.Is(err, ErrNotPrimary) {
+			// Mid-failover join: a live standby means promotion is imminent
+			// — keep the polling tight (see reconnect).
+			backoff = reconnectBase
+		}
+		time.Sleep(backoffSleep(&jitter, &backoff))
 	}
 	t.ID = ack.ID
 	t.Epoch = ack.Epoch
@@ -109,10 +158,10 @@ func DialLB(lbAddr string) (*TCPWorkerTransport, *HelloAck, error) {
 	return t, ack, nil
 }
 
-// dialHello dials the LB and performs the join (id < 0) or resume
-// handshake, installing the new connection on success.
-func (t *TCPWorkerTransport) dialHello(id int, epoch uint64) (*HelloAck, *gob.Decoder, error) {
-	conn, err := net.Dial("tcp", t.lbAddr)
+// dialHello dials one LB address and performs the join (id < 0) or
+// resume handshake, installing the new connection on success.
+func (t *TCPWorkerTransport) dialHello(addr string, id int, epoch uint64) (*HelloAck, *gob.Decoder, error) {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -128,7 +177,11 @@ func (t *TCPWorkerTransport) dialHello(id int, epoch uint64) (*HelloAck, *gob.De
 		conn.Close()
 		return nil, nil, fmt.Errorf("cluster: bad hello ack: %v", err)
 	}
-	if wm.Ack.ID < 0 {
+	switch {
+	case wm.Ack.ID == helloNotPrimary:
+		conn.Close()
+		return nil, nil, ErrNotPrimary
+	case wm.Ack.ID < 0:
 		conn.Close()
 		return nil, nil, ErrJoinRefused
 	}
@@ -184,26 +237,69 @@ func (t *TCPWorkerTransport) pump(dec *gob.Decoder) {
 	}
 }
 
-// reconnect re-dials the LB, resuming this worker's membership. It
-// retries briefly — well inside the lease — before giving up.
+// Reconnect tuning: capped exponential backoff starting at
+// reconnectBase, doubling to reconnectCap, with deterministic
+// splitmix64 jitter (seeded per worker) so a fleet of workers orphaned
+// by the same LB crash doesn't re-dial in lockstep. The deadline is
+// sized to ride out a full failover: standby promotion grace plus the
+// promoted LB's resync window.
+const (
+	reconnectBase     = 25 * time.Millisecond
+	reconnectCap      = 800 * time.Millisecond
+	reconnectDeadline = 25 * time.Second
+)
+
+// reconnectSeed derives a per-worker jitter stream seed.
+func reconnectSeed(id int) uint64 {
+	s := uint64(id)
+	return splitmix64(&s)
+}
+
+// backoffSleep returns the next jittered delay and doubles the backoff
+// (half deterministic floor, half jitter — bounded yet desynchronized).
+func backoffSleep(jitter *uint64, backoff *time.Duration) time.Duration {
+	half := *backoff / 2
+	d := half + time.Duration(splitmix64(jitter)%uint64(half+1))
+	if *backoff < reconnectCap {
+		*backoff *= 2
+	}
+	return d
+}
+
+// reconnect re-dials the LB control plane, resuming this worker's
+// membership. It rotates through every known address (primary first,
+// then standbys): during a failover the primary refuses connections
+// and the standby answers ErrNotPrimary until its promotion lands, so
+// the worker keeps cycling — jittered, capped backoff — until the
+// promoted LB accepts the resume or the deadline expires.
 func (t *TCPWorkerTransport) reconnect() (*gob.Decoder, bool) {
-	for attempt := 0; attempt < 8; attempt++ {
-		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+	jitter := reconnectSeed(t.ID)
+	backoff := reconnectBase
+	deadline := time.Now().Add(reconnectDeadline)
+	for attempt := 0; ; attempt++ {
+		time.Sleep(backoffSleep(&jitter, &backoff))
 		t.mu.Lock()
 		closed := t.closed
 		t.mu.Unlock()
-		if closed {
+		if closed || time.Now().After(deadline) {
 			return nil, false
 		}
-		ack, dec, err := t.dialHello(t.ID, t.Epoch)
+		ack, dec, err := t.dialHello(t.lbAddrs[attempt%len(t.lbAddrs)], t.ID, t.Epoch)
 		if err == nil && ack.ID == t.ID {
 			return dec, true
 		}
 		if errors.Is(err, ErrJoinRefused) {
 			return nil, false
 		}
+		if errors.Is(err, ErrNotPrimary) {
+			// A standby answered: the control plane is alive and promotion
+			// is at most one grace window away. Poll tightly instead of
+			// continuing to double, or the worker can sleep straight
+			// through the promoted LB's resync window and be evicted for
+			// silence it didn't choose.
+			backoff = reconnectBase
+		}
 	}
-	return nil, false
 }
 
 // acceptPeers receives direct worker-to-worker job transfers.
@@ -361,11 +457,16 @@ func (t *TCPWorkerTransport) Close() {
 type LBServer struct {
 	cfg      BalancerConfig
 	listener net.Listener
+	covLen   int
+	noAccept bool // listener is driven externally (promoted standby)
 
-	mu      sync.Mutex
-	lb      *LoadBalancer
-	conns   map[int]*lbWorkerConn
-	stopped bool
+	mu       sync.Mutex
+	lb       *LoadBalancer
+	conns    map[int]*lbWorkerConn
+	standbys []*lbStandbyConn
+	repOn    bool
+	stopped  bool
+	shutdown bool // graceful termination requested (SIGTERM / Shutdown)
 	// MinWorkers, when > 0, delays quiescence-based shutdown until that
 	// many workers have been members at some point (prevents the LB from
 	// declaring a tiny exploration finished before peers ever join). It
@@ -373,6 +474,83 @@ type LBServer struct {
 	// report.
 	MinWorkers  int
 	peakMembers int
+}
+
+// lbStandbyConn streams replication entries to one attached standby.
+// The onRep hook fires under the server mutex, so entries are queued
+// here and a dedicated flusher goroutine does the blocking encodes;
+// whatever sits in the queue when the primary dies is exactly the
+// in-flight window the standby must recover without.
+type lbStandbyConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []RepEntry
+	dead bool
+}
+
+func newLBStandbyConn(conn net.Conn, enc *gob.Encoder) *lbStandbyConn {
+	sc := &lbStandbyConn{conn: conn, enc: enc}
+	sc.cond = sync.NewCond(&sc.mu)
+	return sc
+}
+
+func (sc *lbStandbyConn) enqueue(e RepEntry) {
+	sc.mu.Lock()
+	if !sc.dead {
+		sc.q = append(sc.q, e)
+		sc.cond.Signal()
+	}
+	sc.mu.Unlock()
+}
+
+// flush drains the queue onto the wire until the connection dies.
+func (sc *lbStandbyConn) flush() {
+	for {
+		sc.mu.Lock()
+		for len(sc.q) == 0 && !sc.dead {
+			sc.cond.Wait()
+		}
+		if sc.dead && len(sc.q) == 0 {
+			sc.mu.Unlock()
+			return
+		}
+		batch := sc.q
+		sc.q = nil
+		sc.mu.Unlock()
+		for i := range batch {
+			if err := sc.enc.Encode(WireMsg{Rep: &batch[i]}); err != nil {
+				sc.close()
+				return
+			}
+		}
+	}
+}
+
+func (sc *lbStandbyConn) close() {
+	sc.mu.Lock()
+	sc.dead = true
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+	sc.conn.Close()
+}
+
+// settle waits briefly for the flusher to drain the queue — used on
+// graceful shutdown so the RepShutdown marker reaches the standby
+// before the connection closes.
+func (sc *lbStandbyConn) settle(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		sc.mu.Lock()
+		n := len(sc.q)
+		dead := sc.dead
+		sc.mu.Unlock()
+		if n == 0 || dead || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 type lbWorkerConn struct {
@@ -414,10 +592,82 @@ func NewLBServer(addr string, cfg BalancerConfig, covLen int, minWorkers int) (*
 	return &LBServer{
 		cfg:        cfg,
 		listener:   ln,
+		covLen:     covLen,
 		lb:         NewLoadBalancer(cfg, covLen),
 		conns:      map[int]*lbWorkerConn{},
 		MinWorkers: minWorkers,
 	}, nil
+}
+
+// newLBServerWith wraps an already-running LoadBalancer — a promoted
+// standby's — around an existing listener. The listener's accept loop
+// stays with the caller (the Standby), which routes connections to
+// handle().
+func newLBServerWith(ln net.Listener, lb *LoadBalancer, covLen, minWorkers int) *LBServer {
+	s := &LBServer{
+		cfg:        lb.Config(),
+		listener:   ln,
+		covLen:     covLen,
+		noAccept:   true,
+		lb:         lb,
+		conns:      map[int]*lbWorkerConn{},
+		MinWorkers: minWorkers,
+	}
+	s.EnableReplication()
+	return s
+}
+
+// EnableReplication turns on input logging and standby streaming: every
+// logged entry is queued to each attached standby (Hello{Standby:true}).
+// Call before Serve.
+func (s *LBServer) EnableReplication() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.repOn = true
+	// The hook fires with s.mu held (every LB mutation is under it), so
+	// it must only queue — the per-standby flushers do the encoding.
+	s.lb.StartReplication(func(e RepEntry) {
+		for _, sc := range s.standbys {
+			sc.enqueue(e)
+		}
+	})
+}
+
+// Shutdown requests a graceful exit: the replication log gets a
+// RepShutdown marker (telling standbys this is a clean end, not a
+// crash), workers receive MsgStop, and Serve returns. Safe from a
+// signal handler goroutine.
+func (s *LBServer) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || s.shutdown {
+		return
+	}
+	s.lb.ShutdownMarker(time.Now())
+	s.shutdown = true
+}
+
+// Abort is kill -9 in-process (test hook for failover): every
+// connection — worker and standby — is severed immediately, queued
+// replication entries are dropped, no shutdown marker and no MsgStop
+// are sent. Standbys see exactly what a crashed primary leaves behind.
+func (s *LBServer) Abort() {
+	s.mu.Lock()
+	s.stopped = true
+	s.shutdown = true
+	for _, wc := range s.conns {
+		wc.conn.Close()
+	}
+	s.conns = map[int]*lbWorkerConn{}
+	for _, sc := range s.standbys {
+		sc.mu.Lock()
+		sc.q = nil // in-flight entries die with the process
+		sc.mu.Unlock()
+		sc.close()
+	}
+	s.standbys = nil
+	s.mu.Unlock()
+	s.listener.Close()
 }
 
 // Addr returns the listening address.
@@ -471,7 +721,9 @@ func (s *LBServer) dispatchLocked(outs []Outbound) {
 // then broadcasts stop and returns the final statuses — live members'
 // last reports plus the final records of departed members.
 func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
-	go s.acceptLoop()
+	if !s.noAccept {
+		go s.acceptLoop()
+	}
 	start := time.Now()
 	tick := time.NewTicker(20 * time.Millisecond)
 	defer tick.Stop()
@@ -479,6 +731,10 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 	for range tick.C {
 		now := time.Now()
 		s.mu.Lock()
+		if s.shutdown || s.stopped {
+			s.mu.Unlock()
+			break
+		}
 		if n := s.lb.NumMembers(); n > s.peakMembers {
 			s.peakMembers = n
 		}
@@ -499,7 +755,10 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 				wc.send(WireMsg{Msg: &Message{Kind: MsgCoverage, CovWords: words}})
 			}
 		}
-		done := s.peakMembers >= s.MinWorkers && s.lb.Quiescent()
+		// A freshly promoted server must not trust replicated quiescence:
+		// the resync window has to close (everyone re-reported, or the
+		// deadline passed) before the replicated counters mean anything.
+		done := s.peakMembers >= s.MinWorkers && s.lb.ResyncDone() && s.lb.Quiescent()
 		s.mu.Unlock()
 		if done {
 			quiet++
@@ -526,7 +785,15 @@ func (s *LBServer) Serve(maxDuration time.Duration) ([]Status, error) {
 		wc.conn.Close()
 	}
 	s.conns = map[int]*lbWorkerConn{}
+	standbys := s.standbys
+	s.standbys = nil
 	s.mu.Unlock()
+	// Clean exit: let the flushers drain (the RepShutdown marker must
+	// reach attached standbys so they exit instead of promoting).
+	for _, sc := range standbys {
+		sc.settle(200 * time.Millisecond)
+		sc.close()
+	}
 	s.listener.Close()
 	return statuses, nil
 }
@@ -537,6 +804,21 @@ func (s *LBServer) Stats() (evictions, leaves, transfersIssued, statesTransferre
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lb.Evictions, s.lb.Leaves, s.lb.TransfersIssued, s.lb.StatesTransferred()
+}
+
+// Term returns the LB's primary incarnation (1 = original primary;
+// each promotion in this run's history adds one).
+func (s *LBServer) Term() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.Term()
+}
+
+// Promotions counts failovers folded into this server's history.
+func (s *LBServer) Promotions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.Promotions()
 }
 
 // LearnedSpec returns the learner's current incumbent spec ("" when the
@@ -572,6 +854,56 @@ func (s *LBServer) Journal() *obs.Journal {
 	return s.lb.Journal()
 }
 
+// handleStandby serves one replication subscriber: handshake (config +
+// coverage length so the standby can build a matching replica), the
+// catch-up suffix of the retained log, then live entries via the
+// flusher. The read side only watches for disconnect.
+func (s *LBServer) handleStandby(conn net.Conn, dec *gob.Decoder, enc *gob.Encoder, h *Hello) {
+	s.mu.Lock()
+	if s.stopped || !s.repOn {
+		s.mu.Unlock()
+		_ = enc.Encode(WireMsg{Ack: &HelloAck{ID: helloRefused}})
+		conn.Close()
+		return
+	}
+	cfg := s.lb.Config()
+	ack := HelloAck{ID: 0, Cfg: &cfg, CovLen: s.covLen}
+	sc := newLBStandbyConn(conn, enc)
+	// Queue the catch-up suffix before registering for live entries, all
+	// under the lock: nothing can interleave, so the standby sees a
+	// gapless sequence.
+	for _, e := range s.lb.RepLogFrom(h.LastSeq) {
+		sc.q = append(sc.q, e)
+	}
+	s.standbys = append(s.standbys, sc)
+	s.mu.Unlock()
+
+	if err := enc.Encode(WireMsg{Ack: &ack}); err != nil {
+		s.dropStandby(sc)
+		return
+	}
+	go sc.flush()
+	for {
+		var wm WireMsg
+		if err := dec.Decode(&wm); err != nil {
+			s.dropStandby(sc)
+			return
+		}
+	}
+}
+
+func (s *LBServer) dropStandby(sc *lbStandbyConn) {
+	s.mu.Lock()
+	for i, cur := range s.standbys {
+		if cur == sc {
+			s.standbys = append(s.standbys[:i], s.standbys[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	sc.close()
+}
+
 func (s *LBServer) acceptLoop() {
 	for {
 		conn, err := s.listener.Accept()
@@ -596,6 +928,10 @@ func (s *LBServer) handle(conn net.Conn) {
 	}
 	h := hello.Hello
 	now := time.Now()
+	if h.Standby {
+		s.handleStandby(conn, dec, enc, h)
+		return
+	}
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -606,17 +942,27 @@ func (s *LBServer) handle(conn net.Conn) {
 	var epoch uint64
 	var spec string
 	if h.ID >= 0 {
-		// Resume: accept only if (id, epoch) is still a member.
+		// Resume: accept if (id, epoch) is still a member — or, on a
+		// promoted standby, if it falls in the readmit window (the worker
+		// joined the lost primary inside the replication gap; its epoch
+		// sits between the replicated frontier and the promotion stride).
 		if !s.lb.IsMember(h.ID, h.Epoch) {
-			s.mu.Unlock()
-			wc := &lbWorkerConn{enc: enc, conn: conn}
-			wc.send(WireMsg{Ack: &HelloAck{ID: -1}})
-			conn.Close()
-			return
+			if s.lb.canReadmit(h.ID, h.Epoch) {
+				m, outs := s.lb.Readmit(h.ID, h.Epoch, h.Addr, now)
+				id, epoch, spec = m.ID, m.Epoch, m.Spec
+				s.dispatchLocked(outs)
+			} else {
+				s.mu.Unlock()
+				wc := &lbWorkerConn{enc: enc, conn: conn}
+				wc.send(WireMsg{Ack: &HelloAck{ID: helloRefused}})
+				conn.Close()
+				return
+			}
+		} else {
+			id, epoch = h.ID, h.Epoch
+			spec = s.lb.members[id].Spec
+			s.lb.Touch(id, now)
 		}
-		id, epoch = h.ID, h.Epoch
-		spec = s.lb.members[id].Spec
-		s.lb.Touch(id, now)
 	} else {
 		m, outs := s.lb.Join(h.Addr, now)
 		id, epoch, spec = m.ID, m.Epoch, m.Spec
@@ -632,6 +978,15 @@ func (s *LBServer) handle(conn net.Conn) {
 		old.conn.Close()
 	}
 	s.conns[id] = wc
+	if h.ID >= 0 {
+		// A resuming worker slept through any broadcasts sent while it was
+		// disconnected, and an idle worker blocks on its mailbox until
+		// something arrives: answer the resume with the current membership
+		// view so it catches up AND wakes to re-report under the new
+		// stream generation — otherwise an idle worker rides out a
+		// failover silently and the promoted LB has to evict it.
+		wc.send(WireMsg{Msg: &Message{Kind: MsgMembers, Members: s.lb.memberView()}, PeerAddrs: s.addrsLocked()})
+	}
 	s.mu.Unlock()
 	for {
 		var wm WireMsg
@@ -659,5 +1014,230 @@ func (s *LBServer) handle(conn net.Conn) {
 			}
 			s.mu.Unlock()
 		}
+	}
+}
+
+// Standby is a warm standby load balancer: it listens on its own
+// address — politely refusing workers with helloNotPrimary until
+// promoted — while tailing the primary's replication log over TCP. If
+// the primary's stream drops without a RepShutdown marker and cannot be
+// re-attached within the grace window, the standby promotes its replica
+// and serves the cluster from the exact replicated state; workers that
+// were given both addresses re-dial, resume their membership (or are
+// readmitted across the gap), and the run finishes with undisturbed
+// totals.
+type Standby struct {
+	listener   net.Listener
+	peer       string
+	grace      time.Duration
+	minWorkers int
+
+	mu     sync.Mutex
+	rep    *Replica
+	covLen int
+	srv    *LBServer // non-nil once promoted
+	closed bool
+}
+
+// NewStandby listens on addr and starts the pre-promotion accept loop.
+// peer is the primary's control address; promoteGrace is how long the
+// primary may stay unreachable before takeover (0 = 2s). minWorkers is
+// handed to the promoted server's quiescence gate.
+func NewStandby(addr, peer string, promoteGrace time.Duration, minWorkers int) (*Standby, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if promoteGrace <= 0 {
+		promoteGrace = 2 * time.Second
+	}
+	sb := &Standby{listener: ln, peer: peer, grace: promoteGrace, minWorkers: minWorkers}
+	go sb.acceptLoop()
+	return sb, nil
+}
+
+// Addr returns the standby's listening address (what workers get as
+// their second -lb entry).
+func (sb *Standby) Addr() string { return sb.listener.Addr().String() }
+
+// LastSeq returns the last replication entry applied (0 before the
+// first attach).
+func (sb *Standby) LastSeq() uint64 {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.rep == nil {
+		return 0
+	}
+	return sb.rep.LastSeq()
+}
+
+// acceptLoop routes connections: before promotion every handshake is
+// answered with helloNotPrimary (dialers rotate and retry); after
+// promotion connections go straight to the promoted server's handler.
+func (sb *Standby) acceptLoop() {
+	for {
+		conn, err := sb.listener.Accept()
+		if err != nil {
+			return
+		}
+		sb.mu.Lock()
+		srv := sb.srv
+		sb.mu.Unlock()
+		if srv != nil {
+			go srv.handle(conn)
+			continue
+		}
+		go func(conn net.Conn) {
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			var wm WireMsg
+			if err := dec.Decode(&wm); err == nil && wm.Hello != nil {
+				_ = enc.Encode(WireMsg{Ack: &HelloAck{ID: helloNotPrimary}})
+			}
+			conn.Close()
+		}(conn)
+	}
+}
+
+// attach dials the primary and subscribes from the last applied entry,
+// retrying with jittered backoff until the deadline. A helloRefused
+// answer means the primary is alive but not serving the stream — not a
+// crash — and is surfaced as ErrJoinRefused.
+func (sb *Standby) attach(deadline time.Time) (net.Conn, *gob.Decoder, *HelloAck, error) {
+	seedID := 0
+	if p, ok := sb.listener.Addr().(*net.TCPAddr); ok {
+		seedID = p.Port
+	}
+	jitter := reconnectSeed(seedID)
+	backoff := reconnectBase
+	var lastErr error
+	for {
+		if sb.isClosed() {
+			return nil, nil, nil, errors.New("cluster: standby closed")
+		}
+		conn, err := net.Dial("tcp", sb.peer)
+		if err == nil {
+			enc := gob.NewEncoder(conn)
+			dec := gob.NewDecoder(conn)
+			h := Hello{Standby: true, LastSeq: sb.LastSeq()}
+			if err := enc.Encode(WireMsg{Hello: &h}); err == nil {
+				var wm WireMsg
+				if err := dec.Decode(&wm); err == nil && wm.Ack != nil {
+					if wm.Ack.ID == helloRefused {
+						conn.Close()
+						return nil, nil, nil, ErrJoinRefused
+					}
+					if wm.Ack.ID >= 0 {
+						return conn, dec, wm.Ack, nil
+					}
+				}
+			}
+			conn.Close()
+			lastErr = errors.New("cluster: standby handshake failed")
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return nil, nil, nil, lastErr
+		}
+		time.Sleep(backoffSleep(&jitter, &backoff))
+	}
+}
+
+// Run tails the primary until it ends. It returns (nil, nil) when the
+// primary shut down cleanly (RepShutdown marker, or a live primary
+// refusing the stream), or the promoted LBServer when the primary was
+// lost — the caller then drives Serve exactly as a fresh primary would.
+func (sb *Standby) Run() (*LBServer, error) {
+	// First attach gets a generous window: the standby may start before
+	// the primary does.
+	conn, dec, ack, err := sb.attach(time.Now().Add(15 * time.Second))
+	if err != nil {
+		sb.Close()
+		return nil, fmt.Errorf("cluster: standby never attached: %w", err)
+	}
+	sb.mu.Lock()
+	sb.covLen = ack.CovLen
+	if ack.Cfg == nil {
+		sb.mu.Unlock()
+		conn.Close()
+		sb.Close()
+		return nil, errors.New("cluster: standby handshake missing config")
+	}
+	sb.rep = NewReplica(*ack.Cfg, ack.CovLen)
+	sb.mu.Unlock()
+
+	for {
+		var wm WireMsg
+		if err := dec.Decode(&wm); err != nil {
+			conn.Close()
+			// Stream lost: try to re-attach inside the grace window; a
+			// primary that stays dead past it has crashed — promote.
+			nc, nd, nack, aerr := sb.attach(time.Now().Add(sb.grace))
+			if aerr == nil {
+				// Same run resumes: the catch-up stream continues from
+				// LastSeq. The config re-ships but the replica keeps its
+				// state.
+				conn, dec, ack = nc, nd, nack
+				continue
+			}
+			if errors.Is(aerr, ErrJoinRefused) {
+				sb.Close()
+				return nil, nil // primary alive but done with us: clean end
+			}
+			if sb.isClosed() {
+				return nil, errors.New("cluster: standby closed")
+			}
+			return sb.promote()
+		}
+		if wm.Rep == nil {
+			continue
+		}
+		sb.mu.Lock()
+		aerr := sb.rep.Apply(*wm.Rep)
+		clean := wm.Rep.Kind == RepShutdown
+		sb.mu.Unlock()
+		if aerr != nil {
+			conn.Close()
+			sb.Close()
+			return nil, fmt.Errorf("cluster: standby apply: %w", aerr)
+		}
+		if clean {
+			conn.Close()
+			sb.Close()
+			return nil, nil
+		}
+	}
+}
+
+// promote turns the replica into the primary and hands the listener to
+// a full LBServer; the accept loop starts routing workers to it.
+func (sb *Standby) promote() (*LBServer, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.rep == nil {
+		return nil, errors.New("cluster: promote before attach")
+	}
+	lb := sb.rep.Promote(time.Now())
+	sb.srv = newLBServerWith(sb.listener, lb, sb.covLen, sb.minWorkers)
+	sb.rep = nil
+	return sb.srv, nil
+}
+
+func (sb *Standby) isClosed() bool {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.closed
+}
+
+// Close shuts the standby down without promoting (no-op after
+// promotion: the listener then belongs to the promoted server).
+func (sb *Standby) Close() {
+	sb.mu.Lock()
+	promoted := sb.srv != nil
+	sb.closed = true
+	sb.mu.Unlock()
+	if !promoted {
+		sb.listener.Close()
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"cloud9/internal/engine"
 	"cloud9/internal/interp"
+	"cloud9/internal/obs"
 )
 
 // startTCPWorker dials the LB and runs a full worker. The interpreter
@@ -15,6 +16,14 @@ import (
 // current queue length) triggers an abrupt crash — no goodbye, the
 // connection just goes silent mid-run.
 func startTCPWorker(t *testing.T, lbs *LBServer, src string, wg *sync.WaitGroup, errCh chan error,
+	register func(*Worker), crashWhen func(queue int) bool) {
+	t.Helper()
+	startTCPWorkerAddrs(t, []string{lbs.Addr()}, src, wg, errCh, register, crashWhen)
+}
+
+// startTCPWorkerAddrs is startTCPWorker with an explicit LB address list
+// (primary first, standbys after — the failover tests hand workers both).
+func startTCPWorkerAddrs(t *testing.T, lbAddrs []string, src string, wg *sync.WaitGroup, errCh chan error,
 	register func(*Worker), crashWhen func(queue int) bool) {
 	t.Helper()
 	factory := mkInterp(t, src)
@@ -27,7 +36,7 @@ func startTCPWorker(t *testing.T, lbs *LBServer, src string, wg *sync.WaitGroup,
 			errCh <- err
 			return
 		}
-		tr, ack, err := DialLB(lbs.Addr())
+		tr, ack, err := DialLB(lbAddrs[0], lbAddrs[1:]...)
 		if err != nil {
 			errCh <- err
 			return
@@ -333,5 +342,178 @@ func TestTCPTransportJobDelivery(t *testing.T) {
 			t.Fatal("job never delivered")
 		case <-time.After(5 * time.Millisecond):
 		}
+	}
+}
+
+// TestTCPLBFailoverExactPaths is kill -9 of the load balancer over real
+// sockets: a primary with an attached standby and three workers (each
+// given both addresses) runs until exploration is underway, then the
+// primary is severed abruptly — connections cut, queued replication
+// entries dropped, no shutdown marker. The standby must promote after
+// its grace, the workers must rotate onto it, and the run must finish
+// with exactly the undisturbed totals and no false evictions.
+func TestTCPLBFailoverExactPaths(t *testing.T) {
+	factory := mkInterp(t, hugeClusterTarget)
+	in, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBalancerConfig()
+	cfg.Lease = 500 * time.Millisecond
+	lbs, err := NewLBServer("127.0.0.1:0", cfg, in.Prog.MaxLine, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbs.EnableReplication()
+	sb, err := NewStandby("127.0.0.1:0", lbs.Addr(), 300*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := make(chan *LBServer, 1)
+	go func() {
+		srv, err := sb.Run()
+		if err != nil {
+			t.Errorf("standby: %v", err)
+		}
+		promoted <- srv
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	var mu sync.Mutex
+	workers := map[int]*Worker{}
+	register := func(w *Worker) {
+		mu.Lock()
+		workers[w.ID] = w
+		mu.Unlock()
+	}
+	addrs := []string{lbs.Addr(), sb.Addr()}
+	for i := 0; i < 3; i++ {
+		startTCPWorkerAddrs(t, addrs, hugeClusterTarget, &wg, errCh, register, nil)
+	}
+	go lbs.Serve(120 * time.Second) //nolint:errcheck // aborted below
+
+	// Kill once exploration is underway and the standby has demonstrably
+	// caught up past the joins — the entries still queued at that instant
+	// die with the primary, exactly like a real crash.
+	deadline := time.Now().Add(60 * time.Second)
+	for lbs.TotalPaths() < 50 || sb.LastSeq() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached the kill point: paths=%d lastSeq=%d",
+				lbs.TotalPaths(), sb.LastSeq())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	lbs.Abort()
+
+	var srv *LBServer
+	select {
+	case srv = <-promoted:
+	case <-time.After(30 * time.Second):
+		t.Fatal("standby never promoted")
+	}
+	if srv == nil {
+		t.Fatal("standby treated the crash as a clean shutdown")
+	}
+	statuses, err := srv.Serve(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	var paths, errors uint64
+	for _, st := range statuses {
+		paths += st.Paths
+		errors += st.Errors
+	}
+	if paths != 4096 || errors != 1 {
+		t.Fatalf("paths=%d errors=%d, want 4096/1 (undisturbed totals) across LB failover", paths, errors)
+	}
+	if srv.Term() != 2 || srv.Promotions() != 1 {
+		t.Fatalf("term=%d promotions=%d, want 2/1", srv.Term(), srv.Promotions())
+	}
+	if evictions, _, _, _ := srv.Stats(); evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 (no worker died)", evictions)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for id, w := range workers {
+		if w.Departed() {
+			t.Fatalf("worker %d departed across the failover", id)
+		}
+	}
+	// The promoted journal tells the takeover story in protocol order.
+	idx := journalIdx(srv.Journal().All(),
+		obs.EvPrimaryLost, obs.EvStandbyPromote, obs.EvEpochBump, obs.EvResync)
+	for i, at := range idx {
+		if at < 0 {
+			t.Fatalf("journal missing promotion event #%d", i)
+		}
+		if i > 0 && idx[i-1] >= at {
+			t.Fatalf("promotion events out of order: %v", idx)
+		}
+	}
+}
+
+// TestTCPCleanShutdownStandbyNoTakeover: a SIGTERM'd primary stamps the
+// replication log, so an attached standby must exit cleanly instead of
+// promoting itself against a deliberately stopped cluster.
+func TestTCPCleanShutdownStandbyNoTakeover(t *testing.T) {
+	lbs, err := NewLBServer("127.0.0.1:0", DefaultBalancerConfig(), 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbs.EnableReplication()
+	sb, err := NewStandby("127.0.0.1:0", lbs.Addr(), 200*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type runResult struct {
+		srv *LBServer
+		err error
+	}
+	done := make(chan runResult, 1)
+	go func() {
+		srv, err := sb.Run()
+		done <- runResult{srv, err}
+	}()
+	served := make(chan error, 1)
+	go func() {
+		_, err := lbs.Serve(30 * time.Second)
+		served <- err
+	}()
+	// One raw join gives the log an entry; seeing it applied proves the
+	// standby is attached and caught up before the shutdown lands.
+	tr, _, err := DialLB(lbs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for sb.LastSeq() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never caught up to the join")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	lbs.Shutdown()
+	if err := <-served; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("standby: %v", r.err)
+		}
+		if r.srv != nil {
+			t.Fatalf("standby promoted (term %d) after a clean shutdown", r.srv.Term())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never observed the shutdown marker")
 	}
 }

@@ -127,11 +127,16 @@ type Worker struct {
 
 	// Receiver-side duplicate suppression and LB custody acks: highest
 	// contiguously-processed batch sequence per source, and the set of
-	// processed LB re-seat batches (LB sequences are global, not
-	// per-destination, so a set rather than a high-water mark — it stays
-	// tiny because re-seats only happen on membership changes).
+	// processed LB re-seat batches keyed by stable custody id (ids are
+	// global — the departed member's epoch — not per-destination, so a
+	// set rather than a high-water mark; it stays tiny because re-seats
+	// only happen on membership changes). Each entry keeps the ack this
+	// worker echoes in every status: batch id, jobs imported, and the
+	// departed member's accounting record as shipped with the batch —
+	// the repair data a promoted standby needs when it missed the
+	// departure.
 	ackHW      map[int]uint64
-	reseatSeen map[uint64]bool
+	reseatSeen map[uint64]ReseatAck
 
 	// Known-evicted peers (id → epoch), learned from MsgEvict
 	// broadcasts; the fencing rule for stale senders and departed
@@ -230,7 +235,7 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 		exportSeq:    map[int]uint64{},
 		unacked:      map[int]map[uint64]*unackedBatch{},
 		ackHW:        map[int]uint64{},
-		reseatSeen:   map[uint64]bool{},
+		reseatSeen:   map[uint64]ReseatAck{},
 		evictedPeers: map[int]uint64{},
 		spec:         cfg.StrategySpec,
 		specPinned:   cfg.StrategyPinned,
@@ -398,11 +403,15 @@ func (w *Worker) handleJobs(msg Message) {
 		return
 	}
 	if msg.From == LBFrom {
-		if w.reseatSeen[msg.Seq] {
-			return // duplicate re-delivery
+		if _, dup := w.reseatSeen[msg.Seq]; dup {
+			return // duplicate re-delivery (possibly by a promoted standby)
 		}
-		w.reseatSeen[msg.Seq] = true
 		paths := msg.Jobs.Paths()
+		ack := ReseatAck{ID: msg.Seq, Jobs: len(paths)}
+		if msg.Status != nil {
+			ack.Rec = *msg.Status
+		}
+		w.reseatSeen[msg.Seq] = ack
 		w.reseatImportsCtr.Inc()
 		w.journal.Append(obs.EvReseatImport, map[string]string{
 			"seq":  strconv.FormatUint(msg.Seq, 10),
@@ -587,11 +596,11 @@ func (w *Worker) sendStatusOpt(full bool) {
 		acks = append(acks, JobAck{Src: src, Seq: seq})
 	}
 	sort.Slice(acks, func(i, j int) bool { return acks[i].Src < acks[j].Src })
-	reseatAcks := make([]uint64, 0, len(w.reseatSeen))
-	for seq := range w.reseatSeen {
-		reseatAcks = append(reseatAcks, seq)
+	reseatAcks := make([]ReseatAck, 0, len(w.reseatSeen))
+	for _, ack := range w.reseatSeen {
+		reseatAcks = append(reseatAcks, ack)
 	}
-	sort.Slice(reseatAcks, func(i, j int) bool { return reseatAcks[i] < reseatAcks[j] })
+	sort.Slice(reseatAcks, func(i, j int) bool { return reseatAcks[i].ID < reseatAcks[j].ID })
 	w.queueGauge.Set(int64(w.Exp.Tree.NumCandidates()))
 	st := Status{
 		Worker:        w.ID,

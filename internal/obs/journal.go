@@ -143,4 +143,11 @@ const (
 	EvRetire         = "worker-retire"  // worker: graceful shutdown
 	EvBudgetKill     = "budget-kill"    // engine: solver budget exhausted, state dropped
 	EvIntervalRepin  = "interval-repin" // solver: interval tier re-decided a pinned verdict
+
+	// Control-plane replication and failover (LB high availability).
+	EvStandbyAttach  = "standby-attach"   // LB: a standby subscribed to the replication log
+	EvPrimaryLost    = "primary-lost"     // standby: primary presumed dead (grace expired)
+	EvStandbyPromote = "standby-promoted" // standby: replica took over as primary
+	EvEpochBump      = "epoch-bump"       // promoted LB: id/epoch counters strode past the lost window
+	EvResync         = "resync"           // promoted LB: members re-reported full frontiers (or went stale)
 )

@@ -67,6 +67,14 @@ const (
 	MLBRebalances        = "c9_lb_rebalances_total"
 	MLBAdoptions         = "c9_lb_adoptions_total"
 	MLBCoverageLines     = "c9_lb_coverage_lines" // gauge
+
+	// Control-plane replication / failover (LB high availability).
+	MLBTerm       = "c9_lb_term"                // gauge: promotions + 1 (which primary incarnation this is)
+	MLBRepEntries = "c9_lb_rep_entries_total"   // replication-log entries appended
+	MLBPromotions = "c9_lb_promotions_total"    // standby promotions folded into this LB's history
+	MLBReadmits   = "c9_lb_readmits_total"      // members re-admitted after a missed-join failover window
+	MLBStandbyLag = "c9_lb_standby_lag_entries" // gauge (standby): entries behind the primary's last seen seq
+	MLBStandbySeq = "c9_lb_standby_applied_seq" // gauge (standby): last applied replication-log seq
 )
 
 // MLBSlotYield is the cumulative coverage yield credited to portfolio
