@@ -7,6 +7,8 @@ package cloud9
 // the full-scale versions.
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -846,5 +848,66 @@ func BenchmarkObsCounter(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			r.Counter(obs.MClusterJobsSent).Inc()
 		}
+	})
+}
+
+// BenchmarkPeerShip compares the two job-shipping data planes by the
+// wire work one batch costs: p2p is a single encode→decode hop
+// (sender→receiver, the LB sees metadata only), relay is two hops
+// (sender→LB, LB→receiver) carrying the full payload both times. The
+// payload-bytes/lb-byte metric records how many job payload bytes move
+// per byte the LB itself must carry — the decentralization win the CI
+// bench gate pins (p2p must stay ≥1.5x cheaper than relay).
+func BenchmarkPeerShip(b *testing.B) {
+	// Deep frontier with heavily shared prefixes, as real transfers have.
+	var paths [][]uint8
+	prefix := make([]uint8, 24)
+	for i := 0; i < 64; i++ {
+		p := append([]uint8(nil), prefix...)
+		for bit := 5; bit >= 0; bit-- {
+			p = append(p, uint8(i>>bit)&1)
+		}
+		paths = append(paths, p)
+	}
+	msg := cluster.Message{Kind: cluster.MsgJobs, From: 1, Epoch: 7, Seq: 3,
+		Jobs: cluster.BuildJobTree(paths)}
+	hop := func(b *testing.B, m cluster.Message) cluster.Message {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+			b.Fatal(err)
+		}
+		var out cluster.Message
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		return out
+	}
+	size := func(m cluster.Message) int {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Len()
+	}
+	payload := size(msg)
+	// Under p2p the LB carries only the balance directive naming
+	// (src, dst, count); under relay it carries the payload twice.
+	meta := size(cluster.Message{Kind: cluster.MsgTransferReq, Dst: 2, NJobs: 64})
+	b.Run("p2p", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := hop(b, msg); out.Jobs.Count() != len(paths) {
+				b.Fatal("payload lost in transit")
+			}
+		}
+		b.ReportMetric(float64(payload)/float64(meta), "payload-bytes/lb-byte")
+	})
+	b.Run("relay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viaLB := hop(b, msg)                                      // sender → LB
+			if out := hop(b, viaLB); out.Jobs.Count() != len(paths) { // LB → receiver
+				b.Fatal("payload lost in transit")
+			}
+		}
+		b.ReportMetric(0.5, "payload-bytes/lb-byte")
 	})
 }

@@ -19,14 +19,29 @@
 # the promotion protocol (primary-lost → standby-promoted → epoch-bump →
 # resync) journaled and zero false evictions.
 #
+# The data plane under test is selectable: DATA_PLANE=p2p (default)
+# ships job payloads worker→worker over peer sessions, with the LB
+# carrying metadata only; relay forces every batch through the LB;
+# depth replaces shipping entirely with deterministic depth-ranged work
+# units each worker re-derives locally. The pinned path count must
+# reproduce bit-for-bit in every mode, and the script asserts the
+# mode's payload signature from the obs dump: p2p and depth runs
+# without a peer fault must show c9_lb_payload_bytes_total == 0, relay
+# runs must show it nonzero.
+#
 # Usage: ci/tcp_smoke.sh [target] [port]
 # Env:   PORTFOLIO  overrides the strategy mix (comma-separated specs).
 #        SMOKE_LOGS directory for logs + obs artifacts (metrics scrapes,
 #                   the LB's final metrics/journal dump obs.json);
 #                   default a fresh mktemp dir. Nightly sets it to
 #                   archive the observability artifacts.
+#        DATA_PLANE p2p (default) | relay | depth — passed to the LB as
+#                   -data-plane; workers inherit the mode at Hello.
 #        KILL_TARGET worker (default) kill -9's one worker; lb kill -9's
-#                   the primary load balancer (standby takes over).
+#                   the primary load balancer (standby takes over);
+#                   none runs fault-free to completion (used by the
+#                   PR-blocking p2p cell to assert the zero-payload
+#                   invariant without recovery noise).
 #        KILL_DELAY seconds between the victim joining and the kill -9
 #                   (default 0: since the solver's interval tier landed,
 #                   every miniature drains in under a second, so the
@@ -38,14 +53,31 @@
 #                   promoted standby likewise cannot finish before its
 #                   resync window closes).
 #
-# PR CI runs the fast single-target form (`test`); the nightly gauntlet
-# runs the matrix (`test` + `printf`, each in worker and lb kill modes)
+# PR CI runs the fast single-target form (`test`) in p2p and relay,
+# plus a fault-free p2p run in the bench job that fails if any payload
+# byte crossed the LB; the nightly gauntlet runs the full fault matrix
+# (`test` + `printf`, worker and lb kills, under p2p, depth and relay)
 # through the same script.
 set -euo pipefail
 
 PORTFOLIO="${PORTFOLIO:-cupa(dist,dfs),dist-opt,dfs}"
 KILL_DELAY="${KILL_DELAY:-0}"
 KILL_TARGET="${KILL_TARGET:-worker}"
+DATA_PLANE="${DATA_PLANE:-p2p}"
+case "$DATA_PLANE" in
+  p2p | relay | depth) ;;
+  *)
+    echo "smoke: unknown DATA_PLANE '$DATA_PLANE' (want p2p|relay|depth)" >&2
+    exit 1
+    ;;
+esac
+case "$KILL_TARGET" in
+  worker | lb | none) ;;
+  *)
+    echo "smoke: unknown KILL_TARGET '$KILL_TARGET' (want worker|lb|none)" >&2
+    exit 1
+    ;;
+esac
 
 # The coreutils `test` miniature explores ~552 paths.
 TARGET="${1:-test}"
@@ -67,7 +99,11 @@ if [[ -z "$REF" || "$REF" -eq 0 ]]; then
 fi
 echo "== reference: $REF paths"
 
-echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; will kill -9 one $KILL_TARGET mid-run)"
+if [[ "$KILL_TARGET" == "none" ]]; then
+  echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; data plane: $DATA_PLANE; fault-free)"
+else
+  echo "== starting LB + 3 workers (mixed portfolio: $PORTFOLIO; data plane: $DATA_PLANE; will kill -9 one $KILL_TARGET mid-run)"
+fi
 # Lease must exceed the worst single solver query (a worker cannot
 # heartbeat mid-step — microseconds now that the interval tier answers
 # most branch queries), but stay well under the post-kill run time so
@@ -86,6 +122,7 @@ if [[ "$KILL_TARGET" == "lb" ]]; then
 fi
 "$BIN/c9-lb" -listen "127.0.0.1:$PORT" -target "$TARGET" -min-workers 3 \
   -portfolio "$PORTFOLIO" -lease 500ms -max-duration 5m \
+  -data-plane "$DATA_PLANE" \
   -obs-addr "127.0.0.1:$OBS_PORT" -obs-dump "$LB_DUMP" >"$LOGS/lb.txt" 2>&1 &
 LB_PID=$!
 sleep 1
@@ -93,7 +130,8 @@ SB_PID=
 if [[ "$KILL_TARGET" == "lb" ]]; then
   "$BIN/c9-lb" -listen "127.0.0.1:$SB_PORT" -standby -peer "127.0.0.1:$PORT" \
     -promote-grace 1s -target "$TARGET" -min-workers 3 -lease 500ms \
-    -max-duration 5m -obs-addr "127.0.0.1:$SB_OBS_PORT" \
+    -max-duration 5m -data-plane "$DATA_PLANE" \
+    -obs-addr "127.0.0.1:$SB_OBS_PORT" \
     -obs-dump "$LOGS/obs.json" >"$LOGS/standby.txt" 2>&1 &
   SB_PID=$!
   sleep 1
@@ -138,7 +176,7 @@ if [[ "$KILL_TARGET" == "lb" ]]; then
     echo "smoke: primary LB exited before the kill — run too short for a mid-run crash" >&2
     exit 1
   fi
-else
+elif [[ "$KILL_TARGET" == "worker" ]]; then
   if kill -0 "${WPIDS[1]}" 2>/dev/null; then
     echo "== kill -9 worker pid ${WPIDS[1]}"
     kill -9 "${WPIDS[1]}"
@@ -195,8 +233,11 @@ if [[ "$KILL_TARGET" == "lb" ]]; then
     grep '^replication:' "$REPORT_LOG" >&2 || true
     exit 1
   fi
-elif [[ "${EVICTS:-0}" -lt 1 ]]; then
+elif [[ "$KILL_TARGET" == "worker" && "${EVICTS:-0}" -lt 1 ]]; then
   echo "smoke: FAIL — the killed worker was never evicted" >&2
+  exit 1
+elif [[ "$KILL_TARGET" == "none" && "${EVICTS:-0}" -ne 0 ]]; then
+  echo "smoke: FAIL — fault-free run evicted $EVICTS worker(s)" >&2
   exit 1
 fi
 DISTINCT=$(sed -n 's/.*strategy \(.*\))$/\1/p' "$LOGS"/worker*.txt | sort -u | wc -l)
@@ -217,17 +258,69 @@ if [[ "${OBS_PATHS:-}" != "$REF" ]]; then
   echo "smoke: FAIL — metrics path count ${OBS_PATHS:-?} != reference $REF" >&2
   exit 1
 fi
-if [[ "$KILL_TARGET" == "lb" ]]; then
-  # The promoted standby's journal must tell the takeover story.
-  EVENTS="primary-lost standby-promoted epoch-bump resync"
-else
-  EVENTS="worker-evict custody-reseat reseat-replayed"
-fi
+# Payload signature of the data plane, from the same dump. p2p keeps
+# every job payload off the LB — but only a fault-free run may assert
+# the zero strictly, because a kill can legitimately trigger the
+# peer→relay fallback mid-fault. depth never ships at all, so its zero
+# holds even under kills. relay must show payload (the 3-worker run
+# cannot finish without the seed worker shipping to its idle peers).
+PAYLOAD=$(sed -n 's/.*"c9_lb_payload_bytes_total": \([0-9]*\).*/\1/p' "$LOGS/obs.json" | head -1)
+PAYLOAD="${PAYLOAD:-0}"
+case "$DATA_PLANE" in
+  relay)
+    # The relay byte counter is primary-local (never replicated — it is
+    # not part of the exact state), so a promoted standby only counts
+    # relays it performed itself; the nonzero assertion holds only when
+    # the dump comes from the LB that ran the whole exploration.
+    if [[ "$KILL_TARGET" != "lb" && "$PAYLOAD" -eq 0 ]]; then
+      echo "smoke: FAIL — relay mode moved no payload bytes through the LB" >&2
+      exit 1
+    fi
+    ;;
+  depth)
+    if [[ "$PAYLOAD" -ne 0 ]]; then
+      echo "smoke: FAIL — depth mode moved $PAYLOAD payload bytes through the LB, want 0" >&2
+      exit 1
+    fi
+    ;;
+  p2p)
+    if [[ "$KILL_TARGET" == "none" && "$PAYLOAD" -ne 0 ]]; then
+      echo "smoke: FAIL — p2p mode moved $PAYLOAD payload bytes through the LB, want 0" >&2
+      exit 1
+    fi
+    ;;
+esac
+
+# The journal must tell the recovery story for the fault injected, plus
+# the data plane's own vocabulary: peer-session-open proves payload
+# moved worker→worker, unit-grant proves depth ownership was handed
+# out. Depth mode never ships, so it has no custody to re-seat — and
+# the victim may die before owning a unit, so unit-reclaim is not
+# asserted.
+EVENTS=""
+case "$KILL_TARGET" in
+  lb) EVENTS="primary-lost standby-promoted epoch-bump resync" ;;
+  worker)
+    if [[ "$DATA_PLANE" == "depth" ]]; then
+      EVENTS="worker-evict"
+    else
+      EVENTS="worker-evict custody-reseat reseat-replayed"
+    fi
+    ;;
+esac
+case "$DATA_PLANE" in
+  p2p) EVENTS="$EVENTS peer-session-open" ;;
+  depth) EVENTS="$EVENTS unit-grant" ;;
+esac
 for ev in $EVENTS; do
   grep -q "\"type\": \"$ev\"" "$LOGS/obs.json" || {
     echo "smoke: FAIL — journal missing $ev event" >&2
     exit 1
   }
 done
-echo "== obs: metrics path count $OBS_PATHS matches, recovery journaled"
-echo "smoke: OK — mixed-portfolio crash-tolerant cluster ($KILL_TARGET killed) matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"
+echo "== obs: metrics path count $OBS_PATHS matches, lb payload bytes $PAYLOAD, recovery journaled"
+if [[ "$KILL_TARGET" == "none" ]]; then
+  echo "smoke: OK — mixed-portfolio $DATA_PLANE cluster (fault-free) matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"
+else
+  echo "smoke: OK — mixed-portfolio crash-tolerant $DATA_PLANE cluster ($KILL_TARGET killed) matches single-node exploration ($TOTAL paths, $DISTINCT strategies)"
+fi

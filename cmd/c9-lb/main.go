@@ -52,12 +52,16 @@ func main() {
 		learnSeed  = flag.Int64("learn-seed", 1, "seed for the learner's deterministic perturbation stream")
 		obsAddr    = flag.String("obs-addr", "", "serve the live fleet observability HTTP on this address (/metrics, /snapshot, /journal, /debug/pprof)")
 		obsDump    = flag.String("obs-dump", "", "write the final fleet metrics snapshot + run journal as JSON to this file")
+		dataPlane  = flag.String("data-plane", cluster.DataPlaneP2P, "job payload path: p2p (worker→worker with LB-relay fallback), relay (every batch through the LB), or depth (deterministic depth-partitioned work units; no payload moves at all)")
+		partDepth  = flag.Int("partition-depth", 0, "depth-partition boundary for -data-plane depth (0 = default)")
+		partUnits  = flag.Int("partition-units", 0, "work-unit count for -data-plane depth (0 = default)")
 		standby    = flag.Bool("standby", false, "run as a warm standby: tail the primary at -peer and promote on its loss")
 		peer       = flag.String("peer", "", "primary LB address to replicate from (required with -standby)")
 		grace      = flag.Duration("promote-grace", 2*time.Second, "how long the primary may stay unreachable before the standby promotes itself")
 	)
 	// Back-compat alias for the old flag name.
 	flag.IntVar(minWorkers, "workers", *minWorkers, "alias for -min-workers")
+	flag.StringVar(dataPlane, "partition", *dataPlane, "alias for -data-plane")
 	flag.Parse()
 
 	tgt, ok := targets.ByName(*targetName)
@@ -76,8 +80,18 @@ func main() {
 			cluster.ReweightBandit, cluster.ReweightProportional, *reweight)
 		os.Exit(1)
 	}
+	switch *dataPlane {
+	case "", cluster.DataPlaneP2P, cluster.DataPlaneRelay, cluster.DataPlaneDepth:
+	default:
+		fmt.Fprintf(os.Stderr, "c9-lb: -data-plane must be %q, %q or %q, got %q\n",
+			cluster.DataPlaneP2P, cluster.DataPlaneRelay, cluster.DataPlaneDepth, *dataPlane)
+		os.Exit(1)
+	}
 	cfg := cluster.DefaultBalancerConfig()
 	cfg.Lease = *lease
+	cfg.DataPlane = *dataPlane
+	cfg.PartitionDepth = *partDepth
+	cfg.PartitionUnits = *partUnits
 	cfg.Reweight = *reweight
 	cfg.BanditC = *banditC
 	cfg.Learn = *learn

@@ -67,17 +67,32 @@ func main() {
 	if label == "" {
 		label = "engine default"
 	}
-	fmt.Printf("c9-worker: joined as worker %d (epoch %d, seed=%v, strategy %s)\n",
-		ack.ID, ack.Epoch, ack.Seed, label)
+	plane := ack.DataPlane
+	if plane == "" {
+		plane = cluster.DataPlaneP2P
+	}
+	fmt.Printf("c9-worker: joined as worker %d (epoch %d, seed=%v, strategy %s, data-plane %s)\n",
+		ack.ID, ack.Epoch, ack.Seed, label, plane)
 
+	// The data-plane mode is LB policy, inherited at the handshake: depth
+	// partitioning additionally ships the partition spec so every worker
+	// derives the same unit function.
+	ecfg := engine.Config{MaxStateSteps: *steps}
+	if ack.DataPlane == cluster.DataPlaneDepth {
+		ecfg.Partition = &engine.PartitionSpec{
+			Depth: ack.PartitionDepth,
+			Units: ack.PartitionUnits,
+		}
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		ID:             ack.ID,
 		Epoch:          ack.Epoch,
 		Seed:           ack.Seed,
 		Batch:          *batch,
-		Engine:         engine.Config{MaxStateSteps: *steps},
+		Engine:         ecfg,
 		NewInterp:      targets.Factory(tgt),
 		Entry:          "main",
+		DataPlane:      ack.DataPlane,
 		StrategySpec:   spec,
 		StrategyPinned: pinned,
 	}, tr)

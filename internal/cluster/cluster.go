@@ -35,6 +35,11 @@ type FaultPlan struct {
 	// outage on failed sends and re-handshake with full statuses when the
 	// stream generation bumps.
 	CrashLB *FaultEvent
+	// PeerDown blackholes every peer job-shipping link from the trigger
+	// on (Worker is ignored): SendJobs fails as if the destination's
+	// listener were unreachable, so each batch falls back to LB relay.
+	// Custody is channel-agnostic, so path counts must be unchanged.
+	PeerDown *FaultEvent
 }
 
 // Config describes an in-process cluster run.
@@ -116,6 +121,10 @@ type fabric struct {
 	// same as a dead TCP control connection.
 	lbGen  atomic.Uint64
 	lbDown atomic.Bool
+	// peerDown blackholes worker→worker job shipping (FaultPlan.PeerDown):
+	// SendJobs fails as if the peer listener were unreachable, forcing the
+	// LB-relay fallback without touching the control channel.
+	peerDown atomic.Bool
 }
 
 func (f *fabric) register(id int) chan Message {
@@ -185,6 +194,9 @@ func (e endpoint) SendToLBAt(m Message, gen uint64) bool {
 }
 
 func (e endpoint) SendJobs(dst int, m Message) bool {
+	if e.f.peerDown.Load() {
+		return false
+	}
 	mb := e.f.mailbox(dst)
 	if mb == nil {
 		return false
@@ -250,6 +262,25 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cfg.Balancer.Portfolio = d.Portfolio
 		cfg.Balancer.ReweightEvery = d.ReweightEvery
+		cfg.Balancer.DataPlane = d.DataPlane
+		cfg.Balancer.PartitionDepth = d.PartitionDepth
+		cfg.Balancer.PartitionUnits = d.PartitionUnits
+	}
+	// Depth partitioning changes how workers are constructed — every
+	// worker seeds the root and carries the partition spec — so resolve
+	// the defaults NewLoadBalancer would apply before the probe exists.
+	depth := cfg.Balancer.DataPlane == DataPlaneDepth
+	if depth {
+		if cfg.Balancer.PartitionDepth <= 0 {
+			cfg.Balancer.PartitionDepth = DefaultPartitionDepth
+		}
+		if cfg.Balancer.PartitionUnits <= 0 {
+			cfg.Balancer.PartitionUnits = DefaultPartitionUnits
+		}
+		cfg.Engine.Partition = &engine.PartitionSpec{
+			Depth: cfg.Balancer.PartitionDepth,
+			Units: cfg.Balancer.PartitionUnits,
+		}
 	}
 	for _, spec := range cfg.Balancer.Portfolio {
 		if err := search.Validate(spec); err != nil {
@@ -289,6 +320,7 @@ func Run(cfg Config) (*Result, error) {
 	probe, err := NewWorker(WorkerConfig{
 		ID: 0, Seed: true, Batch: cfg.WorkerBatch, Engine: cfg.Engine,
 		NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+		DataPlane: cfg.Balancer.DataPlane,
 		CrashWhen: crashWhenFor(0),
 	}, endpoint{f, 0})
 	if err != nil {
@@ -339,9 +371,10 @@ func Run(cfg Config) (*Result, error) {
 		f.register(m.ID)
 		f.dispatch(outs)
 		w, err := NewWorker(WorkerConfig{
-			ID: m.ID, Epoch: m.Epoch, Seed: seedOK && m.ID == 0,
+			ID: m.ID, Epoch: m.Epoch, Seed: (seedOK && m.ID == 0) || depth,
 			Batch: cfg.WorkerBatch, Engine: cfg.Engine,
 			NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+			DataPlane:    cfg.Balancer.DataPlane,
 			StrategySpec: m.Spec,
 			CrashWhen:    crashWhenFor(m.ID),
 		}, endpoint{f, m.ID})
@@ -437,6 +470,7 @@ func Run(cfg Config) (*Result, error) {
 	retire := cfg.Faults.Retire
 	join := cfg.Faults.Join
 	crashLB := cfg.Faults.CrashLB
+	peerDown := cfg.Faults.PeerDown
 	downTicks := 0
 	workerByID := func(id int) *Worker {
 		workersMu.Lock()
@@ -485,6 +519,11 @@ func Run(cfg Config) (*Result, error) {
 			if lb.IsMember(m.From, m.Epoch) {
 				f.dispatch(lb.Goodbye(m.From, time.Now()))
 			}
+		case MsgShip:
+			// Relay fallback: the sender could not reach its peer, so the
+			// batch arrives over the control channel and the LB forwards
+			// the payload verbatim.
+			f.dispatch(lb.Ship(m))
 		}
 	}
 
@@ -561,6 +600,10 @@ loop:
 				}
 				retire = nil
 			}
+			if peerDown != nil && paths >= peerDown.AfterPaths {
+				peerDown = nil
+				f.peerDown.Store(true)
+			}
 			if join != nil && paths >= join.AfterPaths {
 				join = nil
 				w, err := spawn(false)
@@ -598,7 +641,7 @@ loop:
 				// Pending fault events whose path thresholds were never
 				// reached can no longer change the outcome; drop them so
 				// the run can terminate.
-				kill, retire, join, crashLB = nil, nil, nil, nil
+				kill, retire, join, crashLB, peerDown = nil, nil, nil, nil, nil
 				quietRounds++
 				if quietRounds >= 3 {
 					res.Exhausted = true

@@ -50,7 +50,45 @@ type BalancerConfig struct {
 	LearnEvery int
 	// LearnSeed seeds the learner's deterministic perturbation stream.
 	LearnSeed int64
+	// DataPlane selects how job payloads move between workers:
+	// DataPlaneP2P (the default; "" means p2p) ships batches directly
+	// worker→worker over peer sessions, falling back to LB relay when a
+	// link cannot be established; DataPlaneRelay forces every batch
+	// through the LB (MsgShip); DataPlaneDepth removes payload shipping
+	// entirely in favor of deterministic depth-partition unit grants.
+	DataPlane string
+	// PartitionDepth and PartitionUnits shape the depth data plane:
+	// terminal paths are truncated at PartitionDepth and hashed into
+	// PartitionUnits work units any worker can re-derive locally
+	// (0 = DefaultPartitionDepth / DefaultPartitionUnits). Only
+	// meaningful when DataPlane is DataPlaneDepth.
+	PartitionDepth int
+	PartitionUnits int
 }
+
+// Data-plane modes for BalancerConfig.DataPlane.
+const (
+	// DataPlaneP2P (the default) ships job payloads worker→worker over
+	// peer sessions; the LB only names (src, dst, count) and relays
+	// custody acknowledgments. Falls back to relay per batch when a peer
+	// link is down.
+	DataPlaneP2P = "p2p"
+	// DataPlaneRelay forces every job batch through the LB (the
+	// pre-decentralization behavior, kept as a fallback and baseline).
+	DataPlaneRelay = "relay"
+	// DataPlaneDepth replaces job shipping with depth-partitioned work
+	// units: every worker re-derives the shared upper tree and only the
+	// unit owner counts the terminals inside it.
+	DataPlaneDepth = "depth"
+)
+
+// Default depth-partition shape when BalancerConfig leaves the fields
+// zero: paths truncated at depth 4 hash into 16 units — enough units to
+// keep a small cluster busy without fragmenting the tree.
+const (
+	DefaultPartitionDepth = 4
+	DefaultPartitionUnits = 16
+)
 
 // Reweight modes for BalancerConfig.Reweight.
 const (
@@ -278,6 +316,31 @@ type LoadBalancer struct {
 	promotions    int
 	readmits      int
 
+	// Data plane. unitOwner maps depth-partition unit → owning member id
+	// (-1 unclaimed; nil outside depth mode) and is replicated state:
+	// every mutation happens inside logged entry handlers (Tick grants,
+	// depart reclaims, Update claim reconciliation), so a replica replays
+	// the identical table. unitSentAt paces grant re-delivery per member.
+	// relayedBatches/relayedBytes count job payload that transited the LB
+	// (MsgShip relays) — primary-local observability, deliberately not
+	// replicated: a relay in flight through a lost primary is re-sent by
+	// its custodial owner, exactly like a batch lost on a dead peer link.
+	unitOwner      []int
+	unitSentAt     map[int]time.Time
+	unitGrants     int
+	unitReclaims   int
+	relayedBatches int
+	relayedBytes   uint64
+
+	// Replication-log compaction (replica.go): repBase is the seq the
+	// retained log suffix starts after (entries ≤ repBase live only in
+	// lastSnap); repCompactAt is the retained-entry count that triggers
+	// compaction; repSnapshots counts compactions taken.
+	repBase      uint64
+	repCompactAt int
+	repSnapshots int
+	lastSnap     *RepSnapshot
+
 	// Enabled gates balancing (Fig. 13 disables it mid-run).
 	Enabled bool
 
@@ -306,6 +369,14 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 	if cfg.LearnEvery == 0 {
 		cfg.LearnEvery = DefaultLearnEvery
 	}
+	if cfg.DataPlane == DataPlaneDepth {
+		if cfg.PartitionDepth <= 0 {
+			cfg.PartitionDepth = DefaultPartitionDepth
+		}
+		if cfg.PartitionUnits <= 0 {
+			cfg.PartitionUnits = DefaultPartitionUnits
+		}
+	}
 	lb := &LoadBalancer{
 		cfg:         cfg,
 		baseCfg:     cfg,
@@ -321,6 +392,14 @@ func NewLoadBalancer(cfg BalancerConfig, covLen int) *LoadBalancer {
 	}
 	lb.baseCfg.Portfolio = append([]string(nil), cfg.Portfolio...)
 	lb.journal.Worker = LBFrom
+	lb.repCompactAt = DefaultRepCompactAt
+	if cfg.DataPlane == DataPlaneDepth {
+		lb.unitOwner = make([]int, cfg.PartitionUnits)
+		for i := range lb.unitOwner {
+			lb.unitOwner[i] = -1
+		}
+		lb.unitSentAt = map[int]time.Time{}
+	}
 	if len(cfg.Portfolio) > 0 && cfg.Reweight == ReweightBandit {
 		lb.bandit = newSlotBandit(len(cfg.Portfolio))
 		lb.windowYield = make([]uint64, len(cfg.Portfolio))
@@ -403,6 +482,37 @@ func (lb *LoadBalancer) Update(st Status, now time.Time) (outs []Outbound, ok bo
 	}
 	lb.logRep(RepEntry{Kind: RepStatus, Status: &st, T: now.UnixNano()})
 	lb.lastNow = now
+	// Data-plane journaling: peer-session events are derived from the
+	// cumulative counters each status carries, compared against the
+	// previous accepted record — so a replica replaying the status log
+	// journals the identical sequence, and a re-sent status is a no-op.
+	if st.PeerOpens > m.Last.PeerOpens {
+		lb.journal.AppendAt(now, obs.EvPeerSessionOpen, st.Worker, map[string]string{
+			"total": strconv.FormatUint(st.PeerOpens, 10),
+		})
+	}
+	if st.PeerCloses > m.Last.PeerCloses {
+		lb.journal.AppendAt(now, obs.EvPeerSessionClose, st.Worker, map[string]string{
+			"total": strconv.FormatUint(st.PeerCloses, 10),
+		})
+	}
+	if st.PeerFallbacks > m.Last.PeerFallbacks {
+		lb.journal.AppendAt(now, obs.EvPeerFallback, st.Worker, map[string]string{
+			"total": strconv.FormatUint(st.PeerFallbacks, 10),
+		})
+	}
+	// Depth mode: reconcile unit claims. A promoted standby may have
+	// missed a grant issued inside the replication gap; for a unit nobody
+	// else owns, the claimant's word is authoritative (grants are the
+	// only way a worker learns a unit id, and reclaims only happen on
+	// departure, which also voids the claim source).
+	if lb.unitOwner != nil {
+		for _, u := range st.Units {
+			if u >= 0 && u < len(lb.unitOwner) && lb.unitOwner[u] == -1 {
+				lb.unitOwner[u] = st.Worker
+			}
+		}
+	}
 	m.Last = st
 	if st.Frontier != nil {
 		m.LastFull = st
@@ -553,6 +663,32 @@ func (lb *LoadBalancer) depart(id int, now time.Time) []Outbound {
 	m := lb.members[id]
 	delete(lb.members, id)
 	lb.evicted[id] = m.Epoch
+	if lb.cfg.DataPlane == DataPlaneDepth {
+		// Depth mode voids the departed member entirely: its counted
+		// terminals all live inside its owned units, the units return to
+		// the unclaimed pool, and whoever is granted them next re-derives
+		// and recounts the whole unit from its own copy of the shared
+		// tree. Folding the departed counters in as well would double
+		// count; dropping them keeps the total exact.
+		reclaimed := 0
+		for u, owner := range lb.unitOwner {
+			if owner == id {
+				lb.unitOwner[u] = -1
+				reclaimed++
+			}
+		}
+		if reclaimed > 0 {
+			lb.unitReclaims += reclaimed
+			lb.journal.AppendAt(now, obs.EvUnitReclaim, id, map[string]string{
+				"units": strconv.Itoa(reclaimed),
+			})
+		}
+		delete(lb.unitSentAt, id)
+		outs := []Outbound{{To: Broadcast, Msg: Message{
+			Kind: MsgEvict, From: id, Epoch: m.Epoch, Members: lb.memberView(),
+		}}}
+		return append(outs, lb.rebalanceStrategies()...)
+	}
 	if acked, acknowledged := lb.reseatAcked[m.Epoch]; acknowledged {
 		// A previous LB incarnation already departed this member — at an
 		// accounting cut this (promoted) balancer never saw — and a
@@ -717,6 +853,9 @@ func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
 			}})
 		}
 	}
+	if lb.unitOwner != nil {
+		outs = append(outs, lb.grantUnits(now)...)
+	}
 	// Periodic portfolio reweighting: recompute the yield-weighted
 	// allocation and move workers if it shifted. A no-op between shifts.
 	// The learner (when enabled) piggybacks on the same cadence: every
@@ -750,6 +889,120 @@ func (lb *LoadBalancer) Tick(now time.Time) []Outbound {
 		}
 	}
 	return outs
+}
+
+// Ship relays a job batch on behalf of a worker whose peer link to Dst
+// is unavailable (or that runs in relay mode). The payload re-emerges
+// as an ordinary MsgJobs with the original (From, Epoch, Seq), so the
+// receiver's gap rule, its ack high-water marks, and the sender's
+// custody records are oblivious to which channel carried the batch.
+// Relay traffic is deliberately not replicated: a batch in flight
+// through a lost primary is re-sent by its custodial owner after the
+// resend timeout, exactly like a batch lost on a dead peer link.
+func (lb *LoadBalancer) Ship(m Message) []Outbound {
+	lb.relayedBatches++
+	lb.relayedBytes += uint64(payloadBytes(m.Jobs))
+	if lb.members[m.Dst] == nil {
+		// Destination already departed: drop. The sender re-imports the
+		// batch when it processes the eviction notice.
+		return nil
+	}
+	fwd := m
+	fwd.Kind = MsgJobs
+	return []Outbound{{To: m.Dst, Msg: fwd}}
+}
+
+// grantUnits hands unclaimed depth-partition units to idle members and
+// re-delivers possibly-lost grants. Runs inside Tick (a logged entry),
+// reads only replicated state, and iterates members in sorted id order,
+// so a replica replaying the log builds the identical unit table.
+// Grants are suspended during a post-promotion resync window: members'
+// unit claims (statuses) must reconcile first, or a unit granted by the
+// lost primary inside the replication gap could be granted twice.
+func (lb *LoadBalancer) grantUnits(now time.Time) []Outbound {
+	if lb.resyncPending {
+		return nil
+	}
+	ids := make([]int, 0, len(lb.members))
+	for id := range lb.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var unclaimed []int
+	for u, owner := range lb.unitOwner {
+		if owner == -1 {
+			unclaimed = append(unclaimed, u)
+		}
+	}
+	var outs []Outbound
+	if len(unclaimed) > 0 && len(ids) > 0 {
+		chunk := (len(unclaimed) + len(ids) - 1) / len(ids)
+		next := 0
+		for _, id := range ids {
+			if next >= len(unclaimed) {
+				break
+			}
+			m := lb.members[id]
+			// Only idle members claim: a busy worker is still draining a
+			// previous grant (or the shared upper tree).
+			if !m.Reported || m.Last.Queue > 0 || !m.Last.Done {
+				continue
+			}
+			granted := unclaimed[next:min(next+chunk, len(unclaimed))]
+			next += len(granted)
+			for _, u := range granted {
+				lb.unitOwner[u] = id
+			}
+			lb.unitGrants += len(granted)
+			// Clearing Done holds off both a second grant and quiescence
+			// until the worker has folded this one in and re-reported.
+			m.Last.Done = false
+			lb.unitSentAt[id] = now
+			lb.journal.AppendAt(now, obs.EvUnitGrant, id, map[string]string{
+				"units": strconv.Itoa(len(granted)),
+				"first": strconv.Itoa(granted[0]),
+			})
+			outs = append(outs, Outbound{To: id, Msg: Message{Kind: MsgUnits, Units: lb.ownedUnits(id)}})
+		}
+	}
+	// Re-delivery: a member whose status does not yet claim every unit it
+	// owns may have lost the MsgUnits (dead conn, promotion gap). The
+	// full owned list is idempotent, so re-sending is always safe; the
+	// lease paces it to one retry per silence period.
+	for _, id := range ids {
+		owned := lb.ownedUnits(id)
+		if len(owned) == 0 || len(lb.members[id].Last.Units) == len(owned) {
+			continue
+		}
+		if sent, ok := lb.unitSentAt[id]; ok && now.Sub(sent) <= lb.cfg.Lease {
+			continue
+		}
+		lb.unitSentAt[id] = now
+		outs = append(outs, Outbound{To: id, Msg: Message{Kind: MsgUnits, Units: owned}})
+	}
+	return outs
+}
+
+// ownedUnits returns the sorted unit ids owned by member id.
+func (lb *LoadBalancer) ownedUnits(id int) []int {
+	var out []int
+	for u, owner := range lb.unitOwner {
+		if owner == id {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// unclaimedUnits counts depth-partition units with no owner.
+func (lb *LoadBalancer) unclaimedUnits() int {
+	n := 0
+	for _, owner := range lb.unitOwner {
+		if owner == -1 {
+			n++
+		}
+	}
+	return n
 }
 
 // GlobalCoverage returns the merged coverage vector and whether it
@@ -876,6 +1129,15 @@ func (lb *LoadBalancer) PutLBMetrics(s *obs.Snapshot) {
 	s.PutCounter(obs.MLBRebalances, uint64(lb.rebalances))
 	s.PutCounter(obs.MLBAdoptions, uint64(lb.Adoptions()))
 	s.PutGauge(obs.MLBCoverageLines, int64(lb.cov.Count()))
+	// Data-plane metrics go in unconditionally: a zero
+	// c9_lb_payload_bytes_total is the P2P mode's proof obligation (CI
+	// asserts it), so the zero must be visible, not absent.
+	s.PutCounter(obs.MLBPayloadBytes, lb.relayedBytes)
+	s.PutCounter(obs.MLBRelayedBatches, uint64(lb.relayedBatches))
+	s.PutCounter(obs.MLBUnitGrants, uint64(lb.unitGrants))
+	s.PutCounter(obs.MLBUnitReclaims, uint64(lb.unitReclaims))
+	s.PutGauge(obs.MLBUnitsUnclaimed, int64(lb.unclaimedUnits()))
+	s.PutCounter(obs.MLBRepSnapshots, uint64(lb.repSnapshots))
 	s.PutGauge(obs.MLBTerm, int64(lb.term))
 	s.PutCounter(obs.MLBPromotions, uint64(lb.promotions))
 	s.PutCounter(obs.MLBReadmits, uint64(lb.readmits))
@@ -910,6 +1172,20 @@ func (lb *LoadBalancer) Quiescent() bool {
 		sent += m.Last.JobsSent
 		recv += m.Last.JobsRecv
 	}
+	if lb.unitOwner != nil {
+		// Depth mode additionally requires the whole partition to be
+		// claimed, every owner to acknowledge its grants (a granted-but-
+		// undelivered unit holds termination open), and every member to
+		// have finished its last fold-in.
+		if lb.unclaimedUnits() > 0 {
+			return false
+		}
+		for id, m := range lb.members {
+			if !m.Last.Done || len(m.Last.Units) != len(lb.ownedUnits(id)) {
+				return false
+			}
+		}
+	}
 	return sent+lb.goneSent+lb.reseatSent == recv+lb.goneRecv
 }
 
@@ -917,7 +1193,10 @@ func (lb *LoadBalancer) Quiescent() bool {
 // workers against mean ± δ·σ of queue lengths, sort, and pair
 // underloaded with overloaded workers, requesting (lj − li)/2 jobs.
 func (lb *LoadBalancer) Balance() []TransferOrder {
-	if !lb.Enabled {
+	if !lb.Enabled || lb.cfg.DataPlane == DataPlaneDepth {
+		// Depth mode has no job shipping to balance: work distribution is
+		// entirely unit grants. Returning before logRep keeps primary and
+		// replica symmetric (neither logs nor replays Balance entries).
 		return nil
 	}
 	lb.logRep(RepEntry{Kind: RepBalance, T: lb.lastNow.UnixNano()})
@@ -1038,6 +1317,9 @@ func (lb *LoadBalancer) promote(now time.Time) {
 		if !b.sentAt.IsZero() {
 			b.sentAt = now
 		}
+	}
+	for id := range lb.unitSentAt {
+		lb.unitSentAt[id] = now
 	}
 	lb.resyncPending = len(lb.members) > 0
 	lb.resyncUntil = now.Add(2 * lb.cfg.Lease)

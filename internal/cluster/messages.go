@@ -33,6 +33,22 @@
 // batches are de-duplicated by the receiver's per-sender high-water
 // mark.
 //
+// # Data plane
+//
+// Job payload movement is decoupled from custody metadata. In the
+// default p2p mode a Balance directive only names (src, dst, count);
+// the batch itself flows worker→worker over a peer session (direct
+// channel in-process, dial/accept with an epoch-fenced handshake over
+// TCP). When a peer link cannot be established the sender falls back to
+// LB-relayed shipping (MsgShip → LoadBalancer.Ship → MsgJobs), which is
+// also the forced path in relay mode; either way the receiver sees an
+// ordinary MsgJobs with the original (From, Epoch, Seq), so the gap
+// rule, ack high-water marks, and custody records are channel-agnostic.
+// The depth mode removes payload shipping entirely: the LB grants
+// deterministic depth-D work units (MsgUnits) that every worker can
+// re-derive locally from the shared upper tree, and only the unit owner
+// counts the terminals inside it.
+//
 // # Strategy portfolios
 //
 // When the balancer is configured with a portfolio (internal/search
@@ -60,6 +76,7 @@
 package cluster
 
 import (
+	"encoding/gob"
 	"sort"
 
 	"cloud9/internal/obs"
@@ -81,6 +98,8 @@ const (
 	MsgJobsAck                    // LB → worker: Dst acknowledged job batches up to Seq
 	MsgMembers                    // LB → workers: membership snapshot (id → epoch)
 	MsgStrategy                   // LB → worker: run the strategy spec in Spec from now on
+	MsgShip                       // worker → LB: relay a job batch to Dst (peer link unavailable, or relay mode)
+	MsgUnits                      // LB → worker: depth-partition unit grant (Units is the full owned set)
 )
 
 // LBFrom is the From id used for job batches the load balancer re-seats
@@ -119,6 +138,10 @@ type Message struct {
 	// hot-swap to (portfolio rebalancing on membership changes and
 	// periodic yield-driven reweighting).
 	Spec string
+	// MsgUnits: the complete set of depth-partition units the receiver
+	// owns (idempotent full list, so a lost or duplicated grant is
+	// harmless).
+	Units []int
 }
 
 // JobAck acknowledges, per source worker, every job batch with sequence
@@ -193,6 +216,18 @@ type Status struct {
 	// portfolio allocation).
 	Spec       string
 	SpecPinned bool
+	// Peer-session counters (cumulative, data-plane observability): the
+	// LB journals peer-session-open/close/fallback events by comparing
+	// them against its previous accepted record, which keeps the journal
+	// identical under replication replay.
+	PeerOpens     uint64
+	PeerCloses    uint64
+	PeerFallbacks uint64
+	// Units is the sorted set of depth-partition units this worker owns
+	// (depth data-plane mode only). A promoted standby reconciles its
+	// replicated unit table against these claims, closing the window
+	// where a grant was issued inside the replication gap.
+	Units []int
 	// Obs carries the worker's metrics, delta-encoded against the last
 	// full status the LB accepted (nil on light statuses — metrics ride
 	// the FrontierEvery cadence, same as the frontier). When ObsBase is
@@ -254,6 +289,26 @@ func (jt *JobTree) Paths() [][]uint8 {
 	}
 	walk(jt, nil)
 	return out
+}
+
+// payloadBytes sizes a job tree as it would travel on the wire (its gob
+// encoding), so the p2p/relay byte accounting matches what the TCP
+// fabric actually ships regardless of which fabric is running.
+func payloadBytes(jt *JobTree) int {
+	if jt == nil {
+		return 0
+	}
+	var cw countWriter
+	_ = gob.NewEncoder(&cw).Encode(jt)
+	return int(cw)
+}
+
+// countWriter counts bytes written and discards them.
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
 }
 
 // Count returns the number of jobs (leaves) in the trie.

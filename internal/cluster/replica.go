@@ -103,6 +103,10 @@ func (lb *LoadBalancer) logRep(e RepEntry) {
 	if !lb.repEnabled || lb.replaying {
 		return
 	}
+	// logRep runs *before* the mutation it logs, so right here the
+	// balancer's state is exactly entries 1..repSeq fully applied — the
+	// one safe point to snapshot for log compaction.
+	lb.maybeCompactRep()
 	lb.repSeq++
 	e.Seq = lb.repSeq
 	e.Term = lb.term
@@ -114,9 +118,10 @@ func (lb *LoadBalancer) logRep(e RepEntry) {
 
 // StartReplication turns on input logging. onRep (optional) observes
 // each appended entry synchronously — the transport's hook for streaming
-// entries to attached standbys. The log is retained in full so a standby
-// attaching mid-run can catch up from entry 1; memory is bounded by run
-// length, which the miniature workloads keep small.
+// entries to attached standbys. The retained log is bounded: once it
+// reaches repCompactAt entries it is compacted behind a state snapshot
+// (see maybeCompactRep), and a standby attaching from before the
+// compaction point bootstraps from the snapshot instead of entry 1.
 func (lb *LoadBalancer) StartReplication(onRep func(RepEntry)) {
 	lb.repEnabled = true
 	lb.onRep = onRep
@@ -170,6 +175,9 @@ func (r *Replica) Apply(e RepEntry) error {
 	if e.Seq != lb.repSeq+1 {
 		return fmt.Errorf("cluster: replica gap: applied %d, got %d", lb.repSeq, e.Seq)
 	}
+	// Same invariant as logRep: before this entry touches anything, state
+	// equals entries 1..repSeq applied — safe to compact here.
+	lb.maybeCompactRep()
 	lb.repSeq = e.Seq
 	if lb.repEnabled {
 		lb.repLog = append(lb.repLog, e)
@@ -240,6 +248,18 @@ func (lb *LoadBalancer) StateFingerprint() string {
 	fmt.Fprintf(&b, "cov n=%d hash=%x\n", lb.cov.Count(), hashWords(lb.cov.Words()))
 	fmt.Fprintf(&b, "resync pending=%v until=%d readmit=(%d,%d]\n",
 		lb.resyncPending, lb.resyncUntil.UnixNano(), lb.readmitLo, lb.readmitHi)
+	if lb.unitOwner != nil {
+		fmt.Fprintf(&b, "units owner=%v grants=%d reclaims=%d\n",
+			lb.unitOwner, lb.unitGrants, lb.unitReclaims)
+		sentIDs := make([]int, 0, len(lb.unitSentAt))
+		for id := range lb.unitSentAt {
+			sentIDs = append(sentIDs, id)
+		}
+		sort.Ints(sentIDs)
+		for _, id := range sentIDs {
+			fmt.Fprintf(&b, "unitSent %d=%d\n", id, lb.unitSentAt[id].UnixNano())
+		}
+	}
 
 	ids := make([]int, 0, len(lb.members))
 	for id := range lb.members {
@@ -333,10 +353,11 @@ func (lb *LoadBalancer) StateFingerprint() string {
 // fpStatus renders the accounting-relevant fields of a status (frontier
 // hashed, coverage hashed, acks expanded).
 func fpStatus(b *strings.Builder, tag string, st Status) {
-	fmt.Fprintf(b, "%s w=%d e=%d q=%d sent=%d recv=%d xin=%d paths=%d err=%d hang=%d tests=%d done=%v spec=%q pin=%v cov=%d/%x fr=%x",
+	fmt.Fprintf(b, "%s w=%d e=%d q=%d sent=%d recv=%d xin=%d paths=%d err=%d hang=%d tests=%d done=%v spec=%q pin=%v cov=%d/%x fr=%x popen=%d pclose=%d pfall=%d units=%v",
 		tag, st.Worker, st.Epoch, st.Queue, st.JobsSent, st.JobsRecv,
 		st.TransferredIn, st.Paths, st.Errors, st.Hangs, st.Tests, st.Done,
-		st.Spec, st.SpecPinned, st.CovCount, hashWords(st.CovWords), hashTree(st.Frontier))
+		st.Spec, st.SpecPinned, st.CovCount, hashWords(st.CovWords), hashTree(st.Frontier),
+		st.PeerOpens, st.PeerCloses, st.PeerFallbacks, st.Units)
 	for _, a := range st.Acks {
 		fmt.Fprintf(b, " ack=%d:%d", a.Src, a.Seq)
 	}

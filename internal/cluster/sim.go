@@ -91,6 +91,14 @@ type SimConfig struct {
 	// LeaseTicks is the membership lease in virtual ticks (default: 3
 	// balance periods).
 	LeaseTicks int
+
+	// PeerDownFrom blackholes worker→worker job shipping from that tick
+	// on (0 = never): SendJobs fails as if the peer listener were
+	// unreachable, so every batch falls back to LB relay. PeerDownTo ends
+	// the outage (exclusive; 0 = forever). Custody is channel-agnostic,
+	// so path counts must be unchanged either way.
+	PeerDownFrom int
+	PeerDownTo   int
 }
 
 // SimResult is the outcome of a simulated run.
@@ -129,6 +137,10 @@ func (e simEndpoint) SendToLB(m Message) bool {
 		}
 	case MsgGoodbye:
 		e.sim.dispatch(e.sim.lb.Goodbye(m.From, e.sim.now))
+	case MsgShip:
+		// Relay fallback: the sender could not reach its peer (or runs in
+		// relay mode), so the payload crosses the LB, which forwards it.
+		e.sim.dispatch(e.sim.lb.Ship(m))
 	}
 	return true
 }
@@ -147,6 +159,10 @@ func (e simEndpoint) SendToLBAt(m Message, gen uint64) bool {
 }
 
 func (e simEndpoint) SendJobs(dst int, m Message) bool {
+	if e.sim.peerFrom > 0 && e.sim.tick >= e.sim.peerFrom &&
+		(e.sim.peerTo == 0 || e.sim.tick < e.sim.peerTo) {
+		return false // peer links blackholed: force the relay fallback
+	}
 	e.sim.pending[dst] = append(e.sim.pending[dst], m)
 	return true
 }
@@ -182,6 +198,9 @@ type sim struct {
 	down    bool   // primary dead, standby not yet promoted
 	standby *Replica
 	repQ    []repInFlight
+
+	// Peer-link outage window (SimConfig.PeerDownFrom/To).
+	peerFrom, peerTo int
 }
 
 // dispatch queues LB outbounds for delivery at the next tick boundary.
@@ -242,12 +261,30 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		cfg.LeaseTicks = 3 * cfg.BalanceTicks
 	}
 	cfg.Balancer.Lease = time.Duration(cfg.LeaseTicks) * time.Second
+	// Depth partitioning changes how workers are constructed — every
+	// worker seeds the root and carries the partition spec — so resolve
+	// the defaults NewLoadBalancer would apply before any worker exists.
+	depth := cfg.Balancer.DataPlane == DataPlaneDepth
+	if depth {
+		if cfg.Balancer.PartitionDepth <= 0 {
+			cfg.Balancer.PartitionDepth = DefaultPartitionDepth
+		}
+		if cfg.Balancer.PartitionUnits <= 0 {
+			cfg.Balancer.PartitionUnits = DefaultPartitionUnits
+		}
+		cfg.Engine.Partition = &engine.PartitionSpec{
+			Depth: cfg.Balancer.PartitionDepth,
+			Units: cfg.Balancer.PartitionUnits,
+		}
+	}
 
 	s := &sim{
-		now:     simTick(0),
-		gen:     1,
-		inbox:   map[int][]Message{},
-		pending: map[int][]Message{},
+		now:      simTick(0),
+		gen:      1,
+		inbox:    map[int][]Message{},
+		pending:  map[int][]Message{},
+		peerFrom: cfg.PeerDownFrom,
+		peerTo:   cfg.PeerDownTo,
 	}
 	var workers []*Worker
 	alive := map[int]*Worker{}
@@ -259,8 +296,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		s.pending[m.ID] = nil
 		s.dispatch(outs)
 		w, err := NewWorker(WorkerConfig{
-			ID: m.ID, Epoch: m.Epoch, Seed: seedOK && m.ID == 0,
+			ID: m.ID, Epoch: m.Epoch, Seed: (seedOK && m.ID == 0) || depth,
 			Engine: cfg.Engine, NewInterp: cfg.NewInterp, Entry: cfg.Entry,
+			DataPlane:    cfg.Balancer.DataPlane,
 			StrategySpec: m.Spec,
 		}, simEndpoint{s, m.ID})
 		if err != nil {
@@ -519,10 +557,15 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		if len(s.lb.orphans) > 0 {
 			done = false
 		}
+		// Depth mode: every work unit must have an owner, or a reclaimed
+		// unit's jobs would be silently dropped at termination.
+		if s.lb.unitOwner != nil && s.lb.unclaimedUnits() > 0 {
+			done = false
+		}
 		if done {
 			scan := func(q []Message) {
 				for _, msg := range q {
-					if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq {
+					if msg.Kind == MsgJobs || msg.Kind == MsgTransferReq || msg.Kind == MsgUnits {
 						done = false
 					}
 				}

@@ -1,0 +1,159 @@
+package cluster
+
+// Replication-log snapshot tests: compaction must be invisible to the
+// replay contract. A standby bootstrapped from a snapshot plus the
+// retained tail must land on the same byte-identical StateFingerprint
+// as one that replayed the full log from seq 1 — and as the primary.
+
+import (
+	"testing"
+	"time"
+
+	"cloud9/internal/obs"
+)
+
+// driveScriptedPrimary drives a primary through the scripted mix of
+// replicated entry points (joins, statuses, ticks, balance rounds, a
+// goodbye with live custody, a lease expiry), capturing every log entry
+// as it is emitted — compaction on the primary drops the retained
+// prefix, so the full history only exists in the capture.
+func driveScriptedPrimary(t *testing.T, compactAt int) (*LoadBalancer, []RepEntry, int) {
+	t.Helper()
+	cfg := DefaultBalancerConfig()
+	cfg.Portfolio = []string{"dfs", "random"}
+	cfg.ReweightEvery = 1
+	const covLen = 4095
+	lb := NewLoadBalancer(cfg, covLen)
+	var all []RepEntry
+	lb.StartReplication(func(e RepEntry) { all = append(all, e) })
+	if compactAt > 0 {
+		lb.SetRepCompactAt(compactAt)
+	}
+
+	now := time.Unix(10, 0)
+	var ms []*Member
+	for i := 0; i < 4; i++ {
+		m, _ := lb.Join("", now)
+		ms = append(ms, m)
+	}
+	for r := 0; r < 6; r++ {
+		now = now.Add(300 * time.Millisecond)
+		for i, m := range ms {
+			if lb.members[m.ID] == nil {
+				continue
+			}
+			st := Status{
+				Worker: m.ID, Epoch: m.Epoch, Spec: m.Spec,
+				Queue: 3 + (i+r)%5, Paths: uint64(10*r + i),
+				UsefulSteps: uint64(100 * r),
+				Frontier:    BuildJobTree([][]uint8{{uint8(i % 2), uint8(r % 2)}, {1}}),
+			}
+			if m.SpecIdx == 1 {
+				st.CovWords = covStatus(r*200+i*40, 40)
+			}
+			if _, ok := lb.Update(st, now); !ok {
+				t.Fatalf("status for member %d rejected", m.ID)
+			}
+		}
+		lb.Tick(now)
+		lb.Balance()
+		if r == 3 {
+			lb.Goodbye(ms[1].ID, now)
+		}
+	}
+	now = now.Add(lb.cfg.Lease + time.Second)
+	lb.ExpireLeases(now)
+	return lb, all, covLen
+}
+
+// TestRepSnapshotTailFingerprint is the compaction property test: with
+// a small compaction threshold the primary truncates its log mid-script;
+// a replica built snapshot-then-tail must fingerprint byte-identically
+// to a full-replay replica and to the primary itself.
+func TestRepSnapshotTailFingerprint(t *testing.T) {
+	lb, all, covLen := driveScriptedPrimary(t, 8)
+	if lb.RepBase() == 0 {
+		t.Fatalf("compaction never fired: repBase=0 after %d entries", len(all))
+	}
+	snap := lb.LastSnapshot()
+	if snap == nil || snap.Seq != lb.RepBase() {
+		t.Fatalf("snapshot missing or misplaced: %+v (repBase %d)", snap, lb.RepBase())
+	}
+
+	// Full replay from seq 1 (the captured history).
+	full := NewReplica(lb.Config(), covLen)
+	for _, e := range all {
+		if err := full.Apply(e); err != nil {
+			t.Fatalf("full replay: %v", err)
+		}
+	}
+	// Snapshot + retained tail (what a late-joining standby receives).
+	tail := NewReplica(lb.Config(), covLen)
+	if err := tail.InstallState(snap); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	for _, e := range all {
+		if e.Seq <= snap.Seq {
+			continue
+		}
+		if err := tail.Apply(e); err != nil {
+			t.Fatalf("tail replay: %v", err)
+		}
+	}
+
+	want := lb.StateFingerprint()
+	if got := full.LB().StateFingerprint(); got != want {
+		t.Fatalf("full replay diverges from primary:\n--- primary ---\n%s\n--- full ---\n%s", want, got)
+	}
+	if got := tail.LB().StateFingerprint(); got != want {
+		t.Fatalf("snapshot-then-tail diverges from primary:\n--- primary ---\n%s\n--- tail ---\n%s", want, got)
+	}
+	if tail.LastSeq() != lb.RepSeq() {
+		t.Fatalf("tail replica at seq %d, primary at %d", tail.LastSeq(), lb.RepSeq())
+	}
+	// The compaction left its mark in the journal and the metrics.
+	if at := journalIdx(lb.Journal().All(), obs.EvRepSnapshot); at[0] < 0 {
+		t.Fatal("journal missing rep-snapshot event")
+	}
+	fleet := obs.Snapshot{}
+	lb.PutLBMetrics(&fleet)
+	if fleet.Counter(obs.MLBRepSnapshots) == 0 {
+		t.Fatal("rep-snapshot counter not exported")
+	}
+}
+
+// TestRepSnapshotCompactionBounds: the retained log must stay bounded
+// by the compaction threshold while entries keep flowing.
+func TestRepSnapshotCompactionBounds(t *testing.T) {
+	lb, all, _ := driveScriptedPrimary(t, 8)
+	if got := len(lb.RepLogFrom(lb.RepBase())); got > 8 {
+		t.Fatalf("retained log holds %d entries past the snapshot, want ≤ 8", got)
+	}
+	if uint64(len(all)) != lb.RepSeq() {
+		t.Fatalf("captured %d entries, primary logged %d", len(all), lb.RepSeq())
+	}
+	// Snapshots are cumulative: the latest one covers everything before
+	// repBase, so RepLogFrom(0) on a compacted primary cannot serve a
+	// from-scratch standby — that is exactly what InstallState is for.
+	if uint64(len(lb.RepLogFrom(0))) == lb.RepSeq() {
+		t.Fatal("primary retained the full log despite compaction")
+	}
+}
+
+// TestRepSnapshotIdentityNoTail: a replica restored from a snapshot
+// with no tail entries is byte-identical to the primary at the moment
+// the snapshot was cut.
+func TestRepSnapshotIdentityNoTail(t *testing.T) {
+	lb, _, covLen := driveScriptedPrimary(t, 0) // no auto-compaction
+	snap := lb.SnapshotState()
+	rep := NewReplica(lb.Config(), covLen)
+	if err := rep.InstallState(snap); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if got, want := rep.LB().StateFingerprint(), lb.StateFingerprint(); got != want {
+		t.Fatalf("snapshot-restored replica diverges:\n--- primary ---\n%s\n--- restored ---\n%s", want, got)
+	}
+	if rep.LastSeq() != lb.RepSeq() {
+		t.Fatalf("restored replica at seq %d, primary at %d", rep.LastSeq(), lb.RepSeq())
+	}
+}

@@ -59,6 +59,11 @@ type HelloAck struct {
 	Epoch uint64
 	Seed  bool
 	Spec  string
+	// Data-plane mode the cluster runs (DataPlaneP2P when empty) and,
+	// for depth mode, the partition shape every worker must agree on.
+	DataPlane      string
+	PartitionDepth int
+	PartitionUnits int
 	// Standby handshake only: the primary's effective balancer config
 	// and coverage vector length, so the subscriber constructs a replica
 	// that replays to byte-identical state.
@@ -76,6 +81,9 @@ type WireMsg struct {
 	PeerAddrs map[int]string
 	// Rep is one replication-log entry (primary → standby stream).
 	Rep *RepEntry
+	// Snap bootstraps a standby attaching from before the primary's log
+	// compaction point: install the snapshot, then tail Rep entries.
+	Snap *RepSnapshot
 }
 
 // TCPWorkerTransport implements Transport over the TCP fabric.
@@ -96,7 +104,13 @@ type TCPWorkerTransport struct {
 	mailCond  *sync.Cond
 	peerAddrs map[int]string
 	peerConns map[string]*peerConn
-	closed    bool
+	// peerEpochs fences inbound peer sessions: the newest epoch accepted
+	// per dialer id. A dialer presenting an older epoch is a stale
+	// incarnation (it was evicted and its successor already dialed) and
+	// is refused — its jobs would double-count against the custody its
+	// successor inherited.
+	peerEpochs map[int]uint64
+	closed     bool
 }
 
 type peerConn struct {
@@ -116,10 +130,11 @@ func DialLB(lbAddr string, standbyAddrs ...string) (*TCPWorkerTransport, *HelloA
 		return nil, nil, err
 	}
 	t := &TCPWorkerTransport{
-		lbAddrs:   append([]string{lbAddr}, standbyAddrs...),
-		listener:  ln,
-		peerAddrs: map[int]string{},
-		peerConns: map[string]*peerConn{},
+		lbAddrs:    append([]string{lbAddr}, standbyAddrs...),
+		listener:   ln,
+		peerAddrs:  map[int]string{},
+		peerConns:  map[string]*peerConn{},
+		peerEpochs: map[int]uint64{},
 	}
 	t.mailCond = sync.NewCond(&t.mu)
 	// Initial join: rotate through the addresses with the same capped
@@ -309,19 +324,47 @@ func (t *TCPWorkerTransport) acceptPeers() {
 		if err != nil {
 			return
 		}
-		go func(c net.Conn) {
-			d := gob.NewDecoder(c)
-			for {
-				var wm WireMsg
-				if err := d.Decode(&wm); err != nil {
-					c.Close()
-					return
-				}
-				if wm.Msg != nil {
-					t.push(*wm.Msg)
-				}
-			}
-		}(c)
+		go t.servePeer(c)
+	}
+}
+
+// servePeer handles one inbound peer session: the epoch-fenced
+// handshake, then the job-batch stream. The first frame must be the
+// dialer's identity; an id whose epoch is older than the newest this
+// worker has accepted is refused (see peerEpochs). The worker-level
+// evicted-peer check on MsgJobs remains the authoritative exactness
+// guard — the fence just stops stale incarnations at the door.
+func (t *TCPWorkerTransport) servePeer(c net.Conn) {
+	d := gob.NewDecoder(c)
+	e := gob.NewEncoder(c)
+	var hello WireMsg
+	if err := d.Decode(&hello); err != nil || hello.Hello == nil {
+		c.Close()
+		return
+	}
+	h := hello.Hello
+	t.mu.Lock()
+	if seen, ok := t.peerEpochs[h.ID]; ok && h.Epoch < seen {
+		t.mu.Unlock()
+		_ = e.Encode(WireMsg{Ack: &HelloAck{ID: helloRefused}})
+		c.Close()
+		return
+	}
+	t.peerEpochs[h.ID] = h.Epoch
+	t.mu.Unlock()
+	if err := e.Encode(WireMsg{Ack: &HelloAck{ID: h.ID, Epoch: h.Epoch}}); err != nil {
+		c.Close()
+		return
+	}
+	for {
+		var wm WireMsg
+		if err := d.Decode(&wm); err != nil {
+			c.Close()
+			return
+		}
+		if wm.Msg != nil {
+			t.push(*wm.Msg)
+		}
 	}
 }
 
@@ -368,9 +411,16 @@ func (t *TCPWorkerTransport) sendToLBLocked(m Message) bool {
 	return true
 }
 
+// peerDialTimeout bounds the peer-session dial and handshake: a
+// blackholed peer must fail fast enough for the sender to fall back to
+// LB relay instead of stalling the worker loop.
+const peerDialTimeout = time.Second
+
 // SendJobs implements Transport (direct worker-to-worker transfer). A
-// false return means the batch was not handed to a connection; the
-// caller keeps custody and re-imports it.
+// false return means the batch was not handed to a peer session; the
+// caller keeps custody and falls back to LB relay (or re-imports). A
+// cached session that died mid-send is redialed once — a peer that
+// merely restarted its listener should not force a relay detour.
 func (t *TCPWorkerTransport) SendJobs(dst int, m Message) bool {
 	t.mu.Lock()
 	addr := t.peerAddrs[dst]
@@ -379,31 +429,59 @@ func (t *TCPWorkerTransport) SendJobs(dst int, m Message) bool {
 	if addr == "" {
 		return false // destination unknown yet; the LB will rebalance later
 	}
-	if pc == nil {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return false
+	for attempt := 0; attempt < 2; attempt++ {
+		if pc == nil {
+			var err error
+			if pc, err = t.dialPeer(addr); err != nil {
+				return false
+			}
 		}
-		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-		t.mu.Lock()
-		t.peerConns[addr] = pc
-		t.mu.Unlock()
-	}
-	pc.mu.Lock()
-	err := pc.enc.Encode(WireMsg{Msg: &m})
-	pc.mu.Unlock()
-	if err != nil {
-		// Connection died; drop it so the next send re-dials. The caller
-		// keeps custody (ack high-water marks de-duplicate resends).
+		pc.mu.Lock()
+		err := pc.enc.Encode(WireMsg{Msg: &m})
+		pc.mu.Unlock()
+		if err == nil {
+			return true
+		}
+		// Connection died; drop it so the retry (and any later send)
+		// starts from a fresh dial. The caller keeps custody either way
+		// (ack high-water marks de-duplicate resends).
 		pc.conn.Close()
 		t.mu.Lock()
 		if t.peerConns[addr] == pc {
 			delete(t.peerConns, addr)
 		}
 		t.mu.Unlock()
-		return false
+		pc = nil
 	}
-	return true
+	return false
+}
+
+// dialPeer establishes an epoch-fenced peer session: dial, present this
+// worker's identity, and wait (bounded) for the acceptor's verdict. A
+// refusal means the acceptor already accepted a newer epoch for this id
+// — we are a stale incarnation and must not ship.
+func (t *TCPWorkerTransport) dialPeer(addr string) (*peerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(WireMsg{Hello: &Hello{ID: t.ID, Epoch: t.Epoch}}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(peerDialTimeout))
+	var wm WireMsg
+	if err := gob.NewDecoder(conn).Decode(&wm); err != nil || wm.Ack == nil || wm.Ack.ID < 0 {
+		conn.Close()
+		return nil, errors.New("cluster: peer handshake refused")
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	pc := &peerConn{conn: conn, enc: enc}
+	t.mu.Lock()
+	t.peerConns[addr] = pc
+	t.mu.Unlock()
+	return pc, nil
 }
 
 // Recv implements Transport.
@@ -582,6 +660,9 @@ func NewLBServer(addr string, cfg BalancerConfig, covLen int, minWorkers int) (*
 		}
 		cfg.Portfolio = d.Portfolio
 		cfg.ReweightEvery = d.ReweightEvery
+		cfg.DataPlane = d.DataPlane
+		cfg.PartitionDepth = d.PartitionDepth
+		cfg.PartitionUnits = d.PartitionUnits
 	}
 	for _, spec := range cfg.Portfolio {
 		if err := search.Validate(spec); err != nil {
@@ -680,6 +761,14 @@ func (s *LBServer) TotalPaths() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lb.TotalPaths()
+}
+
+// RepBase reports the replication-log compaction base (0 until the
+// first snapshot). Safe concurrently with Serve.
+func (s *LBServer) RepBase() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lb.RepBase()
 }
 
 // addrsLocked snapshots the member id → peer address map.
@@ -869,10 +958,19 @@ func (s *LBServer) handleStandby(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 	cfg := s.lb.Config()
 	ack := HelloAck{ID: 0, Cfg: &cfg, CovLen: s.covLen}
 	sc := newLBStandbyConn(conn, enc)
+	// A subscriber attaching from before the log's compaction point
+	// cannot be caught up by entries alone: bootstrap it with the
+	// compaction snapshot, then the suffix retained after it.
+	var snap *RepSnapshot
+	after := h.LastSeq
+	if after < s.lb.RepBase() {
+		snap = s.lb.LastSnapshot()
+		after = snap.Seq
+	}
 	// Queue the catch-up suffix before registering for live entries, all
 	// under the lock: nothing can interleave, so the standby sees a
 	// gapless sequence.
-	for _, e := range s.lb.RepLogFrom(h.LastSeq) {
+	for _, e := range s.lb.RepLogFrom(after) {
 		sc.q = append(sc.q, e)
 	}
 	s.standbys = append(s.standbys, sc)
@@ -881,6 +979,14 @@ func (s *LBServer) handleStandby(conn net.Conn, dec *gob.Decoder, enc *gob.Encod
 	if err := enc.Encode(WireMsg{Ack: &ack}); err != nil {
 		s.dropStandby(sc)
 		return
+	}
+	// The snapshot must precede every queued entry on the wire; encode it
+	// directly, before the flusher starts draining.
+	if snap != nil {
+		if err := enc.Encode(WireMsg{Snap: snap}); err != nil {
+			s.dropStandby(sc)
+			return
+		}
 	}
 	go sc.flush()
 	for {
@@ -973,7 +1079,17 @@ func (s *LBServer) handle(conn net.Conn) {
 	// moment wc is in s.conns, a concurrent Serve tick or another
 	// handler's dispatchLocked may send it a broadcast, and dialHello
 	// requires the HelloAck to be the first WireMsg on the wire.
-	wc.send(WireMsg{Ack: &HelloAck{ID: id, Epoch: epoch, Seed: id == 0, Spec: spec}, PeerAddrs: s.addrsLocked()})
+	bcfg := s.lb.Config()
+	wc.send(WireMsg{Ack: &HelloAck{
+		ID: id, Epoch: epoch,
+		// Depth mode seeds every worker: each re-derives the shared upper
+		// tree locally and counts only inside its granted units.
+		Seed:           id == 0 || bcfg.DataPlane == DataPlaneDepth,
+		Spec:           spec,
+		DataPlane:      bcfg.DataPlane,
+		PartitionDepth: bcfg.PartitionDepth,
+		PartitionUnits: bcfg.PartitionUnits,
+	}, PeerAddrs: s.addrsLocked()})
 	if old := s.conns[id]; old != nil {
 		old.conn.Close()
 	}
@@ -1007,6 +1123,16 @@ func (s *LBServer) handle(conn net.Conn) {
 				}
 				s.mu.Unlock()
 			}
+		case MsgShip:
+			// Peer-link fallback (or relay mode): re-emit the batch to its
+			// destination as an ordinary MsgJobs. Custody stays with the
+			// sender, so a relay lost with a dying primary is simply
+			// re-sent later.
+			s.mu.Lock()
+			if !s.stopped {
+				s.dispatchLocked(s.lb.Ship(*wm.Msg))
+			}
+			s.mu.Unlock()
 		case MsgGoodbye:
 			s.mu.Lock()
 			if !s.stopped && s.lb.IsMember(wm.Msg.From, wm.Msg.Epoch) {
@@ -1189,6 +1315,21 @@ func (sb *Standby) Run() (*LBServer, error) {
 				return nil, errors.New("cluster: standby closed")
 			}
 			return sb.promote()
+		}
+		if wm.Snap != nil {
+			// We attached from before the primary's compaction point: a
+			// fresh replica installs the snapshot, and the entry stream
+			// continues from snap.Seq+1.
+			sb.mu.Lock()
+			sb.rep = NewReplica(*ack.Cfg, sb.covLen)
+			serr := sb.rep.InstallState(wm.Snap)
+			sb.mu.Unlock()
+			if serr != nil {
+				conn.Close()
+				sb.Close()
+				return nil, fmt.Errorf("cluster: standby snapshot install: %w", serr)
+			}
+			continue
 		}
 		if wm.Rep == nil {
 			continue

@@ -42,12 +42,22 @@ func startTCPWorkerAddrs(t *testing.T, lbAddrs []string, src string, wg *sync.Wa
 			return
 		}
 		defer tr.Close()
+		// The data-plane mode is LB policy, inherited at the handshake —
+		// same as cmd/c9-worker.
+		ecfg := engine.Config{MaxStateSteps: 1_000_000}
+		if ack.DataPlane == DataPlaneDepth {
+			ecfg.Partition = &engine.PartitionSpec{
+				Depth: ack.PartitionDepth,
+				Units: ack.PartitionUnits,
+			}
+		}
 		w, err := NewWorker(WorkerConfig{
-			ID:     ack.ID,
-			Epoch:  ack.Epoch,
-			Seed:   ack.Seed,
-			Batch:  8,
-			Engine: engine.Config{MaxStateSteps: 1_000_000},
+			ID:        ack.ID,
+			Epoch:     ack.Epoch,
+			Seed:      ack.Seed,
+			Batch:     8,
+			Engine:    ecfg,
+			DataPlane: ack.DataPlane,
 			// Frontier with every status: cheap at this scale, and it
 			// keeps the custody snapshot maximally fresh for the crash
 			// assertions below.

@@ -54,6 +54,13 @@ type WorkerConfig struct {
 	// allocation instead of fighting it.
 	StrategyPinned bool
 
+	// DataPlane selects how exported job batches travel (inherited from
+	// the balancer config / HelloAck): DataPlaneP2P (default, also "")
+	// ships peer-to-peer with LB-relay fallback; DataPlaneRelay always
+	// relays through the LB; DataPlaneDepth ships nothing (workers claim
+	// deterministic depth units instead — Engine.Partition must be set).
+	DataPlane string
+
 	Engine engine.Config
 	// NewInterp builds the worker's private interpreter+model stack
 	// (shared-nothing: each worker owns its program instance, solver and
@@ -84,12 +91,22 @@ type Transport interface {
 
 // unackedBatch is an exported job batch awaiting the receiver's
 // acknowledgment; if the receiver is evicted first, the batch is
-// re-imported locally.
+// re-imported locally. via records which channel last shipped it (peer
+// session or LB relay), so custody state names the path a batch took —
+// recovery itself is channel-agnostic (sequences and ack high-water
+// marks mean the same thing either way).
 type unackedBatch struct {
 	jt     *JobTree
 	n      int
 	sentAt time.Time
+	via    string
 }
+
+// Shipping channels recorded on custody entries and journal events.
+const (
+	viaPeer  = "peer"
+	viaRelay = "relay"
+)
 
 // Worker is one Cloud9 worker node: a private symbolic execution engine
 // plus the job-transfer and membership protocol.
@@ -117,6 +134,19 @@ type Worker struct {
 	queueGauge       *obs.Gauge
 	batchHist        *obs.Histogram
 	journal          *obs.Journal
+
+	// Data-plane accounting: logical peer sessions (one per destination,
+	// opened on the first successful peer ship, closed on link loss or
+	// the peer's eviction) and the bytes each channel moved. The session
+	// counters are cumulative and ride every status, so the LB journals
+	// open/close/fallback events replication-safely.
+	peerSessions  map[int]bool
+	peerOpens     *obs.Counter
+	peerCloses    *obs.Counter
+	peerFallbacks *obs.Counter
+	peerBytes     *obs.Counter
+	relayBytes    *obs.Counter
+	unitAcquires  *obs.Counter
 
 	// Sender-side custody: per-destination unacked exported batches,
 	// keyed by a per-destination sequence number — so each (src, dst)
@@ -237,6 +267,7 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 		ackHW:        map[int]uint64{},
 		reseatSeen:   map[uint64]ReseatAck{},
 		evictedPeers: map[int]uint64{},
+		peerSessions: map[int]bool{},
 		spec:         cfg.StrategySpec,
 		specPinned:   cfg.StrategyPinned,
 		// The first status is always a full snapshot.
@@ -257,6 +288,12 @@ func NewWorker(cfg WorkerConfig, tr Transport) (*Worker, error) {
 	w.swapsCtr = exp.Obs.Counter(obs.MClusterStrategySwaps)
 	w.queueGauge = exp.Obs.Gauge(obs.MClusterQueueJobs)
 	w.batchHist = exp.Obs.Histogram(obs.MClusterBatchImportJobs, obs.ExpBuckets(1, 2, 12))
+	w.peerOpens = exp.Obs.Counter(obs.MClusterPeerOpens)
+	w.peerCloses = exp.Obs.Counter(obs.MClusterPeerCloses)
+	w.peerFallbacks = exp.Obs.Counter(obs.MClusterPeerFallbacks)
+	w.peerBytes = exp.Obs.Counter(obs.MClusterPeerBytes)
+	w.relayBytes = exp.Obs.Counter(obs.MClusterRelayBytes)
+	w.unitAcquires = exp.Obs.Counter(obs.MClusterUnitAcquires)
 	return w, nil
 }
 
@@ -317,6 +354,61 @@ func (w *Worker) importPaths(paths [][]uint8) {
 	w.batchHist.Observe(uint64(len(paths)))
 }
 
+// shipBatch moves one exported batch to dst over the configured data
+// plane: peer session first with LB-relay fallback (p2p, the default),
+// or always relayed through the LB (relay mode). It returns the channel
+// used and whether the batch left this worker at all; false means the
+// caller must roll custody back (both channels refused the batch).
+func (w *Worker) shipBatch(dst int, m Message) (string, bool) {
+	if w.cfg.DataPlane != DataPlaneRelay {
+		if w.transport.SendJobs(dst, m) {
+			w.notePeerOpen(dst)
+			w.peerBytes.Add(uint64(payloadBytes(m.Jobs)))
+			return viaPeer, true
+		}
+		// The peer link is refused, blackholed, or not yet dialable:
+		// whatever session existed is gone, and the batch falls back to
+		// LB-relayed shipping so a partitioned fleet keeps making
+		// progress. The receiver sees an identical MsgJobs either way.
+		w.notePeerClose(dst)
+		w.peerFallbacks.Inc()
+		w.journal.Append(obs.EvPeerFallback, map[string]string{
+			"dst": strconv.Itoa(dst),
+			"seq": strconv.FormatUint(m.Seq, 10),
+		})
+	}
+	ship := m
+	ship.Kind = MsgShip
+	ship.Dst = dst
+	if w.transport.SendToLB(ship) {
+		w.relayBytes.Add(uint64(payloadBytes(m.Jobs)))
+		return viaRelay, true
+	}
+	return "", false
+}
+
+// notePeerOpen records the first successful peer ship to dst as a
+// logical session open.
+func (w *Worker) notePeerOpen(dst int) {
+	if w.peerSessions[dst] {
+		return
+	}
+	w.peerSessions[dst] = true
+	w.peerOpens.Inc()
+	w.journal.Append(obs.EvPeerSessionOpen, map[string]string{"dst": strconv.Itoa(dst)})
+}
+
+// notePeerClose closes the logical session to dst (link failure or the
+// peer's eviction). Idempotent.
+func (w *Worker) notePeerClose(dst int) {
+	if !w.peerSessions[dst] {
+		return
+	}
+	delete(w.peerSessions, dst)
+	w.peerCloses.Inc()
+	w.journal.Append(obs.EvPeerSessionClose, map[string]string{"dst": strconv.Itoa(dst)})
+}
+
 // reimport takes back custody of a batch whose destination is gone.
 func (w *Worker) reimport(dst int, seq uint64) {
 	byseq := w.unacked[dst]
@@ -366,6 +458,18 @@ func (w *Worker) drainMailbox() {
 			// Membership snapshots exist for the transports (the TCP
 			// layer piggybacks peer addresses on them); workers fence on
 			// MsgEvict alone.
+		case MsgUnits:
+			// Depth-partition grant: the LB re-sends the full owned list
+			// until the status echo matches, so acquisition must be (and
+			// is) idempotent.
+			if n := w.Exp.AcquireUnits(msg.Units); n > 0 {
+				w.unitAcquires.Add(uint64(n))
+				w.journal.Append(obs.EvUnitAcquire, map[string]string{
+					"units": strconv.Itoa(n),
+					"owned": strconv.Itoa(len(w.Exp.OwnedUnits())),
+				})
+			}
+			w.sendStatus()
 		case MsgCoverage:
 			// Merge the global vector into the local one so the local
 			// strategy makes globally consistent choices (§3.3); the
@@ -468,10 +572,13 @@ func (w *Worker) handleTransferReq(msg Message) {
 	if w.unacked[msg.Dst] == nil {
 		w.unacked[msg.Dst] = map[uint64]*unackedBatch{}
 	}
-	w.unacked[msg.Dst][seq] = &unackedBatch{jt: jt, n: len(paths), sentAt: time.Now()}
-	if !w.transport.SendJobs(msg.Dst, Message{
+	b := &unackedBatch{jt: jt, n: len(paths), sentAt: time.Now()}
+	w.unacked[msg.Dst][seq] = b
+	if via, ok := w.shipBatch(msg.Dst, Message{
 		Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: jt,
-	}) {
+	}); ok {
+		b.via = via
+	} else {
 		// The transport refused the batch, so it never left this worker.
 		// Roll the sequence back before taking the jobs back: seq is the
 		// highest issued for this destination (assigned just above), so
@@ -497,6 +604,7 @@ func (w *Worker) handleEvict(msg Message) {
 		w.departed = true
 		return
 	}
+	w.notePeerClose(msg.From)
 	if byseq := w.unacked[msg.From]; len(byseq) > 0 {
 		seqs := make([]uint64, 0, len(byseq))
 		for seq := range byseq {
@@ -539,13 +647,15 @@ func (w *Worker) resendOverdue() {
 		for i, seq := range seqs {
 			b := byseq[seq]
 			b.sentAt = now
-			if w.transport.SendJobs(dst, Message{
+			if via, ok := w.shipBatch(dst, Message{
 				Kind: MsgJobs, From: w.ID, Epoch: w.Epoch, Seq: seq, Jobs: b.jt,
-			}) {
+			}); ok {
+				b.via = via
 				w.resendsCtr.Inc()
 				w.journal.Append(obs.EvBatchResend, map[string]string{
 					"dst": strconv.Itoa(dst),
 					"seq": strconv.FormatUint(seq, 10),
+					"via": via,
 				})
 			} else {
 				// Keep custody and retry on a later pass (the peer may come
@@ -622,6 +732,10 @@ func (w *Worker) sendStatusOpt(full bool) {
 		ReseatAcks:    reseatAcks,
 		Spec:          w.spec,
 		SpecPinned:    w.specPinned,
+		PeerOpens:     w.peerOpens.Load(),
+		PeerCloses:    w.peerCloses.Load(),
+		PeerFallbacks: w.peerFallbacks.Load(),
+		Units:         w.Exp.OwnedUnits(),
 	}
 	var obsSnap obs.Snapshot
 	if full {

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -44,6 +45,29 @@ type Stats struct {
 	NewLinesEver  int    // lines newly covered by this explorer (worker-thread only)
 }
 
+// PartitionSpec configures depth partitioning (the depth data-plane
+// mode): the path prefix truncated at Depth hashes (FNV-1a) into one of
+// Units deterministic work units. Every worker re-derives the shared
+// upper region (depth < Depth) locally; descending past the boundary —
+// and counting a terminal toward the exploration totals — requires
+// owning the terminal's unit, so each path is counted exactly once
+// fleet-wide without shipping any job trees.
+type PartitionSpec struct {
+	Depth int
+	Units int
+}
+
+// foreignDone records a terminal reached in the shared upper region
+// whose unit this worker did not own at the time. If the unit is
+// granted later (typically after its owner crashed), the record is
+// folded into the stats then; otherwise the unit's owner counted its
+// own derivation of the same terminal.
+type foreignDone struct {
+	depth int
+	term  state.TerminationKind
+	test  *TestCase
+}
+
 // Explorer drives symbolic exploration of one program on one worker.
 type Explorer struct {
 	In    *interp.Interp
@@ -80,6 +104,17 @@ type Explorer struct {
 	depthHist *obs.Histogram
 	testsCtr  *obs.Counter
 
+	// Depth partitioning (nil when the run is not partitioned).
+	Part       *PartitionSpec
+	owned      []bool
+	ownedCount int
+	// boundary holds, per unowned unit, the fence nodes parked exactly at
+	// the partition boundary (state retained for a later grant).
+	boundary map[int][]*tree.Node
+	// foreign holds, per unowned unit, the terminals this worker derived
+	// in the shared upper region but must not count.
+	foreign map[int][]foreignDone
+
 	// coverage scratch for the current Advance call.
 	newLines int
 	// globalNew accumulates lines first learned from the cluster's
@@ -97,6 +132,9 @@ type Config struct {
 	Strategy       func(t *tree.Tree, d *cfg.Distance) Strategy
 	MaxStateSteps  uint64 // per-path instruction budget (hang detection)
 	RecordAllTests bool
+	// Partition enables depth partitioning: terminals and subtrees are
+	// ownership-gated by deterministic depth-D units (see PartitionSpec).
+	Partition *PartitionSpec
 }
 
 // New builds an explorer for prog's entry function.
@@ -120,6 +158,12 @@ func New(in *interp.Interp, entry string, c Config) (*Explorer, error) {
 		Cov:            coverage.New(in.Prog.MaxLine),
 		Dist:           cfg.NewDistance(cfg.BuildGraph(in.Prog)),
 		RecordAllTests: c.RecordAllTests,
+	}
+	if p := c.Partition; p != nil && p.Depth > 0 && p.Units > 0 {
+		e.Part = p
+		e.owned = make([]bool, p.Units)
+		e.boundary = map[int][]*tree.Node{}
+		e.foreign = map[int][]foreignDone{}
 	}
 	if c.Strategy != nil {
 		e.Strat = c.Strategy(t, e.Dist)
@@ -245,6 +289,19 @@ func (e *Explorer) exploreNode(n *tree.Node) error {
 	e.Strat.NotifyCoverage(n, e.newLines)
 	if kids == nil {
 		// Terminated.
+		if e.Part != nil {
+			if u := e.unitOf(n.PathFromRoot()); !e.owned[u] {
+				// A terminal in the shared upper region owned elsewhere:
+				// park the result (test built eagerly — the state is about
+				// to be released) instead of counting it.
+				e.foreign[u] = append(e.foreign[u], foreignDone{
+					depth: n.Depth, term: s.Term, test: e.buildTest(s),
+				})
+				s.Release()
+				e.Tree.MarkDead(n)
+				return nil
+			}
+		}
 		e.recordTest(s)
 		atomic.AddUint64(&e.Stats.PathsExplored, 1)
 		e.depthHist.Observe(uint64(n.Depth))
@@ -258,13 +315,95 @@ func (e *Explorer) exploreNode(n *tree.Node) error {
 		e.Tree.MarkDead(n)
 		return nil
 	}
-	// Forked: attach children as materialized candidates.
+	// Forked: attach children as materialized candidates. At the
+	// partition boundary, children whose unit this worker does not own
+	// become fences with their state retained: a later unit grant turns
+	// them back into candidates without any replay.
 	e.Tree.MarkDead(n)
+	var base []uint8
+	if e.Part != nil && n.Depth+1 == e.Part.Depth {
+		base = n.PathFromRoot()
+	}
 	for i, k := range kids {
+		if base != nil {
+			if u := e.unitOf(append(base[:len(base):len(base)], uint8(i))); !e.owned[u] {
+				fence := e.Tree.AddChild(n, uint8(i), tree.Materialized, tree.Fence, k)
+				e.boundary[u] = append(e.boundary[u], fence)
+				continue
+			}
+		}
 		child := e.Tree.AddChild(n, uint8(i), tree.Materialized, tree.Candidate, k)
 		e.Strat.Add(child)
 	}
 	return nil
+}
+
+// unitOf maps a root path to its partition unit: FNV-1a over the prefix
+// truncated at the partition depth, mod the unit count. Deterministic
+// across workers, so every fleet member derives the same unit table.
+func (e *Explorer) unitOf(path []uint8) int {
+	if len(path) > e.Part.Depth {
+		path = path[:e.Part.Depth]
+	}
+	h := fnv.New64a()
+	h.Write(path)
+	return int(h.Sum64() % uint64(e.Part.Units))
+}
+
+// AcquireUnits folds granted units into the exploration: boundary
+// fences become candidates and previously foreign terminals are
+// counted. Idempotent over already-owned units; returns the number of
+// newly acquired ones.
+func (e *Explorer) AcquireUnits(units []int) int {
+	if e.Part == nil {
+		return 0
+	}
+	acquired := 0
+	for _, u := range units {
+		if u < 0 || u >= len(e.owned) || e.owned[u] {
+			continue
+		}
+		e.owned[u] = true
+		e.ownedCount++
+		acquired++
+		for _, n := range e.boundary[u] {
+			if n.Life == tree.Fence {
+				e.Tree.FenceToCandidate(n)
+				e.Strat.Add(n)
+			}
+		}
+		delete(e.boundary, u)
+		for _, fd := range e.foreign[u] {
+			atomic.AddUint64(&e.Stats.PathsExplored, 1)
+			e.depthHist.Observe(uint64(fd.depth))
+			switch fd.term {
+			case state.TermError:
+				atomic.AddUint64(&e.Stats.Errors, 1)
+			case state.TermHang:
+				atomic.AddUint64(&e.Stats.Hangs, 1)
+			}
+			if fd.test != nil {
+				e.appendTest(*fd.test)
+			}
+		}
+		delete(e.foreign, u)
+	}
+	return acquired
+}
+
+// OwnedUnits returns the sorted unit ids this explorer owns (nil when
+// the run is not partitioned).
+func (e *Explorer) OwnedUnits() []int {
+	if e.Part == nil || e.ownedCount == 0 {
+		return nil
+	}
+	out := make([]int, 0, e.ownedCount)
+	for u, ok := range e.owned {
+		if ok {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // materialize replays the path to a virtual node from its nearest
@@ -329,12 +468,22 @@ func (e *Explorer) materialize(n *tree.Node) error {
 
 // recordTest captures a test case from a terminated state.
 func (e *Explorer) recordTest(s *state.S) {
-	interesting := s.Term == state.TermError || s.Term == state.TermHang
-	if !interesting && !e.RecordAllTests {
-		return
-	}
 	if e.MaxTests > 0 && len(e.Tests) >= e.MaxTests {
 		return
+	}
+	if tc := e.buildTest(s); tc != nil {
+		e.appendTest(*tc)
+	}
+}
+
+// buildTest renders a terminated state into a test case, or nil when
+// the path is not worth recording. Split from recordTest so partition
+// foreign terminals can build the case before the state is released and
+// append it only if their unit is granted later.
+func (e *Explorer) buildTest(s *state.S) *TestCase {
+	interesting := s.Term == state.TermError || s.Term == state.TermHang
+	if !interesting && !e.RecordAllTests {
+		return nil
 	}
 	tc := TestCase{
 		Kind:    s.Term,
@@ -358,6 +507,14 @@ func (e *Explorer) recordTest(s *state.S) {
 			}
 			tc.Inputs[name] = buf
 		}
+	}
+	return &tc
+}
+
+// appendTest retains a built test case, honoring the MaxTests cap.
+func (e *Explorer) appendTest(tc TestCase) {
+	if e.MaxTests > 0 && len(e.Tests) >= e.MaxTests {
+		return
 	}
 	e.Tests = append(e.Tests, tc)
 	e.testsCtr.Inc()

@@ -150,4 +150,13 @@ const (
 	EvStandbyPromote = "standby-promoted" // standby: replica took over as primary
 	EvEpochBump      = "epoch-bump"       // promoted LB: id/epoch counters strode past the lost window
 	EvResync         = "resync"           // promoted LB: members re-reported full frontiers (or went stale)
+	EvRepSnapshot    = "rep-snapshot"     // LB: replication log compacted behind a state snapshot
+
+	// Data plane: peer sessions and depth partitioning.
+	EvPeerSessionOpen  = "peer-session-open"  // LB: a worker opened a peer job-shipping session (fields: dst)
+	EvPeerSessionClose = "peer-session-close" // LB: a peer session closed (link lost or peer evicted)
+	EvPeerFallback     = "peer-fallback"      // LB: a batch fell back to LB-relayed shipping
+	EvUnitGrant        = "unit-grant"         // LB: depth-partition units granted to an idle worker
+	EvUnitReclaim      = "unit-reclaim"       // LB: a departed member's units returned to the unclaimed pool
+	EvUnitAcquire      = "unit-acquire"       // worker: granted units folded into the local exploration
 )

@@ -54,6 +54,15 @@ const (
 	MClusterQueueJobs       = "c9_cluster_queue_jobs"        // gauge
 	MClusterBatchImportJobs = "c9_cluster_batch_import_jobs" // histogram
 
+	// Data plane, worker side: peer job-shipping sessions and the bytes
+	// each channel moved.
+	MClusterPeerOpens     = "c9_cluster_peer_sessions_opened_total"
+	MClusterPeerCloses    = "c9_cluster_peer_sessions_closed_total"
+	MClusterPeerFallbacks = "c9_cluster_peer_fallbacks_total"
+	MClusterPeerBytes     = "c9_cluster_peer_payload_bytes_total"
+	MClusterRelayBytes    = "c9_cluster_relay_payload_bytes_total"
+	MClusterUnitAcquires  = "c9_cluster_unit_acquires_total"
+
 	// Load balancer / fleet (internal/cluster LB side).
 	MLBMembers           = "c9_lb_members" // gauge
 	MLBJoins             = "c9_lb_joins_total"
@@ -67,6 +76,16 @@ const (
 	MLBRebalances        = "c9_lb_rebalances_total"
 	MLBAdoptions         = "c9_lb_adoptions_total"
 	MLBCoverageLines     = "c9_lb_coverage_lines" // gauge
+
+	// Data plane, LB side. MLBPayloadBytes counts job-payload bytes that
+	// transited the LB (relay mode or peer-link fallback); a healthy P2P
+	// run keeps it at zero, which CI asserts.
+	MLBPayloadBytes   = "c9_lb_payload_bytes_total"
+	MLBRelayedBatches = "c9_lb_relayed_batches_total"
+	MLBUnitGrants     = "c9_lb_unit_grants_total"
+	MLBUnitReclaims   = "c9_lb_unit_reclaims_total"
+	MLBUnitsUnclaimed = "c9_lb_units_unclaimed" // gauge
+	MLBRepSnapshots   = "c9_lb_rep_snapshots_total"
 
 	// Control-plane replication / failover (LB high availability).
 	MLBTerm       = "c9_lb_term"                // gauge: promotions + 1 (which primary incarnation this is)
